@@ -1,0 +1,46 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints the paper artefact it regenerates (series tables and
+// an ASCII rendition of the figure) and saves the raw rows as CSV under
+// bench_results/ so external plotting can reproduce the exact figure.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "roclk/common/table.hpp"
+
+namespace roclk::bench {
+
+/// Directory CSV artefacts are written to (created on demand).
+inline std::string results_dir() {
+  const std::filesystem::path dir{"bench_results"};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir.string();
+}
+
+/// Saves a table to bench_results/<name>.csv and reports where.
+inline void save_table(const TextTable& table, const std::string& name) {
+  const std::string path = results_dir() + "/" + name + ".csv";
+  if (table.save_csv(path)) {
+    std::printf("[csv] %s\n", path.c_str());
+  } else {
+    std::printf("[csv] FAILED to write %s\n", path.c_str());
+  }
+}
+
+inline void print_header(const char* artefact, const char* description) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n%s\n", artefact, description);
+  std::printf("================================================================================\n\n");
+}
+
+/// Prints a PASS/NOTE shape-assertion line (benches are not tests, but they
+/// state whether the paper's qualitative claim held in this run).
+inline void shape_check(bool ok, const char* claim) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK " : "SHAPE-DIFF", claim);
+}
+
+}  // namespace roclk::bench

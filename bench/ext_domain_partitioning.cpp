@@ -1,0 +1,85 @@
+// Extension bench — clock-domain partitioning: section II-A's "trade-off
+// ... relates ... the clock domain size" turned into an architecture
+// experiment.  A die too large for one adaptive clock (its H-tree delay
+// violates the t_clk < Te/6 budget) is split into K x K domains, each with
+// its own RO + TDC loop; the chip-level margin is the worst domain's.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "roclk/analysis/multi_domain.hpp"
+#include "roclk/common/ascii_plot.hpp"
+#include "roclk/common/table.hpp"
+#include "roclk/variation/scenario.hpp"
+#include "roclk/variation/sources.hpp"
+
+int main() {
+  using namespace roclk;
+  namespace rb = roclk::bench;
+
+  rb::print_header(
+      "Extension — adaptive clock-domain partitioning",
+      "8 mm die, buffered H-tree per domain; IIR RO loop in every domain.\n"
+      "Environment: 15% harmonic HoDV plus a 10% hotspot in one corner.");
+
+  analysis::MultiDomainConfig cfg;
+  cfg.die_size_mm = 8.0;
+  cfg.cycles = 8000;
+  cfg.transient_skip = 2000;
+
+  // Perturbation fast enough to defeat the whole-die tree.
+  const double whole_tclk = [&] {
+    auto t = cfg.tree;
+    t.size_mm = cfg.die_size_mm;
+    return chip::ClockDomainGeometry{t}.cdn_delay_stages();
+  }();
+  const double te = 4.0 * whole_tclk;
+  auto env = std::make_unique<variation::CompositeVariation>();
+  env->add(variation::make_harmonic_hodv(0.15, te));
+  env->add(std::make_unique<variation::TemperatureHotspot>(
+      0.10, variation::DiePoint{0.85, 0.15}, 0.15, 64.0 * 500.0,
+      64.0 * 3000.0));
+  const double fixed = 64.0 * (1.0 + 0.15 + 0.10);
+
+  std::printf("whole-die t_clk = %.1f stages; HoDV period Te = %.1f stages "
+              "(t_clk = Te/4 > Te/6 budget)\n\n", whole_tclk, te);
+
+  const std::vector<std::size_t> sides{1, 2, 3, 4, 6};
+  const auto results =
+      analysis::partitioning_sweep(cfg, *env, fixed, sides);
+
+  TextTable table{{"domains", "domain (mm)", "t_clk (stages)",
+                   "worst SM (stages)", "worst rel. period"}};
+  std::vector<double> xs;
+  std::vector<double> margins;
+  for (const auto& r : results) {
+    table.add_row_values({static_cast<double>(r.domains), r.domain_size_mm,
+                          r.cdn_delay_stages, r.worst_safety_margin,
+                          r.worst_relative_period});
+    xs.push_back(static_cast<double>(r.domains));
+    margins.push_back(r.worst_safety_margin);
+  }
+  table.print(std::cout);
+  rb::save_table(table, "ext_domain_partitioning");
+
+  PlotOptions opts;
+  opts.title = "chip-level safety margin vs number of clock domains";
+  opts.x_label = "domains";
+  opts.y_label = "worst SM (stages)";
+  opts.log_x = true;
+  AsciiPlot plot{opts};
+  plot.add_series("worst domain SM", xs, margins, '*');
+  std::printf("\n%s\n", plot.render().c_str());
+
+  rb::shape_check(results.back().worst_safety_margin <
+                      results.front().worst_safety_margin,
+                  "partitioning recovers margin a single domain cannot");
+  rb::shape_check(results.back().cdn_delay_stages < te / 6.0,
+                  "fine partitions bring t_clk back inside the Te/6 budget");
+  std::printf(
+      "\nReading: the returns diminish once t_clk clears the Te/6 budget — "
+      "further splitting\nbuys little margin but keeps multiplying clock "
+      "generators and domain crossings.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// P1 — google-benchmark microbenchmarks: throughput of the simulation
+// substrate (cycles/second of the discrete loop, edge simulator, control
+// blocks and analytic kernels).  Not a paper artefact; documents that the
+// sweeps in the figure benches are cheap.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "roclk/analysis/analytic.hpp"
+#include "roclk/analysis/yield.hpp"
+#include "roclk/control/constraints.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/teatime.hpp"
+#include "roclk/control/setpoint_governor.hpp"
+#include "roclk/core/edge_simulator.hpp"
+#include "roclk/core/gate_level_simulator.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/signal/roots.hpp"
+#include "roclk/variation/sources.hpp"
+
+namespace {
+
+using namespace roclk;
+
+void BM_IirHardwareStep(benchmark::State& state) {
+  control::IirControlHardware hw;
+  hw.reset(64.0);
+  double delta = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw.step(delta));
+    delta = -delta;
+  }
+}
+BENCHMARK(BM_IirHardwareStep);
+
+void BM_TeaTimeStep(benchmark::State& state) {
+  control::TeaTimeControl tea;
+  tea.reset(64.0);
+  double delta = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tea.step(delta));
+    delta = -delta;
+  }
+}
+BENCHMARK(BM_TeaTimeStep);
+
+void BM_LoopSimulatorCycle(benchmark::State& state) {
+  auto sim = core::make_iir_system(64.0, 64.0);
+  const auto inputs = core::SimulationInputs::harmonic(12.8, 3200.0);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    const double t = static_cast<double>(n++) * 64.0;
+    benchmark::DoNotOptimize(
+        sim.step(inputs.e_ro(t), inputs.e_tdc(t), inputs.mu(t)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoopSimulatorCycle);
+
+void BM_LoopSimulatorRun4k(benchmark::State& state) {
+  const auto inputs = core::SimulationInputs::harmonic(12.8, 3200.0);
+  for (auto _ : state) {
+    auto sim = core::make_iir_system(64.0, 64.0);
+    benchmark::DoNotOptimize(sim.run(inputs, 4000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4000);
+}
+BENCHMARK(BM_LoopSimulatorRun4k);
+
+void BM_EdgeSimulatorRun1k(benchmark::State& state) {
+  const auto inputs = core::EdgeSimInputs::homogeneous(
+      std::make_shared<signal::SineWaveform>(0.2, 3200.0));
+  for (auto _ : state) {
+    core::EdgeSimConfig cfg;
+    core::EdgeSimulator sim{cfg,
+                            std::make_unique<control::IirControlHardware>()};
+    benchmark::DoNotOptimize(sim.run(inputs, 1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_EdgeSimulatorRun1k);
+
+void BM_ClosedLoopRoots(benchmark::State& state) {
+  const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control::closed_loop_stability(n, d, m));
+  }
+}
+BENCHMARK(BM_ClosedLoopRoots)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_GateLevelStep(benchmark::State& state) {
+  core::GateLevelSimulator sim{
+      core::GateLevelConfig{},
+      std::make_unique<control::IirControlHardware>()};
+  variation::VrmRipple ripple{0.1, 3200.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step(ripple));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GateLevelStep);
+
+void BM_GovernorObserve(benchmark::State& state) {
+  control::SetpointGovernor governor{{}};
+  double tau = 70.0;
+  for (auto _ : state) {
+    tau = tau > 70.0 ? 69.0 : 71.0;
+    benchmark::DoNotOptimize(governor.observe(tau));
+  }
+}
+BENCHMARK(BM_GovernorObserve);
+
+void BM_YieldChipSample(benchmark::State& state) {
+  analysis::YieldConfig cfg;
+  cfg.chips = 10;
+  const std::vector<double> margins{8.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::yield_curve(margins, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10);
+}
+BENCHMARK(BM_YieldChipSample);
+
+void BM_SpatialMapSample(benchmark::State& state) {
+  variation::WithinDieProcess wid{0.05, 42};
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1e-4;
+    if (x > 1.0) x = 0.0;
+    benchmark::DoNotOptimize(wid.at(0.0, {x, 1.0 - x}));
+  }
+}
+BENCHMARK(BM_SpatialMapSample);
+
+void BM_AnalyticMismatch(benchmark::State& state) {
+  double t_clk = 0.0;
+  for (auto _ : state) {
+    t_clk += 0.1;
+    benchmark::DoNotOptimize(
+        analysis::harmonic_worst_mismatch(t_clk, 640.0, 12.8));
+  }
+}
+BENCHMARK(BM_AnalyticMismatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// quickstart — build a self-adaptive clock, perturb it, watch it adapt.
+//
+// Reproduces in miniature what the paper proposes: a ring oscillator whose
+// length is steered by an integer IIR filter fed from the worst TDC
+// reading, compared against a fixed clock, under a die-wide sinusoidal
+// supply-ripple variation (harmonic HoDV).
+#include <cstdio>
+
+#include "roclk/roclk.hpp"
+
+int main() {
+  using namespace roclk;
+
+  const double c = 64.0;        // set-point: desired TDC reading (stages)
+  const double t_clk = c;       // CDN delay: one nominal period
+  const double amplitude = 0.2 * c;  // HoDV amplitude (stages)
+  const double period = 50.0 * c;    // HoDV period (stages)
+
+  std::printf("roclk quickstart\n");
+  std::printf("  set-point c = %.0f stages, CDN delay = %.0f stages\n", c,
+              t_clk);
+  std::printf("  harmonic HoDV: amplitude %.1f stages, period %.0f stages\n\n",
+              amplitude, period);
+
+  // The paper's three adaptive systems plus the fixed-clock baseline.
+  auto inputs = core::SimulationInputs::harmonic(amplitude, period);
+  const std::size_t cycles = 4000;
+  const std::size_t skip = 1000;
+  const double t_fixed = analysis::fixed_clock_period(c, amplitude);
+
+  std::printf("%-12s %18s %14s %16s %12s\n", "system", "safety margin",
+              "mean period", "rel. period", "violations");
+  for (auto kind : analysis::kAllSystems) {
+    auto system = analysis::make_system(kind, c, t_clk);
+    auto trace = system.run(inputs, cycles);
+    auto metrics = analysis::evaluate_run(trace, c, t_fixed, skip);
+    std::printf("%-12s %15.2f st %11.2f st %15.3f %11zu\n",
+                analysis::to_string(kind), metrics.safety_margin,
+                metrics.mean_period, metrics.relative_adaptive_period,
+                metrics.violations);
+  }
+
+  // Show the IIR loop chasing the perturbation, cycle by cycle.
+  std::printf("\nIIR RO timing error tau - c, periods 500..600:\n");
+  auto iir = analysis::make_system(analysis::SystemKind::kIir, c, t_clk);
+  auto trace = iir.run(inputs, 601);
+  auto err = trace.timing_error(c);
+  std::vector<double> window(err.begin() + 500, err.begin() + 601);
+  std::printf("  %s\n", sparkline(window, 64).c_str());
+  std::printf("  worst negative error in window: %.2f stages\n",
+              -*std::min_element(window.begin(), window.end()));
+
+  std::printf(
+      "\nA relative period below %.3f means the adaptive clock beat the\n"
+      "fixed clock's worst-case margin (T_fixed = %.1f stages).\n",
+      1.0, t_fixed);
+  return 0;
+}

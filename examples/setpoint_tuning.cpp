@@ -1,0 +1,134 @@
+// setpoint_tuning — the paper's section V sketch made concrete: the
+// pipeline detects and replays real timing errors (tau < logic depth L),
+// and an outer governor moves the set-point c to maximise throughput.
+//
+// Static sweep first (where IS the optimum c?), then the governor finding
+// it online while a thermal drift slowly moves the ground under it.
+#include <cstdio>
+#include <memory>
+
+#include "roclk/roclk.hpp"
+
+namespace {
+
+using namespace roclk;
+
+core::LoopSimulator make_loop(double setpoint) {
+  core::LoopConfig cfg;
+  cfg.setpoint_c = setpoint;
+  cfg.cdn_delay_stages = 64.0;
+  return core::LoopSimulator{
+      cfg, std::make_unique<control::IirControlHardware>()};
+}
+
+}  // namespace
+
+int main() {
+  const double logic_depth = 64.0;  // L: stages of logic per pipeline stage
+  const core::ThroughputConfig tp_cfg{logic_depth, /*replay=*/8.0};
+  const auto inputs = core::SimulationInputs::harmonic(0.08 * 64.0,
+                                                       40.0 * 64.0);
+
+  std::printf("set-point tuning with error detection + replay\n");
+  std::printf("logic depth L = %.0f stages, replay penalty = %.0f cycles, "
+              "8%% HoDV at Te = 40c\n\n", logic_depth,
+              tp_cfg.replay_penalty_cycles);
+
+  // 1. Static sweep: run each fixed set-point, score throughput.
+  std::printf("static sweep of c:\n");
+  std::printf("%6s %10s %12s %12s\n", "c", "errors", "efficiency",
+              "mean period");
+  double best_eff = 0.0;
+  double best_c = 0.0;
+  for (double c = 62.0; c <= 78.0; c += 2.0) {
+    auto sim = make_loop(c);
+    const auto trace = sim.run(inputs, 6000);
+    const auto report = core::evaluate_throughput(trace, tp_cfg, 1000);
+    std::printf("%6.0f %10zu %12.4f %12.2f\n", c, report.errors,
+                report.efficiency, trace.mean_delivered_period(1000));
+    if (report.efficiency > best_eff) {
+      best_eff = report.efficiency;
+      best_c = c;
+    }
+  }
+  std::printf("static optimum: c = %.0f (efficiency %.4f)\n\n", best_c,
+              best_eff);
+
+  // 2. Governor: start from a deliberately conservative set-point and let
+  // the window policy close the gap online.
+  control::GovernorConfig gov_cfg;
+  gov_cfg.initial_setpoint = 76.0;
+  gov_cfg.logic_depth = logic_depth;
+  gov_cfg.window = 200;
+  gov_cfg.headroom = 2.0;
+  control::SetpointGovernor governor{gov_cfg};
+  auto sim = make_loop(gov_cfg.initial_setpoint);
+  const auto trace =
+      core::run_with_governor(sim, governor, inputs, 20000);
+  const auto report = core::evaluate_throughput(trace, tp_cfg, 2000);
+
+  std::printf("governed run (starts at c = %.0f):\n", gov_cfg.initial_setpoint);
+  std::printf("  final set-point      : %.1f\n", governor.setpoint());
+  std::printf("  epochs / total errors: %zu / %llu\n", governor.epochs(),
+              static_cast<unsigned long long>(governor.total_errors()));
+  std::printf("  efficiency           : %.4f (static optimum %.4f)\n",
+              report.efficiency, best_eff);
+  std::printf("  tau trace            : %s\n",
+              sparkline(trace.tau(), 64).c_str());
+
+  // 3. Same governor surviving a slow thermal drift: the optimum moves,
+  // the governor follows.
+  auto drifting = std::make_shared<variation::CompositeVariation>();
+  drifting->add(std::make_unique<variation::VrmRipple>(0.08, 40.0 * 64.0));
+  drifting->add(std::make_unique<variation::TemperatureHotspot>(
+      0.1, variation::DiePoint{0.5, 0.5}, 0.6, 400.0 * 64.0, 4000.0 * 64.0));
+  const auto drift_inputs =
+      core::SimulationInputs::from_variation_source(drifting, 64.0);
+
+  control::SetpointGovernor governor2{gov_cfg};
+  auto sim2 = make_loop(gov_cfg.initial_setpoint);
+  const auto trace2 =
+      core::run_with_governor(sim2, governor2, drift_inputs, 20000);
+  const auto report2 = core::evaluate_throughput(trace2, tp_cfg, 2000);
+  std::printf("\nunder a +10%% thermal drift the governor lands at c = %.1f "
+              "(efficiency %.4f)\n",
+              governor2.setpoint(), report2.efficiency);
+  std::printf("  period trace         : %s\n",
+              sparkline(trace2.delivered_period(), 64).c_str());
+  // 4. The bring-up alternative: a one-shot binary-search calibration
+  // (paper section III: "choose the correct set-point c ... once the chip
+  // is produced") instead of continuous governing.
+  control::CalibrationConfig cal_cfg;
+  cal_cfg.logic_depth = logic_depth;
+  cal_cfg.min_setpoint = 60.0;
+  cal_cfg.max_setpoint = 90.0;
+  cal_cfg.probe_cycles = 1500;
+  cal_cfg.settle_cycles = 300;
+  control::SetpointProbe probe = [&](double c, std::size_t settle,
+                                     std::size_t cycles) -> std::size_t {
+    auto probe_sim = make_loop(c);
+    const auto t = probe_sim.run(inputs, settle + cycles);
+    std::size_t errors = 0;
+    for (std::size_t i = settle; i < t.size(); ++i) {
+      if (t.tau()[i] < logic_depth) ++errors;
+    }
+    return errors;
+  };
+  const auto calibrated = control::calibrate_setpoint(probe, cal_cfg);
+  if (calibrated.is_ok()) {
+    std::printf(
+        "\none-shot calibration: minimum safe c = %.2f, recommended c = "
+        "%.2f\n  (%zu probes, %zu cycles of calibration time; governor "
+        "found %.1f online)\n",
+        calibrated.value().minimum_safe, calibrated.value().setpoint,
+        calibrated.value().probes, calibrated.value().total_cycles,
+        governor.setpoint());
+  }
+
+  std::printf(
+      "\nReading: raising c buys safety, the replay penalty punishes "
+      "optimism; the governor\nconverges to the knee and tracks it as "
+      "conditions drift — no design-time margin at all.\nA one-shot "
+      "calibration finds the same operating point at bring-up time.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// thermal_gradient — heterogeneous variation on a real floorplan: a
+// hotspot grows under one corner of the die where a critical path lives.
+// A free-running RO parked elsewhere never notices (the paper's "point
+// sensor" failure); a TDC array catches it, and the closed loop stretches
+// the clock before the path fails.
+#include <cstdio>
+#include <memory>
+
+#include "roclk/roclk.hpp"
+
+int main() {
+  using namespace roclk;
+
+  const double c = 64.0;
+
+  // Floorplan: 24 candidate critical paths, 3x3 TDC grid.
+  auto floorplan = chip::Floorplan::random_paths(24, c, /*seed=*/2024);
+  floorplan.add_sensor_grid(3);
+
+  // Hotspot under the north-east corner, 18% peak slowdown, thermal time
+  // constant of ~1500 nominal periods.
+  auto env = std::make_shared<variation::CompositeVariation>();
+  env->add(std::make_unique<variation::TemperatureHotspot>(
+      0.18, variation::DiePoint{0.85, 0.85}, 0.18, 200.0 * c, 1500.0 * c));
+  env->add(std::make_unique<variation::VrmRipple>(0.03, 40.0 * c));
+
+  std::printf("thermal gradient on a 24-path floorplan, 3x3 TDC grid\n\n");
+
+  // Where is the worst path once the hotspot is up?
+  const double t_hot = 5000.0 * c;
+  const auto worst_idx = floorplan.worst_path_index(*env, t_hot);
+  const auto& worst_path = floorplan.paths()[worst_idx];
+  std::printf("hottest critical path: %s at (%.2f, %.2f), delay %.1f -> %.1f stages\n",
+              worst_path.name.c_str(), worst_path.location.x,
+              worst_path.location.y,
+              worst_path.depth_stages,
+              floorplan.path_delay(worst_path, *env, t_hot));
+  std::printf("worst sensor blind spot (path vs nearest TDC): %.4f\n\n",
+              floorplan.worst_sensor_blind_spot(*env, t_hot));
+
+  // Drive the closed loop from the worst TDC reading on the grid; the RO
+  // sits at die centre and senses only its own (cooler) environment.
+  const auto inputs = core::SimulationInputs::from_variation_source(
+      env, c, variation::DiePoint{0.5, 0.5}, 3);
+
+  std::printf("%-12s %16s %14s %12s %16s\n", "system", "worst tau-c",
+              "final period", "violations", "mean period");
+  for (auto kind : analysis::kAllSystems) {
+    auto system = analysis::make_system(kind, c, 1.0 * c);
+    const auto trace = system.run(inputs, 8000);
+    const auto err = trace.timing_error(c);
+    double worst = 0.0;
+    for (double e : err) worst = std::min(worst, e);
+    std::printf("%-12s %16.2f %14.2f %12zu %16.2f\n",
+                analysis::to_string(kind), worst,
+                trace.delivered_period().back(),
+                trace.violation_count(),
+                trace.mean_delivered_period(2000));
+  }
+
+  std::printf(
+      "\nReading: the fixed clock and the (centre-parked) free RO run "
+      "straight into the\nhotspot-induced slowdown at the corner path; the "
+      "TDC-fed closed loops stretch the\nperiod by ~the hotspot depth and "
+      "keep tau pinned at the set-point.\n");
+  return 0;
+}

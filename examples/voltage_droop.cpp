@@ -1,0 +1,74 @@
+// voltage_droop — the paper's single-event HoDV (section II-A.2) end to
+// end: an off-chip supply droop sweeps across the die while four clock
+// generation systems ride it out.  Shows the t_clk < T_nu/2 boundary of
+// eq. 3: a CDN slower than half the event duration erases the free RO's
+// advantage.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "roclk/roclk.hpp"
+
+namespace {
+
+using namespace roclk;
+
+struct DroopOutcome {
+  double worst_error;  // most negative tau - c (stages)
+  std::size_t violations;
+};
+
+DroopOutcome ride_droop(analysis::SystemKind kind, double tclk_stages,
+                        double duration_stages) {
+  const double c = 64.0;
+  auto system = analysis::make_system(kind, c, tclk_stages);
+  // 15% droop peaking mid-run.
+  auto droop = std::make_shared<signal::TrianglePulseWaveform>(
+      0.15 * c, 600.0 * c, duration_stages);
+  const auto inputs = core::SimulationInputs::homogeneous(droop);
+  const auto trace = system.run(inputs, 2000);
+  const auto err = trace.timing_error(c);
+  DroopOutcome out;
+  out.worst_error = *std::min_element(err.begin(), err.end());
+  out.violations = trace.violation_count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using analysis::SystemKind;
+
+  std::printf("voltage droop ride-through (single-event HoDV, eq. 3)\n");
+  std::printf("droop: 15%% supply dip, triangular, duration T_nu\n\n");
+
+  const double c = 64.0;
+  for (double duration_over_c : {64.0, 16.0, 4.0}) {
+    const double duration = duration_over_c * c;
+    std::printf("--- droop duration T_nu = %.0fc ---\n", duration_over_c);
+    std::printf("%-12s %14s %14s %12s\n", "system", "tclk=0.5c", "tclk=8c",
+                "(worst tau-c)");
+    for (auto kind :
+         {SystemKind::kIir, SystemKind::kTeaTime, SystemKind::kFreeRo,
+          SystemKind::kFixedClock}) {
+      const auto small_domain = ride_droop(kind, 0.5 * c, duration);
+      const auto big_domain = ride_droop(kind, 8.0 * c, duration);
+      std::printf("%-12s %14.2f %14.2f\n", analysis::to_string(kind),
+                  small_domain.worst_error, big_domain.worst_error);
+    }
+    // eq. 3 reference: mismatch the CDN induces for the free RO.
+    const double nu0 = 0.15 * c;
+    std::printf("eq. 3 worst mismatch: tclk=0.5c -> %.2f, tclk=8c -> %.2f "
+                "(event alone: %.2f)\n\n",
+                analysis::single_event_worst_mismatch(0.5 * c, duration, nu0),
+                analysis::single_event_worst_mismatch(8.0 * c, duration, nu0),
+                nu0);
+  }
+
+  std::printf(
+      "Reading: for a long droop every adaptive clock absorbs it; once the\n"
+      "CDN delay exceeds half the event duration (t_clk > T_nu/2) the\n"
+      "adaptive clocks degrade to the fixed clock's exposure, exactly the\n"
+      "eq. 3 saturation.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Loop frequency response: how much of a perturbation tone survives.
+//
+// Eq. 5's H_delta(z) = D/(D + N z^{-M-2}) is the loop's error-rejection
+// transfer function: |H_delta(e^{jw})| < 1 means the closed loop attenuates
+// a perturbation at normalized frequency w, > 1 means it amplifies it (the
+// regime behind Fig. 8's above-1.0 plateaus).  This module evaluates the
+// analytic curve and measures the same quantity from time-domain runs via
+// Goertzel tone extraction, tying the z-domain design story to simulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "roclk/analysis/experiments.hpp"
+#include "roclk/signal/polynomial.hpp"
+
+namespace roclk::analysis {
+
+struct FrequencyResponsePoint {
+  double te_over_c{0.0};    // perturbation period in nominal periods
+  double analytic_gain{0.0};  // |H_delta| from eq. 5 at w = 2*pi/Te
+  double measured_gain{0.0};  // residual tone / injected tone, simulated
+};
+
+/// |H_delta(e^{jw})| for a controller N/D and CDN sample delay M, where the
+/// perturbation input is the eq. 5 combination p(z) = e(z)(z^-1 - z^{-M-2})
+/// (the homogeneous-variation path), i.e. the gain from the *raw* tone e to
+/// the timing error delta.
+[[nodiscard]] double analytic_error_gain(const signal::Polynomial& numerator,
+                                         const signal::Polynomial&
+                                             denominator,
+                                         std::size_t cdn_delay_m,
+                                         double te_over_c);
+
+/// Measures the residual timing-error tone of a running system relative to
+/// the injected perturbation amplitude.
+[[nodiscard]] double measured_error_gain(SystemKind kind, double setpoint_c,
+                                         double tclk_stages,
+                                         double amplitude_stages,
+                                         double te_over_c,
+                                         std::size_t cycles = 0);
+
+/// Full curve for the paper IIR controller at CDN delay M = t_clk/c.
+[[nodiscard]] std::vector<FrequencyResponsePoint> error_rejection_curve(
+    std::span<const double> te_over_c_grid, double tclk_over_c = 1.0,
+    double setpoint_c = 64.0, double amplitude_stages = 2.0);
+
+}  // namespace roclk::analysis

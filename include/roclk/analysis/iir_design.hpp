@@ -1,0 +1,66 @@
+// Automated IIR control-block design space exploration.
+//
+// The paper picked k = {2, 1, 1/2, 1/4, 1/8, 1/8} by hand to "achieve a
+// balance between filter adaptation velocity and low output ripple".  This
+// header systematises that choice: enumerate every coefficient set of
+// power-of-two taps that satisfies eq. 10 (k* = 1/sum(k_i) must itself be
+// a power of two), score each candidate on
+//   * settling time after a mismatch step (velocity),
+//   * steady-state tau ripple under the paper's HoDV (smoothness),
+//   * delay margin: the largest CDN sample delay M that keeps the closed
+//     loop stable (robustness),
+// and return the Pareto-efficient designs.  The paper's set should appear
+// on (or next to) the frontier — the ablation bench checks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+#include "roclk/control/iir_control.hpp"
+
+namespace roclk::analysis {
+
+struct DesignSpaceOptions {
+  /// Tap magnitudes are 2^e for e in [min_exponent, max_exponent].
+  int min_exponent{-3};
+  int max_exponent{1};
+  /// Number of taps in the candidates.
+  std::size_t min_taps{1};
+  std::size_t max_taps{6};
+  /// Taps must be non-increasing (canonical form; avoids permuted
+  /// duplicates and matches hardware practice of tapering feedback).
+  bool monotone_taps{true};
+  /// Simulation scenario for the velocity/ripple scores.
+  double setpoint_c{64.0};
+  double cdn_delay_stages{64.0};
+  double hodv_amplitude{12.8};
+  double hodv_period{3200.0};  // 50 c
+  std::size_t cycles{4000};
+  std::size_t skip{1500};
+  double mismatch_step{8.0};
+};
+
+struct IirCandidate {
+  control::IirConfig config;
+  std::size_t settling_cycles{0};  // velocity (lower better)
+  double tau_ripple{0.0};          // smoothness (lower better)
+  std::size_t max_stable_m{0};     // robustness (higher better)
+  bool pareto{false};
+};
+
+/// All eq.-10-valid candidates in the option space, scored.  Deterministic.
+[[nodiscard]] std::vector<IirCandidate> enumerate_candidates(
+    const DesignSpaceOptions& options = {});
+
+/// Marks (and returns only) the Pareto-efficient candidates under
+/// (settling down, ripple down, max_stable_m up).
+[[nodiscard]] std::vector<IirCandidate> pareto_front(
+    std::vector<IirCandidate> candidates);
+
+/// Scores one configuration (exposed for tests and the bench).
+[[nodiscard]] IirCandidate score_candidate(const control::IirConfig& config,
+                                           const DesignSpaceOptions& options =
+                                               {});
+
+}  // namespace roclk::analysis

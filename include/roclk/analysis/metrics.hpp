@@ -1,0 +1,49 @@
+// Figures of merit for adaptive clock runs (paper section IV).
+//
+// The paper's comparison metric is the *relative adaptive period*
+// <T_clk>/T_fixed: the mean period the adaptive system needs for an
+// error-free run, normalised by the fixed clock period that guarantees the
+// same under worst-case design assumptions.  Values below 1 mean the
+// adaptive clock recovered part of the fixed clock's safety margin.
+#pragma once
+
+#include <cstddef>
+
+#include "roclk/core/trace.hpp"
+
+namespace roclk::analysis {
+
+struct RunMetrics {
+  /// Extra stages the run needed to be error-free: max(0, max(c - tau)).
+  double safety_margin{0.0};
+  /// Mean delivered period at set-point c (before adding the margin).
+  double mean_period{0.0};
+  /// (mean_period + safety_margin) / fixed_period.
+  double relative_adaptive_period{0.0};
+  /// Timing violations observed at set-point c (before adding the margin).
+  std::size_t violations{0};
+  /// Steady-state tau peak-to-peak ripple.
+  double tau_ripple{0.0};
+};
+
+/// Evaluates a finished run.  `skip` drops the initial transient.
+[[nodiscard]] RunMetrics evaluate_run(const core::SimulationTrace& trace,
+                                      double setpoint_c, double fixed_period,
+                                      std::size_t skip);
+
+/// Design-time fixed-clock period covering a homogeneous amplitude and a
+/// mismatch bound, both in stages: T_fixed = c + nu0 [+ |mu|_max]
+/// (the paper's worked examples: 1.2c for HoDV, 1.4c for HoDV+HeDV).
+[[nodiscard]] double fixed_clock_period(double setpoint_c,
+                                        double hodv_amplitude_stages,
+                                        double mu_bound_stages = 0.0);
+
+/// Safety-margin reduction achieved by an adaptive system, as the paper's
+/// worked examples compute it: the fixed clock spends
+/// `fixed_period - c` stages of margin; the adaptive system spends
+/// `relative * fixed_period - c`; the reduction is the saved fraction.
+[[nodiscard]] double safety_margin_reduction(double relative_adaptive_period,
+                                             double fixed_period,
+                                             double setpoint_c);
+
+}  // namespace roclk::analysis

@@ -1,0 +1,71 @@
+// Multi-domain clocking: partitioning a die into independent adaptive
+// clock domains.
+//
+// Paper section II-A ties the tolerable dynamic-variation frequency to the
+// CDN delay, "and also the clock domain size since it is directly related
+// with CDN delay".  The constructive consequence: a die too large for one
+// adaptive clock can be split into K domains, each with a smaller H-tree
+// (smaller t_clk) and its own RO + TDC loop — at the cost of K clock
+// generators and domain-crossing interfaces.  MultiDomainStudy runs that
+// experiment: one shared variation environment, per-domain closed loops,
+// per-domain safety margins.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "roclk/analysis/metrics.hpp"
+#include "roclk/chip/clock_domain.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/variation/variation.hpp"
+
+namespace roclk::analysis {
+
+struct MultiDomainConfig {
+  double die_size_mm{8.0};
+  /// Domains per side: the die splits into side x side equal squares.
+  std::size_t side{1};
+  double setpoint_c{64.0};
+  chip::ClockDomainConfig tree{};  // per-domain H-tree parameters (size_mm set
+                             // from the partition)
+  std::size_t cycles{6000};
+  std::size_t transient_skip{1500};
+  /// TDC sites per domain (grid x grid inside the domain).
+  std::size_t tdc_grid{2};
+};
+
+struct DomainResult {
+  variation::DiePoint centre{};   // domain centre on the unit die
+  double cdn_delay_stages{0.0};   // from the domain's own H-tree
+  analysis::RunMetrics metrics{};
+};
+
+struct MultiDomainResult {
+  std::size_t domains{0};
+  double domain_size_mm{0.0};
+  double cdn_delay_stages{0.0};
+  /// Worst per-domain safety margin: the chip-level margin (every domain
+  /// must be error-free).
+  double worst_safety_margin{0.0};
+  /// Mean of the domains' mean periods (performance proxy).
+  double mean_period{0.0};
+  /// Worst relative adaptive period across domains.
+  double worst_relative_period{0.0};
+  std::vector<DomainResult> per_domain;
+};
+
+/// Runs one partitioning against a variation environment with IIR loops in
+/// every domain.  `fixed_period` normalises the relative periods (same
+/// reference for all partitionings so they are comparable).
+[[nodiscard]] MultiDomainResult run_partitioning(
+    const MultiDomainConfig& config,
+    const variation::VariationSource& environment, double fixed_period);
+
+/// Sweeps partitionings (side = 1, 2, 4, ...) for the bench.
+[[nodiscard]] std::vector<MultiDomainResult> partitioning_sweep(
+    const MultiDomainConfig& base,
+    const variation::VariationSource& environment, double fixed_period,
+    std::span<const std::size_t> sides);
+
+}  // namespace roclk::analysis

@@ -1,0 +1,38 @@
+// Clock-stability metrics: Allan deviation of the delivered period.
+//
+// An adaptive clock deliberately *moves* its period — which is exactly
+// what classical clock-stability metrics penalise.  The Allan deviation
+// quantifies the trade: white period jitter averages down as 1/sqrt(m)
+// with the observation window m, random-walk (flicker-like) noise grows,
+// and the adaptation itself shows up as excess deviation at windows near
+// the perturbation period.  The ext_stability bench uses this to show
+// where an adaptive clock is *less* stable than a fixed one and why that
+// is the price of the recovered margin.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::analysis {
+
+/// Overlapping Allan deviation of a fractional-deviation series y[i]
+/// (e.g. (T_i - T_nom)/T_nom) at averaging factor m (in samples).
+/// Requires at least 2m + 1 samples.
+[[nodiscard]] Result<double> allan_deviation(std::span<const double> y,
+                                             std::size_t m);
+
+/// ADEV over a ladder of averaging factors (powers of two up to n/3).
+struct AllanPoint {
+  std::size_t m{0};
+  double adev{0.0};
+};
+[[nodiscard]] std::vector<AllanPoint> allan_curve(std::span<const double> y);
+
+/// Convenience: fractional period deviations from a period trace.
+[[nodiscard]] std::vector<double> fractional_deviation(
+    std::span<const double> periods, double nominal);
+
+}  // namespace roclk::analysis

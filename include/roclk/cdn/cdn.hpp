@@ -1,0 +1,125 @@
+// Clock distribution network (CDN) models.
+//
+// The CDN carries the generated clock from the (controlled) ring oscillator
+// to the registers.  Its insertion delay t_clk means the delivered clock
+// period observed at the leaves *now* was generated t_clk ago — the central
+// mechanism by which dynamic variations defeat adaptive clocking (paper
+// section II-A and Fig. 4).
+//
+// Three models, by fidelity:
+//  * FixedSampleCdn   — a constant M-sample delay line: the linear model of
+//                       eqs. 4-5, used for transfer-function equivalence.
+//  * QuantizedTimeCdn — the paper's simulation model: the delay in samples
+//                       is re-quantised every cycle, M[n] = t_clk/T_clk[n].
+//  * EdgeDelayCdn     — continuous time: every edge is delivered exactly
+//                       t_clk (stages) after generation; used by the
+//                       event-driven simulator where M is emergent.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::cdn {
+
+/// Sample-domain CDN interface: push the generated period of cycle n,
+/// receive the period delivered at the leaves during cycle n.
+class DiscreteCdn {
+ public:
+  virtual ~DiscreteCdn() = default;
+
+  /// `generated_period` in stages; returns the delivered period in stages.
+  virtual double push(double generated_period) = 0;
+
+  /// Restores power-on state; `initial_period` pre-fills the pipeline (the
+  /// clock was already running at that period before the simulation
+  /// window).
+  virtual void reset(double initial_period) = 0;
+
+  /// Current delay in samples (diagnostic).
+  [[nodiscard]] virtual std::size_t current_delay_samples() const = 0;
+};
+
+/// Constant integer sample delay M.
+class FixedSampleCdn final : public DiscreteCdn {
+ public:
+  explicit FixedSampleCdn(std::size_t delay_samples);
+
+  double push(double generated_period) override;
+  void reset(double initial_period) override;
+  [[nodiscard]] std::size_t current_delay_samples() const override {
+    return delay_;
+  }
+
+ private:
+  std::size_t delay_;
+  std::deque<double> pipeline_;
+};
+
+/// How the real-valued sample delay t_clk / T_clk[n] is mapped onto the
+/// discrete history:
+///  * kRound  — M[n] = round(t_clk / T_clk[n]): the literal reading of the
+///              paper's "z^-M" (integer sample delay, re-quantised).
+///  * kFloor  — M[n] = floor(t_clk / T_clk[n]).
+///  * kLinearInterp — fractional delay by linear interpolation between the
+///              floor(D) and floor(D)+1 look-backs.  Needed to resolve
+///              sub-period CDN differences (the paper's Fig. 9 compares
+///              t_clk = 0.75c / 1c / 1.25c, which integer quantisation
+///              would partly collapse onto the same M).
+enum class DelayQuantization { kRound, kFloor, kLinearInterp };
+
+/// The paper's model: M[n] = t_clk / T_clk[n] is re-computed every cycle
+/// from the period currently entering the CDN; the delivered period is the
+/// one generated M[n] cycles ago.
+class QuantizedTimeCdn final : public DiscreteCdn {
+ public:
+  /// `delay_stages` is t_clk; `history` bounds the look-back window and
+  /// must exceed every M that can occur (t_clk / min-period).
+  explicit QuantizedTimeCdn(double delay_stages, std::size_t history = 4096,
+                            DelayQuantization quantization =
+                                DelayQuantization::kRound);
+
+  double push(double generated_period) override;
+  void reset(double initial_period) override;
+  [[nodiscard]] std::size_t current_delay_samples() const override {
+    return last_m_;
+  }
+  [[nodiscard]] double delay_stages() const { return delay_stages_; }
+  [[nodiscard]] DelayQuantization quantization() const {
+    return quantization_;
+  }
+
+ private:
+  /// Period generated `m` cycles before the most recent push.
+  [[nodiscard]] double look_back(std::size_t m) const;
+
+  double delay_stages_;
+  std::size_t history_;
+  DelayQuantization quantization_{DelayQuantization::kRound};
+  std::vector<double> ring_;   // circular buffer of generated periods
+  std::size_t next_{0};        // write cursor
+  std::size_t count_{0};       // number of valid entries
+  std::size_t last_m_{0};
+  double initial_period_{0.0};
+};
+
+/// Continuous-time CDN: edges queued and released after exactly t_clk.
+class EdgeDelayCdn {
+ public:
+  explicit EdgeDelayCdn(double delay_stages);
+
+  /// An edge generated at absolute time t (stages) arrives at the leaves
+  /// at t + t_clk.
+  [[nodiscard]] double deliver_time(double generation_time) const {
+    return generation_time + delay_stages_;
+  }
+
+  [[nodiscard]] double delay_stages() const { return delay_stages_; }
+
+ private:
+  double delay_stages_;
+};
+
+}  // namespace roclk::cdn

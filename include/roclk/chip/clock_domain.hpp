@@ -1,0 +1,43 @@
+// Clock-domain geometry: domain size <-> clock distribution delay.
+//
+// Paper section II-A concludes that the CDN delay t_clk bounds the dynamic
+// variation frequency an adaptive clock can track, and that t_clk "is
+// directly related with clock domain size".  ClockDomainGeometry makes that
+// relation concrete with a simple buffered-H-tree model so benches and
+// examples can sweep *physical* domain sizes instead of abstract delays.
+#pragma once
+
+#include <cstddef>
+
+namespace roclk::chip {
+
+struct ClockDomainConfig {
+  double size_mm{2.0};               // side length of the square domain
+  double buffer_delay_stages{2.0};   // insertion delay of one tree buffer
+  double wire_delay_stages_per_mm{20.0};  // RC-dominated wire delay
+  double max_unbuffered_mm{0.5};     // segment length before rebuffering
+};
+
+class ClockDomainGeometry {
+ public:
+  explicit ClockDomainGeometry(ClockDomainConfig config = {});
+
+  /// Number of H-tree levels needed to reach every corner of the domain.
+  [[nodiscard]] std::size_t tree_levels() const;
+
+  /// Total insertion delay from the clock source to the leaves, in stages:
+  /// the paper's t_clk.
+  [[nodiscard]] double cdn_delay_stages() const;
+
+  /// Largest domain size (mm) whose CDN delay keeps the harmonic-HoDV
+  /// mismatch bounded: t_clk < T_nu / 6 (paper section II-A.1).
+  [[nodiscard]] static double max_domain_size_mm(
+      double perturbation_period_stages, const ClockDomainConfig& config = {});
+
+  [[nodiscard]] const ClockDomainConfig& config() const { return config_; }
+
+ private:
+  ClockDomainConfig config_;
+};
+
+}  // namespace roclk::chip

@@ -1,0 +1,51 @@
+// Terminal line plots for benches: the paper's figures are line charts, and
+// the benches render an ASCII approximation next to the CSV data so the
+// shape (who wins, where crossovers fall) is visible without plotting tools.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace roclk {
+
+/// One named series of (x, y) points.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph{'*'};
+};
+
+struct PlotOptions {
+  int width{72};         // plot area columns
+  int height{20};        // plot area rows
+  bool log_x{false};     // logarithmic x axis
+  std::string title{};
+  std::string x_label{};
+  std::string y_label{};
+  // Optional fixed y range; when lo >= hi the range is auto-computed.
+  double y_lo{0.0};
+  double y_hi{0.0};
+};
+
+/// Multi-series scatter/line chart rendered to a string.
+class AsciiPlot {
+ public:
+  explicit AsciiPlot(PlotOptions options = {});
+
+  AsciiPlot& add_series(PlotSeries series);
+  AsciiPlot& add_series(std::string name, std::span<const double> x,
+                        std::span<const double> y, char glyph);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  PlotOptions options_;
+  std::vector<PlotSeries> series_;
+};
+
+/// Compact sparkline of a single series (one text row), for trace summaries.
+[[nodiscard]] std::string sparkline(std::span<const double> ys, int width = 64);
+
+}  // namespace roclk

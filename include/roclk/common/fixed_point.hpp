@@ -1,0 +1,126 @@
+// Signed fixed-point arithmetic with power-of-two scaling.
+//
+// The paper's IIR control block "operates over the integers" with gains
+// "constrained to powers of two in order to simplify multiplication
+// operations", and scales the internal signal by k_exp to limit rounding
+// error.  FixedPoint<Frac> models exactly that hardware datapath: a 64-bit
+// two's-complement integer interpreted with `Frac` fractional bits, where
+// multiplication by 2^k is a shift and right shifts round toward -infinity
+// (true arithmetic-shift behaviour).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "roclk/common/math.hpp"
+#include "roclk/common/status.hpp"
+
+namespace roclk {
+
+template <int Frac>
+class FixedPoint {
+  static_assert(Frac >= 0 && Frac < 62, "fractional bits out of range");
+
+ public:
+  using raw_type = std::int64_t;
+  static constexpr int kFracBits = Frac;
+  static constexpr raw_type kOne = raw_type{1} << Frac;
+
+  constexpr FixedPoint() = default;
+
+  [[nodiscard]] static constexpr FixedPoint from_raw(raw_type raw) {
+    FixedPoint fp;
+    fp.raw_ = raw;
+    return fp;
+  }
+  [[nodiscard]] static constexpr FixedPoint from_int(std::int64_t v) {
+    return from_raw(v << Frac);
+  }
+  /// Rounds to nearest (ties toward +infinity), like a hardware rounder.
+  [[nodiscard]] static FixedPoint from_double(double v) {
+    const double scaled = v * static_cast<double>(kOne);
+    const auto rounded = static_cast<raw_type>(
+        scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+    return from_raw(rounded);
+  }
+
+  [[nodiscard]] constexpr raw_type raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+  /// Truncation toward -infinity (arithmetic shift), the hardware default.
+  [[nodiscard]] constexpr std::int64_t floor_to_int() const {
+    return raw_ >> Frac;
+  }
+
+  friend constexpr FixedPoint operator+(FixedPoint a, FixedPoint b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr FixedPoint operator-(FixedPoint a, FixedPoint b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend constexpr FixedPoint operator-(FixedPoint a) {
+    return from_raw(-a.raw_);
+  }
+  constexpr FixedPoint& operator+=(FixedPoint b) {
+    raw_ += b.raw_;
+    return *this;
+  }
+  constexpr FixedPoint& operator-=(FixedPoint b) {
+    raw_ -= b.raw_;
+    return *this;
+  }
+
+  /// Multiply by 2^k (k may be negative).  The only multiplication the
+  /// paper's datapath needs.
+  [[nodiscard]] constexpr FixedPoint scaled_pow2(int k) const {
+    return from_raw(shift_signed(raw_, k));
+  }
+
+  constexpr auto operator<=>(const FixedPoint&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, FixedPoint fp) {
+    return os << fp.to_double();
+  }
+
+ private:
+  raw_type raw_{0};
+};
+
+/// A gain restricted to +/- 2^k, as required by the paper's control block.
+/// Encodes the exponent and applies itself by shifting.
+class PowerOfTwoGain {
+ public:
+  constexpr PowerOfTwoGain() = default;
+  constexpr PowerOfTwoGain(int exponent, bool negative = false)
+      : exponent_{exponent}, negative_{negative} {}
+
+  /// Builds from a real value; fails unless |v| is exactly a power of two.
+  static Result<PowerOfTwoGain> from_value(double v);
+
+  [[nodiscard]] constexpr int exponent() const { return exponent_; }
+  [[nodiscard]] constexpr bool negative() const { return negative_; }
+  [[nodiscard]] constexpr double value() const {
+    double mag = exponent_ >= 0
+                     ? static_cast<double>(std::int64_t{1} << exponent_)
+                     : 1.0 / static_cast<double>(std::int64_t{1} << -exponent_);
+    return negative_ ? -mag : mag;
+  }
+
+  template <int Frac>
+  [[nodiscard]] constexpr FixedPoint<Frac> apply(FixedPoint<Frac> x) const {
+    auto y = x.scaled_pow2(exponent_);
+    return negative_ ? -y : y;
+  }
+
+  [[nodiscard]] constexpr std::int64_t apply(std::int64_t x) const {
+    auto y = shift_signed(x, exponent_);
+    return negative_ ? -y : y;
+  }
+
+ private:
+  int exponent_{0};
+  bool negative_{false};
+};
+
+}  // namespace roclk

@@ -1,0 +1,75 @@
+// Minimal command-line flag parsing for the roclk tools.
+//
+// Supports `--name value`, `--name=value`, bare boolean `--name`, and an
+// auto-generated `--help`.  Values are typed (string / double / int64 /
+// bool) with defaults; unknown flags and malformed values are reported as
+// Status errors so tools can exit cleanly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  FlagParser& add_string(const std::string& name, std::string default_value,
+                         std::string help);
+  FlagParser& add_double(const std::string& name, double default_value,
+                         std::string help);
+  FlagParser& add_int(const std::string& name, std::int64_t default_value,
+                      std::string help);
+  FlagParser& add_bool(const std::string& name, bool default_value,
+                       std::string help);
+
+  /// Parses argv (excluding argv[0]).  On `--help` sets help_requested().
+  Status parse(int argc, const char* const* argv);
+  Status parse(const std::vector<std::string>& args);
+
+  /// Parses a config file of `name = value` lines (# starts a comment;
+  /// blank lines ignored).  Values set later — by a later file or by
+  /// parse() — override earlier ones, so load files before argv.
+  Status parse_file(const std::string& path);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string help_text() const;
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments encountered during parse.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  enum class Type { kString, kDouble, kInt, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    double double_value{0.0};
+    std::int64_t int_value{0};
+    bool bool_value{false};
+    std::string default_text;
+  };
+
+  Status set_value(Flag& flag, const std::string& name,
+                   const std::string& text);
+  const Flag& require(const std::string& name, Type type) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_{false};
+};
+
+}  // namespace roclk

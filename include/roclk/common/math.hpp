@@ -1,0 +1,78 @@
+// Small math helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace roclk {
+
+/// Three-valued sign: -1, 0 or +1.
+template <class T>
+[[nodiscard]] constexpr int signum(T x) {
+  return (T{0} < x) - (x < T{0});
+}
+
+/// Two-valued sign used by dithering TEAtime variants: never returns 0.
+template <class T>
+[[nodiscard]] constexpr int signum_dither(T x) {
+  return x < T{0} ? -1 : 1;
+}
+
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)) for v >= 1.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t v) {
+  int r = -1;
+  while (v != 0) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Arithmetic shift that also supports negative shift counts (shift the
+/// other way).  Used by the power-of-two gain blocks of the IIR filter.
+[[nodiscard]] constexpr std::int64_t shift_signed(std::int64_t v, int sh) {
+  if (sh >= 0) return v << sh;
+  // Arithmetic right shift of a negative value rounds toward -inf, which is
+  // exactly the hardware behaviour of a shifter on two's-complement data.
+  return v >> (-sh);
+}
+
+/// True if |a - b| <= tol (absolute comparison for simulation traces).
+[[nodiscard]] inline bool near(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Relative closeness with an absolute floor; robust around zero.
+[[nodiscard]] inline bool near_rel(double a, double b, double rel = 1e-9,
+                                   double abs_floor = 1e-12) {
+  return std::fabs(a - b) <=
+         std::max(abs_floor, rel * std::max(std::fabs(a), std::fabs(b)));
+}
+
+/// Positive modulo: result in [0, m) for m > 0.
+[[nodiscard]] inline double positive_fmod(double x, double m) {
+  double r = std::fmod(x, m);
+  return r < 0.0 ? r + m : r;
+}
+
+/// Linear interpolation.
+[[nodiscard]] constexpr double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Smoothstep used by the value-noise spatial variation maps.
+[[nodiscard]] constexpr double smoothstep(double t) {
+  return t * t * (3.0 - 2.0 * t);
+}
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+}  // namespace roclk

@@ -1,0 +1,154 @@
+// Lightweight error handling: Status + Result<T>.
+//
+// roclk is a simulation library; most failures are configuration errors
+// detected up front (bad filter coefficients, non-positive periods, empty
+// sensor arrays).  We report them with value-semantics Status/Result rather
+// than exceptions so call sites can handle them locally, and reserve
+// exceptions for programming errors (precondition violations) via
+// ROCLK_REQUIRE.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace roclk {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_{code}, message_{std::move(message)} {}
+
+  static Status ok() { return {}; }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::ostringstream os;
+    os << roclk::to_string(code_) << ": " << message_;
+    return os.str();
+  }
+
+ private:
+  StatusCode code_{StatusCode::kOk};
+  std::string message_{};
+};
+
+/// Either a value or an error Status.  Minimal std::expected stand-in.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_{std::move(value)} {}       // NOLINT(implicit)
+  Result(Status status) : data_{std::move(status)} {  // NOLINT(implicit)
+    if (std::get<Status>(data_).is_ok()) {
+      data_ = Status::internal("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) {
+      throw std::runtime_error("Result::value() on error: " +
+                               std::get<Status>(data_).to_string());
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& what) {
+  std::ostringstream os;
+  os << "precondition failed at " << file << ":" << line << ": (" << expr
+     << ")";
+  if (!what.empty()) os << " — " << what;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace roclk
+
+/// Precondition check for programming errors.  Always on (simulation
+/// correctness beats the nanoseconds saved by disabling it).
+#define ROCLK_REQUIRE(cond, what)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::roclk::detail::require_failed(#cond, __FILE__, __LINE__,      \
+                                      (what));                        \
+    }                                                                 \
+  } while (false)

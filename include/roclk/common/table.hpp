@@ -1,0 +1,40 @@
+// Plain-text table and CSV rendering for experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace roclk {
+
+/// Column-aligned plain-text table, printed the way the paper's tables are
+/// read: a header row plus data rows, padded to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  TextTable& add_row_values(const std::vector<double>& values, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+  /// Writes the same data as CSV (RFC-4180 quoting).
+  void write_csv(std::ostream& os) const;
+  /// Writes CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (no trailing-zero trimming).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+/// RFC-4180 escape a CSV field.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace roclk

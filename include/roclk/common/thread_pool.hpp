@@ -1,0 +1,56 @@
+// Minimal work-stealing-free thread pool used by the sweep runner.
+//
+// Parameter sweeps (Fig. 8 and Fig. 9 reproductions) run hundreds of
+// independent simulations; parallel_for_index distributes them over
+// hardware threads while keeping results deterministically ordered.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace roclk {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (use wait_idle to join logically).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_{0};
+  bool stop_{false};
+};
+
+/// Runs fn(i) for i in [0, n) across the pool; blocks until all complete.
+/// fn must be safe to call concurrently for distinct i.
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Convenience: one-shot pool sized to hardware concurrency.
+void parallel_for_index(std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace roclk

@@ -1,0 +1,113 @@
+// Strong unit types used throughout roclk.
+//
+// The paper expresses every timing quantity in *stages* (elementary gate
+// delays): the set-point c, the ring-oscillator length l_RO, the TDC
+// reading tau, the CDN delay t_clk and the perturbation amplitudes are all
+// stage counts.  Mixing a stage count with a cycle index is a unit error we
+// want the compiler to catch, hence the strong wrappers below.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace roclk {
+
+/// CRTP-free strong numeric wrapper.  `Tag` makes instantiations distinct;
+/// `Rep` is the underlying representation.  Arithmetic between equal unit
+/// types is allowed; scaling by a raw scalar is allowed; cross-unit
+/// arithmetic is a compile error.
+template <class Tag, class Rep>
+class Quantity {
+ public:
+  using rep = Rep;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep value) : value_{value} {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(Rep scale) {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep scale) {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{static_cast<Rep>(a.value_ + b.value_)};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{static_cast<Rep>(a.value_ - b.value_)};
+  }
+  friend constexpr Quantity operator-(Quantity a) {
+    return Quantity{static_cast<Rep>(-a.value_)};
+  }
+  friend constexpr Quantity operator*(Quantity a, Rep s) {
+    return Quantity{static_cast<Rep>(a.value_ * s)};
+  }
+  friend constexpr Quantity operator*(Rep s, Quantity a) {
+    return Quantity{static_cast<Rep>(s * a.value_)};
+  }
+  friend constexpr Quantity operator/(Quantity a, Rep s) {
+    return Quantity{static_cast<Rep>(a.value_ / s)};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr Rep operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.value_;
+  }
+
+ private:
+  Rep value_{};
+};
+
+/// A (possibly fractional) number of elementary gate delays.  The natural
+/// unit of delay, period and perturbation amplitude in the paper.
+using Stages = Quantity<struct StagesTag, double>;
+
+/// Discrete clock-cycle index / count (one sample of the control loop).
+using Cycles = Quantity<struct CyclesTag, std::int64_t>;
+
+/// Physical time in seconds, used only when translating results into the
+/// paper's worked examples (c = 64 stages <=> 1 ns nominal period).
+using Seconds = Quantity<struct SecondsTag, double>;
+
+namespace literals {
+constexpr Stages operator""_stages(long double v) {
+  return Stages{static_cast<double>(v)};
+}
+constexpr Stages operator""_stages(unsigned long long v) {
+  return Stages{static_cast<double>(v)};
+}
+constexpr Cycles operator""_cycles(unsigned long long v) {
+  return Cycles{static_cast<std::int64_t>(v)};
+}
+}  // namespace literals
+
+/// Convert a stage count to seconds given the delay of one stage.
+[[nodiscard]] constexpr Seconds to_seconds(Stages s, Seconds stage_delay) {
+  return Seconds{s.value() * stage_delay.value()};
+}
+
+/// Convert physical time to stages given the delay of one stage.
+[[nodiscard]] constexpr Stages to_stages(Seconds t, Seconds stage_delay) {
+  return Stages{t.value() / stage_delay.value()};
+}
+
+}  // namespace roclk

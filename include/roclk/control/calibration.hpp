@@ -1,0 +1,51 @@
+// One-shot post-silicon set-point calibration.
+//
+// Paper section III: "Once the chip is produced and it is running, we only
+// need to choose the correct set-point c that allows the system to run
+// without any error and/or maximizes the computation throughput."  The
+// SetpointGovernor tracks that point continuously; this header is the
+// bring-up alternative — a bounded binary search that probes candidate
+// set-points against the error detector and returns the smallest safe c
+// (plus a guard band), after which the governor can be disabled.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::control {
+
+struct CalibrationConfig {
+  double logic_depth{64.0};   // L: error threshold on tau
+  double min_setpoint{32.0};
+  double max_setpoint{128.0};
+  std::size_t probe_cycles{512};   // cycles per candidate set-point
+  std::size_t settle_cycles{64};   // cycles ignored after each change
+  double guard_band{1.0};          // stages added to the found minimum
+  double resolution{1.0};          // stop when the bracket is this tight
+};
+
+struct CalibrationResult {
+  double setpoint{0.0};        // recommended c (minimum safe + guard band)
+  double minimum_safe{0.0};    // smallest probed c with zero errors
+  std::size_t probes{0};       // candidate set-points evaluated
+  std::size_t total_cycles{0};  // simulated cycles spent calibrating
+};
+
+/// The probe interface: run the *real system* for `cycles` cycles at
+/// set-point `c` and report how many detected timing errors (tau < L)
+/// occurred after the settle window.  Implementations wrap LoopSimulator,
+/// GateLevelSimulator or silicon.
+using SetpointProbe =
+    std::function<std::size_t(double setpoint, std::size_t settle_cycles,
+                              std::size_t probe_cycles)>;
+
+/// Binary-searches the smallest error-free set-point.  Assumes error count
+/// is monotone non-increasing in c (more period, fewer errors), which
+/// holds for every system in this library.  Fails if even max_setpoint
+/// shows errors.
+[[nodiscard]] Result<CalibrationResult> calibrate_setpoint(
+    const SetpointProbe& probe, const CalibrationConfig& config = {});
+
+}  // namespace roclk::control

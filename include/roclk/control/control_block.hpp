@@ -1,0 +1,74 @@
+// Control block interface (the H(z) box of paper Fig. 4).
+//
+// A ControlBlock maps the adaptation error delta[n] = c - tau[n] to the
+// ring-oscillator length l_RO[n], one sample per delivered clock period.
+// Implementations must include their own compute latency (the paper's
+// controllers all have at least one cycle: N(z) carries a z^-1 factor).
+//
+// reset(initial_output) establishes the pre-simulation equilibrium: the
+// loop is assumed to have been running error-free at l_RO = initial_output
+// (normally the set-point c) before the window of interest.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace roclk::control {
+
+class ControlBlock {
+ public:
+  virtual ~ControlBlock() = default;
+
+  /// Consumes delta[n], returns l_RO[n] (stages, already quantised the way
+  /// the hardware would).
+  virtual double step(double delta) = 0;
+
+  /// Restores power-on equilibrium at the given output value.
+  virtual void reset(double initial_output) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<ControlBlock> clone() const = 0;
+};
+
+/// Pure proportional controller l_RO[n] = bias + kp * delta[n-1].
+///
+/// Deliberately violates the paper's constraint D(1) = 0 (eq. 8): it has no
+/// integrator, so a step perturbation leaves a permanent adaptation error.
+/// Included to demonstrate the constraint empirically (tests + ablation).
+class ProportionalControl final : public ControlBlock {
+ public:
+  explicit ProportionalControl(double kp);
+
+  double step(double delta) override;
+  void reset(double initial_output) override;
+  [[nodiscard]] std::string name() const override { return "P control"; }
+  [[nodiscard]] std::unique_ptr<ControlBlock> clone() const override;
+
+ private:
+  double kp_;
+  double bias_{0.0};
+  double prev_delta_{0.0};
+};
+
+/// Discrete PI controller
+///   l_RO[n] = bias + kp * delta[n-1] + ki * sum_{m<n} delta[m] .
+/// Satisfies eq. 8 (integrator pole at z = 1); an extension beyond the
+/// paper's two controllers, used in ablation benches.
+class PiControl final : public ControlBlock {
+ public:
+  PiControl(double kp, double ki);
+
+  double step(double delta) override;
+  void reset(double initial_output) override;
+  [[nodiscard]] std::string name() const override { return "PI control"; }
+  [[nodiscard]] std::unique_ptr<ControlBlock> clone() const override;
+
+ private:
+  double kp_;
+  double ki_;
+  double bias_{0.0};
+  double integral_{0.0};
+  double prev_delta_{0.0};
+};
+
+}  // namespace roclk::control

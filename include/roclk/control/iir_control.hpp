@@ -1,0 +1,107 @@
+// The paper's IIR control block (section III-B, Fig. 5, eqs. 9-10).
+//
+// Transfer function:
+//   H_IIR(z) = z^-1 * ( 1/k* - sum_i k_i z^-i )^(-1)          (eq. 9)
+// with the type-1 constraint
+//   k* = ( sum_i k_i )^(-1)                                    (eq. 10)
+// equivalent to the recursion
+//   y[n] = k* * ( x[n-1] + sum_i k_i y[n-i] ) .
+//
+// The hardware realisation "operates over the integers", restricts every
+// gain to a power of two (shift), and scales the internal signal by k_exp
+// so a minimum-size error (|delta| = 1) still propagates through the
+// low-gain branches: the internal state W = k_exp * y, updated as
+//   W[n] = (k_exp * x[n-1] + sum_i k_i W[n-i]) * k*        [all shifts]
+//   y[n] = W[n] / k_exp                                     [shift]
+// with arithmetic right shifts (round toward -infinity), exactly what a
+// two's-complement barrel shifter does.
+//
+// IirControlReference implements the recursion in double precision (the
+// design intent); IirControlHardware implements the integer datapath.  The
+// pair quantifies the rounding cost of the hardware (ablation A1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roclk/common/fixed_point.hpp"
+#include "roclk/common/status.hpp"
+#include "roclk/control/control_block.hpp"
+#include "roclk/signal/transfer_function.hpp"
+
+namespace roclk::control {
+
+struct IirConfig {
+  /// Feedback tap gains k_1..k_N; every |k_i| must be a power of two.
+  std::vector<double> taps{2.0, 1.0, 0.5, 0.25, 0.125, 0.125};
+  /// Scaling gain; must be a power of two.
+  double k_exp{8.0};
+  /// k*; must be a power of two and equal 1 / sum(taps) (eq. 10).
+  double k_star{0.25};
+};
+
+/// The published parameterisation (section IV): k_exp = 8, k* = 1/4,
+/// k = {2, 1, 1/2, 1/4, 1/8, 1/8}.
+[[nodiscard]] IirConfig paper_iir_config();
+
+/// Validates an IirConfig against the paper's constraints:
+/// power-of-two gains, eq. 10, non-empty taps.
+[[nodiscard]] Status validate_iir_config(const IirConfig& config);
+
+/// N(z) and D(z) of eq. 9 for this configuration:
+///   N(z) = z^-1,  D(z) = 1/k* - sum_i k_i z^-i .
+struct IirPolynomials {
+  signal::Polynomial numerator;
+  signal::Polynomial denominator;
+};
+[[nodiscard]] IirPolynomials iir_polynomials(const IirConfig& config);
+
+/// H_IIR(z) as a TransferFunction.
+[[nodiscard]] signal::TransferFunction iir_transfer_function(
+    const IirConfig& config);
+
+/// Floating-point reference implementation of the recursion.
+class IirControlReference final : public ControlBlock {
+ public:
+  explicit IirControlReference(IirConfig config = paper_iir_config());
+
+  double step(double delta) override;
+  void reset(double initial_output) override;
+  [[nodiscard]] std::string name() const override {
+    return "IIR RO (reference)";
+  }
+  [[nodiscard]] std::unique_ptr<ControlBlock> clone() const override;
+  [[nodiscard]] const IirConfig& config() const { return config_; }
+
+ private:
+  IirConfig config_;
+  double prev_input_{0.0};
+  std::vector<double> outputs_;  // y[n-1], y[n-2], ... (most recent first)
+};
+
+/// Integer shift-based hardware model.
+class IirControlHardware final : public ControlBlock {
+ public:
+  explicit IirControlHardware(IirConfig config = paper_iir_config());
+
+  double step(double delta) override;
+  void reset(double initial_output) override;
+  [[nodiscard]] std::string name() const override { return "IIR RO"; }
+  [[nodiscard]] std::unique_ptr<ControlBlock> clone() const override;
+  [[nodiscard]] const IirConfig& config() const { return config_; }
+
+  /// Internal scaled state (diagnostics / tests).
+  [[nodiscard]] const std::vector<std::int64_t>& state() const {
+    return state_;
+  }
+
+ private:
+  IirConfig config_;
+  PowerOfTwoGain k_exp_gain_;
+  PowerOfTwoGain k_star_gain_;
+  std::vector<PowerOfTwoGain> tap_gains_;
+  std::int64_t prev_input_{0};
+  std::vector<std::int64_t> state_;  // W[n-1], W[n-2], ... scaled by k_exp
+};
+
+}  // namespace roclk::control

@@ -1,0 +1,52 @@
+// TEAtime-style increment/decrement control (paper section III-B, Fig. 6;
+// Uht, IEEE Computer 2004 / IEEE ToC 2005 — paper refs. [8], [9]).
+//
+// TEAtime (Timing-Error-Avoidance) nudges the clock by a fixed step each
+// cycle based only on the *sign* of the tracking error:
+//   l_RO[n] = l_RO[n-1] + step * sign(delta[n])
+// — a nonlinear bang-bang integrator.  We read Fig. 6's z^-1 as the
+// counter register itself (the accumulator that provides the mandatory
+// pole at z = 1), so the sign of the *current* error drives the update;
+// this reading reproduces the paper's Fig. 9 result that TEAtime overtakes
+// the IIR RO at the fastest perturbations.  Set `delayed_sign` for the
+// alternative reading with one extra cycle of compute latency
+// (l_RO[n] = l_RO[n-1] + step * sign(delta[n-1])).
+//
+// Having no parameters to tune is TEAtime's selling point; the price is a
+// +/-step limit cycle in steady state and a slew-rate limit of `step`
+// stages/cycle when chasing fast perturbations.
+#pragma once
+
+#include "roclk/control/control_block.hpp"
+
+namespace roclk::control {
+
+enum class SignZeroPolicy {
+  kHold,    // sign(0) = 0: stay put when the error is exactly zero
+  kDither,  // sign(0) = +1: always move, like the original TEAtime counter
+};
+
+struct TeaTimeConfig {
+  double step_stages{1.0};
+  SignZeroPolicy zero_policy{SignZeroPolicy::kHold};
+  /// One extra cycle of control latency (see header comment).
+  bool delayed_sign{false};
+};
+
+class TeaTimeControl final : public ControlBlock {
+ public:
+  explicit TeaTimeControl(TeaTimeConfig config = {});
+
+  double step(double delta) override;
+  void reset(double initial_output) override;
+  [[nodiscard]] std::string name() const override { return "TEAtime RO"; }
+  [[nodiscard]] std::unique_ptr<ControlBlock> clone() const override;
+  [[nodiscard]] const TeaTimeConfig& config() const { return config_; }
+
+ private:
+  TeaTimeConfig config_;
+  double accumulator_{0.0};
+  double prev_delta_{0.0};
+};
+
+}  // namespace roclk::control

@@ -1,0 +1,66 @@
+// Continuous-time, event-driven clock-edge simulator.
+//
+// The discrete model of Fig. 4 imposes the CDN delay as a re-quantised
+// integer number of samples, M[n] = t_clk / T_clk[n].  This simulator makes
+// no such approximation: the ring oscillator emits edges in continuous
+// time, each edge is delivered exactly t_clk later, the TDC measures the
+// real delivered period under the variation *at the delivery instant*, and
+// the controller's new length reaches the RO only for generation edges
+// after the control update.  The gate-delay model is multiplicative
+// (T = l_RO * (1 + v)), not linearised.
+//
+// Ablation A5 compares this simulator against the discrete one to show the
+// paper's sample-domain model is faithful for the regimes it evaluates.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "roclk/common/status.hpp"
+#include "roclk/control/control_block.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/core/trace.hpp"
+
+namespace roclk::core {
+
+struct EdgeSimConfig {
+  double setpoint_c{64.0};
+  GeneratorMode mode{GeneratorMode::kControlledRo};
+  double cdn_delay_stages{64.0};
+  std::optional<double> open_loop_period{};
+  std::int64_t min_length{8};
+  std::int64_t max_length{1024};
+  /// TDC stage mismatch as a *fraction* (the additive mu ~ -c * r).
+  double tdc_relative_mismatch{0.0};
+};
+
+/// Fractional variation signals in continuous time (dimensionless).
+struct EdgeSimInputs {
+  using Signal = std::function<double(double t_stages)>;
+  Signal v_ro{[](double) { return 0.0; }};
+  Signal v_tdc{[](double) { return 0.0; }};
+
+  /// Homogeneous fractional variation common to RO and TDC.
+  [[nodiscard]] static EdgeSimInputs homogeneous(
+      std::shared_ptr<const signal::Waveform> waveform);
+};
+
+class EdgeSimulator {
+ public:
+  EdgeSimulator(EdgeSimConfig config,
+                std::unique_ptr<control::ControlBlock> controller);
+
+  /// Simulates until `n_delivered` delivered periods have been measured.
+  /// Trace fields: tau (quantised reading), delta, lro (length in force at
+  /// each delivered period's generation), t_gen / t_dlv (the generated and
+  /// delivered period durations in stages).
+  SimulationTrace run(const EdgeSimInputs& inputs, std::size_t n_delivered);
+
+  [[nodiscard]] const EdgeSimConfig& config() const { return config_; }
+
+ private:
+  EdgeSimConfig config_;
+  std::unique_ptr<control::ControlBlock> controller_;
+};
+
+}  // namespace roclk::core

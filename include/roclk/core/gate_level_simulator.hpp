@@ -1,0 +1,86 @@
+// Gate-level closed-loop simulator.
+//
+// Where LoopSimulator runs the paper's *linearised* block diagram (additive
+// perturbations in stages), this simulator assembles the loop from the
+// detailed hardware models:
+//   * TappedRingOscillator — physical stage chain, odd-length tap mux,
+//     per-stage delays from the variation source at each stage's location;
+//   * DetailedTdc array — thermometer-code readout chains at their own die
+//     locations, optional metastability, worst-of aggregation;
+//   * any ControlBlock;
+//   * CDN as the paper's M[n] delay on generated periods plus optional
+//     generator jitter.
+// It exists to answer "does the high-level model's story survive contact
+// with the microarchitecture?" — the gate-level integration tests and the
+// ablation bench drive behavioural and gate-level loops through the same
+// scenarios.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "roclk/cdn/cdn.hpp"
+#include "roclk/control/control_block.hpp"
+#include "roclk/core/trace.hpp"
+#include "roclk/osc/jitter.hpp"
+#include "roclk/osc/stage_chain.hpp"
+#include "roclk/sensor/thermometer.hpp"
+#include "roclk/variation/variation.hpp"
+
+namespace roclk::core {
+
+struct GateLevelConfig {
+  double setpoint_c{64.0};
+  double cdn_delay_stages{64.0};
+  cdn::DelayQuantization cdn_quantization{cdn::DelayQuantization::kRound};
+
+  /// RO microarchitecture.
+  osc::StageChainConfig ro_chain{
+      /*stages=*/257, /*start=*/{0.48, 0.50}, /*end=*/{0.52, 0.50},
+      /*nominal_stage_delay=*/1.0};
+  std::int64_t ro_min_length{9};
+  std::int64_t ro_max_length{255};
+
+  /// TDC sites; defaults to one readout chain near die centre.  The worst
+  /// (minimum) reading feeds the controller, as in the paper's Fig. 3.
+  std::vector<sensor::DetailedTdcConfig> tdcs{sensor::DetailedTdcConfig{}};
+
+  /// Optional generator period jitter.
+  osc::JitterConfig jitter{};
+};
+
+class GateLevelSimulator {
+ public:
+  GateLevelSimulator(GateLevelConfig config,
+                     std::unique_ptr<control::ControlBlock> controller);
+
+  static Status validate(const GateLevelConfig& config);
+
+  void reset();
+
+  /// Advances one delivered period under the variation source; `t` is
+  /// maintained internally (one nominal period per cycle).
+  StepRecord step(const variation::VariationSource& source);
+
+  SimulationTrace run(const variation::VariationSource& source,
+                      std::size_t cycles);
+
+  [[nodiscard]] const GateLevelConfig& config() const { return config_; }
+  [[nodiscard]] const osc::TappedRingOscillator& oscillator() const {
+    return ro_;
+  }
+
+ private:
+  GateLevelConfig config_;
+  std::unique_ptr<control::ControlBlock> controller_;
+  osc::TappedRingOscillator ro_;
+  std::vector<sensor::DetailedTdc> tdcs_;
+  cdn::QuantizedTimeCdn cdn_;
+  osc::JitterModel jitter_;
+
+  double time_{0.0};
+  double prev_t_dlv_{0.0};
+  std::int64_t prev_lro_{0};
+};
+
+}  // namespace roclk::core

@@ -1,0 +1,52 @@
+// Perturbation inputs for a discrete-time loop simulation.
+//
+// The discrete simulator consumes, each cycle n, three stage-valued
+// signals sampled at nominal time t_n = n * c (the paper's Simulink model
+// runs one sample per nominal period):
+//   e_ro[n]  — homogeneous variation at the ring oscillator (stages),
+//   e_tdc[n] — homogeneous variation at the TDCs (stages),
+//   mu[n]    — RO<->TDC heterogeneous mismatch (stages).
+// For the paper's HoDV experiments e_ro == e_tdc == e and mu is constant.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "roclk/signal/waveform.hpp"
+#include "roclk/variation/variation.hpp"
+
+namespace roclk::core {
+
+struct SimulationInputs {
+  using Signal = std::function<double(double t_stages)>;
+
+  Signal e_ro{[](double) { return 0.0; }};
+  Signal e_tdc{[](double) { return 0.0; }};
+  Signal mu{[](double) { return 0.0; }};
+
+  /// Quiet environment.
+  [[nodiscard]] static SimulationInputs none();
+
+  /// The paper's HoDV setup: the same waveform (amplitude in stages)
+  /// drives RO and TDCs; optional static mismatch mu (stages).
+  [[nodiscard]] static SimulationInputs homogeneous(
+      std::shared_ptr<const signal::Waveform> waveform,
+      double static_mu_stages = 0.0);
+
+  /// Convenience: harmonic HoDV with amplitude and period in stages.
+  [[nodiscard]] static SimulationInputs harmonic(double amplitude_stages,
+                                                 double period_stages,
+                                                 double static_mu_stages = 0.0,
+                                                 double phase = 0.0);
+
+  /// Full-chip environment: samples a VariationSource at the RO location
+  /// and at the *worst* TDC location each cycle, converting fractional
+  /// variation to stages via the set-point c (e = c * v).  `tdc_grid` TDCs
+  /// are consulted; the minimum reading wins, matching TdcArray semantics.
+  [[nodiscard]] static SimulationInputs from_variation_source(
+      std::shared_ptr<const variation::VariationSource> source,
+      double setpoint_c, variation::DiePoint ro_location = {0.5, 0.5},
+      std::size_t tdc_grid = 3);
+};
+
+}  // namespace roclk::core

@@ -1,0 +1,56 @@
+// Pipeline throughput under error detection and replay.
+//
+// The paper's architecture assumes the pipeline has "at least, error
+// detection capacities": a period that comes in shorter than the logic
+// depth L does not corrupt state, it triggers a detected error and a
+// replay (Razor-style), costing `replay_penalty_cycles` of useful work.
+// That turns clocking into an optimisation problem — run close to L and
+// pay replays, or back off and pay period — which the set-point governor
+// navigates at runtime.  evaluate_throughput scores a finished run;
+// run_with_governor closes the outer loop.
+#pragma once
+
+#include <cstddef>
+
+#include "roclk/common/status.hpp"
+#include "roclk/control/setpoint_governor.hpp"
+#include "roclk/core/inputs.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/core/trace.hpp"
+
+namespace roclk::core {
+
+struct ThroughputConfig {
+  /// Stages of logic the pipeline must fit into one period.
+  double logic_depth{64.0};
+  /// Useful cycles lost per detected timing error (flush + replay).
+  double replay_penalty_cycles{8.0};
+};
+
+struct ThroughputReport {
+  std::size_t cycles{0};
+  std::size_t errors{0};          // cycles with tau < logic depth
+  double useful_cycles{0.0};      // cycles - penalty * errors (floored at 0)
+  double total_time_stages{0.0};  // sum of delivered periods
+  /// Useful operations per stage of wall-clock time.
+  double throughput_ops_per_stage{0.0};
+  /// Normalised to the ideal machine (error-free at period == logic depth):
+  /// 1.0 means zero overhead.
+  double efficiency{0.0};
+};
+
+/// Scores a finished run against the error/replay model.  `skip` drops the
+/// initial transient.
+[[nodiscard]] ThroughputReport evaluate_throughput(
+    const SimulationTrace& trace, const ThroughputConfig& config,
+    std::size_t skip = 0);
+
+/// Runs a closed-loop simulator for `n` cycles with the set-point governor
+/// in the outer loop: each cycle's worst TDC reading feeds the governor,
+/// whose decision becomes the loop's set-point for the next cycle.
+SimulationTrace run_with_governor(LoopSimulator& simulator,
+                                  control::SetpointGovernor& governor,
+                                  const SimulationInputs& inputs,
+                                  std::size_t n);
+
+}  // namespace roclk::core

@@ -1,0 +1,97 @@
+// Gate-level ring oscillator microarchitecture.
+//
+// The behavioural RingOscillator treats the ring as "l_RO stages of 1
+// nominal delay"; this header models what the hardware actually is: a
+// physical chain of inverting stages laid out along a die segment, each
+// stage's delay set by the variation at *its own* coordinates, and a tap
+// multiplexer that closes the ring after a selectable stage.  Two hardware
+// facts the abstraction hides:
+//
+//  * only an ODD number of inverting stages oscillates — the tap mux can
+//    only realise odd lengths, so the controller's requested length is
+//    quantised to the nearest odd value (steps of 2, not 1);
+//  * the period is the *sum of the selected stages' individual delays*
+//    (the physical two-traversals-per-period factor is absorbed into the
+//    stage-delay unit so that period == length at nominal, matching the
+//    paper's convention), so within-die variation across the chain shows
+//    up as a per-stage, not just multiplicative, error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+#include "roclk/variation/variation.hpp"
+
+namespace roclk::osc {
+
+struct StageChainConfig {
+  std::size_t stages{129};              // physical chain length (odd)
+  variation::DiePoint start{0.45, 0.5};  // chain start on the die
+  variation::DiePoint end{0.55, 0.5};    // chain end (stages interpolate)
+  double nominal_stage_delay{1.0};       // in stage units (by definition)
+};
+
+/// A physical chain of stages with per-stage die coordinates.
+class StageChain {
+ public:
+  explicit StageChain(StageChainConfig config = {});
+
+  static Status validate(const StageChainConfig& config);
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] variation::DiePoint position(std::size_t i) const;
+
+  /// Delay of stage i under `source` at time t (stage units).
+  [[nodiscard]] double stage_delay(std::size_t i,
+                                   const variation::VariationSource& source,
+                                   double t) const;
+
+  /// Total delay of the first `count` stages.
+  [[nodiscard]] double chain_delay(std::size_t count,
+                                   const variation::VariationSource& source,
+                                   double t) const;
+
+  /// How many stages a transition launched at the chain head crosses
+  /// within `window` stage units (the TDC primitive).
+  [[nodiscard]] std::size_t stages_crossed(
+      double window, const variation::VariationSource& source,
+      double t) const;
+
+ private:
+  StageChainConfig config_;
+  std::vector<variation::DiePoint> positions_;
+};
+
+/// Tap-multiplexed ring oscillator on a StageChain.
+class TappedRingOscillator {
+ public:
+  /// `min_length`/`max_length` bound the mux range; both forced odd.
+  TappedRingOscillator(StageChainConfig chain, std::int64_t min_length,
+                       std::int64_t max_length);
+
+  /// Requests a length; the mux realises the nearest odd value in range.
+  /// Returns the realised length.
+  std::int64_t set_length(std::int64_t requested);
+
+  [[nodiscard]] std::int64_t length() const { return length_; }
+
+  /// Oscillation period: the selected stages' *individual* delays summed
+  /// (period == length at zero variation).
+  [[nodiscard]] double period_stages(const variation::VariationSource& source,
+                                     double t) const;
+
+  [[nodiscard]] const StageChain& chain() const { return chain_; }
+
+ private:
+  StageChain chain_;
+  std::int64_t min_length_;
+  std::int64_t max_length_;
+  std::int64_t length_;
+};
+
+/// Quantises a requested ring length to the nearest odd value (hardware
+/// taps sit after every second stage).
+[[nodiscard]] std::int64_t nearest_odd(std::int64_t value);
+
+}  // namespace roclk::osc

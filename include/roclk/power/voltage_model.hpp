@@ -1,0 +1,81 @@
+// Voltage / delay / energy modelling for the margin trade-off.
+//
+// Paper introduction: "Alternatively, SM can be added to the supply
+// voltage instead of to the clock period.  In this case the yield is
+// increased but at the price of more power consumption."  This module
+// quantifies that sentence with the standard alpha-power-law MOSFET model
+// (Sakurai-Newton):
+//
+//   delay(V)  ~  V / (V - Vth)^alpha
+//   E_dyn/op  ~  C V^2
+//   P_leak    ~  super-linear in V (modelled as V^3)
+//
+// and compares three ways to absorb a delay uncertainty u:
+//   1. period margin  — fixed clock at T = Tn (1+u), nominal V;
+//   2. voltage margin — fixed clock at T = Tn, V raised until worst-case
+//      gates are fast enough;
+//   3. adaptive clock — nominal V, per-chip measured period (the paper's
+//      proposal; its mean extra period comes from the simulations or the
+//      yield analysis).
+#pragma once
+
+#include <string>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::power {
+
+struct ProcessParams {
+  double vdd_nominal{1.0};   // volts
+  double vth{0.30};          // threshold voltage
+  double alpha{1.3};         // velocity-saturation exponent
+  double vdd_max{1.4};       // reliability ceiling for overdrive
+  /// Fraction of total power that is leakage at nominal V and period.
+  double leakage_share{0.25};
+};
+
+[[nodiscard]] Status validate(const ProcessParams& params);
+
+/// Gate delay at `vdd` relative to the delay at nominal vdd (1.0 at
+/// nominal; > 1 below nominal, < 1 when overdriven).
+[[nodiscard]] double delay_factor(double vdd, const ProcessParams& params =
+                                                  {});
+
+/// Supply voltage achieving a target relative delay (bisection on the
+/// monotone alpha-power curve).  target <= 1 requires overdrive; fails if
+/// the required voltage exceeds vdd_max.
+[[nodiscard]] Result<double> vdd_for_delay_factor(
+    double target, const ProcessParams& params = {});
+
+/// Energy per operation relative to nominal (V = Vn, T = Tn):
+/// dynamic CV^2 share plus leakage share scaled by V^3 and the period the
+/// leakage integrates over.
+[[nodiscard]] double energy_per_op_factor(double vdd_factor,
+                                          double period_factor,
+                                          const ProcessParams& params = {});
+
+/// One clocking strategy's operating point, all relative to nominal.
+struct OperatingPoint {
+  std::string name;
+  double vdd_factor{1.0};        // V / Vn
+  double period_factor{1.0};     // T / Tn
+  double throughput_factor{1.0};  // ops/s vs nominal = 1 / period_factor
+  double energy_factor{1.0};      // energy per op vs nominal
+};
+
+/// Strategy 1: absorb uncertainty u in the period.
+[[nodiscard]] OperatingPoint period_margin_strategy(
+    double delay_uncertainty, const ProcessParams& params = {});
+
+/// Strategy 2: absorb it in the supply (worst-case gates sped back up to
+/// the nominal period).  Fails if vdd_max cannot cover u.
+[[nodiscard]] Result<OperatingPoint> voltage_margin_strategy(
+    double delay_uncertainty, const ProcessParams& params = {});
+
+/// Strategy 3: adaptive clock at nominal V; `mean_extra_period` is the
+/// measured average slowdown actually paid (e.g. from the yield module's
+/// adaptive_mean_extra_period, or a relative-period measurement).
+[[nodiscard]] OperatingPoint adaptive_clock_strategy(
+    double mean_extra_period_fraction, const ProcessParams& params = {});
+
+}  // namespace roclk::power

@@ -1,0 +1,114 @@
+// Time-to-digital converter (TDC) delay sensors.
+//
+// A TDC (Drake et al., ICICDT 2008 — paper ref. [7]) launches a transition
+// into a calibrated chain of stages at each delivered clock edge and latches
+// how many stages it crossed by the next edge.  The integer reading tau is
+// the local logic depth that fits in one clock period: tau < c means the
+// period is too short for the set-point c (a timing error is imminent);
+// tau > c wastes performance.
+//
+// Two measurement models mirror the ring-oscillator ones:
+//  * additive (paper eqs. 4-5): tau = T_delivered - e + mu, with e the
+//    homogeneous variation in stages and mu the RO<->TDC mismatch in
+//    stages (positive mu = TDC reads optimistically high);
+//  * physical: tau = T_delivered / ((1 + v_local)(1 + r)), with v_local
+//    the fractional variation at the sensor site and r the fractional
+//    stage mismatch (mu ~ -c * r to first order).
+//
+// Readings are quantised to integers (floor: only fully crossed stages
+// count).  The one-cycle measurement latency (the TDC register z^-1 in the
+// paper's Fig. 4) is modelled by the loop simulator, not here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+#include "roclk/variation/variation.hpp"
+
+namespace roclk::sensor {
+
+enum class Quantization {
+  kFloor,  // physical: only completed stages are counted
+  kNearest,
+  kNone,   // keep the fractional reading (analysis convenience)
+};
+
+struct TdcConfig {
+  variation::DiePoint location{0.5, 0.5};
+  /// Static mismatch in stages added to the reading (the paper's mu).
+  double mismatch_stages{0.0};
+  /// Fractional stage-delay mismatch for the physical model (the paper's
+  /// mu expressed as a relative speed difference; mu ~ -c * r).
+  double relative_mismatch{0.0};
+  Quantization quantization{Quantization::kFloor};
+  /// Hardware chain length: readings saturate here.
+  std::int64_t max_reading{4096};
+};
+
+class Tdc {
+ public:
+  explicit Tdc(TdcConfig config = {});
+
+  static Status validate(const TdcConfig& config);
+
+  [[nodiscard]] const TdcConfig& config() const { return config_; }
+
+  /// Additive (paper) model.  `delivered_period` and `e_local` in stages.
+  [[nodiscard]] double measure_additive(double delivered_period,
+                                        double e_local) const;
+
+  /// Physical model. `v_local` is the fractional variation at the sensor.
+  [[nodiscard]] double measure_physical(double delivered_period,
+                                        double v_local) const;
+
+  /// Samples a variation source at the TDC's location.
+  [[nodiscard]] double local_variation(
+      const variation::VariationSource& source, double t) const {
+    return source.at(t, config_.location);
+  }
+
+ private:
+  [[nodiscard]] double quantize(double raw) const;
+
+  TdcConfig config_;
+};
+
+/// A set of TDCs disseminated over the clock domain.  The control loop
+/// consumes the *worst* (minimum) reading each cycle: the slowest region
+/// of the die dictates the clock (paper section III).
+class TdcArray {
+ public:
+  TdcArray() = default;
+  explicit TdcArray(std::vector<Tdc> sensors);
+
+  TdcArray& add(Tdc tdc);
+  /// grid x grid sensors over the unit die, all with the given mismatch.
+  static TdcArray make_grid(std::size_t grid, double mismatch_stages = 0.0);
+
+  [[nodiscard]] std::size_t size() const { return sensors_.size(); }
+  [[nodiscard]] bool empty() const { return sensors_.empty(); }
+  [[nodiscard]] std::span<const Tdc> sensors() const { return sensors_; }
+
+  /// Worst (minimum) additive reading given a homogeneous variation value
+  /// common to all sensors.
+  [[nodiscard]] double worst_additive(double delivered_period,
+                                      double e_local) const;
+
+  /// Worst (minimum) physical reading under a full variation source at
+  /// time t: each sensor sees the variation at its own location.
+  [[nodiscard]] double worst_physical(
+      double delivered_period, const variation::VariationSource& source,
+      double t) const;
+
+  /// All physical readings (diagnostics).
+  [[nodiscard]] std::vector<double> readings_physical(
+      double delivered_period, const variation::VariationSource& source,
+      double t) const;
+
+ private:
+  std::vector<Tdc> sensors_;
+};
+
+}  // namespace roclk::sensor

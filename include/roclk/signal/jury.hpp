@@ -1,0 +1,36 @@
+// Jury stability criterion for discrete-time characteristic polynomials.
+//
+// Complements the root-finder: the Jury table decides whether all roots of
+// a real polynomial lie strictly inside the unit circle without computing
+// them.  Used by the ablation bench that maps the stability boundary of the
+// paper's closed loop D(z) + N(z) z^{-M-2} as the CDN delay M grows.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::signal {
+
+struct JuryResult {
+  bool stable{false};          // all roots strictly inside the unit circle
+  std::string failed_condition;  // empty when stable
+  // The full Jury table rows (first row of each pair), for diagnostics.
+  std::vector<std::vector<double>> table;
+};
+
+/// Applies the Jury test to
+///   P(z) = a[0] z^n + a[1] z^(n-1) + ... + a[n]
+/// (coefficients highest power first, a[0] != 0).
+Result<JuryResult> jury_test(std::span<const double> coefficients_high_first);
+
+/// Convenience for marginally-stable loops: divides out a known root at
+/// z = 1 (synthetic division) before testing.  The paper's type-1 loops
+/// place an integrator pole exactly at z = 1 by design (eq. 8), so the
+/// interesting question is whether the *remaining* dynamics are stable.
+Result<JuryResult> jury_test_without_unit_root(
+    std::span<const double> coefficients_high_first, double tol = 1e-9);
+
+}  // namespace roclk::signal

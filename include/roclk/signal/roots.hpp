@@ -1,0 +1,35 @@
+// Complex root finding for real-coefficient polynomials.
+//
+// Used to locate the poles of the closed-loop transfer functions
+// D(z) + N(z) z^{-M-2} (paper eqs. 4-5) when analysing stability vs the CDN
+// delay M.  Implements the Aberth-Ehrlich simultaneous iteration, which
+// converges for the modest degrees (< 100) we encounter.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::signal {
+
+struct RootFindOptions {
+  int max_iterations{200};
+  double tolerance{1e-12};
+};
+
+/// Finds all complex roots of the polynomial
+///   p(x) = c[0] x^n + c[1] x^(n-1) + ... + c[n]
+/// (coefficients highest power first).  Leading zeros are stripped; a
+/// constant polynomial yields no roots.  Returns an error if the iteration
+/// fails to converge.
+Result<std::vector<std::complex<double>>> find_roots(
+    std::span<const double> coefficients_high_first,
+    RootFindOptions options = {});
+
+/// Largest root magnitude, 0 if there are no roots.
+[[nodiscard]] double spectral_radius(
+    std::span<const std::complex<double>> roots);
+
+}  // namespace roclk::signal

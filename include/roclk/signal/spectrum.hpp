@@ -1,0 +1,36 @@
+// Frequency-domain helpers: DFT, Goertzel single-bin, spectrum summaries.
+//
+// Used by the analysis module to verify that an adaptive clock attenuates
+// the perturbation tone (the residual timing error spectrum at the HoDV
+// frequency) and by extension benches that characterise loop bandwidth.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::signal {
+
+/// Radix-2 in-place FFT; size must be a power of two.
+Result<std::vector<std::complex<double>>> fft(std::span<const double> xs);
+
+/// Full DFT via direct evaluation (any size; O(n^2), fine for traces).
+[[nodiscard]] std::vector<std::complex<double>> dft(std::span<const double> xs);
+
+/// Goertzel algorithm: the DFT coefficient at one normalized frequency
+/// f (cycles/sample, in [0, 0.5]).
+[[nodiscard]] std::complex<double> goertzel(std::span<const double> xs,
+                                            double frequency);
+
+/// Amplitude of the tone at normalized frequency f, i.e. 2|X(f)|/N (exact
+/// for a pure sinusoid away from DC/Nyquist).
+[[nodiscard]] double tone_amplitude(std::span<const double> xs,
+                                    double frequency);
+
+/// Index of the largest-magnitude non-DC bin of the FFT of xs (size need
+/// not be a power of two; uses the direct DFT).
+[[nodiscard]] std::size_t dominant_bin(std::span<const double> xs);
+
+}  // namespace roclk::signal

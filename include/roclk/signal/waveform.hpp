@@ -1,0 +1,173 @@
+// Continuous-time waveform primitives used as perturbation shapes.
+//
+// The paper drives its evaluation with two canonical homogeneous dynamic
+// variations: a harmonic (sine) perturbation nu(t) = nu0 sin(2 pi t / T + phi)
+// and a single triangular event of duration T and amplitude nu0 (section
+// II-A).  Waveform models both, plus the auxiliary shapes the variation
+// library composes (steps, ramps, square waves, PRBS, band-limited noise).
+//
+// Waveforms are functions of continuous time measured in *stages* so they
+// can be sampled both by the discrete-time loop simulator (once per clock
+// period) and by the event-driven edge simulator (at arbitrary instants).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "roclk/common/rng.hpp"
+#include "roclk/common/status.hpp"
+
+namespace roclk::signal {
+
+/// Interface: value of the waveform at absolute time t (in stages).
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  [[nodiscard]] virtual double at(double t) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Waveform> clone() const = 0;
+
+  /// Samples the waveform at t = offset + k*step for k in [0, n).
+  [[nodiscard]] std::vector<double> sample(std::size_t n, double step,
+                                           double offset = 0.0) const;
+};
+
+/// Identically zero.
+class ZeroWaveform final : public Waveform {
+ public:
+  [[nodiscard]] double at(double) const override { return 0.0; }
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<ZeroWaveform>(*this);
+  }
+};
+
+/// Constant value.
+class ConstantWaveform final : public Waveform {
+ public:
+  explicit ConstantWaveform(double value) : value_{value} {}
+  [[nodiscard]] double at(double) const override { return value_; }
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<ConstantWaveform>(*this);
+  }
+
+ private:
+  double value_;
+};
+
+/// amplitude * sin(2 pi t / period + phase): the paper's periodic HoDV.
+class SineWaveform final : public Waveform {
+ public:
+  SineWaveform(double amplitude, double period, double phase = 0.0);
+  [[nodiscard]] double at(double t) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<SineWaveform>(*this);
+  }
+  [[nodiscard]] double amplitude() const { return amplitude_; }
+  [[nodiscard]] double period() const { return period_; }
+
+ private:
+  double amplitude_;
+  double period_;
+  double phase_;
+};
+
+/// Single triangular event starting at `start`, duration `duration`, peak
+/// `amplitude` at the midpoint, zero elsewhere: the paper's single-event
+/// HoDV (fast supply droop).
+class TrianglePulseWaveform final : public Waveform {
+ public:
+  TrianglePulseWaveform(double amplitude, double start, double duration);
+  [[nodiscard]] double at(double t) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<TrianglePulseWaveform>(*this);
+  }
+
+ private:
+  double amplitude_;
+  double start_;
+  double duration_;
+};
+
+/// Heaviside step of given amplitude at `start`.
+class StepWaveform final : public Waveform {
+ public:
+  StepWaveform(double amplitude, double start);
+  [[nodiscard]] double at(double t) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<StepWaveform>(*this);
+  }
+
+ private:
+  double amplitude_;
+  double start_;
+};
+
+/// Linear ramp from 0 at `start` with the given slope, optionally clamped
+/// at `saturation` (used for aging models: monotonic slow drift).
+class RampWaveform final : public Waveform {
+ public:
+  RampWaveform(double slope, double start, double saturation);
+  [[nodiscard]] double at(double t) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<RampWaveform>(*this);
+  }
+
+ private:
+  double slope_;
+  double start_;
+  double saturation_;
+};
+
+/// Square wave (50% duty): models on/off workload power steps.
+class SquareWaveform final : public Waveform {
+ public:
+  SquareWaveform(double amplitude, double period, double phase = 0.0);
+  [[nodiscard]] double at(double t) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<SquareWaveform>(*this);
+  }
+
+ private:
+  double amplitude_;
+  double period_;
+  double phase_;
+};
+
+/// Sample-and-hold Gaussian noise: a new normal value every `hold` stages,
+/// deterministic in the seed.  Models broadband supply noise (SSN).
+class HoldNoiseWaveform final : public Waveform {
+ public:
+  HoldNoiseWaveform(double stddev, double hold, std::uint64_t seed);
+  [[nodiscard]] double at(double t) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<HoldNoiseWaveform>(*this);
+  }
+
+ private:
+  double stddev_;
+  double hold_;
+  std::uint64_t seed_;
+};
+
+/// Sum of component waveforms, each with a scale factor.
+class CompositeWaveform final : public Waveform {
+ public:
+  CompositeWaveform() = default;
+  CompositeWaveform(const CompositeWaveform& other);
+  CompositeWaveform& operator=(const CompositeWaveform& other);
+  CompositeWaveform(CompositeWaveform&&) noexcept = default;
+  CompositeWaveform& operator=(CompositeWaveform&&) noexcept = default;
+
+  CompositeWaveform& add(std::unique_ptr<Waveform> w, double scale = 1.0);
+  [[nodiscard]] double at(double t) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override;
+  [[nodiscard]] std::size_t size() const { return parts_.size(); }
+
+ private:
+  struct Part {
+    std::unique_ptr<Waveform> waveform;
+    double scale;
+  };
+  std::vector<Part> parts_;
+};
+
+}  // namespace roclk::signal

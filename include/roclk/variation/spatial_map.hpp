@@ -1,0 +1,52 @@
+// Spatially correlated random fields over the die.
+//
+// Within-die (WID) process variation and thermal maps are smooth random
+// functions of position.  SpatialMap implements seeded value-noise: random
+// values on a lattice, smoothstep-interpolated, summed over octaves.  It is
+// stateless (lattice values are hashes of their coordinates), so evaluation
+// order does not matter and clones are exact.
+#pragma once
+
+#include <cstdint>
+
+#include "roclk/variation/variation.hpp"
+
+namespace roclk::variation {
+
+class SpatialMap {
+ public:
+  /// `cells` lattice cells across the unit die; `octaves` layers of detail,
+  /// each doubling frequency and halving amplitude; `stddev` approximate
+  /// standard deviation of the resulting field.
+  SpatialMap(std::uint64_t seed, double stddev, int cells = 4,
+             int octaves = 2);
+
+  /// Field value at a die position (zero-mean, ~stddev spread).
+  [[nodiscard]] double at(DiePoint p) const;
+
+  [[nodiscard]] double stddev() const { return stddev_; }
+
+ private:
+  [[nodiscard]] double lattice_value(int octave, int ix, int iy) const;
+  [[nodiscard]] double octave_value(int octave, DiePoint p) const;
+
+  std::uint64_t seed_;
+  double stddev_;
+  int cells_;
+  int octaves_;
+};
+
+/// Radial gaussian bump centred at `centre`: the canonical hotspot /
+/// IR-drop-gradient spatial profile.
+class GaussianBump {
+ public:
+  GaussianBump(DiePoint centre, double sigma, double peak);
+  [[nodiscard]] double at(DiePoint p) const;
+
+ private:
+  DiePoint centre_;
+  double sigma_;
+  double peak_;
+};
+
+}  // namespace roclk::variation

@@ -1,0 +1,75 @@
+// PVTA variation modelling (paper Table I).
+//
+// The paper classifies variability sources along two axes:
+//   temporal: static (fixed after fabrication / power-up) vs dynamic
+//   spatial : homogeneous (whole die moves together) vs heterogeneous
+// A VariationSource is a function v(t, p) giving the *fractional* gate
+// delay variation at time t (stages) and die position p: an affected gate
+// has delay d = d0 * (1 + v).  Positive v = slower gates.
+//
+// The discrete-time loop simulator consumes variations converted to
+// *stages of delay per clock period* (the paper's additive linearisation:
+// a period of c stages under variation v costs ~ c*v extra stages), while
+// the event-driven simulator uses v(t, p) directly and multiplicatively.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace roclk::variation {
+
+enum class TemporalClass { kStatic, kDynamic };
+enum class SpatialClass { kHomogeneous, kHeterogeneous };
+
+[[nodiscard]] constexpr const char* to_string(TemporalClass c) {
+  return c == TemporalClass::kStatic ? "static" : "dynamic";
+}
+[[nodiscard]] constexpr const char* to_string(SpatialClass c) {
+  return c == SpatialClass::kHomogeneous ? "homogeneous" : "heterogeneous";
+}
+
+/// Normalized die coordinates in [0, 1] x [0, 1].
+struct DiePoint {
+  double x{0.5};
+  double y{0.5};
+};
+
+class VariationSource {
+ public:
+  virtual ~VariationSource() = default;
+
+  /// Fractional delay variation at time t (stages) and position p.
+  [[nodiscard]] virtual double at(double t, DiePoint p) const = 0;
+
+  /// Design-intent classification (what Table I declares).
+  [[nodiscard]] virtual TemporalClass temporal_class() const = 0;
+  [[nodiscard]] virtual SpatialClass spatial_class() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<VariationSource> clone() const = 0;
+};
+
+/// Empirical classification of an arbitrary source by sampling: computes
+/// the observed temporal and spatial standard deviations and thresholds
+/// them.  The Table I bench uses this to *measure* that each model lands in
+/// its declared cell.
+struct MeasuredClassification {
+  double temporal_stddev{0.0};  // std over time of the spatial mean
+  double spatial_stddev{0.0};   // time-average of the std over positions
+  TemporalClass temporal{TemporalClass::kStatic};
+  SpatialClass spatial{SpatialClass::kHomogeneous};
+};
+
+struct ClassificationOptions {
+  double t_begin{0.0};
+  double t_end{64.0 * 2000.0};  // ~2000 nominal periods at c = 64
+  std::size_t time_samples{256};
+  std::size_t grid{8};           // grid x grid die positions
+  double threshold{1e-6};        // stddev above this counts as varying
+};
+
+[[nodiscard]] MeasuredClassification classify(const VariationSource& source,
+                                              const ClassificationOptions&
+                                                  options = {});
+
+}  // namespace roclk::variation

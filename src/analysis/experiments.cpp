@@ -1,0 +1,246 @@
+#include "roclk/analysis/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roclk/common/status.hpp"
+#include "roclk/common/thread_pool.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/teatime.hpp"
+
+namespace roclk::analysis {
+
+core::LoopSimulator make_system(SystemKind kind, double setpoint_c,
+                                double cdn_delay_stages,
+                                double open_loop_margin,
+                                cdn::DelayQuantization cdn_quantization) {
+  core::LoopConfig cfg;
+  cfg.setpoint_c = setpoint_c;
+  cfg.cdn_delay_stages = cdn_delay_stages;
+  cfg.cdn_quantization = cdn_quantization;
+  std::unique_ptr<control::ControlBlock> controller;
+  switch (kind) {
+    case SystemKind::kIir:
+      cfg.mode = core::GeneratorMode::kControlledRo;
+      controller = std::make_unique<control::IirControlHardware>(
+          control::paper_iir_config());
+      break;
+    case SystemKind::kTeaTime:
+      cfg.mode = core::GeneratorMode::kControlledRo;
+      controller = std::make_unique<control::TeaTimeControl>();
+      break;
+    case SystemKind::kFreeRo:
+      cfg.mode = core::GeneratorMode::kFreeRunningRo;
+      cfg.open_loop_period = setpoint_c + open_loop_margin;
+      break;
+    case SystemKind::kFixedClock:
+      cfg.mode = core::GeneratorMode::kFixedClock;
+      cfg.open_loop_period = setpoint_c + open_loop_margin;
+      break;
+  }
+  return core::LoopSimulator{cfg, std::move(controller)};
+}
+
+std::size_t cycles_for(const ExperimentParams& params, double te_over_c) {
+  // One control sample covers ~one nominal period, so a perturbation of
+  // T_e = k*c stages spans ~k samples.
+  const double te_samples = std::max(1.0, te_over_c);
+  const auto settle = static_cast<std::size_t>(
+      std::ceil(params.periods_of_perturbation * te_samples));
+  const std::size_t skip = std::max(
+      params.transient_skip,
+      static_cast<std::size_t>(std::ceil(3.0 * te_samples)));
+  const std::size_t cycles = skip + std::max(params.min_cycles, settle);
+  return std::min(cycles, params.max_cycles);
+}
+
+namespace {
+
+std::size_t skip_for(const ExperimentParams& params, double te_over_c) {
+  const double te_samples = std::max(1.0, te_over_c);
+  return std::max(params.transient_skip,
+                  static_cast<std::size_t>(std::ceil(3.0 * te_samples)));
+}
+
+}  // namespace
+
+RunMetrics measure_system(SystemKind kind, double setpoint_c,
+                          double tclk_stages, double amplitude_stages,
+                          double period_stages, double mu_stages,
+                          double fixed_period, std::size_t cycles,
+                          std::size_t skip, double free_ro_margin,
+                          cdn::DelayQuantization cdn_quantization) {
+  auto system = make_system(kind, setpoint_c, tclk_stages, free_ro_margin,
+                            cdn_quantization);
+  const auto inputs = core::SimulationInputs::harmonic(
+      amplitude_stages, period_stages, mu_stages);
+  const auto trace = system.run(inputs, cycles);
+  return evaluate_run(trace, setpoint_c, fixed_period, skip);
+}
+
+// -------------------------------------------------------------------- Fig 7
+
+Fig7Result fig7_timing_error(double te_over_c, double tclk_over_c,
+                             std::size_t first_period,
+                             std::size_t last_period,
+                             const ExperimentParams& params) {
+  ROCLK_REQUIRE(last_period > first_period, "empty period window");
+  const double c = params.setpoint_c;
+  const double amplitude = params.amplitude_frac * c;
+  const double period = te_over_c * c;
+  const std::size_t cycles =
+      std::max<std::size_t>(last_period + 1, cycles_for(params, te_over_c));
+
+  Fig7Result result;
+  result.te_over_c = te_over_c;
+  result.first_period = first_period;
+  result.last_period = last_period;
+  for (SystemKind kind : kAllSystems) {
+    auto system = make_system(kind, c, tclk_over_c * c);
+    const auto inputs = core::SimulationInputs::harmonic(amplitude, period);
+    const auto trace = system.run(inputs, cycles);
+    const auto err = trace.timing_error(c);
+    Fig7Trace slice;
+    slice.system = kind;
+    slice.timing_error.assign(
+        err.begin() + static_cast<std::ptrdiff_t>(first_period),
+        err.begin() + static_cast<std::ptrdiff_t>(last_period + 1));
+    result.traces.push_back(std::move(slice));
+  }
+  return result;
+}
+
+// -------------------------------------------------------------------- Fig 8
+
+namespace {
+
+RelativePeriodRow relative_period_row(double x, double tclk_over_c,
+                                      double te_over_c,
+                                      const ExperimentParams& params) {
+  const double c = params.setpoint_c;
+  const double amplitude = params.amplitude_frac * c;
+  const double fixed_period = fixed_clock_period(c, amplitude);
+  const std::size_t cycles = cycles_for(params, te_over_c);
+  const std::size_t skip = skip_for(params, te_over_c);
+
+  RelativePeriodRow row;
+  row.x = x;
+  row.iir = measure_system(SystemKind::kIir, c, tclk_over_c * c, amplitude,
+                           te_over_c * c, 0.0, fixed_period, cycles, skip)
+                .relative_adaptive_period;
+  row.teatime =
+      measure_system(SystemKind::kTeaTime, c, tclk_over_c * c, amplitude,
+                     te_over_c * c, 0.0, fixed_period, cycles, skip)
+          .relative_adaptive_period;
+  row.free_ro =
+      measure_system(SystemKind::kFreeRo, c, tclk_over_c * c, amplitude,
+                     te_over_c * c, 0.0, fixed_period, cycles, skip)
+          .relative_adaptive_period;
+  return row;
+}
+
+}  // namespace
+
+std::vector<RelativePeriodRow> fig8_cdn_delay_sweep(
+    std::span<const double> tclk_over_c, double te_over_c,
+    const ExperimentParams& params) {
+  std::vector<RelativePeriodRow> rows(tclk_over_c.size());
+  parallel_for_index(tclk_over_c.size(), [&](std::size_t i) {
+    rows[i] =
+        relative_period_row(tclk_over_c[i], tclk_over_c[i], te_over_c, params);
+  });
+  return rows;
+}
+
+std::vector<RelativePeriodRow> fig8_frequency_sweep(
+    std::span<const double> te_over_c, double tclk_over_c,
+    const ExperimentParams& params) {
+  std::vector<RelativePeriodRow> rows(te_over_c.size());
+  parallel_for_index(te_over_c.size(), [&](std::size_t i) {
+    rows[i] =
+        relative_period_row(te_over_c[i], tclk_over_c, te_over_c[i], params);
+  });
+  return rows;
+}
+
+std::vector<double> log_space(double lo, double hi, std::size_t points) {
+  ROCLK_REQUIRE(lo > 0.0 && hi > lo, "invalid log range");
+  ROCLK_REQUIRE(points >= 2, "need at least two points");
+  std::vector<double> out(points);
+  const double step =
+      (std::log10(hi) - std::log10(lo)) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    out[i] = std::pow(10.0, std::log10(lo) + step * static_cast<double>(i));
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------- Fig 9
+
+Fig9Cell fig9_mismatch_sweep(double tclk_over_c, double te_over_c,
+                             std::span<const double> mu_over_c,
+                             const ExperimentParams& params) {
+  ROCLK_REQUIRE(!mu_over_c.empty(), "empty mu sweep");
+  const double c = params.setpoint_c;
+  const double amplitude = params.amplitude_frac * c;
+  double mu_bound = 0.0;
+  for (double mu : mu_over_c) mu_bound = std::max(mu_bound, std::fabs(mu));
+  const double fixed_period = fixed_clock_period(c, amplitude, mu_bound * c);
+  const std::size_t cycles = cycles_for(params, te_over_c);
+  const std::size_t skip = skip_for(params, te_over_c);
+
+  Fig9Cell cell;
+  cell.tclk_over_c = tclk_over_c;
+  cell.te_over_c = te_over_c;
+  cell.mu_over_c.assign(mu_over_c.begin(), mu_over_c.end());
+  cell.iir.resize(mu_over_c.size());
+  cell.teatime.resize(mu_over_c.size());
+  cell.free_ro.resize(mu_over_c.size());
+
+  std::vector<double> free_margin(mu_over_c.size());
+  std::vector<double> free_mean(mu_over_c.size());
+
+  parallel_for_index(mu_over_c.size(), [&](std::size_t i) {
+    const double mu = mu_over_c[i] * c;
+    cell.iir[i] =
+        measure_system(SystemKind::kIir, c, tclk_over_c * c, amplitude,
+                       te_over_c * c, mu, fixed_period, cycles, skip)
+            .relative_adaptive_period;
+    cell.teatime[i] =
+        measure_system(SystemKind::kTeaTime, c, tclk_over_c * c, amplitude,
+                       te_over_c * c, mu, fixed_period, cycles, skip)
+            .relative_adaptive_period;
+    const auto free_run =
+        measure_system(SystemKind::kFreeRo, c, tclk_over_c * c, amplitude,
+                       te_over_c * c, mu, fixed_period, cycles, skip);
+    free_margin[i] = free_run.safety_margin;
+    free_mean[i] = free_run.mean_period;
+  });
+
+  // The free RO's l_RO is frozen at design time, so its margin must cover
+  // the worst mu of the whole range.
+  const double design_margin =
+      *std::max_element(free_margin.begin(), free_margin.end());
+  for (std::size_t i = 0; i < mu_over_c.size(); ++i) {
+    cell.free_ro[i] = (free_mean[i] + design_margin) / fixed_period;
+  }
+  return cell;
+}
+
+// ------------------------------------------------------- worked examples
+
+WorkedExample worked_example(double relative_adaptive_period,
+                             double fixed_period_stages, double setpoint_c,
+                             double ns_per_setpoint) {
+  WorkedExample ex;
+  const double ns_per_stage = ns_per_setpoint / setpoint_c;
+  ex.fixed_period_ns = fixed_period_stages * ns_per_stage;
+  ex.adaptive_period_ns =
+      relative_adaptive_period * fixed_period_stages * ns_per_stage;
+  ex.margin_saved_ns = ex.fixed_period_ns - ex.adaptive_period_ns;
+  ex.margin_reduction = safety_margin_reduction(
+      relative_adaptive_period, fixed_period_stages, setpoint_c);
+  return ex;
+}
+
+}  // namespace roclk::analysis

@@ -1,0 +1,92 @@
+#include "roclk/analysis/frequency_response.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "roclk/common/math.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/teatime.hpp"
+#include "roclk/signal/spectrum.hpp"
+#include "roclk/signal/transfer_function.hpp"
+
+namespace roclk::analysis {
+
+double analytic_error_gain(const signal::Polynomial& numerator,
+                           const signal::Polynomial& denominator,
+                           std::size_t cdn_delay_m, double te_over_c) {
+  ROCLK_REQUIRE(te_over_c > 0.0, "perturbation period must be positive");
+  const auto loop =
+      signal::make_paper_closed_loop(numerator, denominator, cdn_delay_m);
+  const double w = kTwoPi / te_over_c;  // one sample ~ one nominal period
+  const std::complex<double> z = std::polar(1.0, w);
+  // e reaches delta through (z^-1 - z^{-M-2}) shaped by H_delta (eq. 5).
+  const std::complex<double> path =
+      std::pow(z, -1.0) -
+      std::pow(z, -static_cast<double>(cdn_delay_m) - 2.0);
+  return std::abs(loop.to_error.evaluate(z) * path);
+}
+
+double measured_error_gain(SystemKind kind, double setpoint_c,
+                           double tclk_stages, double amplitude_stages,
+                           double te_over_c, std::size_t cycles) {
+  ROCLK_REQUIRE(amplitude_stages > 0.0, "need a non-zero tone");
+  if (cycles == 0) {
+    cycles = std::max<std::size_t>(
+        6000, static_cast<std::size_t>(30.0 * te_over_c));
+  }
+  const std::size_t skip = cycles / 3;
+
+  core::LoopConfig cfg;
+  cfg.setpoint_c = setpoint_c;
+  cfg.cdn_delay_stages = tclk_stages;
+  // Linear measurement: disable quantisers so small tones survive.
+  cfg.quantize_lro = false;
+  cfg.tdc_quantization = sensor::Quantization::kNone;
+  std::unique_ptr<control::ControlBlock> controller;
+  switch (kind) {
+    case SystemKind::kIir:
+      controller = std::make_unique<control::IirControlReference>();
+      cfg.mode = core::GeneratorMode::kControlledRo;
+      break;
+    case SystemKind::kTeaTime:
+      controller = std::make_unique<control::TeaTimeControl>();
+      cfg.mode = core::GeneratorMode::kControlledRo;
+      break;
+    case SystemKind::kFreeRo:
+      cfg.mode = core::GeneratorMode::kFreeRunningRo;
+      break;
+    case SystemKind::kFixedClock:
+      cfg.mode = core::GeneratorMode::kFixedClock;
+      break;
+  }
+  core::LoopSimulator sim{cfg, std::move(controller)};
+  const auto trace = sim.run(
+      core::SimulationInputs::harmonic(amplitude_stages,
+                                       te_over_c * setpoint_c),
+      cycles);
+  const auto err = trace.timing_error(setpoint_c);
+  const std::vector<double> steady(err.begin() + static_cast<std::ptrdiff_t>(skip), err.end());
+  const double tone = signal::tone_amplitude(steady, 1.0 / te_over_c);
+  return tone / amplitude_stages;
+}
+
+std::vector<FrequencyResponsePoint> error_rejection_curve(
+    std::span<const double> te_over_c_grid, double tclk_over_c,
+    double setpoint_c, double amplitude_stages) {
+  const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
+  const auto m = static_cast<std::size_t>(std::llround(tclk_over_c));
+  std::vector<FrequencyResponsePoint> curve;
+  curve.reserve(te_over_c_grid.size());
+  for (double te : te_over_c_grid) {
+    FrequencyResponsePoint point;
+    point.te_over_c = te;
+    point.analytic_gain = analytic_error_gain(n, d, m, te);
+    point.measured_gain =
+        measured_error_gain(SystemKind::kIir, setpoint_c,
+                            tclk_over_c * setpoint_c, amplitude_stages, te);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace roclk::analysis

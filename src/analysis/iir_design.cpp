@@ -1,0 +1,166 @@
+#include "roclk/analysis/iir_design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "roclk/common/math.hpp"
+#include "roclk/common/thread_pool.hpp"
+#include "roclk/control/constraints.hpp"
+#include "roclk/core/loop_simulator.hpp"
+
+namespace roclk::analysis {
+
+namespace {
+
+/// Recursively builds non-increasing exponent sequences.
+void enumerate_taps(const DesignSpaceOptions& options, int max_allowed,
+                    std::vector<int>& current,
+                    std::vector<std::vector<int>>& out) {
+  if (current.size() >= options.min_taps) {
+    out.push_back(current);
+  }
+  if (current.size() == options.max_taps) return;
+  const int start = options.monotone_taps ? std::min(max_allowed,
+                                                     options.max_exponent)
+                                          : options.max_exponent;
+  for (int e = start; e >= options.min_exponent; --e) {
+    current.push_back(e);
+    enumerate_taps(options, e, current, out);
+    current.pop_back();
+  }
+}
+
+/// True (and sets k_star) when the tap sum is an exact power of two so
+/// that eq. 10 can be satisfied with a power-of-two k*.
+bool eq10_feasible(const std::vector<int>& exponents, double& k_star) {
+  double sum = 0.0;
+  for (int e : exponents) sum += std::ldexp(1.0, e);
+  const double log2_sum = std::log2(sum);
+  if (std::fabs(log2_sum - std::round(log2_sum)) > 1e-12) return false;
+  k_star = 1.0 / sum;
+  return true;
+}
+
+}  // namespace
+
+IirCandidate score_candidate(const control::IirConfig& config,
+                             const DesignSpaceOptions& options) {
+  const Status valid = control::validate_iir_config(config);
+  ROCLK_REQUIRE(valid.is_ok(), valid.to_string());
+
+  IirCandidate candidate;
+  candidate.config = config;
+
+  // Robustness: delay margin from the closed-loop characteristic.
+  const auto [num, den] = control::iir_polynomials(config);
+  candidate.max_stable_m =
+      control::max_stable_cdn_delay(num, den, 128).value_or(0);
+
+  // Velocity: settling after a mismatch step at t = 100 periods.
+  {
+    core::LoopConfig loop_cfg;
+    loop_cfg.setpoint_c = options.setpoint_c;
+    loop_cfg.cdn_delay_stages = options.cdn_delay_stages;
+    core::LoopSimulator sim{
+        loop_cfg, std::make_unique<control::IirControlHardware>(config)};
+    core::SimulationInputs inputs;
+    const double step_time = 100.0 * options.setpoint_c;
+    const double step = options.mismatch_step;
+    inputs.mu = [step_time, step](double t) {
+      return t >= step_time ? step : 0.0;
+    };
+    const auto trace = sim.run(inputs, options.cycles);
+    const auto err = trace.timing_error(options.setpoint_c);
+    std::size_t settled_at = err.size();
+    for (std::size_t n = err.size(); n-- > 100;) {
+      if (std::fabs(err[n]) > 1.0) {
+        settled_at = n + 1;
+        break;
+      }
+    }
+    candidate.settling_cycles = settled_at > 100 ? settled_at - 100 : 0;
+  }
+
+  // Smoothness: steady-state ripple under the scenario HoDV.
+  {
+    core::LoopConfig loop_cfg;
+    loop_cfg.setpoint_c = options.setpoint_c;
+    loop_cfg.cdn_delay_stages = options.cdn_delay_stages;
+    core::LoopSimulator sim{
+        loop_cfg, std::make_unique<control::IirControlHardware>(config)};
+    const auto trace = sim.run(
+        core::SimulationInputs::harmonic(options.hodv_amplitude,
+                                         options.hodv_period),
+        options.cycles);
+    candidate.tau_ripple = trace.tau_ripple(options.skip);
+  }
+  return candidate;
+}
+
+std::vector<IirCandidate> enumerate_candidates(
+    const DesignSpaceOptions& options) {
+  ROCLK_REQUIRE(options.min_taps >= 1 &&
+                    options.max_taps >= options.min_taps,
+                "invalid tap-count range");
+  ROCLK_REQUIRE(options.min_exponent <= options.max_exponent,
+                "invalid exponent range");
+
+  std::vector<std::vector<int>> tap_sets;
+  std::vector<int> current;
+  enumerate_taps(options, options.max_exponent, current, tap_sets);
+
+  // The scoring scenario runs at M = t_clk / c; designs that cannot even
+  // stabilise that loop are infeasible, not merely bad.
+  const auto scenario_m = static_cast<std::size_t>(std::llround(
+      options.cdn_delay_stages / options.setpoint_c));
+
+  std::vector<control::IirConfig> configs;
+  for (const auto& exponents : tap_sets) {
+    double k_star = 0.0;
+    if (!eq10_feasible(exponents, k_star)) continue;
+    control::IirConfig cfg;
+    cfg.taps.clear();
+    for (int e : exponents) cfg.taps.push_back(std::ldexp(1.0, e));
+    cfg.k_star = k_star;
+    cfg.k_exp = 8.0;
+    if (!control::validate_iir_config(cfg).is_ok()) continue;
+    const auto [num, den] = control::iir_polynomials(cfg);
+    const auto margin = control::max_stable_cdn_delay(num, den, 128);
+    if (!margin.has_value() || *margin < scenario_m) continue;
+    configs.push_back(std::move(cfg));
+  }
+
+  std::vector<IirCandidate> candidates(configs.size());
+  parallel_for_index(configs.size(), [&](std::size_t i) {
+    candidates[i] = score_candidate(configs[i], options);
+  });
+  return candidates;
+}
+
+std::vector<IirCandidate> pareto_front(std::vector<IirCandidate> candidates) {
+  auto dominates = [](const IirCandidate& a, const IirCandidate& b) {
+    const bool no_worse = a.settling_cycles <= b.settling_cycles &&
+                          a.tau_ripple <= b.tau_ripple &&
+                          a.max_stable_m >= b.max_stable_m;
+    const bool strictly_better = a.settling_cycles < b.settling_cycles ||
+                                 a.tau_ripple < b.tau_ripple ||
+                                 a.max_stable_m > b.max_stable_m;
+    return no_worse && strictly_better;
+  };
+  std::vector<IirCandidate> front;
+  for (auto& c : candidates) {
+    bool dominated = false;
+    for (const auto& other : candidates) {
+      if (dominates(other, c)) {
+        dominated = true;
+        break;
+      }
+    }
+    c.pareto = !dominated;
+    if (c.pareto) front.push_back(c);
+  }
+  return front;
+}
+
+}  // namespace roclk::analysis

@@ -1,0 +1,51 @@
+#include "roclk/analysis/stability_metrics.hpp"
+
+#include <cmath>
+
+namespace roclk::analysis {
+
+Result<double> allan_deviation(std::span<const double> y, std::size_t m) {
+  if (m == 0) return Status::invalid_argument("averaging factor must be > 0");
+  if (y.size() < 2 * m + 1) {
+    return Status::invalid_argument("need at least 2m + 1 samples");
+  }
+  const std::size_t n = y.size();
+
+  // Prefix sums for O(1) window means.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + y[i];
+  auto window_mean = [&](std::size_t start) {
+    return (prefix[start + m] - prefix[start]) / static_cast<double>(m);
+  };
+
+  // Overlapping estimator:
+  //   sigma^2(m) = 1/(2 (N - 2m + 1)) sum_i (ybar_{i+m} - ybar_i)^2 .
+  const std::size_t terms = n - 2 * m + 1;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < terms; ++i) {
+    const double diff = window_mean(i + m) - window_mean(i);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc / (2.0 * static_cast<double>(terms)));
+}
+
+std::vector<AllanPoint> allan_curve(std::span<const double> y) {
+  std::vector<AllanPoint> curve;
+  for (std::size_t m = 1; 3 * m <= y.size(); m *= 2) {
+    auto adev = allan_deviation(y, m);
+    if (!adev.is_ok()) break;
+    curve.push_back({m, adev.value()});
+  }
+  return curve;
+}
+
+std::vector<double> fractional_deviation(std::span<const double> periods,
+                                         double nominal) {
+  ROCLK_REQUIRE(nominal > 0.0, "nominal period must be positive");
+  std::vector<double> out;
+  out.reserve(periods.size());
+  for (double t : periods) out.push_back((t - nominal) / nominal);
+  return out;
+}
+
+}  // namespace roclk::analysis

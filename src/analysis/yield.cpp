@@ -1,0 +1,103 @@
+#include "roclk/analysis/yield.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roclk/common/rng.hpp"
+#include "roclk/common/stats.hpp"
+#include "roclk/variation/sources.hpp"
+
+namespace roclk::analysis {
+
+namespace {
+
+/// Slowest-path delay (stages) of one fabricated chip.
+double sample_worst_path(const YieldConfig& config, std::uint64_t chip_seed) {
+  Xoshiro256 rng{chip_seed};
+  const double d2d = rng.normal(0.0, config.d2d_sigma);
+  variation::WithinDieProcess wid{config.wid_sigma, hash64(chip_seed ^ 0x11)};
+  const auto floorplan = chip::Floorplan::random_paths(
+      config.paths, config.nominal_depth, hash64(chip_seed ^ 0x22));
+
+  double worst = 0.0;
+  for (const auto& path : floorplan.paths()) {
+    const double rnd = rng.normal(0.0, config.rnd_sigma);
+    const double v = d2d + wid.at(0.0, path.location) + rnd;
+    worst = std::max(worst, path.depth_stages * (1.0 + v));
+  }
+  return worst;
+}
+
+}  // namespace
+
+YieldCurve yield_curve(std::span<const double> margins,
+                       const YieldConfig& config) {
+  ROCLK_REQUIRE(config.chips > 0, "need at least one chip");
+  ROCLK_REQUIRE(config.paths > 0, "need at least one path");
+  ROCLK_REQUIRE(!margins.empty(), "empty margin sweep");
+
+  std::vector<double> worst_paths(config.chips);
+  RunningStats worst_stats;
+  RunningStats adaptive_period_stats;
+  std::size_t adaptive_ok = 0;
+
+  for (std::size_t i = 0; i < config.chips; ++i) {
+    const std::uint64_t chip_seed =
+        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+    const double worst = sample_worst_path(config, chip_seed);
+    worst_paths[i] = worst;
+    worst_stats.add(worst);
+    // The adaptive clock serves this chip if the RO can stretch at least
+    // to the slowest path (and the chip's period *is* that path + loop
+    // ripple, here idealised away: static variation only).
+    if (worst <= static_cast<double>(config.ro_max_length)) {
+      ++adaptive_ok;
+      adaptive_period_stats.add(std::max(worst, config.setpoint_c));
+    }
+  }
+
+  YieldCurve curve;
+  curve.mean_worst_path = worst_stats.mean();
+  curve.mean_adaptive_period = adaptive_period_stats.mean();
+  curve.p99_worst_path = percentile(worst_paths, 0.99);
+
+  const double adaptive_yield =
+      static_cast<double>(adaptive_ok) / static_cast<double>(config.chips);
+  for (double margin : margins) {
+    YieldPoint point;
+    point.margin_stages = margin;
+    std::size_t fixed_ok = 0;
+    for (double worst : worst_paths) {
+      if (worst <= config.setpoint_c + margin) ++fixed_ok;
+    }
+    point.fixed_yield =
+        static_cast<double>(fixed_ok) / static_cast<double>(config.chips);
+    point.adaptive_yield = adaptive_yield;  // margin-independent
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+MarginComparison compare_margins(double target_yield,
+                                 const YieldConfig& config) {
+  ROCLK_REQUIRE(target_yield > 0.0 && target_yield <= 1.0,
+                "target yield must be in (0, 1]");
+  std::vector<double> worst_paths(config.chips);
+  RunningStats adaptive_extra;
+  for (std::size_t i = 0; i < config.chips; ++i) {
+    const std::uint64_t chip_seed =
+        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+    worst_paths[i] = sample_worst_path(config, chip_seed);
+    adaptive_extra.add(
+        std::max(0.0, worst_paths[i] - config.setpoint_c));
+  }
+  MarginComparison cmp;
+  cmp.fixed_margin_needed = std::max(
+      0.0, percentile(worst_paths, target_yield) - config.setpoint_c);
+  cmp.adaptive_mean_extra_period = adaptive_extra.mean();
+  cmp.margin_saved =
+      cmp.fixed_margin_needed - cmp.adaptive_mean_extra_period;
+  return cmp;
+}
+
+}  // namespace roclk::analysis

@@ -1,0 +1,94 @@
+#include "roclk/cdn/cdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roclk::cdn {
+
+FixedSampleCdn::FixedSampleCdn(std::size_t delay_samples)
+    : delay_{delay_samples} {
+  reset(0.0);
+}
+
+double FixedSampleCdn::push(double generated_period) {
+  pipeline_.push_back(generated_period);
+  const double delivered = pipeline_.front();
+  pipeline_.pop_front();
+  return delivered;
+}
+
+void FixedSampleCdn::reset(double initial_period) {
+  pipeline_.assign(delay_ + 1, initial_period);
+  // Keep exactly `delay_` queued entries between push/pop: with delay 0 the
+  // pushed value is returned immediately.
+  pipeline_.pop_back();
+}
+
+QuantizedTimeCdn::QuantizedTimeCdn(double delay_stages, std::size_t history,
+                                   DelayQuantization quantization)
+    : delay_stages_{delay_stages},
+      history_{history},
+      quantization_{quantization} {
+  ROCLK_REQUIRE(delay_stages >= 0.0, "CDN delay cannot be negative");
+  ROCLK_REQUIRE(history >= 2, "history too small");
+  ring_.assign(history_, 0.0);
+  reset(0.0);
+}
+
+double QuantizedTimeCdn::look_back(std::size_t m) const {
+  if (m >= history_) return initial_period_;
+  if (m > count_ - 1) {
+    // Looking back before the simulation started: the clock ran at the
+    // initial period.
+    return initial_period_;
+  }
+  // Most recent entry sits just behind the write cursor.
+  const std::size_t newest = (next_ + history_ - 1) % history_;
+  const std::size_t idx = (newest + history_ - m) % history_;
+  return ring_[idx];
+}
+
+double QuantizedTimeCdn::push(double generated_period) {
+  ROCLK_REQUIRE(generated_period > 0.0, "period must be positive");
+  ring_[next_] = generated_period;
+  next_ = (next_ + 1) % history_;
+  count_ = std::min(count_ + 1, history_);
+
+  // Real-valued sample delay D[n] = t_clk / T_clk[n], bounded by the
+  // history we actually keep.
+  const double d = std::min(delay_stages_ / generated_period,
+                            static_cast<double>(history_ - 2));
+  last_m_ = static_cast<std::size_t>(std::llround(d));
+
+  switch (quantization_) {
+    case DelayQuantization::kRound:
+      return look_back(static_cast<std::size_t>(std::llround(d)));
+    case DelayQuantization::kFloor:
+      return look_back(static_cast<std::size_t>(std::floor(d)));
+    case DelayQuantization::kLinearInterp: {
+      const auto m0 = static_cast<std::size_t>(std::floor(d));
+      const double frac = d - std::floor(d);
+      const double v0 = look_back(m0);
+      if (frac == 0.0) return v0;
+      const double v1 = look_back(m0 + 1);
+      return v0 * (1.0 - frac) + v1 * frac;
+    }
+  }
+  ROCLK_REQUIRE(false, "unknown quantization mode");
+  return generated_period;
+}
+
+void QuantizedTimeCdn::reset(double initial_period) {
+  std::fill(ring_.begin(), ring_.end(), initial_period);
+  next_ = 0;
+  count_ = 0;
+  last_m_ = 0;
+  initial_period_ = initial_period;
+}
+
+EdgeDelayCdn::EdgeDelayCdn(double delay_stages)
+    : delay_stages_{delay_stages} {
+  ROCLK_REQUIRE(delay_stages >= 0.0, "CDN delay cannot be negative");
+}
+
+}  // namespace roclk::cdn

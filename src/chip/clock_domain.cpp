@@ -1,0 +1,66 @@
+#include "roclk/chip/clock_domain.hpp"
+
+#include <cmath>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::chip {
+
+ClockDomainGeometry::ClockDomainGeometry(ClockDomainConfig config)
+    : config_{config} {
+  ROCLK_REQUIRE(config_.size_mm > 0.0, "domain size must be positive");
+  ROCLK_REQUIRE(config_.max_unbuffered_mm > 0.0,
+                "unbuffered segment length must be positive");
+  ROCLK_REQUIRE(config_.wire_delay_stages_per_mm >= 0.0,
+                "wire delay cannot be negative");
+}
+
+std::size_t ClockDomainGeometry::tree_levels() const {
+  // An H-tree halves the covered side length per level; stop when a
+  // segment is short enough to leave unbuffered.
+  std::size_t levels = 0;
+  double span = config_.size_mm;
+  while (span > config_.max_unbuffered_mm) {
+    span /= 2.0;
+    ++levels;
+  }
+  return levels;
+}
+
+double ClockDomainGeometry::cdn_delay_stages() const {
+  // Source-to-leaf path: half the side per level (Manhattan), each level
+  // rebuffered.  Wire delay accumulates along the total routed length.
+  double delay = 0.0;
+  double span = config_.size_mm;
+  for (std::size_t level = 0; level < tree_levels(); ++level) {
+    span /= 2.0;
+    delay += config_.buffer_delay_stages +
+             span * config_.wire_delay_stages_per_mm;
+  }
+  // Final unbuffered stub.
+  delay += span * config_.wire_delay_stages_per_mm;
+  return delay;
+}
+
+double ClockDomainGeometry::max_domain_size_mm(
+    double perturbation_period_stages, const ClockDomainConfig& config) {
+  ROCLK_REQUIRE(perturbation_period_stages > 0.0,
+                "perturbation period must be positive");
+  const double budget = perturbation_period_stages / 6.0;  // t_clk < T/6
+  // Binary search the monotonic size -> delay map.
+  double lo = 1e-3;
+  double hi = 64.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    ClockDomainConfig c = config;
+    c.size_mm = mid;
+    if (ClockDomainGeometry{c}.cdn_delay_stages() <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace roclk::chip

@@ -1,0 +1,157 @@
+#include "roclk/common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk {
+
+AsciiPlot::AsciiPlot(PlotOptions options) : options_{options} {
+  ROCLK_REQUIRE(options_.width >= 10 && options_.height >= 4,
+                "plot area too small");
+}
+
+AsciiPlot& AsciiPlot::add_series(PlotSeries series) {
+  ROCLK_REQUIRE(series.x.size() == series.y.size(),
+                "series x/y length mismatch");
+  series_.push_back(std::move(series));
+  return *this;
+}
+
+AsciiPlot& AsciiPlot::add_series(std::string name, std::span<const double> x,
+                                 std::span<const double> y, char glyph) {
+  PlotSeries s;
+  s.name = std::move(name);
+  s.x.assign(x.begin(), x.end());
+  s.y.assign(y.begin(), y.end());
+  s.glyph = glyph;
+  return add_series(std::move(s));
+}
+
+std::string AsciiPlot::render() const {
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -y_lo;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (options_.log_x && s.x[i] <= 0.0) continue;
+      x_lo = std::min(x_lo, s.x[i]);
+      x_hi = std::max(x_hi, s.x[i]);
+      y_lo = std::min(y_lo, s.y[i]);
+      y_hi = std::max(y_hi, s.y[i]);
+    }
+  }
+  if (!(x_lo < x_hi)) {
+    x_hi = x_lo + 1.0;
+  }
+  if (options_.y_lo < options_.y_hi) {
+    y_lo = options_.y_lo;
+    y_hi = options_.y_hi;
+  } else if (!(y_lo < y_hi)) {
+    y_hi = y_lo + 1.0;
+  }
+  // Pad the y range slightly so extreme points stay inside the frame.
+  const double y_pad = 0.03 * (y_hi - y_lo);
+  y_lo -= y_pad;
+  y_hi += y_pad;
+
+  const int w = options_.width;
+  const int h = options_.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  auto x_to_col = [&](double x) -> int {
+    double t = 0.0;
+    if (options_.log_x) {
+      if (x <= 0.0) return -1;
+      t = (std::log10(x) - std::log10(x_lo)) /
+          (std::log10(x_hi) - std::log10(x_lo));
+    } else {
+      t = (x - x_lo) / (x_hi - x_lo);
+    }
+    const int col = static_cast<int>(std::lround(t * (w - 1)));
+    return (col < 0 || col >= w) ? -1 : col;
+  };
+  auto y_to_row = [&](double y) -> int {
+    const double t = (y - y_lo) / (y_hi - y_lo);
+    const int row = static_cast<int>(std::lround((1.0 - t) * (h - 1)));
+    return (row < 0 || row >= h) ? -1 : row;
+  };
+
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = x_to_col(s.x[i]);
+      const int row = y_to_row(s.y[i]);
+      if (col < 0 || row < 0) continue;
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options_.title.empty()) os << options_.title << '\n';
+  if (!options_.y_label.empty()) os << "y: " << options_.y_label << '\n';
+
+  auto label = [](double v) {
+    std::ostringstream ls;
+    ls << std::setw(10) << std::setprecision(4) << std::defaultfloat << v;
+    return ls.str();
+  };
+
+  for (int r = 0; r < h; ++r) {
+    // y-axis tick label on first, middle and last rows.
+    std::string tick(10, ' ');
+    if (r == 0) tick = label(y_hi);
+    if (r == h / 2) tick = label((y_lo + y_hi) / 2.0);
+    if (r == h - 1) tick = label(y_lo);
+    os << tick << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(10, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  os << std::string(10, ' ') << "  " << label(x_lo)
+     << std::setw(std::max(4, w - 20)) << ' ' << label(x_hi) << '\n';
+  if (!options_.x_label.empty()) {
+    os << std::string(12, ' ') << "x: " << options_.x_label
+       << (options_.log_x ? "  (log scale)" : "") << '\n';
+  }
+  os << "legend:";
+  for (const auto& s : series_) os << "  '" << s.glyph << "' " << s.name;
+  os << '\n';
+  return os.str();
+}
+
+std::string sparkline(std::span<const double> ys, int width) {
+  if (ys.empty() || width <= 0) return {};
+  static constexpr const char* kLevels[] = {"▁", "▂", "▃",
+                                            "▄", "▅", "▆",
+                                            "▇", "█"};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  if (!(lo < hi)) hi = lo + 1.0;
+
+  std::string out;
+  const std::size_t n = ys.size();
+  const auto cols = static_cast<std::size_t>(width);
+  for (std::size_t cidx = 0; cidx < std::min(cols, n); ++cidx) {
+    // Average the bucket of samples mapped onto this column.
+    const std::size_t begin = cidx * n / std::min(cols, n);
+    const std::size_t end = std::max(begin + 1, (cidx + 1) * n / std::min(cols, n));
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end && i < n; ++i) acc += ys[i];
+    const double v = acc / static_cast<double>(end - begin);
+    auto level = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+    level = std::clamp(level, 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace roclk

@@ -1,0 +1,24 @@
+#include "roclk/common/fixed_point.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace roclk {
+
+Result<PowerOfTwoGain> PowerOfTwoGain::from_value(double v) {
+  if (v == 0.0 || !std::isfinite(v)) {
+    return Status::invalid_argument("power-of-two gain must be finite, non-zero");
+  }
+  const bool negative = v < 0.0;
+  const double mag = std::fabs(v);
+  const double exponent = std::log2(mag);
+  const double rounded = std::round(exponent);
+  if (std::fabs(exponent - rounded) > 1e-12) {
+    std::ostringstream os;
+    os << "gain " << v << " is not a power of two";
+    return Status::invalid_argument(os.str());
+  }
+  return PowerOfTwoGain{static_cast<int>(rounded), negative};
+}
+
+}  // namespace roclk

@@ -1,0 +1,225 @@
+#include "roclk/common/flags.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace roclk {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_{std::move(program_description)} {}
+
+FlagParser& FlagParser::add_string(const std::string& name,
+                                   std::string default_value,
+                                   std::string help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.default_text = default_value;
+  flag.string_value = std::move(default_value);
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::add_double(const std::string& name,
+                                   double default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  std::ostringstream os;
+  os << default_value;
+  flag.default_text = os.str();
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::add_int(const std::string& name,
+                                std::int64_t default_value,
+                                std::string help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  flag.default_text = std::to_string(default_value);
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::add_bool(const std::string& name, bool default_value,
+                                 std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  flag.default_text = default_value ? "true" : "false";
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+Status FlagParser::set_value(Flag& flag, const std::string& name,
+                             const std::string& text) {
+  switch (flag.type) {
+    case Type::kString:
+      flag.string_value = text;
+      return Status::ok();
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::invalid_argument("--" + name + ": '" + text +
+                                        "' is not a number");
+      }
+      flag.double_value = v;
+      return Status::ok();
+    }
+    case Type::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::invalid_argument("--" + name + ": '" + text +
+                                        "' is not an integer");
+      }
+      flag.int_value = v;
+      return Status::ok();
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1" || text == "yes") {
+        flag.bool_value = true;
+        return Status::ok();
+      }
+      if (text == "false" || text == "0" || text == "no") {
+        flag.bool_value = false;
+        return Status::ok();
+      }
+      return Status::invalid_argument("--" + name + ": '" + text +
+                                      "' is not a boolean");
+    }
+  }
+  return Status::internal("unknown flag type");
+}
+
+Status FlagParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+Status FlagParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (name == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::not_found("unknown flag --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        // Bare boolean flag sets true.
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= args.size()) {
+        return Status::invalid_argument("--" + name + " expects a value");
+      }
+      value = args[++i];
+    }
+    if (Status s = set_value(flag, name, value); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Status FlagParser::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::not_found("cannot open config file: " + path);
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::invalid_argument(path + ":" + std::to_string(line_no) +
+                                      ": expected 'name = value'");
+    }
+    const std::string name = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::not_found(path + ":" + std::to_string(line_no) +
+                               ": unknown option '" + name + "'");
+    }
+    if (Status s = set_value(it->second, name, value); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+std::string FlagParser::help_text() const {
+  std::ostringstream os;
+  os << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  (default: " << flag.default_text << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+const FlagParser::Flag& FlagParser::require(const std::string& name,
+                                            Type type) const {
+  const auto it = flags_.find(name);
+  ROCLK_REQUIRE(it != flags_.end(), "flag not registered: " + name);
+  ROCLK_REQUIRE(it->second.type == type, "flag type mismatch: " + name);
+  return it->second;
+}
+
+std::string FlagParser::get_string(const std::string& name) const {
+  return require(name, Type::kString).string_value;
+}
+
+double FlagParser::get_double(const std::string& name) const {
+  return require(name, Type::kDouble).double_value;
+}
+
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  return require(name, Type::kInt).int_value;
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  return require(name, Type::kBool).bool_value;
+}
+
+}  // namespace roclk

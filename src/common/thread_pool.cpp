@@ -1,0 +1,87 @@
+#include "roclk/common/thread_pool.hpp"
+
+#include <atomic>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ROCLK_REQUIRE(task != nullptr, "null task submitted");
+  {
+    std::lock_guard lock(mutex_);
+    ROCLK_REQUIRE(!stop_, "submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk the index space so tiny tasks do not thrash the queue.
+  const std::size_t chunks = std::min(n, pool.size() * 4);
+  std::atomic<std::size_t> next{0};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool.submit([&fn, &next, n] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for_index(std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool;
+  parallel_for_index(pool, n, fn);
+}
+
+}  // namespace roclk

@@ -1,0 +1,56 @@
+#include "roclk/control/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roclk::control {
+
+Result<CalibrationResult> calibrate_setpoint(const SetpointProbe& probe,
+                                             const CalibrationConfig& config) {
+  if (!probe) return Status::invalid_argument("null probe");
+  if (config.min_setpoint <= 0.0 ||
+      config.max_setpoint <= config.min_setpoint) {
+    return Status::invalid_argument("invalid set-point bracket");
+  }
+  if (config.probe_cycles == 0) {
+    return Status::invalid_argument("probe needs at least one cycle");
+  }
+  if (config.resolution <= 0.0) {
+    return Status::invalid_argument("resolution must be positive");
+  }
+
+  CalibrationResult result;
+  auto errors_at = [&](double c) {
+    ++result.probes;
+    result.total_cycles += config.settle_cycles + config.probe_cycles;
+    return probe(c, config.settle_cycles, config.probe_cycles);
+  };
+
+  // The search needs a safe upper end to shrink from.
+  double hi = config.max_setpoint;
+  if (errors_at(hi) > 0) {
+    return Status::out_of_range(
+        "even the maximum set-point shows timing errors");
+  }
+  double lo = config.min_setpoint;
+  if (errors_at(lo) == 0) {
+    // Already safe at the bottom of the bracket.
+    result.minimum_safe = lo;
+    result.setpoint = lo + config.guard_band;
+    return result;
+  }
+
+  while (hi - lo > config.resolution) {
+    const double mid = 0.5 * (lo + hi);
+    if (errors_at(mid) == 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.minimum_safe = hi;
+  result.setpoint = hi + config.guard_band;
+  return result;
+}
+
+}  // namespace roclk::control

@@ -1,0 +1,48 @@
+#include "roclk/control/control_block.hpp"
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::control {
+
+ProportionalControl::ProportionalControl(double kp) : kp_{kp} {
+  ROCLK_REQUIRE(kp > 0.0, "proportional gain must be positive");
+}
+
+double ProportionalControl::step(double delta) {
+  const double out = bias_ + kp_ * prev_delta_;
+  prev_delta_ = delta;
+  return out;
+}
+
+void ProportionalControl::reset(double initial_output) {
+  bias_ = initial_output;
+  prev_delta_ = 0.0;
+}
+
+std::unique_ptr<ControlBlock> ProportionalControl::clone() const {
+  return std::make_unique<ProportionalControl>(*this);
+}
+
+PiControl::PiControl(double kp, double ki) : kp_{kp}, ki_{ki} {
+  ROCLK_REQUIRE(kp >= 0.0, "proportional gain cannot be negative");
+  ROCLK_REQUIRE(ki > 0.0, "integral gain must be positive");
+}
+
+double PiControl::step(double delta) {
+  integral_ += prev_delta_;
+  const double out = bias_ + kp_ * prev_delta_ + ki_ * integral_;
+  prev_delta_ = delta;
+  return out;
+}
+
+void PiControl::reset(double initial_output) {
+  bias_ = initial_output;
+  integral_ = 0.0;
+  prev_delta_ = 0.0;
+}
+
+std::unique_ptr<ControlBlock> PiControl::clone() const {
+  return std::make_unique<PiControl>(*this);
+}
+
+}  // namespace roclk::control

@@ -1,0 +1,142 @@
+#include "roclk/control/iir_control.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace roclk::control {
+
+IirConfig paper_iir_config() { return IirConfig{}; }
+
+Status validate_iir_config(const IirConfig& config) {
+  if (config.taps.empty()) {
+    return Status::invalid_argument("IIR needs at least one tap");
+  }
+  for (double k : config.taps) {
+    if (auto gain = PowerOfTwoGain::from_value(k); !gain.is_ok()) {
+      std::ostringstream os;
+      os << "tap " << k << ": " << gain.status().message();
+      return Status::invalid_argument(os.str());
+    }
+  }
+  if (auto gain = PowerOfTwoGain::from_value(config.k_exp); !gain.is_ok()) {
+    return Status::invalid_argument("k_exp must be a power of two");
+  }
+  if (config.k_exp < 1.0) {
+    return Status::invalid_argument("k_exp must be >= 1");
+  }
+  if (auto gain = PowerOfTwoGain::from_value(config.k_star); !gain.is_ok()) {
+    return Status::invalid_argument("k* must be a power of two");
+  }
+  const double tap_sum =
+      std::accumulate(config.taps.begin(), config.taps.end(), 0.0);
+  if (tap_sum <= 0.0) {
+    return Status::invalid_argument("tap sum must be positive");
+  }
+  // eq. 10: k* = 1 / sum(k_i).
+  if (std::fabs(config.k_star * tap_sum - 1.0) > 1e-12) {
+    std::ostringstream os;
+    os << "eq. 10 violated: k* = " << config.k_star << " but 1/sum(k) = "
+       << 1.0 / tap_sum;
+    return Status::invalid_argument(os.str());
+  }
+  return Status::ok();
+}
+
+IirPolynomials iir_polynomials(const IirConfig& config) {
+  // N(z) = z^-1 ; D(z) = 1/k* - sum_i k_i z^-i.
+  std::vector<double> d(config.taps.size() + 1, 0.0);
+  d[0] = 1.0 / config.k_star;
+  for (std::size_t i = 0; i < config.taps.size(); ++i) {
+    d[i + 1] = -config.taps[i];
+  }
+  return {signal::Polynomial::delay(1), signal::Polynomial{std::move(d)}};
+}
+
+signal::TransferFunction iir_transfer_function(const IirConfig& config) {
+  auto [num, den] = iir_polynomials(config);
+  return {std::move(num), std::move(den)};
+}
+
+// ------------------------------------------------- IirControlReference
+
+IirControlReference::IirControlReference(IirConfig config)
+    : config_{std::move(config)} {
+  const Status status = validate_iir_config(config_);
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  outputs_.assign(config_.taps.size(), 0.0);
+}
+
+double IirControlReference::step(double delta) {
+  // y[n] = k* ( x[n-1] + sum_i k_i y[n-i] )
+  double feedback = 0.0;
+  for (std::size_t i = 0; i < config_.taps.size(); ++i) {
+    feedback += config_.taps[i] * outputs_[i];
+  }
+  const double y = config_.k_star * (prev_input_ + feedback);
+  // Shift output history: outputs_[0] = y[n-1] for the next call.
+  for (std::size_t i = outputs_.size(); i-- > 1;) {
+    outputs_[i] = outputs_[i - 1];
+  }
+  outputs_[0] = y;
+  prev_input_ = delta;
+  return y;
+}
+
+void IirControlReference::reset(double initial_output) {
+  outputs_.assign(config_.taps.size(), initial_output);
+  prev_input_ = 0.0;
+}
+
+std::unique_ptr<ControlBlock> IirControlReference::clone() const {
+  return std::make_unique<IirControlReference>(*this);
+}
+
+// -------------------------------------------------- IirControlHardware
+
+IirControlHardware::IirControlHardware(IirConfig config)
+    : config_{std::move(config)} {
+  const Status status = validate_iir_config(config_);
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  k_exp_gain_ = PowerOfTwoGain::from_value(config_.k_exp).value();
+  k_star_gain_ = PowerOfTwoGain::from_value(config_.k_star).value();
+  tap_gains_.reserve(config_.taps.size());
+  for (double k : config_.taps) {
+    tap_gains_.push_back(PowerOfTwoGain::from_value(k).value());
+  }
+  state_.assign(config_.taps.size(), 0);
+}
+
+double IirControlHardware::step(double delta) {
+  // Datapath of Fig. 5 on integers scaled by k_exp:
+  //   A    = k_exp * x[n-1] + sum_i k_i W[n-i]   (adder)
+  //   W[n] = k* * A                              (shift, then z^-1)
+  //   y[n] = W[n] / k_exp                        (shift)
+  std::int64_t feedback = 0;
+  for (std::size_t i = 0; i < tap_gains_.size(); ++i) {
+    feedback += tap_gains_[i].apply(state_[i]);
+  }
+  const std::int64_t a = k_exp_gain_.apply(prev_input_) + feedback;
+  const std::int64_t w = k_star_gain_.apply(a);
+  for (std::size_t i = state_.size(); i-- > 1;) {
+    state_[i] = state_[i - 1];
+  }
+  state_[0] = w;
+  prev_input_ = static_cast<std::int64_t>(std::llround(delta));
+  // Output divider: arithmetic right shift by log2(k_exp).
+  const std::int64_t y = shift_signed(w, -k_exp_gain_.exponent());
+  return static_cast<double>(y);
+}
+
+void IirControlHardware::reset(double initial_output) {
+  const auto w0 = static_cast<std::int64_t>(
+      std::llround(initial_output * config_.k_exp));
+  state_.assign(config_.taps.size(), w0);
+  prev_input_ = 0;
+}
+
+std::unique_ptr<ControlBlock> IirControlHardware::clone() const {
+  return std::make_unique<IirControlHardware>(*this);
+}
+
+}  // namespace roclk::control

@@ -1,0 +1,32 @@
+#include "roclk/control/teatime.hpp"
+
+#include "roclk/common/math.hpp"
+#include "roclk/common/status.hpp"
+
+namespace roclk::control {
+
+TeaTimeControl::TeaTimeControl(TeaTimeConfig config) : config_{config} {
+  ROCLK_REQUIRE(config.step_stages > 0.0, "TEAtime step must be positive");
+}
+
+double TeaTimeControl::step(double delta) {
+  const double driving = config_.delayed_sign ? prev_delta_ : delta;
+  int direction = signum(driving);
+  if (direction == 0 && config_.zero_policy == SignZeroPolicy::kDither) {
+    direction = 1;
+  }
+  accumulator_ += config_.step_stages * direction;
+  prev_delta_ = delta;
+  return accumulator_;
+}
+
+void TeaTimeControl::reset(double initial_output) {
+  accumulator_ = initial_output;
+  prev_delta_ = 0.0;
+}
+
+std::unique_ptr<ControlBlock> TeaTimeControl::clone() const {
+  return std::make_unique<TeaTimeControl>(*this);
+}
+
+}  // namespace roclk::control

@@ -1,0 +1,109 @@
+#include "roclk/core/edge_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace roclk::core {
+
+EdgeSimInputs EdgeSimInputs::homogeneous(
+    std::shared_ptr<const signal::Waveform> waveform) {
+  ROCLK_REQUIRE(waveform != nullptr, "null waveform");
+  EdgeSimInputs inputs;
+  inputs.v_ro = [waveform](double t) { return waveform->at(t); };
+  inputs.v_tdc = [waveform](double t) { return waveform->at(t); };
+  return inputs;
+}
+
+EdgeSimulator::EdgeSimulator(EdgeSimConfig config,
+                             std::unique_ptr<control::ControlBlock> controller)
+    : config_{config}, controller_{std::move(controller)} {
+  ROCLK_REQUIRE(config_.setpoint_c > 0.0, "set-point must be positive");
+  ROCLK_REQUIRE(config_.cdn_delay_stages >= 0.0, "negative CDN delay");
+  ROCLK_REQUIRE(
+      config_.mode != GeneratorMode::kControlledRo || controller_ != nullptr,
+      "controlled mode requires a controller");
+  ROCLK_REQUIRE(config_.tdc_relative_mismatch > -1.0,
+                "mismatch must keep stage delay positive");
+}
+
+SimulationTrace EdgeSimulator::run(const EdgeSimInputs& inputs,
+                                   std::size_t n_delivered) {
+  const double c = config_.setpoint_c;
+  const double t_clk = config_.cdn_delay_stages;
+  const double equilibrium = config_.mode == GeneratorMode::kControlledRo
+                                 ? c
+                                 : config_.open_loop_period.value_or(c);
+  if (controller_) controller_->reset(equilibrium);
+
+  double lro = equilibrium;  // length currently in force at the RO
+  double g = 0.0;            // time of the last generation edge
+  // Delivered-edge times not yet consumed by the measurement process.  The
+  // clock ran at the equilibrium period before t = 0, so the edge
+  // preceding the first simulated one was delivered one period earlier.
+  std::deque<double> delivered;
+  delivered.push_back(t_clk - equilibrium);
+  delivered.push_back(t_clk);
+
+  // Generated periods paired with each delivered period (for the trace).
+  std::deque<double> generated_periods;
+  generated_periods.push_back(equilibrium);  // the seeded pre-t=0 period
+
+  SimulationTrace trace;
+  trace.reserve(n_delivered);
+
+  const double mismatch_scale = 1.0 + config_.tdc_relative_mismatch;
+
+  while (trace.size() < n_delivered) {
+    // Process every delivered period that completed before the next
+    // generation instant: its measurement can influence lro from then on.
+    while (delivered.size() >= 2 && delivered[1] <= g &&
+           trace.size() < n_delivered) {
+      const double d_prev = delivered[0];
+      const double d_now = delivered[1];
+      delivered.pop_front();
+      const double period_dlv = d_now - d_prev;
+      const double v = inputs.v_tdc(d_now);
+      const double stage_scale = (1.0 + v) * mismatch_scale;
+      ROCLK_REQUIRE(stage_scale > 0.0, "variation drove stage delay negative");
+      const double tau = std::round(period_dlv / stage_scale);
+
+      StepRecord record;
+      record.tau = tau;
+      record.delta = c - tau;
+      record.violation = tau < c;
+      record.t_dlv = period_dlv;
+      record.t_gen = generated_periods.front();
+      generated_periods.pop_front();
+
+      if (config_.mode == GeneratorMode::kControlledRo) {
+        const double commanded = controller_->step(record.delta);
+        lro = std::clamp(std::round(commanded),
+                         static_cast<double>(config_.min_length),
+                         static_cast<double>(config_.max_length));
+      }
+      record.lro = lro;
+      trace.push(record);
+    }
+    if (trace.size() >= n_delivered) break;
+
+    // Generate the next period.
+    double period = 0.0;
+    switch (config_.mode) {
+      case GeneratorMode::kControlledRo:
+      case GeneratorMode::kFreeRunningRo:
+        period = lro * (1.0 + inputs.v_ro(g));
+        break;
+      case GeneratorMode::kFixedClock:
+        period = config_.open_loop_period.value_or(c);
+        break;
+    }
+    ROCLK_REQUIRE(period > 0.0, "non-positive generated period");
+    g += period;
+    delivered.push_back(g + t_clk);
+    generated_periods.push_back(period);
+  }
+  return trace;
+}
+
+}  // namespace roclk::core

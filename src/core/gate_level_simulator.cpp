@@ -1,0 +1,111 @@
+#include "roclk/core/gate_level_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace roclk::core {
+
+Status GateLevelSimulator::validate(const GateLevelConfig& config) {
+  if (config.setpoint_c <= 0.0) {
+    return Status::invalid_argument("set-point must be positive");
+  }
+  if (config.cdn_delay_stages < 0.0) {
+    return Status::invalid_argument("CDN delay cannot be negative");
+  }
+  if (config.tdcs.empty()) {
+    return Status::invalid_argument("need at least one TDC");
+  }
+  if (Status s = osc::StageChain::validate(config.ro_chain); !s.is_ok()) {
+    return s;
+  }
+  if (config.ro_max_length < config.ro_min_length) {
+    return Status::invalid_argument("empty RO tap range");
+  }
+  return Status::ok();
+}
+
+GateLevelSimulator::GateLevelSimulator(
+    GateLevelConfig config, std::unique_ptr<control::ControlBlock> controller)
+    : config_{std::move(config)},
+      controller_{std::move(controller)},
+      ro_{config_.ro_chain, config_.ro_min_length, config_.ro_max_length},
+      cdn_{config_.cdn_delay_stages,
+           /*history=*/static_cast<std::size_t>(std::max(
+               64.0, 8.0 * config_.cdn_delay_stages /
+                         static_cast<double>(config_.ro_min_length))) +
+               2,
+           config_.cdn_quantization},
+      jitter_{config_.jitter} {
+  const Status status = validate(config_);
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_REQUIRE(controller_ != nullptr,
+                "gate-level simulator requires a controller");
+  tdcs_.reserve(config_.tdcs.size());
+  for (const auto& cfg : config_.tdcs) tdcs_.emplace_back(cfg);
+  reset();
+}
+
+void GateLevelSimulator::reset() {
+  const double c = config_.setpoint_c;
+  controller_->reset(c);
+  // Nearest odd realisable equilibrium length.
+  prev_lro_ = ro_.set_length(static_cast<std::int64_t>(std::llround(c)));
+  cdn_.reset(c);
+  jitter_.reset();
+  prev_t_dlv_ = c;
+  time_ = 0.0;
+}
+
+StepRecord GateLevelSimulator::step(
+    const variation::VariationSource& source) {
+  const double c = config_.setpoint_c;
+  StepRecord record;
+
+  // TDCs measure last cycle's delivered period, each through its own chain
+  // at its own location; the controller sees the worst (minimum) reading.
+  double worst = std::numeric_limits<double>::infinity();
+  for (auto& tdc : tdcs_) {
+    worst = std::min(
+        worst,
+        static_cast<double>(tdc.measure(prev_t_dlv_, source, time_)));
+  }
+  record.tau = worst;
+  record.delta = c - record.tau;
+  record.violation = record.tau < c;
+
+  // Controller commands a new length; the tap mux realises the nearest odd
+  // value in range.  Effective for the *next* generated period.
+  const std::int64_t commanded = static_cast<std::int64_t>(
+      std::llround(controller_->step(record.delta)));
+  const std::int64_t lro_now = ro_.set_length(commanded);
+  record.lro = static_cast<double>(lro_now);
+
+  // RO generates this cycle's period with LAST cycle's length (the z^-1):
+  // temporarily evaluate the chain with the previous tap.
+  const std::int64_t realised = ro_.length();
+  ro_.set_length(prev_lro_);
+  double period = ro_.period_stages(source, time_) + jitter_.sample();
+  ro_.set_length(realised);
+  period = std::max(1.0, period);
+  record.t_gen = period;
+
+  record.t_dlv = cdn_.push(record.t_gen);
+
+  prev_lro_ = lro_now;
+  prev_t_dlv_ = record.t_dlv;
+  time_ += c;
+  return record;
+}
+
+SimulationTrace GateLevelSimulator::run(
+    const variation::VariationSource& source, std::size_t cycles) {
+  SimulationTrace trace;
+  trace.reserve(cycles);
+  for (std::size_t n = 0; n < cycles; ++n) {
+    trace.push(step(source));
+  }
+  return trace;
+}
+
+}  // namespace roclk::core

@@ -1,0 +1,63 @@
+#include "roclk/core/inputs.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::core {
+
+SimulationInputs SimulationInputs::none() { return SimulationInputs{}; }
+
+SimulationInputs SimulationInputs::homogeneous(
+    std::shared_ptr<const signal::Waveform> waveform,
+    double static_mu_stages) {
+  ROCLK_REQUIRE(waveform != nullptr, "null waveform");
+  SimulationInputs inputs;
+  inputs.e_ro = [waveform](double t) { return waveform->at(t); };
+  inputs.e_tdc = [waveform](double t) { return waveform->at(t); };
+  inputs.mu = [static_mu_stages](double) { return static_mu_stages; };
+  return inputs;
+}
+
+SimulationInputs SimulationInputs::harmonic(double amplitude_stages,
+                                            double period_stages,
+                                            double static_mu_stages,
+                                            double phase) {
+  auto wave = std::make_shared<signal::SineWaveform>(amplitude_stages,
+                                                     period_stages, phase);
+  return homogeneous(std::move(wave), static_mu_stages);
+}
+
+SimulationInputs SimulationInputs::from_variation_source(
+    std::shared_ptr<const variation::VariationSource> source,
+    double setpoint_c, variation::DiePoint ro_location, std::size_t tdc_grid) {
+  ROCLK_REQUIRE(source != nullptr, "null variation source");
+  ROCLK_REQUIRE(tdc_grid >= 1, "need at least one TDC");
+
+  std::vector<variation::DiePoint> sites;
+  sites.reserve(tdc_grid * tdc_grid);
+  for (std::size_t ix = 0; ix < tdc_grid; ++ix) {
+    for (std::size_t iy = 0; iy < tdc_grid; ++iy) {
+      sites.push_back(
+          {(static_cast<double>(ix) + 0.5) / static_cast<double>(tdc_grid),
+           (static_cast<double>(iy) + 0.5) / static_cast<double>(tdc_grid)});
+    }
+  }
+
+  SimulationInputs inputs;
+  inputs.e_ro = [source, setpoint_c, ro_location](double t) {
+    return setpoint_c * source->at(t, ro_location);
+  };
+  // The loop reacts to the *worst* sensor; the slowest site (largest v)
+  // produces the smallest tau, so e_tdc tracks the maximum variation.
+  inputs.e_tdc = [source, setpoint_c, sites](double t) {
+    double worst = -1e300;
+    for (const auto& p : sites) worst = std::max(worst, source->at(t, p));
+    return setpoint_c * worst;
+  };
+  inputs.mu = [](double) { return 0.0; };
+  return inputs;
+}
+
+}  // namespace roclk::core

@@ -1,0 +1,193 @@
+#include "roclk/core/loop_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/teatime.hpp"
+
+namespace roclk::core {
+
+Status LoopSimulator::validate(const LoopConfig& config, bool has_controller) {
+  if (config.setpoint_c <= 0.0) {
+    return Status::invalid_argument("set-point must be positive");
+  }
+  if (config.cdn_delay_stages < 0.0) {
+    return Status::invalid_argument("CDN delay cannot be negative");
+  }
+  if (config.min_length < 1 || config.max_length < config.min_length) {
+    return Status::invalid_argument("invalid RO length range");
+  }
+  if (config.mode == GeneratorMode::kControlledRo && !has_controller) {
+    return Status::invalid_argument("controlled mode requires a controller");
+  }
+  if (config.open_loop_period && *config.open_loop_period <= 0.0) {
+    return Status::invalid_argument("open-loop period must be positive");
+  }
+  if (config.sample_period && *config.sample_period <= 0.0) {
+    return Status::invalid_argument("sample period must be positive");
+  }
+  return Status::ok();
+}
+
+namespace {
+
+osc::RingOscillatorConfig make_ro_config(const LoopConfig& config) {
+  osc::RingOscillatorConfig ro;
+  ro.min_length = config.min_length;
+  ro.max_length = config.max_length;
+  const double initial = config.open_loop_period.value_or(config.setpoint_c);
+  ro.initial_length = static_cast<std::int64_t>(std::llround(initial));
+  ro.initial_length =
+      std::clamp(ro.initial_length, ro.min_length, ro.max_length);
+  return ro;
+}
+
+sensor::TdcConfig make_tdc_config(const LoopConfig& config) {
+  sensor::TdcConfig tdc;
+  tdc.quantization = config.tdc_quantization;
+  tdc.max_reading = 1 << 20;  // dynamic mu is injected per step instead
+  return tdc;
+}
+
+}  // namespace
+
+LoopSimulator::LoopSimulator(LoopConfig config,
+                             std::unique_ptr<control::ControlBlock> controller)
+    : config_{config},
+      controller_{std::move(controller)},
+      ro_{make_ro_config(config_)},
+      cdn_{config_.cdn_delay_stages,
+           /*history=*/static_cast<std::size_t>(
+               std::max(64.0, 8.0 * config_.cdn_delay_stages /
+                                  static_cast<double>(config_.min_length))) +
+               2,
+           config_.cdn_quantization},
+      tdc_{make_tdc_config(config_)} {
+  const Status status = validate(config_, controller_ != nullptr);
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  reset();
+}
+
+void LoopSimulator::set_setpoint(double setpoint_c) {
+  ROCLK_REQUIRE(setpoint_c > 0.0, "set-point must be positive");
+  config_.setpoint_c = setpoint_c;
+}
+
+void LoopSimulator::reset() {
+  const double equilibrium =
+      config_.mode == GeneratorMode::kControlledRo
+          ? config_.setpoint_c
+          : config_.open_loop_period.value_or(config_.setpoint_c);
+  if (controller_) controller_->reset(equilibrium);
+  ro_.set_length(static_cast<std::int64_t>(std::llround(equilibrium)));
+  cdn_.reset(equilibrium);
+  prev_lro_ = equilibrium;
+  prev_t_dlv_ = equilibrium;
+  prev_e_ro_ = 0.0;
+  prev_e_tdc_ = 0.0;
+  prev_mu_ = 0.0;
+}
+
+StepRecord LoopSimulator::step(double e_ro, double e_tdc, double mu) {
+  StepRecord record;
+
+  // TDC (one-cycle latency): measure the period delivered last cycle under
+  // last cycle's local conditions.
+  // tau = quantise(T_dlv - e_tdc + mu): fold mu into the additive reading.
+  record.tau = tdc_.measure_additive(prev_t_dlv_, prev_e_tdc_ - prev_mu_);
+  record.delta = config_.setpoint_c - record.tau;
+  record.violation = record.tau < config_.setpoint_c;
+
+  // Controller / generator.
+  double lro_now = prev_lro_;
+  switch (config_.mode) {
+    case GeneratorMode::kControlledRo: {
+      const double commanded = controller_->step(record.delta);
+      if (config_.quantize_lro) {
+        lro_now = static_cast<double>(
+            ro_.set_length(static_cast<std::int64_t>(std::llround(commanded))));
+      } else {
+        lro_now = std::clamp(commanded,
+                             static_cast<double>(config_.min_length),
+                             static_cast<double>(config_.max_length));
+      }
+      break;
+    }
+    case GeneratorMode::kFreeRunningRo:
+    case GeneratorMode::kFixedClock:
+      lro_now = config_.open_loop_period.value_or(config_.setpoint_c);
+      break;
+  }
+  record.lro = lro_now;
+
+  // RO (one-cycle latency on both the length and the local variation, per
+  // eq. 5's e(z) z^-1 path).  A fixed clock ignores on-die variation.
+  const double e_at_ro =
+      config_.mode == GeneratorMode::kFixedClock ? 0.0 : prev_e_ro_;
+  record.t_gen = std::max(1.0, prev_lro_ + e_at_ro);
+
+  // CDN.
+  record.t_dlv = cdn_.push(record.t_gen);
+
+  // Advance the delay registers.
+  prev_lro_ = lro_now;
+  prev_t_dlv_ = record.t_dlv;
+  prev_e_ro_ = e_ro;
+  prev_e_tdc_ = e_tdc;
+  prev_mu_ = mu;
+  return record;
+}
+
+SimulationTrace LoopSimulator::run(const SimulationInputs& inputs,
+                                   std::size_t n) {
+  const double dt = config_.sample_period.value_or(config_.setpoint_c);
+  SimulationTrace trace;
+  trace.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    trace.push(step(inputs.e_ro(t), inputs.e_tdc(t), inputs.mu(t)));
+  }
+  return trace;
+}
+
+LoopSimulator make_iir_system(double setpoint_c, double cdn_delay_stages) {
+  LoopConfig config;
+  config.setpoint_c = setpoint_c;
+  config.cdn_delay_stages = cdn_delay_stages;
+  config.mode = GeneratorMode::kControlledRo;
+  return LoopSimulator{config, std::make_unique<control::IirControlHardware>(
+                                   control::paper_iir_config())};
+}
+
+LoopSimulator make_teatime_system(double setpoint_c, double cdn_delay_stages) {
+  LoopConfig config;
+  config.setpoint_c = setpoint_c;
+  config.cdn_delay_stages = cdn_delay_stages;
+  config.mode = GeneratorMode::kControlledRo;
+  return LoopSimulator{config,
+                       std::make_unique<control::TeaTimeControl>()};
+}
+
+LoopSimulator make_free_ro_system(double setpoint_c, double cdn_delay_stages,
+                                  double safety_margin_stages) {
+  LoopConfig config;
+  config.setpoint_c = setpoint_c;
+  config.cdn_delay_stages = cdn_delay_stages;
+  config.mode = GeneratorMode::kFreeRunningRo;
+  config.open_loop_period = setpoint_c + safety_margin_stages;
+  return LoopSimulator{config, nullptr};
+}
+
+LoopSimulator make_fixed_clock_system(double setpoint_c,
+                                      double cdn_delay_stages,
+                                      double safety_margin_stages) {
+  LoopConfig config;
+  config.setpoint_c = setpoint_c;
+  config.cdn_delay_stages = cdn_delay_stages;
+  config.mode = GeneratorMode::kFixedClock;
+  config.open_loop_period = setpoint_c + safety_margin_stages;
+  return LoopSimulator{config, nullptr};
+}
+
+}  // namespace roclk::core

@@ -1,0 +1,78 @@
+#include "roclk/core/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "roclk/common/stats.hpp"
+
+namespace roclk::core {
+
+void SimulationTrace::reserve(std::size_t n) {
+  tau_.reserve(n);
+  delta_.reserve(n);
+  lro_.reserve(n);
+  t_gen_.reserve(n);
+  t_dlv_.reserve(n);
+  violation_.reserve(n);
+}
+
+void SimulationTrace::push(const StepRecord& record) {
+  tau_.push_back(record.tau);
+  delta_.push_back(record.delta);
+  lro_.push_back(record.lro);
+  t_gen_.push_back(record.t_gen);
+  t_dlv_.push_back(record.t_dlv);
+  violation_.push_back(record.violation ? 1 : 0);
+}
+
+std::vector<double> SimulationTrace::timing_error(double setpoint) const {
+  std::vector<double> out;
+  out.reserve(tau_.size());
+  for (double t : tau_) out.push_back(t - setpoint);
+  return out;
+}
+
+std::size_t SimulationTrace::violation_count(std::size_t skip) const {
+  std::size_t count = 0;
+  for (std::size_t i = skip; i < violation_.size(); ++i) {
+    count += violation_[i];
+  }
+  return count;
+}
+
+double SimulationTrace::required_safety_margin(double setpoint,
+                                               std::size_t skip) const {
+  double worst = 0.0;
+  for (std::size_t i = skip; i < tau_.size(); ++i) {
+    worst = std::max(worst, setpoint - tau_[i]);
+  }
+  return worst;
+}
+
+double SimulationTrace::mean_delivered_period(std::size_t skip) const {
+  if (skip >= t_dlv_.size()) return 0.0;
+  RunningStats stats;
+  for (std::size_t i = skip; i < t_dlv_.size(); ++i) stats.add(t_dlv_[i]);
+  return stats.mean();
+}
+
+double SimulationTrace::tau_ripple(std::size_t skip) const {
+  if (skip >= tau_.size()) return 0.0;
+  RunningStats stats;
+  for (std::size_t i = skip; i < tau_.size(); ++i) stats.add(tau_[i]);
+  return stats.range();
+}
+
+bool SimulationTrace::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "n,tau,delta,lro,t_gen,t_dlv,violation\n";
+  for (std::size_t i = 0; i < size(); ++i) {
+    out << i << ',' << tau_[i] << ',' << delta_[i] << ',' << lro_[i] << ','
+        << t_gen_[i] << ',' << t_dlv_[i] << ','
+        << static_cast<int>(violation_[i]) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace roclk::core

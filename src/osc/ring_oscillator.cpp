@@ -1,0 +1,47 @@
+#include "roclk/osc/ring_oscillator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace roclk::osc {
+
+Status RingOscillator::validate(const RingOscillatorConfig& config) {
+  if (config.min_length < 1) {
+    return Status::invalid_argument("min_length must be >= 1");
+  }
+  if (config.max_length < config.min_length) {
+    return Status::invalid_argument("max_length must be >= min_length");
+  }
+  if (config.initial_length < config.min_length ||
+      config.initial_length > config.max_length) {
+    std::ostringstream os;
+    os << "initial_length " << config.initial_length << " outside ["
+       << config.min_length << ", " << config.max_length << "]";
+    return Status::invalid_argument(os.str());
+  }
+  if (config.stage_delay_seconds <= 0.0) {
+    return Status::invalid_argument("stage delay must be positive");
+  }
+  return Status::ok();
+}
+
+RingOscillator::RingOscillator(RingOscillatorConfig config)
+    : config_{config}, length_{config.initial_length} {
+  const Status status = validate(config_);
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+}
+
+std::int64_t RingOscillator::set_length(std::int64_t requested) {
+  const std::int64_t clamped =
+      std::clamp(requested, config_.min_length, config_.max_length);
+  saturated_ = clamped != requested;
+  length_ = clamped;
+  return length_;
+}
+
+FixedClockSource::FixedClockSource(double period_stages)
+    : period_stages_{period_stages} {
+  ROCLK_REQUIRE(period_stages > 0.0, "fixed period must be positive");
+}
+
+}  // namespace roclk::osc

@@ -1,0 +1,102 @@
+#include "roclk/osc/stage_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roclk/common/math.hpp"
+
+namespace roclk::osc {
+
+Status StageChain::validate(const StageChainConfig& config) {
+  if (config.stages < 3) {
+    return Status::invalid_argument("chain needs at least 3 stages");
+  }
+  if (config.nominal_stage_delay <= 0.0) {
+    return Status::invalid_argument("stage delay must be positive");
+  }
+  return Status::ok();
+}
+
+StageChain::StageChain(StageChainConfig config) : config_{config} {
+  const Status status = validate(config_);
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  positions_.reserve(config_.stages);
+  const double n = static_cast<double>(config_.stages - 1);
+  for (std::size_t i = 0; i < config_.stages; ++i) {
+    const double t = n > 0.0 ? static_cast<double>(i) / n : 0.0;
+    positions_.push_back({lerp(config_.start.x, config_.end.x, t),
+                          lerp(config_.start.y, config_.end.y, t)});
+  }
+}
+
+variation::DiePoint StageChain::position(std::size_t i) const {
+  ROCLK_REQUIRE(i < positions_.size(), "stage index out of range");
+  return positions_[i];
+}
+
+double StageChain::stage_delay(std::size_t i,
+                               const variation::VariationSource& source,
+                               double t) const {
+  ROCLK_REQUIRE(i < positions_.size(), "stage index out of range");
+  const double v = source.at(t, positions_[i]);
+  const double d = config_.nominal_stage_delay * (1.0 + v);
+  ROCLK_REQUIRE(d > 0.0, "variation drove a stage delay non-positive");
+  return d;
+}
+
+double StageChain::chain_delay(std::size_t count,
+                               const variation::VariationSource& source,
+                               double t) const {
+  ROCLK_REQUIRE(count <= positions_.size(), "count exceeds chain length");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc += stage_delay(i, source, t);
+  }
+  return acc;
+}
+
+std::size_t StageChain::stages_crossed(
+    double window, const variation::VariationSource& source, double t) const {
+  ROCLK_REQUIRE(window >= 0.0, "window cannot be negative");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    acc += stage_delay(i, source, t);
+    if (acc > window) return i;  // stage i not fully crossed
+  }
+  return positions_.size();
+}
+
+std::int64_t nearest_odd(std::int64_t value) {
+  if (value % 2 != 0) return value;
+  // Even: round up (the safer direction — a longer ring is slower).
+  return value + 1;
+}
+
+TappedRingOscillator::TappedRingOscillator(StageChainConfig chain,
+                                           std::int64_t min_length,
+                                           std::int64_t max_length)
+    : chain_{chain},
+      min_length_{nearest_odd(std::max<std::int64_t>(3, min_length))},
+      max_length_{max_length % 2 == 0 ? max_length - 1 : max_length},
+      length_{min_length_} {
+  ROCLK_REQUIRE(max_length_ >= min_length_, "empty tap range");
+  ROCLK_REQUIRE(static_cast<std::size_t>(max_length_) <= chain_.size(),
+                "tap range exceeds physical chain");
+  // Start mid-range.
+  length_ = nearest_odd(min_length_ + (max_length_ - min_length_) / 2);
+  length_ = std::clamp(length_, min_length_, max_length_);
+}
+
+std::int64_t TappedRingOscillator::set_length(std::int64_t requested) {
+  std::int64_t odd = nearest_odd(requested);
+  odd = std::clamp(odd, min_length_, max_length_);
+  length_ = odd;
+  return length_;
+}
+
+double TappedRingOscillator::period_stages(
+    const variation::VariationSource& source, double t) const {
+  return chain_.chain_delay(static_cast<std::size_t>(length_), source, t);
+}
+
+}  // namespace roclk::osc

@@ -1,0 +1,116 @@
+#include "roclk/power/voltage_model.hpp"
+
+#include <cmath>
+
+namespace roclk::power {
+
+Status validate(const ProcessParams& params) {
+  if (params.vdd_nominal <= params.vth) {
+    return Status::invalid_argument("nominal vdd must exceed vth");
+  }
+  if (params.vth <= 0.0) {
+    return Status::invalid_argument("vth must be positive");
+  }
+  if (params.alpha < 1.0 || params.alpha > 2.0) {
+    return Status::invalid_argument("alpha outside the physical 1..2 range");
+  }
+  if (params.vdd_max < params.vdd_nominal) {
+    return Status::invalid_argument("vdd_max below nominal");
+  }
+  if (params.leakage_share < 0.0 || params.leakage_share >= 1.0) {
+    return Status::invalid_argument("leakage share must be in [0, 1)");
+  }
+  return Status::ok();
+}
+
+double delay_factor(double vdd, const ProcessParams& params) {
+  const Status status = validate(params);
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_REQUIRE(vdd > params.vth, "vdd must exceed vth for switching");
+  const double num = vdd / std::pow(vdd - params.vth, params.alpha);
+  const double den = params.vdd_nominal /
+                     std::pow(params.vdd_nominal - params.vth, params.alpha);
+  return num / den;
+}
+
+Result<double> vdd_for_delay_factor(double target,
+                                    const ProcessParams& params) {
+  const Status status = validate(params);
+  if (!status.is_ok()) return status;
+  if (target <= 0.0) {
+    return Status::invalid_argument("target delay factor must be positive");
+  }
+  // delay_factor is monotone decreasing in vdd; bracket and bisect.
+  double lo = params.vth * 1.0001;
+  double hi = params.vdd_max;
+  if (delay_factor(hi, params) > target) {
+    return Status::out_of_range(
+        "required overdrive exceeds the vdd_max reliability ceiling");
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (delay_factor(mid, params) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double energy_per_op_factor(double vdd_factor, double period_factor,
+                            const ProcessParams& params) {
+  ROCLK_REQUIRE(vdd_factor > 0.0 && period_factor > 0.0,
+                "factors must be positive");
+  const double dynamic = (1.0 - params.leakage_share) * vdd_factor *
+                         vdd_factor;
+  const double leakage = params.leakage_share * vdd_factor * vdd_factor *
+                         vdd_factor * period_factor;
+  return dynamic + leakage;
+}
+
+OperatingPoint period_margin_strategy(double delay_uncertainty,
+                                      const ProcessParams& params) {
+  ROCLK_REQUIRE(delay_uncertainty >= 0.0, "uncertainty cannot be negative");
+  OperatingPoint op;
+  op.name = "fixed clock, period margin";
+  op.vdd_factor = 1.0;
+  op.period_factor = 1.0 + delay_uncertainty;
+  op.throughput_factor = 1.0 / op.period_factor;
+  op.energy_factor =
+      energy_per_op_factor(op.vdd_factor, op.period_factor, params);
+  return op;
+}
+
+Result<OperatingPoint> voltage_margin_strategy(double delay_uncertainty,
+                                               const ProcessParams& params) {
+  ROCLK_REQUIRE(delay_uncertainty >= 0.0, "uncertainty cannot be negative");
+  // Worst-case gates are (1+u) slower at nominal V; overdrive until the
+  // alpha-power speed-up cancels it.
+  auto vdd = vdd_for_delay_factor(1.0 / (1.0 + delay_uncertainty), params);
+  if (!vdd.is_ok()) return vdd.status();
+  OperatingPoint op;
+  op.name = "fixed clock, voltage margin";
+  op.vdd_factor = vdd.value() / params.vdd_nominal;
+  op.period_factor = 1.0;
+  op.throughput_factor = 1.0;
+  op.energy_factor =
+      energy_per_op_factor(op.vdd_factor, op.period_factor, params);
+  return op;
+}
+
+OperatingPoint adaptive_clock_strategy(double mean_extra_period_fraction,
+                                       const ProcessParams& params) {
+  ROCLK_REQUIRE(mean_extra_period_fraction >= 0.0,
+                "extra period cannot be negative");
+  OperatingPoint op;
+  op.name = "adaptive clock (this paper)";
+  op.vdd_factor = 1.0;
+  op.period_factor = 1.0 + mean_extra_period_fraction;
+  op.throughput_factor = 1.0 / op.period_factor;
+  op.energy_factor =
+      energy_per_op_factor(op.vdd_factor, op.period_factor, params);
+  return op;
+}
+
+}  // namespace roclk::power

@@ -1,0 +1,102 @@
+#include "roclk/signal/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roclk::signal {
+
+LinearFilter::LinearFilter(std::vector<double> b, std::vector<double> a)
+    : b_{std::move(b)}, a_{std::move(a)} {
+  ROCLK_REQUIRE(!a_.empty() && a_[0] != 0.0,
+                "denominator leading coefficient must be non-zero");
+  if (b_.empty()) b_ = {0.0};
+  const double a0 = a_[0];
+  for (double& c : b_) c /= a0;
+  for (double& c : a_) c /= a0;
+  state_.assign(std::max(a_.size(), b_.size()), 0.0);
+}
+
+LinearFilter::LinearFilter(const TransferFunction& tf)
+    : LinearFilter(tf.numerator().coefficients(),
+                   tf.denominator().coefficients()) {}
+
+double LinearFilter::step(double x) {
+  // Direct form II transposed:
+  //   y = b0 x + s0
+  //   s_i = b_{i+1} x - a_{i+1} y + s_{i+1}
+  const double y = b_[0] * x + state_[0];
+  const std::size_t n = state_.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double bi = (i + 1) < b_.size() ? b_[i + 1] : 0.0;
+    const double ai = (i + 1) < a_.size() ? a_[i + 1] : 0.0;
+    state_[i] = bi * x - ai * y + state_[i + 1];
+  }
+  if (n >= 1) {
+    const double bi = n < b_.size() ? b_[n] : 0.0;
+    const double ai = n < a_.size() ? a_[n] : 0.0;
+    state_[n - 1] = bi * x - ai * y;
+  }
+  return y;
+}
+
+std::vector<double> LinearFilter::process(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(step(x));
+  return out;
+}
+
+void LinearFilter::reset() {
+  std::fill(state_.begin(), state_.end(), 0.0);
+}
+
+ExponentialSmoother::ExponentialSmoother(double alpha) : alpha_{alpha} {
+  ROCLK_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+double ExponentialSmoother::step(double x) {
+  if (!primed_) {
+    y_ = x;
+    primed_ = true;
+  } else {
+    y_ += alpha_ * (x - y_);
+  }
+  return y_;
+}
+
+void ExponentialSmoother::reset(double initial) {
+  y_ = initial;
+  primed_ = false;
+}
+
+SlidingMinimum::SlidingMinimum(std::size_t window) : window_{window} {
+  ROCLK_REQUIRE(window > 0, "window must be positive");
+}
+
+double SlidingMinimum::step(double x) {
+  // Drop entries that can never be the minimum again.
+  while (deque_.size() > head_ && deque_.back().value >= x) {
+    deque_.pop_back();
+  }
+  deque_.push_back({next_index_, x});
+  ++next_index_;
+  // Expire entries that slid out of the window.
+  while (deque_[head_].index + window_ <= next_index_ - 1) {
+    ++head_;
+  }
+  // Compact occasionally so memory stays bounded.
+  if (head_ > 64 && head_ * 2 > deque_.size()) {
+    deque_.erase(deque_.begin(),
+                 deque_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return deque_[head_].value;
+}
+
+void SlidingMinimum::reset() {
+  deque_.clear();
+  head_ = 0;
+  next_index_ = 0;
+}
+
+}  // namespace roclk::signal

@@ -1,0 +1,118 @@
+#include "roclk/signal/jury.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace roclk::signal {
+
+Result<JuryResult> jury_test(std::span<const double> coefficients_high_first) {
+  // Strip leading zeros.
+  std::size_t first = 0;
+  while (first < coefficients_high_first.size() &&
+         coefficients_high_first[first] == 0.0) {
+    ++first;
+  }
+  const std::size_t len = coefficients_high_first.size() - first;
+  if (len == 0) return Status::invalid_argument("empty polynomial");
+
+  std::vector<double> a(coefficients_high_first.begin() +
+                            static_cast<std::ptrdiff_t>(first),
+                        coefficients_high_first.end());
+  const std::size_t n = a.size() - 1;  // degree
+  JuryResult result;
+  result.table.push_back(a);
+
+  if (n == 0) {
+    result.stable = true;  // constant: no roots
+    return result;
+  }
+
+  // Normalize so a[0] > 0 (multiplying by -1 keeps the roots).
+  if (a[0] < 0.0) {
+    for (double& c : a) c = -c;
+  }
+
+  // Necessary conditions.
+  double p1 = 0.0;  // P(1)
+  for (double c : a) p1 += c;
+  if (!(p1 > 0.0)) {
+    result.failed_condition = "P(1) > 0 violated (root at or beyond z = 1)";
+    return result;
+  }
+  double pm1 = 0.0;  // (-1)^n P(-1)
+  for (std::size_t i = 0; i <= n; ++i) {
+    pm1 += a[i] * ((n - i) % 2 == 0 ? 1.0 : -1.0);
+  }
+  if (n % 2 == 1) pm1 = -pm1;
+  if (!(pm1 > 0.0)) {
+    result.failed_condition = "(-1)^n P(-1) > 0 violated";
+    return result;
+  }
+  if (!(std::fabs(a[n]) < a[0])) {
+    result.failed_condition = "|a_n| < a_0 violated";
+    return result;
+  }
+
+  // Jury table reduction in the normalized Schur-Cohn form: each step
+  // computes the reflection coefficient kappa = b_m / b_0 and requires
+  // |kappa| < 1.  Equivalent to the classic product-form table but far
+  // better conditioned near the stability boundary (no coefficient
+  // blow-up across rows).
+  std::vector<double> row = a;
+  while (row.size() > 1) {
+    const std::size_t m = row.size() - 1;
+    const double kappa = row[m] / row[0];
+    if (!(std::fabs(kappa) < 1.0)) {
+      std::ostringstream os;
+      os << "Jury row " << result.table.size()
+         << ": |b_m| < |b_0| violated (kappa = " << kappa << ")";
+      result.failed_condition = os.str();
+      return result;
+    }
+    std::vector<double> next(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      next[k] = row[k] - kappa * row[m - k];
+    }
+    result.table.push_back(next);
+    row = std::move(next);
+  }
+
+  result.stable = true;
+  return result;
+}
+
+Result<JuryResult> jury_test_without_unit_root(
+    std::span<const double> coefficients_high_first, double tol) {
+  // Verify P(1) ~ 0, then synthetic-divide by (z - 1).
+  std::size_t first = 0;
+  while (first < coefficients_high_first.size() &&
+         coefficients_high_first[first] == 0.0) {
+    ++first;
+  }
+  std::vector<double> a(coefficients_high_first.begin() +
+                            static_cast<std::ptrdiff_t>(first),
+                        coefficients_high_first.end());
+  if (a.size() < 2) {
+    return Status::invalid_argument("polynomial has no root to divide out");
+  }
+  double p1 = 0.0;
+  double scale = 0.0;
+  for (double c : a) {
+    p1 += c;
+    scale = std::max(scale, std::fabs(c));
+  }
+  if (std::fabs(p1) > tol * std::max(1.0, scale)) {
+    return Status::failed_precondition(
+        "polynomial does not have a root at z = 1");
+  }
+  // Synthetic division by (z - 1): q[k] = q[k-1] + a[k], q[-1] = 0.
+  std::vector<double> q(a.size() - 1);
+  double carry = 0.0;
+  for (std::size_t k = 0; k + 1 < a.size(); ++k) {
+    carry += a[k];
+    q[k] = carry;
+  }
+  return jury_test(q);
+}
+
+}  // namespace roclk::signal

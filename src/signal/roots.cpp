@@ -1,0 +1,107 @@
+#include "roclk/signal/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roclk/common/math.hpp"
+
+namespace roclk::signal {
+
+namespace {
+
+/// Horner evaluation of p and p' at x (coefficients highest power first).
+void evaluate_with_derivative(std::span<const std::complex<double>> c,
+                              std::complex<double> x,
+                              std::complex<double>& p,
+                              std::complex<double>& dp) {
+  p = c[0];
+  dp = {0.0, 0.0};
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    dp = dp * x + p;
+    p = p * x + c[i];
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::complex<double>>> find_roots(
+    std::span<const double> coefficients_high_first, RootFindOptions options) {
+  // Strip leading (highest power) zeros.
+  std::size_t first = 0;
+  while (first < coefficients_high_first.size() &&
+         coefficients_high_first[first] == 0.0) {
+    ++first;
+  }
+  if (coefficients_high_first.size() - first < 1) {
+    return Status::invalid_argument("empty polynomial");
+  }
+  const std::size_t n = coefficients_high_first.size() - first - 1;  // degree
+  if (n == 0) return std::vector<std::complex<double>>{};
+
+  std::vector<std::complex<double>> coeffs(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    coeffs[i] = coefficients_high_first[first + i];
+  }
+
+  // Initial guesses on a circle whose radius follows the Cauchy bound,
+  // slightly perturbed in angle to break symmetry.
+  double max_ratio = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    max_ratio = std::max(max_ratio, std::abs(coeffs[i] / coeffs[0]));
+  }
+  const double radius = 1.0 + max_ratio;
+  std::vector<std::complex<double>> roots(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle =
+        kTwoPi * (static_cast<double>(i) + 0.353) / static_cast<double>(n);
+    roots[i] = std::polar(radius * 0.7, angle);
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::complex<double> p;
+      std::complex<double> dp;
+      evaluate_with_derivative(coeffs, roots[i], p, dp);
+      if (std::abs(p) < options.tolerance) continue;
+      // Aberth correction: Newton step divided by (1 - newton * sum_j).
+      const std::complex<double> newton =
+          dp == std::complex<double>{0.0, 0.0} ? std::complex<double>{1e-3, 1e-3}
+                                               : p / dp;
+      std::complex<double> repulsion{0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const auto diff = roots[i] - roots[j];
+        if (std::abs(diff) < 1e-300) continue;
+        repulsion += 1.0 / diff;
+      }
+      const std::complex<double> denom = 1.0 - newton * repulsion;
+      const std::complex<double> step =
+          std::abs(denom) < 1e-300 ? newton : newton / denom;
+      roots[i] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < options.tolerance) {
+      return roots;
+    }
+  }
+
+  // Accept if residuals are small even when step criterion was not met.
+  double worst = 0.0;
+  for (const auto& r : roots) {
+    std::complex<double> p;
+    std::complex<double> dp;
+    evaluate_with_derivative(coeffs, r, p, dp);
+    worst = std::max(worst, std::abs(p));
+  }
+  if (worst < 1e-6 * std::abs(coeffs[0])) return roots;
+  return Status::internal("Aberth iteration did not converge");
+}
+
+double spectral_radius(std::span<const std::complex<double>> roots) {
+  double r = 0.0;
+  for (const auto& root : roots) r = std::max(r, std::abs(root));
+  return r;
+}
+
+}  // namespace roclk::signal

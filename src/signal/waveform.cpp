@@ -1,0 +1,115 @@
+#include "roclk/signal/waveform.hpp"
+
+#include <cmath>
+
+#include "roclk/common/math.hpp"
+
+namespace roclk::signal {
+
+std::vector<double> Waveform::sample(std::size_t n, double step,
+                                     double offset) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.push_back(at(offset + static_cast<double>(k) * step));
+  }
+  return out;
+}
+
+SineWaveform::SineWaveform(double amplitude, double period, double phase)
+    : amplitude_{amplitude}, period_{period}, phase_{phase} {
+  ROCLK_REQUIRE(period > 0.0, "sine period must be positive");
+}
+
+double SineWaveform::at(double t) const {
+  return amplitude_ * std::sin(kTwoPi * t / period_ + phase_);
+}
+
+TrianglePulseWaveform::TrianglePulseWaveform(double amplitude, double start,
+                                             double duration)
+    : amplitude_{amplitude}, start_{start}, duration_{duration} {
+  ROCLK_REQUIRE(duration > 0.0, "pulse duration must be positive");
+}
+
+double TrianglePulseWaveform::at(double t) const {
+  const double x = (t - start_) / duration_;
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  return amplitude_ * (x < 0.5 ? 2.0 * x : 2.0 * (1.0 - x));
+}
+
+StepWaveform::StepWaveform(double amplitude, double start)
+    : amplitude_{amplitude}, start_{start} {}
+
+double StepWaveform::at(double t) const {
+  return t >= start_ ? amplitude_ : 0.0;
+}
+
+RampWaveform::RampWaveform(double slope, double start, double saturation)
+    : slope_{slope}, start_{start}, saturation_{saturation} {}
+
+double RampWaveform::at(double t) const {
+  if (t <= start_) return 0.0;
+  const double v = slope_ * (t - start_);
+  if (slope_ >= 0.0) return std::min(v, saturation_);
+  return std::max(v, saturation_);
+}
+
+SquareWaveform::SquareWaveform(double amplitude, double period, double phase)
+    : amplitude_{amplitude}, period_{period}, phase_{phase} {
+  ROCLK_REQUIRE(period > 0.0, "square period must be positive");
+}
+
+double SquareWaveform::at(double t) const {
+  const double cycle = positive_fmod(t / period_ + phase_, 1.0);
+  return cycle < 0.5 ? amplitude_ : -amplitude_;
+}
+
+HoldNoiseWaveform::HoldNoiseWaveform(double stddev, double hold,
+                                     std::uint64_t seed)
+    : stddev_{stddev}, hold_{hold}, seed_{seed} {
+  ROCLK_REQUIRE(hold > 0.0, "hold interval must be positive");
+}
+
+double HoldNoiseWaveform::at(double t) const {
+  // Stateless: hash the hold-slot index so evaluation order is irrelevant
+  // (the edge simulator samples at non-monotonic instants during replay).
+  const auto slot = static_cast<std::int64_t>(std::floor(t / hold_));
+  std::uint64_t s =
+      hash64(static_cast<std::uint64_t>(slot) * 0x9E3779B97F4A7C15ULL ^ seed_);
+  Xoshiro256 rng{s};
+  return rng.normal(0.0, stddev_);
+}
+
+CompositeWaveform::CompositeWaveform(const CompositeWaveform& other) {
+  parts_.reserve(other.parts_.size());
+  for (const auto& p : other.parts_) {
+    parts_.push_back({p.waveform->clone(), p.scale});
+  }
+}
+
+CompositeWaveform& CompositeWaveform::operator=(
+    const CompositeWaveform& other) {
+  if (this == &other) return *this;
+  CompositeWaveform copy{other};
+  parts_ = std::move(copy.parts_);
+  return *this;
+}
+
+CompositeWaveform& CompositeWaveform::add(std::unique_ptr<Waveform> w,
+                                          double scale) {
+  ROCLK_REQUIRE(w != nullptr, "null waveform");
+  parts_.push_back({std::move(w), scale});
+  return *this;
+}
+
+double CompositeWaveform::at(double t) const {
+  double acc = 0.0;
+  for (const auto& p : parts_) acc += p.scale * p.waveform->at(t);
+  return acc;
+}
+
+std::unique_ptr<Waveform> CompositeWaveform::clone() const {
+  return std::make_unique<CompositeWaveform>(*this);
+}
+
+}  // namespace roclk::signal

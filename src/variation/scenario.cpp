@@ -1,0 +1,42 @@
+#include "roclk/variation/scenario.hpp"
+
+#include "roclk/common/rng.hpp"
+
+namespace roclk::variation {
+
+std::unique_ptr<VariationSource> make_harmonic_hodv(
+    double fractional_amplitude, double period_stages, double phase) {
+  return std::make_unique<VrmRipple>(fractional_amplitude, period_stages,
+                                     phase);
+}
+
+std::unique_ptr<VariationSource> make_single_event_hodv(
+    double fractional_amplitude, double start_stages,
+    double duration_stages) {
+  return std::make_unique<OffChipVoltageDrop>(fractional_amplitude,
+                                              start_stages, duration_stages);
+}
+
+std::unique_ptr<VariationSource> make_soc_environment(
+    const SocEnvironmentConfig& config) {
+  auto composite = std::make_unique<CompositeVariation>();
+  composite->add(
+      std::make_unique<DieToDieProcess>(config.d2d_sigma, config.seed));
+  composite->add(std::make_unique<WithinDieProcess>(
+      config.wid_sigma, hash64(config.seed ^ 0x1ULL)));
+  composite->add(std::make_unique<RandomDeviceProcess>(
+      config.rnd_sigma, hash64(config.seed ^ 0x2ULL)));
+  composite->add(std::make_unique<VrmRipple>(config.vrm_amplitude,
+                                             config.vrm_period));
+  composite->add(std::make_unique<SimultaneousSwitchingNoise>(
+      config.ssn_sigma, config.ssn_hold, hash64(config.seed ^ 0x3ULL)));
+  composite->add(std::make_unique<TemperatureHotspot>(
+      config.hotspot_peak, DiePoint{0.7, 0.3}, 0.2, config.hotspot_onset,
+      config.hotspot_tau));
+  composite->add(std::make_unique<Aging>(config.aging_saturation,
+                                         config.aging_tau,
+                                         hash64(config.seed ^ 0x4ULL)));
+  return composite;
+}
+
+}  // namespace roclk::variation

@@ -1,0 +1,73 @@
+#include "roclk/variation/spatial_map.hpp"
+
+#include <cmath>
+
+#include "roclk/common/math.hpp"
+#include "roclk/common/rng.hpp"
+#include "roclk/common/status.hpp"
+
+namespace roclk::variation {
+
+SpatialMap::SpatialMap(std::uint64_t seed, double stddev, int cells,
+                       int octaves)
+    : seed_{seed}, stddev_{stddev}, cells_{cells}, octaves_{octaves} {
+  ROCLK_REQUIRE(cells >= 1, "need at least one lattice cell");
+  ROCLK_REQUIRE(octaves >= 1, "need at least one octave");
+}
+
+double SpatialMap::lattice_value(int octave, int ix, int iy) const {
+  // Stateless: mix the seed, octave and lattice coordinates, then map the
+  // hash to an approximately standard-normal value via a 4-fold sum of
+  // uniforms (Irwin-Hall, variance 4/12 each -> scaled).
+  std::uint64_t h = seed_;
+  h = hash64(h ^ (static_cast<std::uint64_t>(octave) * 0x9E3779B97F4A7C15ULL));
+  h = hash64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix)) |
+                  (static_cast<std::uint64_t>(static_cast<std::uint32_t>(iy))
+                   << 32)));
+  Xoshiro256 rng{h};
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) acc += rng.uniform() - 0.5;
+  // Sum of 4 centred uniforms has variance 4/12 = 1/3; scale to unit.
+  return acc * std::sqrt(3.0);
+}
+
+double SpatialMap::octave_value(int octave, DiePoint p) const {
+  const int cells = cells_ << octave;
+  const double fx = p.x * cells;
+  const double fy = p.y * cells;
+  const int ix = static_cast<int>(std::floor(fx));
+  const int iy = static_cast<int>(std::floor(fy));
+  const double tx = smoothstep(fx - ix);
+  const double ty = smoothstep(fy - iy);
+  const double v00 = lattice_value(octave, ix, iy);
+  const double v10 = lattice_value(octave, ix + 1, iy);
+  const double v01 = lattice_value(octave, ix, iy + 1);
+  const double v11 = lattice_value(octave, ix + 1, iy + 1);
+  return lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty);
+}
+
+double SpatialMap::at(DiePoint p) const {
+  double acc = 0.0;
+  double amp = 1.0;
+  double norm = 0.0;
+  for (int o = 0; o < octaves_; ++o) {
+    acc += amp * octave_value(o, p);
+    norm += amp * amp;
+    amp *= 0.5;
+  }
+  // Normalize so the summed field keeps ~unit variance, then scale.
+  return stddev_ * acc / std::sqrt(norm);
+}
+
+GaussianBump::GaussianBump(DiePoint centre, double sigma, double peak)
+    : centre_{centre}, sigma_{sigma}, peak_{peak} {
+  ROCLK_REQUIRE(sigma > 0.0, "bump sigma must be positive");
+}
+
+double GaussianBump::at(DiePoint p) const {
+  const double dx = p.x - centre_.x;
+  const double dy = p.y - centre_.y;
+  return peak_ * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma_ * sigma_));
+}
+
+}  // namespace roclk::variation

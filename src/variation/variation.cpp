@@ -1,0 +1,55 @@
+#include "roclk/variation/variation.hpp"
+
+#include <vector>
+
+#include "roclk/common/stats.hpp"
+#include "roclk/common/status.hpp"
+
+namespace roclk::variation {
+
+MeasuredClassification classify(const VariationSource& source,
+                                const ClassificationOptions& options) {
+  ROCLK_REQUIRE(options.time_samples >= 2, "need at least two time samples");
+  ROCLK_REQUIRE(options.grid >= 2, "need at least a 2x2 spatial grid");
+  ROCLK_REQUIRE(options.t_end > options.t_begin, "empty time range");
+
+  const double dt = (options.t_end - options.t_begin) /
+                    static_cast<double>(options.time_samples - 1);
+
+  RunningStats spatial_mean_over_time;  // accumulates the per-time mean
+  std::vector<double> spatial_means;
+  spatial_means.reserve(options.time_samples);
+  RunningStats spatial_stddev_accumulator;
+
+  for (std::size_t k = 0; k < options.time_samples; ++k) {
+    const double t = options.t_begin + static_cast<double>(k) * dt;
+    RunningStats over_space;
+    for (std::size_t ix = 0; ix < options.grid; ++ix) {
+      for (std::size_t iy = 0; iy < options.grid; ++iy) {
+        const DiePoint p{
+            (static_cast<double>(ix) + 0.5) / static_cast<double>(options.grid),
+            (static_cast<double>(iy) + 0.5) /
+                static_cast<double>(options.grid)};
+        over_space.add(source.at(t, p));
+      }
+    }
+    spatial_means.push_back(over_space.mean());
+    spatial_stddev_accumulator.add(over_space.stddev());
+  }
+
+  RunningStats temporal;
+  for (double m : spatial_means) temporal.add(m);
+
+  MeasuredClassification result;
+  result.temporal_stddev = temporal.stddev();
+  result.spatial_stddev = spatial_stddev_accumulator.mean();
+  result.temporal = result.temporal_stddev > options.threshold
+                        ? TemporalClass::kDynamic
+                        : TemporalClass::kStatic;
+  result.spatial = result.spatial_stddev > options.threshold
+                       ? SpatialClass::kHeterogeneous
+                       : SpatialClass::kHomogeneous;
+  return result;
+}
+
+}  // namespace roclk::variation

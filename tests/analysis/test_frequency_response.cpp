@@ -1,0 +1,84 @@
+#include "roclk/analysis/frequency_response.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roclk/control/iir_control.hpp"
+
+namespace roclk::analysis {
+namespace {
+
+TEST(FrequencyResponse, AnalyticGainVanishesAtDc) {
+  const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
+  // Infinitely slow perturbation: type-1 loop rejects it completely.
+  EXPECT_LT(analytic_error_gain(n, d, 1, 1e7), 1e-4);
+}
+
+TEST(FrequencyResponse, AnalyticGainGrowsTowardFastPerturbations) {
+  const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
+  const double slow = analytic_error_gain(n, d, 1, 400.0);
+  const double mid = analytic_error_gain(n, d, 1, 50.0);
+  const double fast = analytic_error_gain(n, d, 1, 10.0);
+  EXPECT_LT(slow, mid);
+  EXPECT_LT(mid, fast);
+}
+
+TEST(FrequencyResponse, LongerCdnDelayHurtsRejection) {
+  const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
+  // At a mid frequency, more loop delay means worse attenuation.
+  EXPECT_LT(analytic_error_gain(n, d, 0, 60.0),
+            analytic_error_gain(n, d, 4, 60.0));
+}
+
+TEST(FrequencyResponse, MeasuredMatchesAnalyticForLinearLoop) {
+  const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
+  for (double te : {20.0, 40.0, 80.0, 160.0}) {
+    const double analytic = analytic_error_gain(n, d, 1, te);
+    const double measured =
+        measured_error_gain(SystemKind::kIir, 64.0, 64.0, 1.0, te);
+    EXPECT_NEAR(measured, analytic, 0.05 + 0.1 * analytic) << "Te/c " << te;
+  }
+}
+
+TEST(FrequencyResponse, FixedClockPassesPerturbationStraightThrough) {
+  // tau - c = -e[n-1] for the fixed clock: unit gain at every frequency.
+  for (double te : {25.0, 100.0}) {
+    const double g =
+        measured_error_gain(SystemKind::kFixedClock, 64.0, 64.0, 2.0, te);
+    EXPECT_NEAR(g, 1.0, 0.05) << "Te/c " << te;
+  }
+}
+
+TEST(FrequencyResponse, FreeRoGainMatchesEquation2Form) {
+  // The free RO's residual is e[n-1] - e[n-M-2]: gain
+  // 2|sin(pi (M+1)/Te)| (eq. 2 at the loop's effective delay).
+  const double te = 50.0;
+  const double g =
+      measured_error_gain(SystemKind::kFreeRo, 64.0, 64.0, 2.0, te);
+  const double expected =
+      2.0 * std::fabs(std::sin(3.14159265358979 * 2.0 / te));
+  EXPECT_NEAR(g, expected, 0.03);
+}
+
+TEST(FrequencyResponse, CurveStructure) {
+  const std::vector<double> grid{25.0, 100.0, 400.0};
+  const auto curve = error_rejection_curve(grid, 1.0);
+  ASSERT_EQ(curve.size(), 3u);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve[i].te_over_c, grid[i]);
+    EXPECT_GE(curve[i].analytic_gain, 0.0);
+    EXPECT_GE(curve[i].measured_gain, 0.0);
+  }
+  // Rejection improves (gain falls) toward slow perturbations.
+  EXPECT_GT(curve[0].analytic_gain, curve[2].analytic_gain);
+}
+
+TEST(FrequencyResponse, Preconditions) {
+  const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
+  EXPECT_THROW((void)analytic_error_gain(n, d, 1, 0.0), std::logic_error);
+  EXPECT_THROW(
+      (void)measured_error_gain(SystemKind::kIir, 64.0, 64.0, 0.0, 50.0),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::analysis

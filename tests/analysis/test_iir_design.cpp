@@ -1,0 +1,132 @@
+#include "roclk/analysis/iir_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roclk/control/constraints.hpp"
+
+namespace roclk::analysis {
+namespace {
+
+DesignSpaceOptions fast_options() {
+  DesignSpaceOptions o;
+  o.max_taps = 3;  // keep the unit-test space small
+  o.cycles = 2500;
+  o.skip = 1000;
+  return o;
+}
+
+TEST(IirDesign, EnumeratesOnlyEq10ValidSets) {
+  const auto candidates = enumerate_candidates(fast_options());
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& c : candidates) {
+    const auto status = control::validate_iir_config(c.config);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+    // Every candidate satisfies eq. 8 by construction.
+    const auto [n, d] = control::iir_polynomials(c.config);
+    const auto report = control::check_paper_constraints(n, d);
+    EXPECT_TRUE(report.satisfied());
+  }
+}
+
+TEST(IirDesign, MonotoneTapsAreCanonical) {
+  const auto candidates = enumerate_candidates(fast_options());
+  for (const auto& c : candidates) {
+    for (std::size_t i = 1; i < c.config.taps.size(); ++i) {
+      EXPECT_LE(c.config.taps[i], c.config.taps[i - 1]);
+    }
+  }
+}
+
+TEST(IirDesign, ScoresAreMeaningful) {
+  const auto candidates = enumerate_candidates(fast_options());
+  for (const auto& c : candidates) {
+    EXPECT_GT(c.max_stable_m, 0u);
+    EXPECT_GE(c.tau_ripple, 0.0);
+    // Stable loops settle within the simulated horizon.
+    EXPECT_LT(c.settling_cycles, fast_options().cycles);
+  }
+}
+
+TEST(IirDesign, PureUnitIntegratorIsInfeasibleAtOnePeriodCdn) {
+  // The naive choice k = {1} (H = z^-1/(1 - z^-1), unit-gain integrator)
+  // cannot stabilise the loop once the CDN costs a full period: the
+  // characteristic 1 - z^-1 + z^-3 has roots outside the unit circle.
+  // This is exactly why the paper spreads gain over tapered taps — and why
+  // TEAtime gets away with a unit integrator only thanks to its bounded
+  // (sign) nonlinearity.
+  control::IirConfig unit;
+  unit.taps = {1.0};
+  unit.k_star = 1.0;
+  ASSERT_TRUE(control::validate_iir_config(unit).is_ok());
+  const auto [n, d] = control::iir_polynomials(unit);
+  const auto stab = control::closed_loop_stability(n, d, 1);
+  ASSERT_TRUE(stab.is_ok());
+  EXPECT_FALSE(stab.value().stable);
+
+  // Consequently the enumerated feasible set (scenario M = 1) excludes it.
+  const auto candidates = enumerate_candidates(fast_options());
+  for (const auto& c : candidates) {
+    EXPECT_FALSE(c.config.taps.size() == 1 && c.config.taps[0] == 1.0);
+  }
+}
+
+TEST(IirDesign, VelocityRobustnessTradeoffIsReal) {
+  // Across the feasible set, the fastest settler must not also hold the
+  // largest delay margin (otherwise there is no trade-off to balance).
+  const auto candidates = enumerate_candidates(fast_options());
+  ASSERT_GE(candidates.size(), 2u);
+  const IirCandidate* fastest = &candidates.front();
+  std::size_t best_margin = 0;
+  for (const auto& c : candidates) {
+    if (c.settling_cycles < fastest->settling_cycles) fastest = &c;
+    best_margin = std::max(best_margin, c.max_stable_m);
+  }
+  EXPECT_LT(fastest->max_stable_m, best_margin);
+}
+
+TEST(IirDesign, ParetoFrontIsNonEmptyAndConsistent) {
+  auto candidates = enumerate_candidates(fast_options());
+  const auto front = pareto_front(candidates);
+  ASSERT_FALSE(front.empty());
+  ASSERT_LE(front.size(), candidates.size());
+  // No front member dominates another front member.
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      const bool dominates = a.settling_cycles <= b.settling_cycles &&
+                             a.tau_ripple <= b.tau_ripple &&
+                             a.max_stable_m >= b.max_stable_m &&
+                             (a.settling_cycles < b.settling_cycles ||
+                              a.tau_ripple < b.tau_ripple ||
+                              a.max_stable_m > b.max_stable_m);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(IirDesign, PaperSetScoresCompetitively) {
+  // Score the paper's 6-tap set in the same scenario and check it is not
+  // dominated by miles: its ripple must be within 2 stages of the best
+  // ripple and its delay margin at least the median.
+  const auto options = fast_options();
+  const auto paper = score_candidate(control::paper_iir_config(), options);
+  const auto candidates = enumerate_candidates(options);
+  double best_ripple = 1e9;
+  for (const auto& c : candidates) {
+    best_ripple = std::min(best_ripple, c.tau_ripple);
+  }
+  EXPECT_LE(paper.tau_ripple, best_ripple + 2.0);
+  EXPECT_GE(paper.max_stable_m, 8u);
+}
+
+TEST(IirDesign, InvalidOptionsRejected) {
+  DesignSpaceOptions bad = fast_options();
+  bad.min_taps = 0;
+  EXPECT_THROW((void)enumerate_candidates(bad), std::logic_error);
+  DesignSpaceOptions swapped = fast_options();
+  swapped.min_exponent = 2;
+  swapped.max_exponent = -2;
+  EXPECT_THROW((void)enumerate_candidates(swapped), std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::analysis

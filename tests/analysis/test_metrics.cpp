@@ -1,0 +1,83 @@
+#include "roclk/analysis/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roclk::analysis {
+namespace {
+
+core::SimulationTrace toy_trace() {
+  core::SimulationTrace trace;
+  for (double tau : {60.0, 64.0, 62.0, 66.0}) {
+    core::StepRecord r;
+    r.tau = tau;
+    r.delta = 64.0 - tau;
+    r.t_dlv = 64.0;
+    r.violation = tau < 64.0;
+    trace.push(r);
+  }
+  return trace;
+}
+
+TEST(Metrics, EvaluateRunComputesMarginMeanAndRatio) {
+  const auto trace = toy_trace();
+  const auto m = evaluate_run(trace, 64.0, 76.8, 0);
+  EXPECT_DOUBLE_EQ(m.safety_margin, 4.0);  // worst tau = 60
+  EXPECT_DOUBLE_EQ(m.mean_period, 64.0);
+  EXPECT_DOUBLE_EQ(m.relative_adaptive_period, 68.0 / 76.8);
+  EXPECT_EQ(m.violations, 2u);
+  EXPECT_DOUBLE_EQ(m.tau_ripple, 6.0);
+}
+
+TEST(Metrics, SkipDropsTransient) {
+  const auto trace = toy_trace();
+  const auto m = evaluate_run(trace, 64.0, 76.8, 1);
+  EXPECT_DOUBLE_EQ(m.safety_margin, 2.0);  // worst after skip: 62
+  EXPECT_EQ(m.violations, 1u);
+}
+
+TEST(Metrics, EvaluateRunPreconditions) {
+  const auto trace = toy_trace();
+  EXPECT_THROW((void)evaluate_run(trace, 64.0, 0.0, 0), std::logic_error);
+  EXPECT_THROW((void)evaluate_run(trace, 64.0, 76.8, 99), std::logic_error);
+}
+
+TEST(Metrics, FixedClockPeriodMatchesPaperWorkedExamples) {
+  // Section IV-A: 20% HoDV -> 1.2 ns at c = 64 <-> T_fixed = 76.8 stages.
+  EXPECT_DOUBLE_EQ(fixed_clock_period(64.0, 12.8), 76.8);
+  // Section IV-B: + 20% mismatch -> 1.4 ns <-> 89.6 stages (paper: c=90).
+  EXPECT_DOUBLE_EQ(fixed_clock_period(64.0, 12.8, 12.8), 89.6);
+}
+
+TEST(Metrics, SafetyMarginReductionPaperArithmetic) {
+  // Paper IV-A: adaptive clock allows 10% reduction of the needed c:
+  // adaptive period = 1.08 ns vs fixed 1.2 ns -> 60% of the 0.2 ns margin.
+  const double t_fixed = 76.8;
+  const double adaptive_period = 0.9 * t_fixed;  // c reduced by 10%: 69.12
+  const double relative = adaptive_period / t_fixed;
+  const double reduction = safety_margin_reduction(relative, t_fixed, 64.0);
+  EXPECT_NEAR(reduction, 0.6, 1e-9);
+
+  // Paper IV-B: 20% reduction of the needed c at T_fixed = 1.4 ns -> 70%.
+  const double t_fixed2 = 89.6;
+  const double relative2 = 0.8 * t_fixed2 / t_fixed2;
+  const double reduction2 =
+      safety_margin_reduction(relative2, t_fixed2, 64.0);
+  EXPECT_NEAR(reduction2, (89.6 - 64.0 - (0.8 * 89.6 - 64.0)) / 25.6, 1e-9);
+  EXPECT_NEAR(reduction2, 0.7, 0.001);
+}
+
+TEST(Metrics, NoReductionWhenAdaptiveEqualsFixed) {
+  EXPECT_NEAR(safety_margin_reduction(1.0, 76.8, 64.0), 0.0, 1e-12);
+}
+
+TEST(Metrics, NegativeReductionWhenAdaptiveWorse) {
+  EXPECT_LT(safety_margin_reduction(1.1, 76.8, 64.0), 0.0);
+}
+
+TEST(Metrics, ReductionRejectsZeroMargin) {
+  EXPECT_THROW((void)safety_margin_reduction(1.0, 64.0, 64.0),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::analysis

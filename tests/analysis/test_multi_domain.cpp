@@ -1,0 +1,107 @@
+#include "roclk/analysis/multi_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roclk/variation/scenario.hpp"
+#include "roclk/variation/sources.hpp"
+
+namespace roclk::analysis {
+namespace {
+
+MultiDomainConfig small_config() {
+  MultiDomainConfig cfg;
+  cfg.die_size_mm = 8.0;
+  cfg.cycles = 3000;
+  cfg.transient_skip = 800;
+  return cfg;
+}
+
+TEST(MultiDomain, GeometryScalesWithPartitioning) {
+  const auto env = variation::make_harmonic_hodv(0.1, 50.0 * 64.0);
+  auto cfg = small_config();
+  cfg.side = 1;
+  const auto whole = run_partitioning(cfg, *env, 76.8);
+  cfg.side = 4;
+  const auto split = run_partitioning(cfg, *env, 76.8);
+  EXPECT_EQ(whole.domains, 1u);
+  EXPECT_EQ(split.domains, 16u);
+  EXPECT_DOUBLE_EQ(split.domain_size_mm, 2.0);
+  EXPECT_LT(split.cdn_delay_stages, whole.cdn_delay_stages);
+  EXPECT_EQ(split.per_domain.size(), 16u);
+}
+
+TEST(MultiDomain, PartitioningShrinksMarginUnderFastHoDV) {
+  // Pick the HoDV period so the whole-die t_clk violates the T/6 budget
+  // while quarter-die domains respect it.
+  auto cfg = small_config();
+  cfg.side = 1;
+  const double whole_tclk =
+      chip::ClockDomainGeometry{[&] {
+        auto t = cfg.tree;
+        t.size_mm = cfg.die_size_mm;
+        return t;
+      }()}.cdn_delay_stages();
+  const double te = 4.0 * whole_tclk;  // t_clk = Te/4 > Te/6: bad for K=1
+  const auto env = variation::make_harmonic_hodv(0.15, te);
+  const double fixed = 64.0 * 1.15;
+
+  const auto whole = run_partitioning(cfg, *env, fixed);
+  cfg.side = 4;
+  const auto split = run_partitioning(cfg, *env, fixed);
+  EXPECT_LT(split.worst_safety_margin, whole.worst_safety_margin);
+  EXPECT_LT(split.worst_relative_period, whole.worst_relative_period);
+}
+
+TEST(MultiDomain, QuietEnvironmentNeedsNoMarginAnywhere) {
+  const auto quiet = variation::DieToDieProcess::with_offset(0.0);
+  auto cfg = small_config();
+  cfg.side = 2;
+  const auto result = run_partitioning(cfg, quiet, 76.8);
+  EXPECT_DOUBLE_EQ(result.worst_safety_margin, 0.0);
+  for (const auto& domain : result.per_domain) {
+    EXPECT_EQ(domain.metrics.violations, 0u);
+  }
+}
+
+TEST(MultiDomain, LocalHotspotOnlyStretchesItsOwnDomain) {
+  // A hotspot in the north-east quadrant: with side = 2, exactly one
+  // domain should pay for it.
+  variation::TemperatureHotspot hotspot{0.15, {0.85, 0.85}, 0.08, 0.0, 1.0};
+  auto cfg = small_config();
+  cfg.side = 2;
+  const auto result = run_partitioning(cfg, hotspot, 64.0 * 1.15);
+  int stretched = 0;
+  for (const auto& domain : result.per_domain) {
+    if (domain.metrics.mean_period > 64.0 * 1.07) ++stretched;
+  }
+  EXPECT_EQ(stretched, 1);
+  // And it is the NE domain.
+  const auto& ne = result.per_domain[3];  // ix=1, iy=1
+  EXPECT_GT(ne.centre.x, 0.5);
+  EXPECT_GT(ne.centre.y, 0.5);
+  EXPECT_GT(ne.metrics.mean_period, 64.0 * 1.07);
+}
+
+TEST(MultiDomain, SweepProducesOneResultPerSide) {
+  const auto env = variation::make_harmonic_hodv(0.1, 100.0 * 64.0);
+  const std::vector<std::size_t> sides{1, 2, 3};
+  const auto results =
+      partitioning_sweep(small_config(), *env, 76.8, sides);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].domains, 1u);
+  EXPECT_EQ(results[1].domains, 4u);
+  EXPECT_EQ(results[2].domains, 9u);
+}
+
+TEST(MultiDomain, Preconditions) {
+  const auto quiet = variation::DieToDieProcess::with_offset(0.0);
+  auto bad = small_config();
+  bad.side = 0;
+  EXPECT_THROW((void)run_partitioning(bad, quiet, 76.8), std::logic_error);
+  auto skip = small_config();
+  skip.transient_skip = skip.cycles;
+  EXPECT_THROW((void)run_partitioning(skip, quiet, 76.8), std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::analysis

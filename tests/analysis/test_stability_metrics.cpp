@@ -1,0 +1,93 @@
+#include "roclk/analysis/stability_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "roclk/osc/jitter.hpp"
+
+namespace roclk::analysis {
+namespace {
+
+TEST(Allan, RejectsDegenerateInputs) {
+  std::vector<double> y(10, 0.0);
+  EXPECT_FALSE(allan_deviation(y, 0).is_ok());
+  EXPECT_FALSE(allan_deviation(y, 5).is_ok());  // needs 11 samples
+  EXPECT_TRUE(allan_deviation(y, 4).is_ok());
+}
+
+TEST(Allan, ZeroForPerfectClock) {
+  std::vector<double> y(1000, 0.0);
+  for (std::size_t m : {1u, 4u, 16u}) {
+    auto adev = allan_deviation(y, m);
+    ASSERT_TRUE(adev.is_ok());
+    EXPECT_DOUBLE_EQ(adev.value(), 0.0);
+  }
+  // Constant offset is also "perfectly stable" (up to prefix-sum epsilon).
+  std::vector<double> offset(1000, 0.01);
+  EXPECT_NEAR(allan_deviation(offset, 8).value(), 0.0, 1e-12);
+}
+
+TEST(Allan, AlternatingSequenceKnownValue) {
+  // y = +a, -a, +a, ... at m = 1: every adjacent pair differs by 2a, so
+  // sigma = sqrt((2a)^2 / 2) = a sqrt(2).
+  const double a = 0.5;
+  std::vector<double> y(512);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = (i % 2 == 0) ? a : -a;
+  EXPECT_NEAR(allan_deviation(y, 1).value(), a * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Allan, WhiteNoiseAveragesDownAsSqrtM) {
+  osc::JitterConfig cfg;
+  cfg.white_sigma = 1.0;
+  osc::JitterModel jitter{cfg};
+  std::vector<double> y(200000);
+  for (auto& v : y) v = jitter.sample();
+  const double adev1 = allan_deviation(y, 1).value();
+  const double adev16 = allan_deviation(y, 16).value();
+  const double adev64 = allan_deviation(y, 64).value();
+  // White FM: ADEV(m) ~ m^{-1/2}.
+  EXPECT_NEAR(adev16 / adev1, 1.0 / 4.0, 0.05);
+  EXPECT_NEAR(adev64 / adev16, 1.0 / 2.0, 0.1);
+}
+
+TEST(Allan, RandomWalkGrowsWithM) {
+  osc::JitterConfig cfg;
+  cfg.walk_sigma = 0.1;
+  cfg.walk_leak = 1.0;  // pure random walk
+  osc::JitterModel jitter{cfg};
+  std::vector<double> y(100000);
+  for (auto& v : y) v = jitter.sample();
+  const double adev1 = allan_deviation(y, 1).value();
+  const double adev64 = allan_deviation(y, 64).value();
+  // Random-walk FM: ADEV(m) ~ m^{+1/2}: clearly growing.
+  EXPECT_GT(adev64, 3.0 * adev1);
+}
+
+TEST(Allan, CurveLadderIsPowersOfTwo) {
+  std::vector<double> y(1000, 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = std::sin(0.01 * static_cast<double>(i));
+  }
+  const auto curve = allan_curve(y);
+  ASSERT_GE(curve.size(), 5u);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].m, std::size_t{1} << i);
+    EXPECT_GE(curve[i].adev, 0.0);
+  }
+  EXPECT_LE(3 * curve.back().m, y.size());
+}
+
+TEST(Allan, FractionalDeviationHelper) {
+  const std::vector<double> periods{64.0, 67.2, 60.8};
+  const auto y = fractional_deviation(periods, 64.0);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_NEAR(y[1], 0.05, 1e-12);
+  EXPECT_NEAR(y[2], -0.05, 1e-12);
+  EXPECT_THROW((void)fractional_deviation(periods, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::analysis

@@ -1,0 +1,180 @@
+#include "roclk/cdn/cdn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace roclk::cdn {
+namespace {
+
+TEST(FixedSampleCdn, ZeroDelayPassesThrough) {
+  FixedSampleCdn cdn{0};
+  cdn.reset(64.0);
+  EXPECT_DOUBLE_EQ(cdn.push(70.0), 70.0);
+  EXPECT_DOUBLE_EQ(cdn.push(71.0), 71.0);
+}
+
+TEST(FixedSampleCdn, DelaysByExactlyM) {
+  FixedSampleCdn cdn{3};
+  cdn.reset(64.0);
+  EXPECT_DOUBLE_EQ(cdn.push(1.0), 64.0);
+  EXPECT_DOUBLE_EQ(cdn.push(2.0), 64.0);
+  EXPECT_DOUBLE_EQ(cdn.push(3.0), 64.0);
+  EXPECT_DOUBLE_EQ(cdn.push(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdn.push(5.0), 2.0);
+  EXPECT_EQ(cdn.current_delay_samples(), 3u);
+}
+
+TEST(FixedSampleCdn, ResetRefillsPipeline) {
+  FixedSampleCdn cdn{2};
+  cdn.reset(10.0);
+  cdn.push(1.0);
+  cdn.reset(20.0);
+  EXPECT_DOUBLE_EQ(cdn.push(99.0), 20.0);
+  EXPECT_DOUBLE_EQ(cdn.push(98.0), 20.0);
+  EXPECT_DOUBLE_EQ(cdn.push(97.0), 99.0);
+}
+
+TEST(QuantizedTimeCdn, MFollowsPeriodRatio) {
+  QuantizedTimeCdn cdn{64.0};
+  cdn.reset(64.0);
+  cdn.push(64.0);
+  EXPECT_EQ(cdn.current_delay_samples(), 1u);  // 64/64 = 1
+  QuantizedTimeCdn fast{256.0};
+  fast.reset(64.0);
+  fast.push(64.0);
+  EXPECT_EQ(fast.current_delay_samples(), 4u);
+  QuantizedTimeCdn zero{0.0};
+  zero.reset(64.0);
+  EXPECT_DOUBLE_EQ(zero.push(77.0), 77.0);
+  EXPECT_EQ(zero.current_delay_samples(), 0u);
+}
+
+TEST(QuantizedTimeCdn, MRoundsToNearest) {
+  QuantizedTimeCdn cdn{100.0};
+  cdn.reset(64.0);
+  cdn.push(64.0);  // 100/64 = 1.5625 -> 2
+  EXPECT_EQ(cdn.current_delay_samples(), 2u);
+  cdn.push(45.0);  // 100/45 = 2.22 -> 2
+  EXPECT_EQ(cdn.current_delay_samples(), 2u);
+  cdn.push(28.0);  // 100/28 = 3.57 -> 4
+  EXPECT_EQ(cdn.current_delay_samples(), 4u);
+}
+
+TEST(QuantizedTimeCdn, DeliversPeriodGeneratedMCyclesAgo) {
+  QuantizedTimeCdn cdn{128.0};  // M = 2 at nominal 64
+  cdn.reset(64.0);
+  EXPECT_DOUBLE_EQ(cdn.push(64.0), 64.0);  // looks back to pre-sim fill
+  EXPECT_DOUBLE_EQ(cdn.push(70.0), 64.0);
+  EXPECT_DOUBLE_EQ(cdn.push(72.0), 64.0);  // M~2: sees push #1
+  EXPECT_DOUBLE_EQ(cdn.push(74.0), 70.0);
+}
+
+TEST(QuantizedTimeCdn, MReQuantisesAsPeriodChanges) {
+  // The paper's M[n] = t_clk / T_clk[n]: a faster clock stretches the CDN
+  // delay to more periods.
+  QuantizedTimeCdn cdn{256.0};
+  cdn.reset(64.0);
+  cdn.push(64.0);
+  EXPECT_EQ(cdn.current_delay_samples(), 4u);
+  cdn.push(32.0);
+  EXPECT_EQ(cdn.current_delay_samples(), 8u);
+  cdn.push(128.0);
+  EXPECT_EQ(cdn.current_delay_samples(), 2u);
+}
+
+TEST(QuantizedTimeCdn, PreSimulationHistoryIsInitialPeriod) {
+  QuantizedTimeCdn cdn{640.0};  // M = 10 at 64
+  cdn.reset(64.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(cdn.push(70.0), 64.0) << "push " << i;
+  }
+}
+
+TEST(QuantizedTimeCdn, RejectsBadInputs) {
+  EXPECT_THROW((QuantizedTimeCdn{-1.0}), std::logic_error);
+  EXPECT_THROW((QuantizedTimeCdn{10.0, 1}), std::logic_error);
+  QuantizedTimeCdn cdn{10.0};
+  cdn.reset(64.0);
+  EXPECT_THROW((void)cdn.push(0.0), std::logic_error);
+}
+
+TEST(QuantizedTimeCdn, InterpolationMatchesRoundAtIntegerDelays) {
+  // When t_clk / T is exactly integer the interpolating mode must behave
+  // identically to the literal z^-M reading.
+  QuantizedTimeCdn round_cdn{128.0, 4096, DelayQuantization::kRound};
+  QuantizedTimeCdn interp_cdn{128.0, 4096,
+                              DelayQuantization::kLinearInterp};
+  round_cdn.reset(64.0);
+  interp_cdn.reset(64.0);
+  for (int i = 0; i < 40; ++i) {
+    // Period stays 64 -> D = exactly 2 every cycle.
+    EXPECT_DOUBLE_EQ(round_cdn.push(64.0), interp_cdn.push(64.0)) << i;
+  }
+}
+
+TEST(QuantizedTimeCdn, InterpolationBlendsNeighbours) {
+  // t_clk = 96, T = 64 -> D = 1.5: delivered is the midpoint of the
+  // periods generated 1 and 2 cycles ago.
+  QuantizedTimeCdn cdn{96.0, 4096, DelayQuantization::kLinearInterp};
+  cdn.reset(64.0);
+  cdn.push(64.0);   // history: [64(init)..., 64]
+  cdn.push(100.0);  // D = 0.96 for this push
+  const double delivered = cdn.push(64.0);  // D = 1.5: blend(100, 64)
+  EXPECT_DOUBLE_EQ(delivered, 0.5 * 100.0 + 0.5 * 64.0);
+}
+
+TEST(QuantizedTimeCdn, FloorModeTruncates) {
+  QuantizedTimeCdn cdn{100.0, 4096, DelayQuantization::kFloor};
+  cdn.reset(64.0);
+  cdn.push(64.0);  // D = 1.5625 -> floor 1: delivered is previous push...
+  cdn.push(80.0);  // D = 1.25 -> floor 1: delivered = previous (64)
+  EXPECT_DOUBLE_EQ(cdn.push(70.0), 80.0);  // D = 1.43 -> floor 1
+}
+
+TEST(QuantizedTimeCdn, SubPeriodDelaysDistinguishableOnlyWithInterp) {
+  // The Fig. 9 columns: 0.75c and 1.0c collapse onto M = 1 under kRound
+  // but differ under interpolation.
+  auto run = [](double tclk, DelayQuantization q) {
+    QuantizedTimeCdn cdn{tclk, 4096, q};
+    cdn.reset(64.0);
+    double out = 0.0;
+    double period = 60.0;
+    for (int i = 0; i < 16; ++i) {
+      out = cdn.push(period);
+      period += 1.0;  // ramp so look-backs differ
+    }
+    return out;
+  };
+  EXPECT_DOUBLE_EQ(run(48.0, DelayQuantization::kRound),
+                   run(64.0, DelayQuantization::kRound));
+  EXPECT_NE(run(48.0, DelayQuantization::kLinearInterp),
+            run(64.0, DelayQuantization::kLinearInterp));
+}
+
+TEST(EdgeDelayCdn, ConstantTimeShift) {
+  EdgeDelayCdn cdn{100.0};
+  EXPECT_DOUBLE_EQ(cdn.deliver_time(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(cdn.deliver_time(64.0), 164.0);
+  EXPECT_DOUBLE_EQ(cdn.delay_stages(), 100.0);
+  EXPECT_THROW(EdgeDelayCdn{-1.0}, std::logic_error);
+}
+
+// Property: a constant input stream must pass through any CDN unchanged
+// (steady state transparency), for a sweep of delays.
+class CdnTransparency : public ::testing::TestWithParam<double> {};
+
+TEST_P(CdnTransparency, ConstantStreamUnchanged) {
+  QuantizedTimeCdn cdn{GetParam()};
+  cdn.reset(64.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(cdn.push(64.0), 64.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, CdnTransparency,
+                         ::testing::Values(0.0, 6.4, 32.0, 64.0, 96.0, 128.0,
+                                           320.0, 640.0));
+
+}  // namespace
+}  // namespace roclk::cdn

@@ -1,0 +1,71 @@
+#include "roclk/chip/clock_domain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roclk::chip {
+namespace {
+
+TEST(ClockDomain, LevelsGrowWithSize) {
+  ClockDomainConfig small;
+  small.size_mm = 0.4;  // below max_unbuffered
+  EXPECT_EQ(ClockDomainGeometry{small}.tree_levels(), 0u);
+
+  ClockDomainConfig big;
+  big.size_mm = 8.0;
+  EXPECT_GT(ClockDomainGeometry{big}.tree_levels(),
+            ClockDomainGeometry{}.tree_levels());
+}
+
+TEST(ClockDomain, DelayMonotonicInSize) {
+  double prev = 0.0;
+  for (double size : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    ClockDomainConfig cfg;
+    cfg.size_mm = size;
+    const double delay = ClockDomainGeometry{cfg}.cdn_delay_stages();
+    EXPECT_GT(delay, prev) << "size " << size;
+    prev = delay;
+  }
+}
+
+TEST(ClockDomain, DelayIncludesBuffersAndWire) {
+  ClockDomainConfig cfg;
+  cfg.size_mm = 1.0;
+  cfg.buffer_delay_stages = 2.0;
+  cfg.wire_delay_stages_per_mm = 20.0;
+  cfg.max_unbuffered_mm = 0.5;
+  // One level: span halves to 0.5 -> 1 buffer + 0.5 mm wire + final stub.
+  const ClockDomainGeometry geom{cfg};
+  EXPECT_EQ(geom.tree_levels(), 1u);
+  EXPECT_NEAR(geom.cdn_delay_stages(), 2.0 + 0.5 * 20.0 + 0.5 * 20.0, 1e-12);
+}
+
+TEST(ClockDomain, MaxDomainSizeRespectsSixthPeriodRule) {
+  // The returned size's CDN delay must be at most T/6 and nearly tight.
+  const double period = 1200.0;
+  const double size = ClockDomainGeometry::max_domain_size_mm(period);
+  ClockDomainConfig cfg;
+  cfg.size_mm = size;
+  const double delay = ClockDomainGeometry{cfg}.cdn_delay_stages();
+  EXPECT_LE(delay, period / 6.0 + 1e-6);
+  // 5% larger domain must violate the budget.
+  cfg.size_mm = size * 1.05;
+  EXPECT_GT(ClockDomainGeometry{cfg}.cdn_delay_stages(), period / 6.0);
+}
+
+TEST(ClockDomain, FasterPerturbationShrinksDomain) {
+  const double slow = ClockDomainGeometry::max_domain_size_mm(6400.0);
+  const double fast = ClockDomainGeometry::max_domain_size_mm(640.0);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(ClockDomain, InvalidConfigRejected) {
+  ClockDomainConfig bad;
+  bad.size_mm = 0.0;
+  EXPECT_THROW(ClockDomainGeometry{bad}, std::logic_error);
+  ClockDomainConfig bad2;
+  bad2.max_unbuffered_mm = 0.0;
+  EXPECT_THROW(ClockDomainGeometry{bad2}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::chip

@@ -1,0 +1,92 @@
+#include "roclk/common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace roclk {
+namespace {
+
+TEST(AsciiPlot, RendersTitleLegendAndGlyphs) {
+  PlotOptions opts;
+  opts.title = "demo plot";
+  opts.x_label = "time";
+  AsciiPlot plot{opts};
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys{0.0, 1.0, 4.0, 9.0};
+  plot.add_series("squares", xs, ys, '*');
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("demo plot"), std::string::npos);
+  EXPECT_NE(out.find("squares"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("x: time"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesKeepDistinctGlyphs) {
+  AsciiPlot plot;
+  std::vector<double> xs{0.0, 1.0, 2.0};
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{3.0, 2.0, 1.0};
+  plot.add_series("up", xs, a, 'u');
+  plot.add_series("down", xs, b, 'd');
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('u'), std::string::npos);
+  EXPECT_NE(out.find('d'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogXSkipsNonPositivePoints) {
+  PlotOptions opts;
+  opts.log_x = true;
+  AsciiPlot plot{opts};
+  std::vector<double> xs{0.0, 0.1, 1.0, 10.0};  // 0.0 must be ignored
+  std::vector<double> ys{5.0, 1.0, 2.0, 3.0};
+  plot.add_series("s", xs, ys, '#');
+  EXPECT_NO_THROW((void)plot.render());
+}
+
+TEST(AsciiPlot, MismatchedSeriesThrows) {
+  AsciiPlot plot;
+  PlotSeries s;
+  s.name = "bad";
+  s.x = {1.0, 2.0};
+  s.y = {1.0};
+  EXPECT_THROW(plot.add_series(std::move(s)), std::logic_error);
+}
+
+TEST(AsciiPlot, TinyCanvasRejected) {
+  PlotOptions opts;
+  opts.width = 2;
+  opts.height = 2;
+  EXPECT_THROW(AsciiPlot{opts}, std::logic_error);
+}
+
+TEST(AsciiPlot, FixedYRangeIsRespected) {
+  PlotOptions opts;
+  opts.y_lo = -1.0;
+  opts.y_hi = 1.0;
+  AsciiPlot plot{opts};
+  std::vector<double> xs{0.0, 1.0};
+  std::vector<double> ys{-0.5, 0.5};
+  plot.add_series("s", xs, ys, 'o');
+  const std::string out = plot.render();
+  // The top-of-axis label reflects the padded fixed range (~1.06).
+  EXPECT_NE(out.find("1.06"), std::string::npos);
+}
+
+TEST(Sparkline, ProducesRequestedWidth) {
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) ys.push_back(static_cast<double>(i % 10));
+  const std::string line = sparkline(ys, 20);
+  // Each glyph is a 3-byte UTF-8 block character.
+  EXPECT_EQ(line.size(), 20u * 3u);
+}
+
+TEST(Sparkline, HandlesConstantAndEmptyInput) {
+  EXPECT_EQ(sparkline(std::vector<double>{}, 10), "");
+  const std::vector<double> flat(16, 2.0);
+  EXPECT_FALSE(sparkline(flat, 8).empty());
+}
+
+}  // namespace
+}  // namespace roclk

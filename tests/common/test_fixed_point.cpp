@@ -1,0 +1,99 @@
+#include "roclk/common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roclk {
+namespace {
+
+using Q16 = FixedPoint<16>;
+using Q0 = FixedPoint<0>;
+
+TEST(FixedPoint, ConstructionAndConversion) {
+  EXPECT_DOUBLE_EQ(Q16::from_int(5).to_double(), 5.0);
+  EXPECT_DOUBLE_EQ(Q16::from_double(0.5).to_double(), 0.5);
+  EXPECT_EQ(Q16::from_double(1.0).raw(), Q16::kOne);
+  EXPECT_EQ(Q16::from_int(-3).floor_to_int(), -3);
+}
+
+TEST(FixedPoint, RoundingOnFromDouble) {
+  // One LSB at Frac=16 is 2^-16; half an LSB rounds away from zero-ish.
+  const double lsb = 1.0 / 65536.0;
+  EXPECT_EQ(Q16::from_double(lsb * 0.49).raw(), 0);
+  EXPECT_EQ(Q16::from_double(lsb * 0.51).raw(), 1);
+  EXPECT_EQ(Q16::from_double(-lsb * 0.51).raw(), -1);
+}
+
+TEST(FixedPoint, Arithmetic) {
+  const auto a = Q16::from_double(1.25);
+  const auto b = Q16::from_double(0.75);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+}
+
+TEST(FixedPoint, ScaledPow2IsExactShift) {
+  const auto a = Q16::from_double(3.0);
+  EXPECT_DOUBLE_EQ(a.scaled_pow2(2).to_double(), 12.0);
+  EXPECT_DOUBLE_EQ(a.scaled_pow2(-1).to_double(), 1.5);
+}
+
+TEST(FixedPoint, FloorToIntRoundsTowardMinusInfinity) {
+  EXPECT_EQ(Q16::from_double(2.9).floor_to_int(), 2);
+  EXPECT_EQ(Q16::from_double(-2.1).floor_to_int(), -3);
+}
+
+TEST(FixedPoint, IntegerModeBehavesLikeInt) {
+  const auto a = Q0::from_int(7);
+  EXPECT_EQ(a.scaled_pow2(-1).floor_to_int(), 3);
+  EXPECT_EQ(Q0::from_int(-7).scaled_pow2(-1).floor_to_int(), -4);
+}
+
+TEST(PowerOfTwoGain, FromValueAcceptsExactPowers) {
+  auto g = PowerOfTwoGain::from_value(8.0);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_EQ(g.value().exponent(), 3);
+  EXPECT_FALSE(g.value().negative());
+  EXPECT_DOUBLE_EQ(g.value().value(), 8.0);
+
+  auto h = PowerOfTwoGain::from_value(0.125);
+  ASSERT_TRUE(h.is_ok());
+  EXPECT_EQ(h.value().exponent(), -3);
+  EXPECT_DOUBLE_EQ(h.value().value(), 0.125);
+
+  auto n = PowerOfTwoGain::from_value(-2.0);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_TRUE(n.value().negative());
+  EXPECT_DOUBLE_EQ(n.value().value(), -2.0);
+}
+
+TEST(PowerOfTwoGain, FromValueRejectsNonPowers) {
+  EXPECT_FALSE(PowerOfTwoGain::from_value(3.0).is_ok());
+  EXPECT_FALSE(PowerOfTwoGain::from_value(0.3).is_ok());
+  EXPECT_FALSE(PowerOfTwoGain::from_value(0.0).is_ok());
+}
+
+TEST(PowerOfTwoGain, ApplyToIntegerShifts) {
+  const PowerOfTwoGain times4{2};
+  const PowerOfTwoGain quarter{-2};
+  const PowerOfTwoGain minus_half{-1, true};
+  EXPECT_EQ(times4.apply(std::int64_t{5}), 20);
+  EXPECT_EQ(quarter.apply(std::int64_t{20}), 5);
+  EXPECT_EQ(quarter.apply(std::int64_t{-1}), -1);  // floor(-0.25) = -1
+  EXPECT_EQ(minus_half.apply(std::int64_t{8}), -4);
+}
+
+TEST(PowerOfTwoGain, ApplyToFixedPoint) {
+  const PowerOfTwoGain half{-1};
+  const auto x = Q16::from_double(5.0);
+  EXPECT_DOUBLE_EQ(half.apply(x).to_double(), 2.5);
+}
+
+// The paper's gain set must all be representable as PowerOfTwoGain.
+TEST(PowerOfTwoGain, PaperGainSetIsRepresentable) {
+  for (double k : {2.0, 1.0, 0.5, 0.25, 0.125, 0.125, 8.0, 0.25}) {
+    EXPECT_TRUE(PowerOfTwoGain::from_value(k).is_ok()) << k;
+  }
+}
+
+}  // namespace
+}  // namespace roclk

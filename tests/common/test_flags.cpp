@@ -1,0 +1,163 @@
+#include "roclk/common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace roclk {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser p{"test tool"};
+  p.add_string("name", "default", "a string");
+  p.add_double("ratio", 1.5, "a double");
+  p.add_int("count", 42, "an int");
+  p.add_bool("verbose", false, "a bool");
+  return p;
+}
+
+TEST(Flags, DefaultsWhenUnparsed) {
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse(std::vector<std::string>{}).is_ok());
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 1.5);
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse({"--name", "abc", "--ratio", "2.25", "--count", "-7"})
+                  .is_ok());
+  EXPECT_EQ(p.get_string("name"), "abc");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 2.25);
+  EXPECT_EQ(p.get_int("count"), -7);
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse({"--name=xyz", "--ratio=0.125", "--verbose=true"})
+                  .is_ok());
+  EXPECT_EQ(p.get_string("name"), "xyz");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.125);
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse({"--verbose"}).is_ok());
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(Flags, BooleanAcceptsCommonSpellings) {
+  for (const char* text : {"true", "1", "yes"}) {
+    auto p = make_parser();
+    ASSERT_TRUE(p.parse({std::string{"--verbose="} + text}).is_ok());
+    EXPECT_TRUE(p.get_bool("verbose")) << text;
+  }
+  for (const char* text : {"false", "0", "no"}) {
+    auto p = make_parser();
+    ASSERT_TRUE(p.parse({std::string{"--verbose="} + text}).is_ok());
+    EXPECT_FALSE(p.get_bool("verbose")) << text;
+  }
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  auto p = make_parser();
+  const auto s = p.parse({"--bogus", "1"});
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(Flags, MalformedNumbersRejected) {
+  auto p = make_parser();
+  EXPECT_FALSE(p.parse({"--ratio", "abc"}).is_ok());
+  auto q = make_parser();
+  EXPECT_FALSE(q.parse({"--count", "3.5"}).is_ok());
+  auto r = make_parser();
+  EXPECT_FALSE(r.parse({"--verbose=maybe"}).is_ok());
+}
+
+TEST(Flags, MissingValueRejected) {
+  auto p = make_parser();
+  EXPECT_FALSE(p.parse({"--name"}).is_ok());
+}
+
+TEST(Flags, HelpRequested) {
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse({"--help"}).is_ok());
+  EXPECT_TRUE(p.help_requested());
+  const auto text = p.help_text();
+  EXPECT_NE(text.find("--ratio"), std::string::npos);
+  EXPECT_NE(text.find("test tool"), std::string::npos);
+  EXPECT_NE(text.find("default: 42"), std::string::npos);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse({"input.csv", "--count", "3", "more"}).is_ok());
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.csv");
+  EXPECT_EQ(p.positional()[1], "more");
+}
+
+TEST(Flags, TypeMismatchIsProgrammingError) {
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse(std::vector<std::string>{}).is_ok());
+  EXPECT_THROW((void)p.get_double("name"), std::logic_error);
+  EXPECT_THROW((void)p.get_string("missing"), std::logic_error);
+}
+
+TEST(Flags, ConfigFileRoundTrip) {
+  const std::string path = "/tmp/roclk_flags_test.conf";
+  {
+    std::ofstream out(path);
+    out << "# a comment\n"
+        << "name = from_file   # trailing comment\n"
+        << "\n"
+        << "ratio=3.5\n"
+        << "verbose = yes\n";
+  }
+  auto p = make_parser();
+  ASSERT_TRUE(p.parse_file(path).is_ok());
+  EXPECT_EQ(p.get_string("name"), "from_file");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 3.5);
+  EXPECT_TRUE(p.get_bool("verbose"));
+  // Command line parsed afterwards overrides the file.
+  ASSERT_TRUE(p.parse({"--ratio", "9.0"}).is_ok());
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 9.0);
+  std::remove(path.c_str());
+}
+
+TEST(Flags, ConfigFileErrors) {
+  auto p = make_parser();
+  EXPECT_EQ(p.parse_file("/nonexistent/file.conf").code(),
+            StatusCode::kNotFound);
+
+  const std::string path = "/tmp/roclk_flags_bad.conf";
+  {
+    std::ofstream out(path);
+    out << "no equals sign here\n";
+  }
+  auto q = make_parser();
+  EXPECT_EQ(q.parse_file(path).code(), StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(path);
+    out << "unknown_option = 1\n";
+  }
+  auto r = make_parser();
+  EXPECT_EQ(r.parse_file(path).code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(Flags, ArgcArgvInterface) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--count", "5"};
+  ASSERT_TRUE(p.parse(3, argv).is_ok());
+  EXPECT_EQ(p.get_int("count"), 5);
+}
+
+}  // namespace
+}  // namespace roclk

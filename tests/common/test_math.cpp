@@ -1,0 +1,75 @@
+#include "roclk/common/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roclk {
+namespace {
+
+TEST(Math, Signum) {
+  EXPECT_EQ(signum(5.0), 1);
+  EXPECT_EQ(signum(-0.25), -1);
+  EXPECT_EQ(signum(0.0), 0);
+  EXPECT_EQ(signum(-7), -1);
+}
+
+TEST(Math, SignumDitherNeverZero) {
+  EXPECT_EQ(signum_dither(0.0), 1);
+  EXPECT_EQ(signum_dither(3.0), 1);
+  EXPECT_EQ(signum_dither(-3.0), -1);
+}
+
+TEST(Math, IsPowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1ULL << 40));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(12));
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(1025), 10);
+}
+
+TEST(Math, ShiftSignedPositiveCounts) {
+  EXPECT_EQ(shift_signed(3, 2), 12);
+  EXPECT_EQ(shift_signed(-3, 2), -12);
+}
+
+TEST(Math, ShiftSignedNegativeCountsRoundTowardMinusInf) {
+  // Arithmetic right shift on two's complement: floor division by 2^k.
+  EXPECT_EQ(shift_signed(7, -1), 3);
+  EXPECT_EQ(shift_signed(-7, -1), -4);  // floor(-3.5) = -4
+  EXPECT_EQ(shift_signed(-1, -3), -1);  // floor(-0.125) = -1
+}
+
+TEST(Math, PositiveFmod) {
+  EXPECT_DOUBLE_EQ(positive_fmod(5.5, 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(positive_fmod(-0.5, 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(positive_fmod(-4.0, 2.0), 0.0);
+}
+
+TEST(Math, NearAndNearRel) {
+  EXPECT_TRUE(near(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(near(1.0, 1.1));
+  EXPECT_TRUE(near_rel(1e6, 1e6 * (1 + 1e-12)));
+  EXPECT_FALSE(near_rel(1e6, 1e6 * 1.01));
+  EXPECT_TRUE(near_rel(0.0, 1e-15));
+}
+
+TEST(Math, LerpAndSmoothstep) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(smoothstep(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(smoothstep(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(smoothstep(0.5), 0.5);
+  // Monotone on [0, 1].
+  EXPECT_LT(smoothstep(0.3), smoothstep(0.4));
+}
+
+}  // namespace
+}  // namespace roclk

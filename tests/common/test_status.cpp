@@ -1,0 +1,71 @@
+#include "roclk/common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roclk {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::invalid_argument("bad gain");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad gain");
+  EXPECT_NE(s.to_string().find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(s.to_string().find("bad gain"), std::string::npos);
+}
+
+TEST(Status, AllFactoryCodes) {
+  EXPECT_EQ(Status::out_of_range("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r{Status::not_found("missing")};
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW((void)r.value(), std::runtime_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string{"payload"}};
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Require, ThrowsLogicErrorWithLocation) {
+  try {
+    ROCLK_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesSilently) {
+  EXPECT_NO_THROW(ROCLK_REQUIRE(true, "never"));
+}
+
+}  // namespace
+}  // namespace roclk

@@ -1,0 +1,72 @@
+#include "roclk/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace roclk {
+namespace {
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable table{{"name", "value"}};
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Borders present.
+  EXPECT_NE(out.find("+-"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table{{"a", "b"}};
+  EXPECT_THROW(table.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, AddRowValuesFormats) {
+  TextTable table{{"x", "y"}};
+  table.add_row_values({1.23456, 2.0}, 2);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotingFollowsRfc4180) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(TextTable, WriteCsvRoundTrip) {
+  TextTable table{{"k", "v"}};
+  table.add_row({"x,y", "1"});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"x,y\",1\n");
+}
+
+TEST(TextTable, SaveCsvWritesFile) {
+  TextTable table{{"a"}};
+  table.add_row({"1"});
+  const std::string path = "/tmp/roclk_test_table.csv";
+  ASSERT_TRUE(table.save_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::remove(path.c_str());
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 3), "2.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace roclk

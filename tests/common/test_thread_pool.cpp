@@ -1,0 +1,80 @@
+#include "roclk/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace roclk {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool{2};
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool{3};
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool{0};
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, NullTaskRejected) {
+  ThreadPool pool{1};
+  EXPECT_THROW(pool.submit(nullptr), std::logic_error);
+}
+
+TEST(ParallelForIndex, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_index(pool, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForIndex, ZeroIterationsIsNoop) {
+  ThreadPool pool{2};
+  bool touched = false;
+  parallel_for_index(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForIndex, ResultsMatchSerialComputation) {
+  std::vector<double> out(500, 0.0);
+  parallel_for_index(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+TEST(ParallelForIndex, ReusablePool) {
+  ThreadPool pool{2};
+  std::atomic<int> total{0};
+  parallel_for_index(pool, 10, [&](std::size_t) { total.fetch_add(1); });
+  parallel_for_index(pool, 20, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 30);
+}
+
+}  // namespace
+}  // namespace roclk

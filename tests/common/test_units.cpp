@@ -1,0 +1,72 @@
+#include "roclk/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace roclk {
+namespace {
+
+using namespace roclk::literals;
+
+TEST(Units, StagesArithmetic) {
+  const Stages a{10.0};
+  const Stages b{2.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 12.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 20.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 2.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -10.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Stages a{1.0};
+  a += Stages{2.0};
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+  a -= Stages{0.5};
+  EXPECT_DOUBLE_EQ(a.value(), 2.5);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a.value(), 10.0);
+  a /= 5.0;
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Stages{1.0}, Stages{2.0});
+  EXPECT_EQ(Stages{3.0}, Stages{3.0});
+  EXPECT_GE(Cycles{5}, Cycles{5});
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((64_stages).value(), 64.0);
+  EXPECT_DOUBLE_EQ((0.5_stages).value(), 0.5);
+  EXPECT_EQ((100_cycles).value(), 100);
+}
+
+TEST(Units, SecondsConversionRoundTrip) {
+  // Paper worked example: c = 64 stages <-> 1 ns.
+  const Seconds stage_delay{1e-9 / 64.0};
+  const Stages c{64.0};
+  const Seconds period = to_seconds(c, stage_delay);
+  EXPECT_NEAR(period.value(), 1e-9, 1e-18);
+  const Stages back = to_stages(period, stage_delay);
+  EXPECT_NEAR(back.value(), 64.0, 1e-9);
+}
+
+TEST(Units, CyclesAreIntegers) {
+  Cycles n{3};
+  n += Cycles{4};
+  EXPECT_EQ(n.value(), 7);
+  EXPECT_EQ((n * 2).value(), 14);
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << Stages{12.5};
+  EXPECT_EQ(os.str(), "12.5");
+}
+
+}  // namespace
+}  // namespace roclk

@@ -1,0 +1,104 @@
+#include "roclk/control/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "roclk/control/iir_control.hpp"
+#include "roclk/core/loop_simulator.hpp"
+
+namespace roclk::control {
+namespace {
+
+/// Synthetic monotone plant: zero errors iff c >= threshold.
+SetpointProbe threshold_probe(double threshold) {
+  return [threshold](double c, std::size_t, std::size_t cycles) {
+    return c >= threshold ? 0u : cycles;
+  };
+}
+
+TEST(Calibration, FindsThresholdWithinResolution) {
+  CalibrationConfig cfg;
+  cfg.resolution = 0.25;
+  const auto result = calibrate_setpoint(threshold_probe(71.3), cfg);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_GE(result.value().minimum_safe, 71.3);
+  EXPECT_LE(result.value().minimum_safe, 71.3 + 2.0 * cfg.resolution);
+  EXPECT_DOUBLE_EQ(result.value().setpoint,
+                   result.value().minimum_safe + cfg.guard_band);
+}
+
+TEST(Calibration, AlreadySafeAtBottomOfBracket) {
+  const auto result = calibrate_setpoint(threshold_probe(10.0));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_DOUBLE_EQ(result.value().minimum_safe, 32.0);  // bracket floor
+  EXPECT_EQ(result.value().probes, 2u);                 // hi + lo only
+}
+
+TEST(Calibration, FailsWhenNothingIsSafe) {
+  const auto result = calibrate_setpoint(threshold_probe(1e6));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Calibration, RejectsBadConfigAndProbe) {
+  EXPECT_FALSE(calibrate_setpoint(nullptr).is_ok());
+  CalibrationConfig bad;
+  bad.min_setpoint = 100.0;
+  bad.max_setpoint = 50.0;
+  EXPECT_FALSE(calibrate_setpoint(threshold_probe(60.0), bad).is_ok());
+  CalibrationConfig zero;
+  zero.probe_cycles = 0;
+  EXPECT_FALSE(calibrate_setpoint(threshold_probe(60.0), zero).is_ok());
+}
+
+TEST(Calibration, AccountsProbeBudget) {
+  CalibrationConfig cfg;
+  cfg.probe_cycles = 100;
+  cfg.settle_cycles = 10;
+  const auto result = calibrate_setpoint(threshold_probe(70.0), cfg);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().total_cycles, result.value().probes * 110u);
+  EXPECT_GE(result.value().probes, 3u);
+}
+
+TEST(Calibration, EndToEndOnTheRealLoop) {
+  // Calibrate an IIR loop under a 10% HoDV: the minimum safe set-point
+  // must sit a few stages of ripple above the logic depth L = 64.
+  CalibrationConfig cfg;
+  cfg.logic_depth = 64.0;
+  cfg.min_setpoint = 60.0;
+  cfg.max_setpoint = 90.0;
+  cfg.probe_cycles = 1200;
+  cfg.settle_cycles = 300;
+
+  SetpointProbe probe = [&cfg](double c, std::size_t settle,
+                               std::size_t cycles) -> std::size_t {
+    core::LoopConfig loop_cfg;
+    loop_cfg.setpoint_c = c;
+    loop_cfg.cdn_delay_stages = 64.0;
+    core::LoopSimulator sim{
+        loop_cfg, std::make_unique<control::IirControlHardware>()};
+    const auto trace = sim.run(
+        core::SimulationInputs::harmonic(0.1 * 64.0, 40.0 * 64.0),
+        settle + cycles);
+    std::size_t errors = 0;
+    for (std::size_t i = settle; i < trace.size(); ++i) {
+      if (trace.tau()[i] < cfg.logic_depth) ++errors;
+    }
+    return errors;
+  };
+
+  const auto result = calibrate_setpoint(probe, cfg);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_GT(result.value().minimum_safe, 64.0);
+  EXPECT_LT(result.value().minimum_safe, 72.0);
+
+  // The calibrated set-point must indeed run clean.
+  EXPECT_EQ(probe(result.value().setpoint, 300, 2400), 0u);
+  // And a set-point at L itself must not (ripple dips below L).
+  EXPECT_GT(probe(64.0, 300, 2400), 0u);
+}
+
+}  // namespace
+}  // namespace roclk::control

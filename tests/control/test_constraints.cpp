@@ -1,0 +1,118 @@
+#include "roclk/control/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roclk/control/iir_control.hpp"
+#include "roclk/signal/jury.hpp"
+
+namespace roclk::control {
+namespace {
+
+using signal::Polynomial;
+
+TEST(Constraints, PaperIirSatisfiesEquation8) {
+  const auto [n, d] = iir_polynomials(paper_iir_config());
+  const auto report = check_paper_constraints(n, d);
+  EXPECT_TRUE(report.numerator_ok);
+  EXPECT_TRUE(report.denominator_ok);
+  EXPECT_TRUE(report.satisfied());
+  EXPECT_DOUBLE_EQ(report.n_at_one, 1.0);
+  EXPECT_NEAR(report.d_at_one, 0.0, 1e-12);
+}
+
+TEST(Constraints, ProportionalControllerViolatesEquation8) {
+  // H = kp: N = kp, D = 1 -> D(1) != 0.
+  const auto report =
+      check_paper_constraints(Polynomial{{2.0}}, Polynomial{{1.0}});
+  EXPECT_TRUE(report.numerator_ok);
+  EXPECT_FALSE(report.denominator_ok);
+  EXPECT_FALSE(report.satisfied());
+}
+
+TEST(Constraints, ZeroNumeratorAtDcViolates) {
+  // N = 1 - z^-1 has N(1) = 0: the loop cannot hold a DC correction.
+  const auto report = check_paper_constraints(Polynomial{{1.0, -1.0}},
+                                              Polynomial{{1.0, -1.0}});
+  EXPECT_FALSE(report.numerator_ok);
+  EXPECT_TRUE(report.denominator_ok);
+  EXPECT_FALSE(report.satisfied());
+}
+
+TEST(ClosedLoopCharacteristic, BuildsDPlusNDelayed) {
+  // D = 1 - z^-1, N = z^-1, M = 0: D + N z^-2 = 1 - z^-1 + z^-3.
+  const auto coeffs = closed_loop_characteristic(
+      Polynomial::delay(1), Polynomial{{1.0, -1.0}}, 0);
+  // Positive powers, highest first: z^3 - z^2 + 1.
+  ASSERT_EQ(coeffs.size(), 4u);
+  EXPECT_DOUBLE_EQ(coeffs[0], 1.0);
+  EXPECT_DOUBLE_EQ(coeffs[1], -1.0);
+  EXPECT_DOUBLE_EQ(coeffs[2], 0.0);
+  EXPECT_DOUBLE_EQ(coeffs[3], 1.0);
+}
+
+TEST(ClosedLoopStability, PaperIirStableAtSmallM) {
+  const auto [n, d] = iir_polynomials(paper_iir_config());
+  for (std::size_t m : {0u, 1u, 2u}) {
+    const auto s = closed_loop_stability(n, d, m);
+    ASSERT_TRUE(s.is_ok()) << "M = " << m;
+    EXPECT_TRUE(s.value().stable) << "M = " << m;
+    EXPECT_LT(s.value().spectral_radius, 1.0);
+  }
+}
+
+TEST(ClosedLoopStability, LongCdnDelayEventuallyDestabilises) {
+  // The delay margin is finite: growing M must push the spectral radius
+  // past 1 (the mechanism behind the Fig. 8 upper-plot degradation).  The
+  // growth is not monotone cycle-to-cycle, so compare regimes, not steps.
+  const auto [n, d] = iir_polynomials(paper_iir_config());
+  const auto small = closed_loop_stability(n, d, 1);
+  const auto large = closed_loop_stability(n, d, 64);
+  ASSERT_TRUE(small.is_ok());
+  ASSERT_TRUE(large.is_ok());
+  EXPECT_LT(small.value().spectral_radius, 1.0);
+  EXPECT_GT(large.value().spectral_radius, 1.0);
+  EXPECT_FALSE(large.value().stable);
+}
+
+TEST(ClosedLoopStability, MaxStableCdnDelayExistsAndIsTight) {
+  const auto [n, d] = iir_polynomials(paper_iir_config());
+  const auto max_m = max_stable_cdn_delay(n, d, 128);
+  ASSERT_TRUE(max_m.has_value());
+  EXPECT_GE(*max_m, 1u);
+  // One past the boundary must be unstable.
+  const auto beyond = closed_loop_stability(n, d, *max_m + 1);
+  ASSERT_TRUE(beyond.is_ok());
+  EXPECT_FALSE(beyond.value().stable);
+  // The boundary itself is stable.
+  const auto at = closed_loop_stability(n, d, *max_m);
+  ASSERT_TRUE(at.is_ok());
+  EXPECT_TRUE(at.value().stable);
+}
+
+TEST(ClosedLoopStability, PureIntegratorLoopHasKnownBoundary) {
+  // H = z^-1/(1 - z^-1) (TEAtime's linearised shell): characteristic
+  // 1 - z^-1 + z^{-M-3}.  The Jury verdict and the explicit root
+  // locations must agree on it.
+  const auto n = Polynomial::delay(1);
+  const Polynomial d{{1.0, -1.0}};
+  const auto s0 = closed_loop_stability(n, d, 0);
+  ASSERT_TRUE(s0.is_ok());
+  const auto jury = signal::jury_test(closed_loop_characteristic(n, d, 0));
+  ASSERT_TRUE(jury.is_ok());
+  EXPECT_EQ(s0.value().stable, jury.value().stable);
+}
+
+TEST(ClosedLoopStability, JuryAgreesWithRootsAcrossM) {
+  const auto [n, d] = iir_polynomials(paper_iir_config());
+  for (std::size_t m = 0; m <= 12; ++m) {
+    const auto roots_verdict = closed_loop_stability(n, d, m);
+    ASSERT_TRUE(roots_verdict.is_ok());
+    const auto jury = signal::jury_test(closed_loop_characteristic(n, d, m));
+    ASSERT_TRUE(jury.is_ok());
+    EXPECT_EQ(roots_verdict.value().stable, jury.value().stable)
+        << "M = " << m;
+  }
+}
+
+}  // namespace
+}  // namespace roclk::control

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "roclk/control/control_block.hpp"
+
+namespace roclk::control {
+namespace {
+
+TEST(Proportional, OutputsBiasPlusScaledPreviousError) {
+  ProportionalControl p{2.0};
+  p.reset(64.0);
+  EXPECT_DOUBLE_EQ(p.step(3.0), 64.0);  // reacts to prior delta (0)
+  EXPECT_DOUBLE_EQ(p.step(0.0), 70.0);  // 64 + 2*3
+  EXPECT_DOUBLE_EQ(p.step(0.0), 64.0);
+}
+
+TEST(Proportional, SteadyStateErrorPersists) {
+  // Without an integrator the output under constant error is constant,
+  // never growing to cancel it — the empirical face of violating eq. 8.
+  ProportionalControl p{1.0};
+  p.reset(64.0);
+  p.step(4.0);
+  double y = 0.0;
+  for (int i = 0; i < 50; ++i) y = p.step(4.0);
+  EXPECT_DOUBLE_EQ(y, 68.0);  // parked at bias + kp*delta, not integrating
+}
+
+TEST(Proportional, RejectsNonPositiveGain) {
+  EXPECT_THROW(ProportionalControl{0.0}, std::logic_error);
+  EXPECT_THROW(ProportionalControl{-1.0}, std::logic_error);
+}
+
+TEST(Pi, IntegratesError) {
+  PiControl pi{0.0, 1.0};
+  pi.reset(64.0);
+  pi.step(2.0);
+  // Integral grows by 2 per cycle (after the one-cycle latency).
+  EXPECT_DOUBLE_EQ(pi.step(2.0), 66.0);
+  EXPECT_DOUBLE_EQ(pi.step(2.0), 68.0);
+}
+
+TEST(Pi, ProportionalPathAddsImmediateKick) {
+  PiControl pi{3.0, 0.5};
+  pi.reset(10.0);
+  pi.step(2.0);
+  // y = bias + kp*prev_delta + ki*integral = 10 + 6 + 1 = 17.
+  EXPECT_DOUBLE_EQ(pi.step(0.0), 17.0);
+}
+
+TEST(Pi, ResetClearsIntegral) {
+  PiControl pi{1.0, 1.0};
+  pi.reset(0.0);
+  pi.step(5.0);
+  pi.step(5.0);
+  pi.reset(0.0);
+  EXPECT_DOUBLE_EQ(pi.step(0.0), 0.0);
+}
+
+TEST(Pi, RejectsBadGains) {
+  EXPECT_THROW((PiControl{-1.0, 1.0}), std::logic_error);
+  EXPECT_THROW((PiControl{1.0, 0.0}), std::logic_error);
+}
+
+TEST(ControlBlocks, CloneRoundTrip) {
+  ProportionalControl p{2.0};
+  p.reset(5.0);
+  auto pc = p.clone();
+  EXPECT_EQ(pc->name(), "P control");
+
+  PiControl pi{1.0, 0.5};
+  pi.reset(5.0);
+  auto pic = pi.clone();
+  EXPECT_EQ(pic->name(), "PI control");
+  EXPECT_DOUBLE_EQ(pic->step(0.0), pi.step(0.0));
+}
+
+}  // namespace
+}  // namespace roclk::control

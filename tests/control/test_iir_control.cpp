@@ -1,0 +1,236 @@
+#include "roclk/control/iir_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "roclk/signal/filter.hpp"
+
+namespace roclk::control {
+namespace {
+
+TEST(IirConfig, PaperParameterisationIsValid) {
+  const auto cfg = paper_iir_config();
+  EXPECT_TRUE(validate_iir_config(cfg).is_ok());
+  EXPECT_DOUBLE_EQ(cfg.k_exp, 8.0);
+  EXPECT_DOUBLE_EQ(cfg.k_star, 0.25);
+  ASSERT_EQ(cfg.taps.size(), 6u);
+  // k = {2, 1, 1/2, 1/4, 1/8, 1/8}; sum = 4 = 1/k* (eq. 10).
+  double sum = 0.0;
+  for (double k : cfg.taps) sum += k;
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+}
+
+TEST(IirConfig, RejectsNonPowerOfTwoGains) {
+  IirConfig cfg = paper_iir_config();
+  cfg.taps[0] = 3.0;
+  EXPECT_FALSE(validate_iir_config(cfg).is_ok());
+
+  IirConfig bad_kexp = paper_iir_config();
+  bad_kexp.k_exp = 6.0;
+  EXPECT_FALSE(validate_iir_config(bad_kexp).is_ok());
+
+  IirConfig bad_kstar = paper_iir_config();
+  bad_kstar.k_star = 0.3;
+  EXPECT_FALSE(validate_iir_config(bad_kstar).is_ok());
+}
+
+TEST(IirConfig, RejectsEq10Violation) {
+  IirConfig cfg = paper_iir_config();
+  cfg.k_star = 0.125;  // 1/sum(k) is 1/4, not 1/8
+  EXPECT_FALSE(validate_iir_config(cfg).is_ok());
+  // A consistent alternative set passes: k = {1, 1}, k* = 1/2.
+  IirConfig alt;
+  alt.taps = {1.0, 1.0};
+  alt.k_star = 0.5;
+  alt.k_exp = 8.0;
+  EXPECT_TRUE(validate_iir_config(alt).is_ok());
+}
+
+TEST(IirConfig, RejectsEmptyTapsAndFractionalKexp) {
+  IirConfig cfg;
+  cfg.taps.clear();
+  EXPECT_FALSE(validate_iir_config(cfg).is_ok());
+  IirConfig frac = paper_iir_config();
+  frac.k_exp = 0.5;
+  EXPECT_FALSE(validate_iir_config(frac).is_ok());
+}
+
+TEST(IirPolynomials, MatchEquation9) {
+  const auto [n, d] = iir_polynomials(paper_iir_config());
+  // N(z) = z^-1.
+  EXPECT_DOUBLE_EQ(n.coefficient(0), 0.0);
+  EXPECT_DOUBLE_EQ(n.coefficient(1), 1.0);
+  // D(z) = 4 - 2z^-1 - z^-2 - 0.5z^-3 - 0.25z^-4 - 0.125z^-5 - 0.125z^-6.
+  EXPECT_DOUBLE_EQ(d.coefficient(0), 4.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(1), -2.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(2), -1.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(3), -0.5);
+  EXPECT_DOUBLE_EQ(d.coefficient(6), -0.125);
+  // eq. 8: D(1) = 0, N(1) = 1.
+  EXPECT_NEAR(d.at_one(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(n.at_one(), 1.0);
+}
+
+TEST(IirReference, StepMatchesTransferFunctionImpulse) {
+  // Drive the recursion with an impulse; compare against long division of
+  // eq. 9 (both around a zero equilibrium).
+  IirControlReference ref;
+  ref.reset(0.0);
+  const auto tf = iir_transfer_function(paper_iir_config());
+  const auto expected = tf.impulse_response(64);
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    const double x = (k == 0) ? 1.0 : 0.0;
+    EXPECT_NEAR(ref.step(x), expected[k], 1e-12) << "sample " << k;
+  }
+}
+
+TEST(IirReference, EquilibriumHoldsAtInitialOutput) {
+  IirControlReference ref;
+  ref.reset(64.0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(ref.step(0.0), 64.0);
+  }
+}
+
+TEST(IirReference, IntegratesConstantError) {
+  // A persistent positive delta must grow the output without bound
+  // (type-1 loop: the filter contains an integrator).
+  IirControlReference ref;
+  ref.reset(64.0);
+  double y = 0.0;
+  for (int i = 0; i < 50; ++i) y = ref.step(1.0);
+  const double y50 = y;
+  for (int i = 0; i < 50; ++i) y = ref.step(1.0);
+  EXPECT_GT(y, y50 + 5.0);
+}
+
+TEST(IirHardware, EquilibriumExactAtPaperSetpoint) {
+  // W = c * k_exp = 512 must be a fixed point of the integer datapath.
+  IirControlHardware hw;
+  hw.reset(64.0);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(hw.step(0.0), 64.0);
+  }
+}
+
+TEST(IirHardware, MinimumErrorPropagates) {
+  // The paper chose k_exp = 8 so that |delta| = 1 still moves the filter.
+  IirControlHardware hw;
+  hw.reset(64.0);
+  hw.step(1.0);
+  double moved = 64.0;
+  for (int i = 0; i < 16; ++i) moved = hw.step(1.0);
+  EXPECT_GT(moved, 64.0);
+}
+
+TEST(IirHardware, TracksReferenceOverShortHorizon) {
+  IirControlReference ref;
+  IirControlHardware hw;
+  ref.reset(64.0);
+  hw.reset(64.0);
+  double worst = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    // Integer-valued sinusoidal error like the closed loop produces.
+    const double delta =
+        std::round(6.0 * std::sin(2.0 * 3.14159265358979 * i / 50.0));
+    worst = std::max(worst, std::fabs(ref.step(delta) - hw.step(delta)));
+  }
+  // k_exp = 8 keeps short-horizon rounding error within ~2 stages.
+  EXPECT_LT(worst, 2.5);
+}
+
+TEST(IirHardware, OpenLoopRoundingDriftIsSlow) {
+  // The filter contains an integrator, so truncation bias accumulates when
+  // run OPEN loop; the closed loop absorbs it (integration tests).  Here we
+  // bound the drift rate itself: well under one stage per 10 cycles.
+  IirControlReference ref;
+  IirControlHardware hw;
+  ref.reset(64.0);
+  hw.reset(64.0);
+  const int n = 1000;
+  double final_gap = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double delta =
+        std::round(6.0 * std::sin(2.0 * 3.14159265358979 * i / 50.0));
+    final_gap = std::fabs(ref.step(delta) - hw.step(delta));
+  }
+  EXPECT_LT(final_gap / n, 0.1);
+}
+
+TEST(IirHardware, LargerKexpShrinksRoundingError) {
+  auto run = [](double k_exp) {
+    IirConfig cfg = paper_iir_config();
+    cfg.k_exp = k_exp;
+    IirControlReference ref{cfg};
+    IirControlHardware hw{cfg};
+    ref.reset(64.0);
+    hw.reset(64.0);
+    double acc = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      const double delta =
+          std::round(5.0 * std::sin(2.0 * 3.14159265358979 * i / 40.0));
+      acc += std::fabs(ref.step(delta) - hw.step(delta));
+    }
+    return acc / 300.0;
+  };
+  const double err1 = run(1.0);
+  const double err16 = run(16.0);
+  EXPECT_LT(err16, err1);
+}
+
+TEST(IirHardware, CloneIsIndependent) {
+  IirControlHardware hw;
+  hw.reset(64.0);
+  hw.step(3.0);
+  auto copy = hw.clone();
+  // Same state right after cloning...
+  EXPECT_DOUBLE_EQ(copy->step(0.0), hw.step(0.0));
+  // ...then divergent inputs give divergent outputs.
+  copy->step(10.0);
+  hw.step(-10.0);
+  EXPECT_NE(copy->step(0.0), hw.step(0.0));
+}
+
+TEST(IirHardware, StateAccessorExposesScaledRegisters) {
+  IirControlHardware hw;
+  hw.reset(64.0);
+  ASSERT_EQ(hw.state().size(), 6u);
+  for (auto w : hw.state()) EXPECT_EQ(w, 512);  // 64 * k_exp
+}
+
+// Property: for several valid coefficient sets, the recursion's DC
+// behaviour (integrator) and equilibrium hold.
+struct CoeffCase {
+  std::vector<double> taps;
+  double k_star;
+};
+
+class IirCoefficientSets : public ::testing::TestWithParam<CoeffCase> {};
+
+TEST_P(IirCoefficientSets, ValidAndEquilibriumStable) {
+  IirConfig cfg;
+  cfg.taps = GetParam().taps;
+  cfg.k_star = GetParam().k_star;
+  cfg.k_exp = 8.0;
+  ASSERT_TRUE(validate_iir_config(cfg).is_ok());
+  IirControlReference ref{cfg};
+  ref.reset(100.0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_NEAR(ref.step(0.0), 100.0, 1e-9);
+  }
+  const auto [n, d] = iir_polynomials(cfg);
+  EXPECT_NEAR(d.at_one(), 0.0, 1e-12);
+  EXPECT_NE(n.at_one(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sets, IirCoefficientSets,
+    ::testing::Values(CoeffCase{{1.0}, 1.0}, CoeffCase{{1.0, 1.0}, 0.5},
+                      CoeffCase{{2.0, 1.0, 1.0}, 0.25},
+                      CoeffCase{{2.0, 1.0, 0.5, 0.25, 0.125, 0.125}, 0.25},
+                      CoeffCase{{4.0, 2.0, 1.0, 0.5, 0.25, 0.125, 0.125},
+                                0.125}));
+
+}  // namespace
+}  // namespace roclk::control

@@ -1,0 +1,109 @@
+#include "roclk/control/teatime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roclk::control {
+namespace {
+
+TEST(TeaTime, HoldsAtEquilibriumWithZeroError) {
+  TeaTimeControl tea;
+  tea.reset(64.0);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(tea.step(0.0), 64.0);
+  }
+}
+
+TEST(TeaTime, MovesOneStepPerCycleTowardErrorSign) {
+  TeaTimeControl tea;
+  tea.reset(64.0);
+  // delta > 0 (tau too small, period too short) -> lengthen the RO.
+  EXPECT_DOUBLE_EQ(tea.step(5.0), 65.0);
+  EXPECT_DOUBLE_EQ(tea.step(5.0), 66.0);
+  // delta < 0 -> shorten.
+  EXPECT_DOUBLE_EQ(tea.step(-5.0), 65.0);
+  EXPECT_DOUBLE_EQ(tea.step(-5.0), 64.0);
+}
+
+TEST(TeaTime, DelayedSignVariantReactsOneCycleLater) {
+  TeaTimeConfig cfg;
+  cfg.delayed_sign = true;
+  TeaTimeControl tea{cfg};
+  tea.reset(64.0);
+  EXPECT_DOUBLE_EQ(tea.step(5.0), 64.0);  // reacts to prior delta (0)
+  EXPECT_DOUBLE_EQ(tea.step(5.0), 65.0);
+  EXPECT_DOUBLE_EQ(tea.step(-5.0), 66.0);  // still consuming +5
+  EXPECT_DOUBLE_EQ(tea.step(-5.0), 65.0);
+}
+
+TEST(TeaTime, SlewRateIsOneStepRegardlessOfErrorMagnitude) {
+  TeaTimeControl tea;
+  tea.reset(0.0);
+  double y = 0.0;
+  for (int i = 0; i < 10; ++i) y = tea.step(1000.0);
+  EXPECT_DOUBLE_EQ(y, 10.0);  // bang-bang: 1 stage/cycle, not proportional
+}
+
+TEST(TeaTime, ConfigurableStepSize) {
+  TeaTimeConfig cfg;
+  cfg.step_stages = 2.0;
+  TeaTimeControl tea{cfg};
+  tea.reset(64.0);
+  EXPECT_DOUBLE_EQ(tea.step(3.0), 66.0);
+  EXPECT_DOUBLE_EQ(tea.step(3.0), 68.0);
+  EXPECT_THROW(TeaTimeControl{TeaTimeConfig{0.0}}, std::logic_error);
+}
+
+TEST(TeaTime, DitherPolicyNeverRests) {
+  TeaTimeConfig cfg;
+  cfg.zero_policy = SignZeroPolicy::kDither;
+  TeaTimeControl tea{cfg};
+  tea.reset(64.0);
+  // sign(0) = +1 under dithering: the output creeps upward on zero error,
+  // the original TEAtime behaviour (it relies on the loop to push back).
+  EXPECT_DOUBLE_EQ(tea.step(0.0), 65.0);
+  EXPECT_DOUBLE_EQ(tea.step(0.0), 66.0);
+}
+
+TEST(TeaTime, LimitCycleUnderAlternatingError) {
+  // In closed loop TEAtime dithers +/- one step; emulate with alternating
+  // error signs and verify bounded oscillation.
+  TeaTimeControl tea;
+  tea.reset(64.0);
+  double lo = 64.0;
+  double hi = 64.0;
+  double sign = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    const double y = tea.step(sign);
+    sign = -sign;
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  EXPECT_GE(lo, 62.0);
+  EXPECT_LE(hi, 66.0);
+}
+
+TEST(TeaTime, ResetRestoresEquilibrium) {
+  TeaTimeControl tea;
+  tea.reset(64.0);
+  tea.step(5.0);
+  tea.step(5.0);
+  tea.reset(32.0);
+  EXPECT_DOUBLE_EQ(tea.step(0.0), 32.0);  // holds: sign(0) = 0 by default
+}
+
+TEST(TeaTime, CloneCopiesAccumulator) {
+  TeaTimeControl tea;
+  tea.reset(64.0);
+  tea.step(1.0);
+  tea.step(1.0);
+  auto copy = tea.clone();
+  EXPECT_DOUBLE_EQ(copy->step(0.0), tea.step(0.0));
+}
+
+TEST(TeaTime, NameIsPaperLabel) {
+  TeaTimeControl tea;
+  EXPECT_EQ(tea.name(), "TEAtime RO");
+}
+
+}  // namespace
+}  // namespace roclk::control

@@ -1,0 +1,133 @@
+#include "roclk/core/edge_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "roclk/control/iir_control.hpp"
+
+namespace roclk::core {
+namespace {
+
+EdgeSimConfig base_config(GeneratorMode mode) {
+  EdgeSimConfig cfg;
+  cfg.setpoint_c = 64.0;
+  cfg.cdn_delay_stages = 64.0;
+  cfg.mode = mode;
+  return cfg;
+}
+
+TEST(EdgeSimulator, QuietEquilibriumForAllModes) {
+  for (auto mode : {GeneratorMode::kControlledRo, GeneratorMode::kFreeRunningRo,
+                    GeneratorMode::kFixedClock}) {
+    std::unique_ptr<control::ControlBlock> ctrl;
+    if (mode == GeneratorMode::kControlledRo) {
+      ctrl = std::make_unique<control::IirControlHardware>();
+    }
+    EdgeSimulator sim{base_config(mode), std::move(ctrl)};
+    const auto trace = sim.run(EdgeSimInputs{}, 200);
+    ASSERT_EQ(trace.size(), 200u);
+    EXPECT_EQ(trace.violation_count(), 0u) << to_string(mode);
+    for (double tau : trace.tau()) {
+      ASSERT_DOUBLE_EQ(tau, 64.0);
+    }
+  }
+}
+
+TEST(EdgeSimulator, ControlledModeRequiresController) {
+  EXPECT_THROW((EdgeSimulator{base_config(GeneratorMode::kControlledRo),
+                              nullptr}),
+               std::logic_error);
+}
+
+TEST(EdgeSimulator, HomogeneousStepRejectedByClosedLoop) {
+  EdgeSimulator sim{base_config(GeneratorMode::kControlledRo),
+                    std::make_unique<control::IirControlHardware>()};
+  EdgeSimInputs inputs;
+  inputs.v_ro = [](double t) { return t > 2000.0 ? 0.1 : 0.0; };
+  inputs.v_tdc = inputs.v_ro;
+  const auto trace = sim.run(inputs, 800);
+  // Steady state: tau back to ~c, period stretched ~10%.
+  EXPECT_NEAR(trace.tau().back(), 64.0, 1.5);
+  EXPECT_NEAR(trace.delivered_period().back(), 70.4, 1.5);
+}
+
+TEST(EdgeSimulator, FixedClockIgnoresVariationAndFails) {
+  EdgeSimulator sim{base_config(GeneratorMode::kFixedClock), nullptr};
+  EdgeSimInputs inputs;
+  inputs.v_ro = [](double) { return 0.1; };
+  inputs.v_tdc = inputs.v_ro;
+  const auto trace = sim.run(inputs, 300);
+  // tau ~ 64/1.1 = 58.2: persistent violation.
+  EXPECT_NEAR(trace.tau().back(), 58.0, 1.0);
+  EXPECT_GT(trace.violation_count(), 250u);
+}
+
+TEST(EdgeSimulator, TdcMismatchShiftsReadingsPhysically) {
+  auto cfg = base_config(GeneratorMode::kFreeRunningRo);
+  cfg.tdc_relative_mismatch = -0.1;  // TDC 10% faster: reads higher
+  EdgeSimulator sim{cfg, nullptr};
+  const auto trace = sim.run(EdgeSimInputs{}, 100);
+  EXPECT_NEAR(trace.tau().back(), 64.0 / 0.9, 1.0);
+}
+
+TEST(EdgeSimulator, AgreesWithDiscreteModelForSlowPerturbations) {
+  // Model-fidelity check (ablation A5 in miniature): for a slow harmonic
+  // HoDV the event-driven and sample-domain simulators must report similar
+  // safety margins and mean periods for the IIR system.
+  const double c = 64.0;
+  const double amplitude_frac = 0.1;
+  const double period = 100.0 * c;
+
+  EdgeSimulator edge{base_config(GeneratorMode::kControlledRo),
+                     std::make_unique<control::IirControlHardware>()};
+  EdgeSimInputs edge_inputs = EdgeSimInputs::homogeneous(
+      std::make_shared<signal::SineWaveform>(amplitude_frac, period));
+  const auto edge_trace = edge.run(edge_inputs, 4000);
+
+  auto discrete = make_iir_system(c, c);
+  const auto discrete_trace = discrete.run(
+      SimulationInputs::harmonic(amplitude_frac * c, period), 4000);
+
+  const double sm_edge = edge_trace.required_safety_margin(c, 1000);
+  const double sm_discrete = discrete_trace.required_safety_margin(c, 1000);
+  EXPECT_NEAR(sm_edge, sm_discrete, 2.0);
+  EXPECT_NEAR(edge_trace.mean_delivered_period(1000),
+              discrete_trace.mean_delivered_period(1000), 1.0);
+}
+
+TEST(EdgeSimulator, PhysicalMismatchMatchesAdditiveMuToFirstOrder) {
+  // The paper's additive mu and the physical relative mismatch r relate as
+  // mu ~ -c * r: a TDC whose stages are r slower reads ~c*r fewer stages.
+  // Both loops must settle on the same delivered period ~ c * (1 + r).
+  const double c = 64.0;
+  const double r = 0.1;
+
+  auto physical_cfg = base_config(GeneratorMode::kControlledRo);
+  physical_cfg.tdc_relative_mismatch = r;
+  EdgeSimulator physical{physical_cfg,
+                         std::make_unique<control::IirControlHardware>()};
+  const auto physical_trace = physical.run(EdgeSimInputs{}, 2000);
+
+  auto additive = make_iir_system(c, c);
+  SimulationInputs inputs;
+  inputs.mu = [c, r](double) { return -c * r; };
+  const auto additive_trace = additive.run(inputs, 2000);
+
+  EXPECT_NEAR(physical_trace.mean_delivered_period(1000), c * (1.0 + r),
+              1.5);
+  EXPECT_NEAR(additive_trace.mean_delivered_period(1000),
+              physical_trace.mean_delivered_period(1000), 1.5);
+}
+
+TEST(EdgeSimulator, RejectsInvalidConfig) {
+  auto cfg = base_config(GeneratorMode::kFreeRunningRo);
+  cfg.setpoint_c = 0.0;
+  EXPECT_THROW((EdgeSimulator{cfg, nullptr}), std::logic_error);
+  auto cfg2 = base_config(GeneratorMode::kFreeRunningRo);
+  cfg2.tdc_relative_mismatch = -1.5;
+  EXPECT_THROW((EdgeSimulator{cfg2, nullptr}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::core

@@ -1,0 +1,121 @@
+#include "roclk/core/gate_level_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+
+#include "roclk/common/stats.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/teatime.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/variation/sources.hpp"
+
+namespace roclk::core {
+namespace {
+
+GateLevelSimulator make_sim(GateLevelConfig cfg = {}) {
+  return GateLevelSimulator{std::move(cfg),
+                            std::make_unique<control::IirControlHardware>()};
+}
+
+TEST(GateLevelSim, ValidateCatchesBadConfigs) {
+  GateLevelConfig bad;
+  bad.setpoint_c = 0.0;
+  EXPECT_FALSE(GateLevelSimulator::validate(bad).is_ok());
+  GateLevelConfig no_tdc;
+  no_tdc.tdcs.clear();
+  EXPECT_FALSE(GateLevelSimulator::validate(no_tdc).is_ok());
+  GateLevelConfig range;
+  range.ro_min_length = 100;
+  range.ro_max_length = 10;
+  EXPECT_FALSE(GateLevelSimulator::validate(range).is_ok());
+  EXPECT_THROW(make_sim(bad), std::logic_error);
+  EXPECT_THROW((GateLevelSimulator{GateLevelConfig{}, nullptr}),
+               std::logic_error);
+}
+
+TEST(GateLevelSim, QuietRunHoldsNearSetpointWithinTapGranularity) {
+  auto sim = make_sim();
+  const auto quiet = variation::DieToDieProcess::with_offset(0.0);
+  const auto trace = sim.run(quiet, 600);
+  for (std::size_t i = 100; i < trace.size(); ++i) {
+    ASSERT_NEAR(trace.tau()[i], 64.0, 2.0) << i;
+    // Odd lengths only.
+    ASSERT_EQ(static_cast<std::int64_t>(trace.lro()[i]) % 2, 1) << i;
+  }
+}
+
+TEST(GateLevelSim, TracksHomogeneousSlowdownLikeBehaviouralLoop) {
+  auto sim = make_sim();
+  const auto slow = variation::DieToDieProcess::with_offset(0.12);
+  const auto gate = sim.run(slow, 1200);
+
+  auto behavioural = make_iir_system(64.0, 64.0);
+  SimulationInputs inputs;
+  inputs.e_ro = [](double) { return 0.12 * 64.0; };
+  inputs.e_tdc = inputs.e_ro;
+  const auto ref = behavioural.run(inputs, 1200);
+
+  EXPECT_NEAR(gate.mean_delivered_period(600),
+              ref.mean_delivered_period(600), 2.5);
+  EXPECT_NEAR(gate.tau().back(), 64.0, 2.5);
+}
+
+TEST(GateLevelSim, WorstOfMultipleTdcsDrivesTheLoop) {
+  GateLevelConfig cfg;
+  // Two TDC chains: one in a (future) hotspot corner, one at centre.
+  sensor::DetailedTdcConfig hot;
+  hot.chain.start = {0.84, 0.84};
+  hot.chain.end = {0.86, 0.86};
+  sensor::DetailedTdcConfig centre;
+  centre.chain.start = {0.50, 0.55};
+  centre.chain.end = {0.52, 0.57};
+  cfg.tdcs = {hot, centre};
+  auto sim = GateLevelSimulator{
+      cfg, std::make_unique<control::IirControlHardware>()};
+
+  variation::TemperatureHotspot hotspot{0.15, {0.85, 0.85}, 0.05, 0.0, 1.0};
+  const auto trace = sim.run(hotspot, 1200);
+  // The loop must stretch the period for the hot TDC even though the RO
+  // and the centre TDC feel nothing.
+  EXPECT_NEAR(trace.mean_delivered_period(600), 64.0 * 1.15, 3.0);
+}
+
+TEST(GateLevelSim, JitterInflatesRippleButLoopHolds) {
+  GateLevelConfig jittery;
+  jittery.jitter.white_sigma = 1.0;
+  auto sim = GateLevelSimulator{
+      jittery, std::make_unique<control::IirControlHardware>()};
+  const auto quiet = variation::DieToDieProcess::with_offset(0.0);
+  const auto trace = sim.run(quiet, 1500);
+
+  auto clean_sim = make_sim();
+  const auto clean = clean_sim.run(quiet, 1500);
+  EXPECT_GT(trace.tau_ripple(500), clean.tau_ripple(500));
+  // Still bounded and centred.
+  EXPECT_NEAR(mean(std::span<const double>(trace.tau()).subspan(500)), 64.0,
+              2.0);
+}
+
+TEST(GateLevelSim, ResetRestoresDeterminism) {
+  auto sim = make_sim();
+  variation::VrmRipple ripple{0.1, 1600.0};
+  const auto a = sim.run(ripple, 300);
+  sim.reset();
+  const auto b = sim.run(ripple, 300);
+  EXPECT_EQ(a.tau(), b.tau());
+  EXPECT_EQ(a.lro(), b.lro());
+}
+
+TEST(GateLevelSim, TeaTimeControllerWorksAtGateLevel) {
+  GateLevelConfig cfg;
+  auto sim =
+      GateLevelSimulator{cfg, std::make_unique<control::TeaTimeControl>()};
+  const auto slow = variation::DieToDieProcess::with_offset(0.10);
+  const auto trace = sim.run(slow, 1000);
+  EXPECT_NEAR(trace.mean_delivered_period(500), 70.4, 3.0);
+}
+
+}  // namespace
+}  // namespace roclk::core

@@ -1,0 +1,199 @@
+#include "roclk/core/loop_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/teatime.hpp"
+
+namespace roclk::core {
+namespace {
+
+LoopConfig linear_config(double tclk = 64.0) {
+  LoopConfig cfg;
+  cfg.setpoint_c = 64.0;
+  cfg.cdn_delay_stages = tclk;
+  cfg.quantize_lro = false;
+  cfg.tdc_quantization = sensor::Quantization::kNone;
+  return cfg;
+}
+
+TEST(LoopSimulator, ValidateRejectsBadConfigs) {
+  LoopConfig cfg;
+  cfg.setpoint_c = 0.0;
+  EXPECT_FALSE(LoopSimulator::validate(cfg, true).is_ok());
+
+  LoopConfig no_ctrl;
+  EXPECT_FALSE(LoopSimulator::validate(no_ctrl, false).is_ok());
+
+  LoopConfig neg;
+  neg.cdn_delay_stages = -1.0;
+  EXPECT_FALSE(LoopSimulator::validate(neg, true).is_ok());
+
+  LoopConfig range;
+  range.min_length = 100;
+  range.max_length = 10;
+  EXPECT_FALSE(LoopSimulator::validate(range, true).is_ok());
+
+  LoopConfig bad_period;
+  bad_period.open_loop_period = -1.0;
+  EXPECT_FALSE(LoopSimulator::validate(bad_period, true).is_ok());
+}
+
+// Equilibrium: with zero perturbation every system must hold tau = c
+// exactly, forever, with zero violations.
+class EquilibriumAllSystems
+    : public ::testing::TestWithParam<std::tuple<GeneratorMode, double>> {};
+
+TEST_P(EquilibriumAllSystems, QuietEnvironmentIsFixedPoint) {
+  const auto [mode, tclk] = GetParam();
+  LoopConfig cfg;
+  cfg.setpoint_c = 64.0;
+  cfg.cdn_delay_stages = tclk;
+  cfg.mode = mode;
+  std::unique_ptr<control::ControlBlock> ctrl;
+  if (mode == GeneratorMode::kControlledRo) {
+    ctrl = std::make_unique<control::IirControlHardware>();
+  }
+  LoopSimulator sim{cfg, std::move(ctrl)};
+  const auto trace = sim.run(SimulationInputs::none(), 200);
+  EXPECT_EQ(trace.violation_count(), 0u);
+  for (double tau : trace.tau()) {
+    ASSERT_DOUBLE_EQ(tau, 64.0);
+  }
+  for (double t : trace.delivered_period()) {
+    ASSERT_DOUBLE_EQ(t, 64.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndDelays, EquilibriumAllSystems,
+    ::testing::Combine(::testing::Values(GeneratorMode::kControlledRo,
+                                         GeneratorMode::kFreeRunningRo,
+                                         GeneratorMode::kFixedClock),
+                       ::testing::Values(0.0, 64.0, 160.0, 640.0)));
+
+TEST(LoopSimulator, HomogeneousStepIsFullyRejectedByIirLoop) {
+  // A permanent die-wide slowdown: the loop must return tau to c (zero
+  // steady-state error, eq. 8) with the period stretched to c + e.
+  auto sim = make_iir_system(64.0, 64.0);
+  SimulationInputs inputs;
+  inputs.e_ro = [](double t) { return t >= 640.0 ? 6.0 : 0.0; };
+  inputs.e_tdc = inputs.e_ro;
+  const auto trace = sim.run(inputs, 600);
+  const double tau_end = trace.tau().back();
+  EXPECT_NEAR(tau_end, 64.0, 1.0);
+  EXPECT_NEAR(trace.delivered_period().back(), 70.0, 1.0);
+}
+
+TEST(LoopSimulator, MismatchStepShiftsPeriodOppositeWays) {
+  // Positive mu (TDC reads optimistically high): loop shortens the period
+  // to T ~ c - mu; negative mu lengthens it.  tau returns to c either way.
+  for (double mu : {8.0, -8.0}) {
+    auto sim = make_iir_system(64.0, 64.0);
+    SimulationInputs inputs;
+    inputs.mu = [mu](double t) { return t >= 640.0 ? mu : 0.0; };
+    const auto trace = sim.run(inputs, 800);
+    EXPECT_NEAR(trace.tau().back(), 64.0, 1.0) << "mu " << mu;
+    EXPECT_NEAR(trace.delivered_period().back(), 64.0 - mu, 1.5)
+        << "mu " << mu;
+  }
+}
+
+TEST(LoopSimulator, FreeRoCancelsHomogeneousStepWithoutControl) {
+  // The free-running RO is itself slowed by e, so after the CDN flushes,
+  // its delivered period carries the correction automatically.
+  auto sim = make_free_ro_system(64.0, 64.0);
+  SimulationInputs inputs;
+  inputs.e_ro = [](double t) { return t >= 640.0 ? 6.0 : 0.0; };
+  inputs.e_tdc = inputs.e_ro;
+  const auto trace = sim.run(inputs, 200);
+  EXPECT_NEAR(trace.tau().back(), 64.0, 1e-9);
+  EXPECT_NEAR(trace.delivered_period().back(), 70.0, 1e-9);
+}
+
+TEST(LoopSimulator, FixedClockCarriesPermanentError) {
+  auto sim = make_fixed_clock_system(64.0, 64.0);
+  SimulationInputs inputs;
+  inputs.e_ro = [](double t) { return t >= 640.0 ? 6.0 : 0.0; };
+  inputs.e_tdc = inputs.e_ro;
+  const auto trace = sim.run(inputs, 200);
+  // tau = c - e forever: a 6-stage violation the fixed clock cannot fix.
+  EXPECT_NEAR(trace.tau().back(), 58.0, 1e-9);
+  EXPECT_GT(trace.violation_count(), 50u);
+}
+
+TEST(LoopSimulator, FreeRoWithDesignMarginAvoidsViolations) {
+  auto no_margin = make_free_ro_system(64.0, 64.0, 0.0);
+  auto with_margin = make_free_ro_system(64.0, 64.0, 8.0);
+  const auto inputs = SimulationInputs::harmonic(6.0, 1600.0);
+  EXPECT_GT(no_margin.run(inputs, 2000).violation_count(200), 0u);
+  EXPECT_EQ(with_margin.run(inputs, 2000).violation_count(200), 0u);
+}
+
+TEST(LoopSimulator, RoLengthSaturationBoundsLro) {
+  LoopConfig cfg;
+  cfg.setpoint_c = 64.0;
+  cfg.cdn_delay_stages = 64.0;
+  cfg.min_length = 60;
+  cfg.max_length = 68;
+  LoopSimulator sim{cfg, std::make_unique<control::IirControlHardware>()};
+  // Huge mismatch drives the controller far beyond the range.
+  SimulationInputs inputs;
+  inputs.mu = [](double) { return -30.0; };
+  const auto trace = sim.run(inputs, 500);
+  for (double l : trace.lro()) {
+    ASSERT_GE(l, 60.0);
+    ASSERT_LE(l, 68.0);
+  }
+}
+
+TEST(LoopSimulator, ResetRestoresEquilibriumAfterDisturbance) {
+  auto sim = make_teatime_system(64.0, 64.0);
+  const auto inputs = SimulationInputs::harmonic(12.8, 1600.0);
+  (void)sim.run(inputs, 500);
+  sim.reset();
+  const auto quiet = sim.run(SimulationInputs::none(), 100);
+  EXPECT_EQ(quiet.violation_count(), 0u);
+  EXPECT_DOUBLE_EQ(quiet.tau().back(), 64.0);
+}
+
+TEST(LoopSimulator, TeaTimeLimitCycleBoundedByLoopDelay) {
+  // Under a static mismatch TEAtime settles into a limit cycle whose
+  // amplitude is set by the loop transport delay (M + 2 cycles of blind
+  // stepping before the sign information returns).
+  auto sim = make_teatime_system(64.0, 64.0);  // M = 1 -> 3-cycle transport
+  SimulationInputs inputs;
+  inputs.mu = [](double) { return 5.0; };
+  const auto trace = sim.run(inputs, 2000);
+  EXPECT_LE(trace.tau_ripple(1500), 6.0);
+  EXPECT_NEAR(trace.mean_delivered_period(1500), 59.0, 2.0);
+}
+
+TEST(LoopSimulator, FasterPerturbationNeedsMoreMargin) {
+  // The heart of section II-A: the same amplitude at higher frequency is
+  // harder to adapt to.
+  const auto inputs_fast = SimulationInputs::harmonic(12.8, 25.0 * 64.0);
+  const auto inputs_slow = SimulationInputs::harmonic(12.8, 100.0 * 64.0);
+  auto sim_fast = make_iir_system(64.0, 64.0);
+  auto sim_slow = make_iir_system(64.0, 64.0);
+  const double sm_fast =
+      sim_fast.run(inputs_fast, 6000).required_safety_margin(64.0, 2000);
+  const double sm_slow =
+      sim_slow.run(inputs_slow, 6000).required_safety_margin(64.0, 2000);
+  EXPECT_GT(sm_fast, sm_slow);
+}
+
+TEST(LoopSimulator, SamplePeriodOverrideChangesPerturbationSampling) {
+  LoopConfig cfg = linear_config();
+  cfg.sample_period = 32.0;  // sample the waveform twice per nominal period
+  LoopSimulator sim{cfg, std::make_unique<control::IirControlReference>()};
+  const auto inputs = SimulationInputs::harmonic(12.8, 1600.0);
+  const auto trace = sim.run(inputs, 100);
+  EXPECT_EQ(trace.size(), 100u);
+}
+
+}  // namespace
+}  // namespace roclk::core

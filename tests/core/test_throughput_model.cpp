@@ -1,0 +1,128 @@
+#include "roclk/core/throughput_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "roclk/control/iir_control.hpp"
+
+namespace roclk::core {
+namespace {
+
+SimulationTrace trace_with(const std::vector<double>& taus,
+                           double period = 64.0) {
+  SimulationTrace trace;
+  for (double tau : taus) {
+    StepRecord r;
+    r.tau = tau;
+    r.t_dlv = period;
+    trace.push(r);
+  }
+  return trace;
+}
+
+TEST(Throughput, ErrorFreeRunAtLogicDepthIsIdeal) {
+  const auto trace = trace_with(std::vector<double>(100, 64.0), 64.0);
+  const auto report = evaluate_throughput(trace, {64.0, 8.0});
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_DOUBLE_EQ(report.useful_cycles, 100.0);
+  EXPECT_DOUBLE_EQ(report.total_time_stages, 6400.0);
+  EXPECT_DOUBLE_EQ(report.efficiency, 1.0);
+}
+
+TEST(Throughput, SlowClockCostsEfficiency) {
+  const auto trace = trace_with(std::vector<double>(100, 80.0), 80.0);
+  const auto report = evaluate_throughput(trace, {64.0, 8.0});
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_DOUBLE_EQ(report.efficiency, 64.0 / 80.0);
+}
+
+TEST(Throughput, ErrorsChargeReplayPenalty) {
+  std::vector<double> taus(100, 64.0);
+  taus[10] = 60.0;  // two errors
+  taus[50] = 63.0;
+  const auto trace = trace_with(taus);
+  const auto report = evaluate_throughput(trace, {64.0, 8.0});
+  EXPECT_EQ(report.errors, 2u);
+  EXPECT_DOUBLE_EQ(report.useful_cycles, 100.0 - 16.0);
+  EXPECT_DOUBLE_EQ(report.efficiency, 84.0 / 100.0);
+}
+
+TEST(Throughput, UsefulCyclesFlooredAtZero) {
+  const auto trace = trace_with(std::vector<double>(10, 10.0));  // all fail
+  const auto report = evaluate_throughput(trace, {64.0, 8.0});
+  EXPECT_EQ(report.errors, 10u);
+  EXPECT_DOUBLE_EQ(report.useful_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(report.efficiency, 0.0);
+}
+
+TEST(Throughput, SkipDropsTransient) {
+  std::vector<double> taus(20, 64.0);
+  taus[0] = 1.0;  // transient error
+  const auto trace = trace_with(taus);
+  EXPECT_EQ(evaluate_throughput(trace, {64.0, 8.0}, 0).errors, 1u);
+  EXPECT_EQ(evaluate_throughput(trace, {64.0, 8.0}, 1).errors, 0u);
+}
+
+TEST(Throughput, Preconditions) {
+  const auto trace = trace_with({64.0});
+  EXPECT_THROW((void)evaluate_throughput(trace, {0.0, 8.0}),
+               std::logic_error);
+  EXPECT_THROW((void)evaluate_throughput(trace, {64.0, -1.0}),
+               std::logic_error);
+  EXPECT_THROW((void)evaluate_throughput(trace, {64.0, 8.0}, 5),
+               std::logic_error);
+}
+
+TEST(GovernedRun, GovernorDrivesLoopSetpoint) {
+  LoopConfig cfg;
+  cfg.setpoint_c = 76.0;
+  cfg.cdn_delay_stages = 64.0;
+  LoopSimulator sim{cfg, std::make_unique<control::IirControlHardware>()};
+
+  control::GovernorConfig gov_cfg;
+  gov_cfg.initial_setpoint = 76.0;
+  gov_cfg.logic_depth = 64.0;
+  gov_cfg.window = 64;
+  gov_cfg.headroom = 2.0;
+  control::SetpointGovernor governor{gov_cfg};
+
+  const auto trace = run_with_governor(sim, governor,
+                                       SimulationInputs::none(), 8000);
+  EXPECT_EQ(trace.size(), 8000u);
+  // Quiet environment: the governor must creep down to near L + headroom.
+  EXPECT_LT(governor.setpoint(), 69.0);
+  EXPECT_GE(governor.setpoint(), 64.0);
+  EXPECT_EQ(governor.total_errors(), 0u);
+  // And the loop actually followed: late delivered periods near the final c.
+  EXPECT_NEAR(trace.delivered_period().back(), governor.setpoint(), 2.0);
+}
+
+TEST(GovernedRun, BacksOffWhenPushedIntoErrors) {
+  LoopConfig cfg;
+  cfg.setpoint_c = 64.0;  // starts AT the logic depth: ripple causes errors
+  cfg.cdn_delay_stages = 64.0;
+  LoopSimulator sim{cfg, std::make_unique<control::IirControlHardware>()};
+
+  control::GovernorConfig gov_cfg;
+  gov_cfg.initial_setpoint = 64.0;
+  gov_cfg.logic_depth = 64.0;
+  gov_cfg.window = 64;
+  control::SetpointGovernor governor{gov_cfg};
+
+  const auto inputs = SimulationInputs::harmonic(6.0, 2560.0);
+  const auto trace = run_with_governor(sim, governor, inputs, 8000);
+  // The governor must have raised the set-point above the start.
+  EXPECT_GT(governor.setpoint(), 64.0);
+  // ...and late-run errors should be rarer than early-run errors.
+  const auto tp_early = evaluate_throughput(trace, {64.0, 8.0}, 0);
+  std::size_t late_errors = 0;
+  const auto& tau = trace.tau();
+  for (std::size_t i = 6000; i < tau.size(); ++i) {
+    if (tau[i] < 64.0) ++late_errors;
+  }
+  EXPECT_LT(late_errors * 4, tp_early.errors + 1);
+}
+
+}  // namespace
+}  // namespace roclk::core

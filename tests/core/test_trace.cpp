@@ -1,0 +1,99 @@
+#include "roclk/core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace roclk::core {
+namespace {
+
+SimulationTrace make_trace() {
+  SimulationTrace trace;
+  // tau: 64, 62, 66, 61; setpoint 64.
+  for (double tau : {64.0, 62.0, 66.0, 61.0}) {
+    StepRecord r;
+    r.tau = tau;
+    r.delta = 64.0 - tau;
+    r.lro = 64.0;
+    r.t_gen = 64.0;
+    r.t_dlv = tau + 1.0;  // arbitrary distinct value
+    r.violation = tau < 64.0;
+    trace.push(r);
+  }
+  return trace;
+}
+
+TEST(Trace, SizeAndColumns) {
+  const auto trace = make_trace();
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.tau()[1], 62.0);
+  EXPECT_DOUBLE_EQ(trace.delta()[1], 2.0);
+  EXPECT_DOUBLE_EQ(trace.delivered_period()[2], 67.0);
+}
+
+TEST(Trace, TimingError) {
+  const auto trace = make_trace();
+  const auto err = trace.timing_error(64.0);
+  ASSERT_EQ(err.size(), 4u);
+  EXPECT_DOUBLE_EQ(err[0], 0.0);
+  EXPECT_DOUBLE_EQ(err[1], -2.0);
+  EXPECT_DOUBLE_EQ(err[2], 2.0);
+  EXPECT_DOUBLE_EQ(err[3], -3.0);
+}
+
+TEST(Trace, ViolationCountWithSkip) {
+  const auto trace = make_trace();
+  EXPECT_EQ(trace.violation_count(), 2u);
+  EXPECT_EQ(trace.violation_count(2), 1u);
+  EXPECT_EQ(trace.violation_count(4), 0u);
+}
+
+TEST(Trace, RequiredSafetyMargin) {
+  const auto trace = make_trace();
+  EXPECT_DOUBLE_EQ(trace.required_safety_margin(64.0), 3.0);
+  EXPECT_DOUBLE_EQ(trace.required_safety_margin(64.0, 2), 3.0);
+  // All tau above setpoint: zero margin needed, never negative.
+  EXPECT_DOUBLE_EQ(trace.required_safety_margin(60.0), 0.0);
+}
+
+TEST(Trace, MeanDeliveredPeriodWithSkip) {
+  const auto trace = make_trace();
+  EXPECT_DOUBLE_EQ(trace.mean_delivered_period(),
+                   (65.0 + 63.0 + 67.0 + 62.0) / 4.0);
+  EXPECT_DOUBLE_EQ(trace.mean_delivered_period(2), (67.0 + 62.0) / 2.0);
+  EXPECT_DOUBLE_EQ(trace.mean_delivered_period(10), 0.0);
+}
+
+TEST(Trace, TauRipple) {
+  const auto trace = make_trace();
+  EXPECT_DOUBLE_EQ(trace.tau_ripple(), 5.0);  // 66 - 61
+  EXPECT_DOUBLE_EQ(trace.tau_ripple(2), 5.0);
+  EXPECT_DOUBLE_EQ(trace.tau_ripple(99), 0.0);
+}
+
+TEST(Trace, CsvExportRoundTrip) {
+  const auto trace = make_trace();
+  const std::string path = "/tmp/roclk_trace_test.csv";
+  ASSERT_TRUE(trace.save_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "n,tau,delta,lro,t_gen,t_dlv,violation");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReserveDoesNotChangeSize) {
+  SimulationTrace trace;
+  trace.reserve(100);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace roclk::core

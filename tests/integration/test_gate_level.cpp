@@ -1,0 +1,115 @@
+// Gate-level cross-check: a hand-wired loop built from the *detailed*
+// hardware models (tap-multiplexed ring oscillator on a physical stage
+// chain, thermometer-code TDC with a ones-count decoder) must adapt the
+// same way the behavioural LoopSimulator does.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "roclk/control/iir_control.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/osc/stage_chain.hpp"
+#include "roclk/sensor/thermometer.hpp"
+#include "roclk/variation/sources.hpp"
+
+namespace roclk {
+namespace {
+
+/// Minimal discrete loop on the gate-level models: one sample per period,
+/// CDN as a one-period delay (t_clk = c), TDC with one-cycle latency.
+core::SimulationTrace run_gate_level_loop(
+    const variation::VariationSource& source, std::size_t cycles,
+    double setpoint_c = 64.0) {
+  osc::StageChainConfig ro_chain;
+  ro_chain.stages = 257;
+  ro_chain.start = {0.48, 0.5};
+  ro_chain.end = {0.52, 0.5};
+  osc::TappedRingOscillator ro{ro_chain, 9, 255};
+  ro.set_length(static_cast<std::int64_t>(setpoint_c) + 1);  // odd: 65
+
+  sensor::DetailedTdcConfig tdc_cfg;
+  tdc_cfg.chain.stages = 513;
+  tdc_cfg.chain.start = {0.6, 0.6};
+  tdc_cfg.chain.end = {0.62, 0.62};
+  sensor::DetailedTdc tdc{tdc_cfg};
+
+  control::IirControlHardware controller;
+  controller.reset(setpoint_c);
+
+  core::SimulationTrace trace;
+  trace.reserve(cycles);
+
+  // Delay registers (as in the Fig. 4 loop with M = 1).
+  double t_gen_prev = setpoint_c;   // period in flight through the CDN
+  double t_dlv_prev = setpoint_c;   // period delivered last cycle
+  double time = 0.0;
+
+  for (std::size_t n = 0; n < cycles; ++n) {
+    core::StepRecord record;
+    // TDC measures last cycle's delivered period (one-cycle latency).
+    record.tau = static_cast<double>(tdc.measure(t_dlv_prev, source, time));
+    record.delta = setpoint_c - record.tau;
+    record.violation = record.tau < setpoint_c;
+    record.lro =
+        static_cast<double>(ro.set_length(static_cast<std::int64_t>(
+            std::llround(controller.step(record.delta)))));
+    // RO generates this cycle's period from its own local environment.
+    record.t_gen = ro.period_stages(source, time);
+    // CDN: one-period pipe.
+    record.t_dlv = t_gen_prev;
+    t_gen_prev = record.t_gen;
+    t_dlv_prev = record.t_dlv;
+    time += setpoint_c;
+    trace.push(record);
+  }
+  return trace;
+}
+
+TEST(GateLevel, QuietLoopSettlesNearSetpoint) {
+  const auto quiet = variation::DieToDieProcess::with_offset(0.0);
+  const auto trace = run_gate_level_loop(quiet, 500);
+  // Odd-length quantisation allows only 63/65, so tau dithers around 64;
+  // the loop must stay within the 2-stage tap granularity.
+  for (std::size_t i = 100; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace.tau()[i], 64.0, 2.0) << i;
+  }
+}
+
+TEST(GateLevel, HomogeneousStepAbsorbedLikeBehaviouralModel) {
+  // 10% die-wide slowdown from t = 0.
+  const auto slow = variation::DieToDieProcess::with_offset(0.10);
+  const auto gate = run_gate_level_loop(slow, 1200);
+
+  auto behavioural = core::make_iir_system(64.0, 64.0);
+  core::SimulationInputs inputs;
+  inputs.e_ro = [](double) { return 6.4; };
+  inputs.e_tdc = inputs.e_ro;
+  const auto ref = behavioural.run(inputs, 1200);
+
+  // Both settle: tau near c, delivered period near c * 1.1 = 70.4.
+  EXPECT_NEAR(gate.tau().back(), 64.0, 2.5);
+  EXPECT_NEAR(ref.tau().back(), 64.0, 1.0);
+  EXPECT_NEAR(gate.mean_delivered_period(600),
+              ref.mean_delivered_period(600), 2.5);
+}
+
+TEST(GateLevel, RoTdcMismatchCreatesThePaperMuEffect) {
+  // A hotspot over the TDC chain (not the RO): the TDC reads low, the
+  // loop stretches the period — negative mu in the paper's terms.
+  variation::TemperatureHotspot hotspot{0.15, {0.61, 0.61}, 0.05, 0.0, 1.0};
+  const auto trace = run_gate_level_loop(hotspot, 1500);
+  // Settled period ~ c * 1.15 (the loop compensates the TDC's slow gates).
+  EXPECT_NEAR(trace.mean_delivered_period(1000), 64.0 * 1.15, 3.0);
+}
+
+TEST(GateLevel, OddLengthQuantisationCostsBoundedRipple) {
+  // Compare tau ripple between the gate-level loop (2-stage tap steps) and
+  // the behavioural loop (1-stage steps) in a quiet environment.
+  const auto quiet = variation::DieToDieProcess::with_offset(0.0);
+  const auto gate = run_gate_level_loop(quiet, 1500);
+  EXPECT_LE(gate.tau_ripple(500), 4.0);
+}
+
+}  // namespace
+}  // namespace roclk

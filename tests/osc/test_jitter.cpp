@@ -1,0 +1,101 @@
+#include "roclk/osc/jitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "roclk/common/stats.hpp"
+
+namespace roclk::osc {
+namespace {
+
+TEST(Jitter, QuietByDefault) {
+  JitterModel jitter;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(jitter.sample(), 0.0);
+  }
+}
+
+TEST(Jitter, DeterministicInSeed) {
+  JitterConfig cfg;
+  cfg.white_sigma = 0.5;
+  cfg.walk_sigma = 0.1;
+  JitterModel a{cfg};
+  JitterModel b{cfg};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(), b.sample());
+  }
+}
+
+TEST(Jitter, WhiteComponentHasRequestedRms) {
+  JitterConfig cfg;
+  cfg.white_sigma = 0.4;
+  JitterModel jitter{cfg};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(jitter.sample());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.4, 0.01);
+}
+
+TEST(Jitter, WalkAccumulatesButLeaks) {
+  JitterConfig cfg;
+  cfg.walk_sigma = 0.2;
+  cfg.walk_leak = 0.99;
+  JitterModel jitter{cfg};
+  // Stationary variance of a leaky accumulator: sigma^2/(1-leak^2).
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(jitter.sample());
+  const double expected =
+      0.2 / std::sqrt(1.0 - 0.99 * 0.99);
+  EXPECT_NEAR(stats.stddev(), expected, 0.15 * expected);
+}
+
+TEST(Jitter, WalkIsCorrelatedWhiteIsNot) {
+  // Lag-1 autocorrelation: ~leak for the walk, ~0 for white noise.
+  auto lag1 = [](JitterConfig cfg) {
+    JitterModel jitter{cfg};
+    double prev = jitter.sample();
+    double num = 0.0;
+    double den = 0.0;
+    for (int i = 0; i < 50000; ++i) {
+      const double cur = jitter.sample();
+      num += prev * cur;
+      den += prev * prev;
+      prev = cur;
+    }
+    return num / den;
+  };
+  JitterConfig white;
+  white.white_sigma = 0.3;
+  EXPECT_NEAR(lag1(white), 0.0, 0.05);
+  JitterConfig walk;
+  walk.walk_sigma = 0.3;
+  walk.walk_leak = 0.995;
+  EXPECT_GT(lag1(walk), 0.9);
+}
+
+TEST(Jitter, ResetReplaysExactly) {
+  JitterConfig cfg;
+  cfg.white_sigma = 1.0;
+  cfg.walk_sigma = 0.5;
+  JitterModel jitter{cfg};
+  std::vector<double> first;
+  for (int i = 0; i < 32; ++i) first.push_back(jitter.sample());
+  jitter.reset();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(jitter.sample(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Jitter, RejectsBadConfig) {
+  JitterConfig bad;
+  bad.white_sigma = -1.0;
+  EXPECT_THROW(JitterModel{bad}, std::logic_error);
+  JitterConfig leak;
+  leak.walk_leak = 1.5;
+  EXPECT_THROW(JitterModel{leak}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::osc

@@ -1,0 +1,114 @@
+#include "roclk/osc/stage_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roclk/variation/sources.hpp"
+
+namespace roclk::osc {
+namespace {
+
+variation::DieToDieProcess quiet() {
+  return variation::DieToDieProcess::with_offset(0.0);
+}
+
+TEST(StageChain, ValidateRejectsDegenerateConfigs) {
+  StageChainConfig bad;
+  bad.stages = 2;
+  EXPECT_FALSE(StageChain::validate(bad).is_ok());
+  StageChainConfig zero;
+  zero.nominal_stage_delay = 0.0;
+  EXPECT_FALSE(StageChain::validate(zero).is_ok());
+  EXPECT_THROW(StageChain{bad}, std::logic_error);
+}
+
+TEST(StageChain, PositionsInterpolateAlongSegment) {
+  StageChainConfig cfg;
+  cfg.stages = 3;
+  cfg.start = {0.0, 0.0};
+  cfg.end = {1.0, 0.5};
+  StageChain chain{cfg};
+  EXPECT_DOUBLE_EQ(chain.position(0).x, 0.0);
+  EXPECT_DOUBLE_EQ(chain.position(1).x, 0.5);
+  EXPECT_DOUBLE_EQ(chain.position(1).y, 0.25);
+  EXPECT_DOUBLE_EQ(chain.position(2).x, 1.0);
+}
+
+TEST(StageChain, NominalChainDelayEqualsCount) {
+  StageChain chain;
+  const auto v = quiet();
+  EXPECT_DOUBLE_EQ(chain.chain_delay(64, v, 0.0), 64.0);
+  EXPECT_DOUBLE_EQ(chain.chain_delay(0, v, 0.0), 0.0);
+}
+
+TEST(StageChain, HomogeneousVariationScalesDelay) {
+  StageChain chain;
+  const auto slow = variation::DieToDieProcess::with_offset(0.25);
+  EXPECT_DOUBLE_EQ(chain.chain_delay(64, slow, 0.0), 80.0);
+}
+
+TEST(StageChain, HeterogeneousVariationIsPerStage) {
+  // A hotspot over one end of the chain slows only nearby stages.
+  StageChainConfig cfg;
+  cfg.stages = 101;
+  cfg.start = {0.0, 0.5};
+  cfg.end = {1.0, 0.5};
+  StageChain chain{cfg};
+  variation::TemperatureHotspot hotspot{0.2, {1.0, 0.5}, 0.1, 0.0, 1.0};
+  const double front_half = chain.chain_delay(50, hotspot, 100.0);
+  const double full = chain.chain_delay(101, hotspot, 100.0);
+  const double back_half = full - front_half;
+  EXPECT_GT(back_half, front_half + 1.0);  // hot end slower
+}
+
+TEST(StageChain, StagesCrossedInverseOfChainDelay) {
+  StageChain chain;
+  const auto v = quiet();
+  EXPECT_EQ(chain.stages_crossed(64.0, v, 0.0), 64u);
+  EXPECT_EQ(chain.stages_crossed(63.5, v, 0.0), 63u);
+  EXPECT_EQ(chain.stages_crossed(0.0, v, 0.0), 0u);
+  // Window beyond the chain saturates at the physical length.
+  EXPECT_EQ(chain.stages_crossed(1e6, v, 0.0), chain.size());
+}
+
+TEST(StageChain, StagesCrossedShrinksWhenSlow) {
+  StageChain chain;
+  const auto slow = variation::DieToDieProcess::with_offset(0.25);
+  EXPECT_EQ(chain.stages_crossed(64.0, slow, 0.0), 51u);  // 64/1.25
+}
+
+TEST(NearestOdd, RoundsUpFromEven) {
+  EXPECT_EQ(nearest_odd(63), 63);
+  EXPECT_EQ(nearest_odd(64), 65);
+  EXPECT_EQ(nearest_odd(3), 3);
+}
+
+TEST(TappedRo, EnforcesOddLengths) {
+  TappedRingOscillator ro{StageChainConfig{}, 33, 127};
+  EXPECT_EQ(ro.set_length(64), 65);
+  EXPECT_EQ(ro.set_length(65), 65);
+  EXPECT_EQ(ro.length() % 2, 1);
+}
+
+TEST(TappedRo, ClampsToTapRange) {
+  TappedRingOscillator ro{StageChainConfig{}, 33, 127};
+  EXPECT_EQ(ro.set_length(5), 33);
+  EXPECT_EQ(ro.set_length(1000), 127);
+}
+
+TEST(TappedRo, PeriodSumsSelectedStageDelays) {
+  TappedRingOscillator ro{StageChainConfig{}, 33, 127};
+  ro.set_length(65);
+  const auto v = quiet();
+  EXPECT_DOUBLE_EQ(ro.period_stages(v, 0.0), 65.0);
+  const auto slow = variation::DieToDieProcess::with_offset(0.1);
+  EXPECT_NEAR(ro.period_stages(slow, 0.0), 71.5, 1e-9);
+}
+
+TEST(TappedRo, RangeExceedingChainRejected) {
+  StageChainConfig cfg;
+  cfg.stages = 65;
+  EXPECT_THROW((TappedRingOscillator{cfg, 33, 127}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::osc

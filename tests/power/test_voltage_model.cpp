@@ -1,0 +1,116 @@
+#include "roclk/power/voltage_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace roclk::power {
+namespace {
+
+TEST(VoltageModel, ValidateCatchesBadParams) {
+  ProcessParams bad;
+  bad.vth = 1.2;  // above nominal vdd
+  EXPECT_FALSE(validate(bad).is_ok());
+  ProcessParams alpha;
+  alpha.alpha = 3.0;
+  EXPECT_FALSE(validate(alpha).is_ok());
+  ProcessParams ceiling;
+  ceiling.vdd_max = 0.5;
+  EXPECT_FALSE(validate(ceiling).is_ok());
+  ProcessParams leak;
+  leak.leakage_share = 1.0;
+  EXPECT_FALSE(validate(leak).is_ok());
+}
+
+TEST(VoltageModel, DelayFactorIsOneAtNominal) {
+  EXPECT_DOUBLE_EQ(delay_factor(1.0), 1.0);
+}
+
+TEST(VoltageModel, DelayMonotoneDecreasingInVdd) {
+  double prev = 1e9;
+  for (double v : {0.5, 0.7, 0.9, 1.0, 1.1, 1.3}) {
+    const double d = delay_factor(v);
+    EXPECT_LT(d, prev) << "v " << v;
+    prev = d;
+  }
+}
+
+TEST(VoltageModel, DelayDivergesTowardVth) {
+  EXPECT_GT(delay_factor(0.32), 20.0);  // just above vth = 0.30
+}
+
+TEST(VoltageModel, DelayRequiresSwitchingHeadroom) {
+  EXPECT_THROW((void)delay_factor(0.25), std::logic_error);
+}
+
+TEST(VoltageModel, InverseRoundTrips) {
+  for (double target : {0.8, 0.9, 1.0, 1.2, 1.5}) {
+    const auto vdd = vdd_for_delay_factor(target);
+    ASSERT_TRUE(vdd.is_ok()) << target;
+    EXPECT_NEAR(delay_factor(vdd.value()), target, 1e-6) << target;
+  }
+}
+
+TEST(VoltageModel, InverseRespectsReliabilityCeiling) {
+  // Asking for a 3x speed-up exceeds any sane overdrive.
+  const auto vdd = vdd_for_delay_factor(1.0 / 3.0);
+  EXPECT_FALSE(vdd.is_ok());
+  EXPECT_EQ(vdd.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(VoltageModel, EnergyGrowsQuadraticallyPlusLeakage) {
+  ProcessParams p;
+  p.leakage_share = 0.0;  // pure dynamic
+  EXPECT_DOUBLE_EQ(energy_per_op_factor(1.0, 1.0, p), 1.0);
+  EXPECT_DOUBLE_EQ(energy_per_op_factor(1.2, 1.0, p), 1.44);
+  // With leakage, a longer period costs energy even at nominal V.
+  ProcessParams leaky;
+  leaky.leakage_share = 0.25;
+  EXPECT_GT(energy_per_op_factor(1.0, 1.2, leaky), 1.0);
+}
+
+TEST(VoltageModel, PeriodMarginStrategy) {
+  const auto op = period_margin_strategy(0.2);
+  EXPECT_DOUBLE_EQ(op.vdd_factor, 1.0);
+  EXPECT_DOUBLE_EQ(op.period_factor, 1.2);
+  EXPECT_NEAR(op.throughput_factor, 1.0 / 1.2, 1e-12);
+  // Slight energy increase from leakage integrating over a longer period.
+  EXPECT_GT(op.energy_factor, 1.0);
+  EXPECT_LT(op.energy_factor, 1.1);
+}
+
+TEST(VoltageModel, VoltageMarginStrategyPaysEnergy) {
+  const auto op = voltage_margin_strategy(0.2);
+  ASSERT_TRUE(op.is_ok());
+  EXPECT_GT(op.value().vdd_factor, 1.0);
+  EXPECT_DOUBLE_EQ(op.value().throughput_factor, 1.0);
+  EXPECT_GT(op.value().energy_factor, 1.1);  // V^2 bites
+}
+
+TEST(VoltageModel, VoltageMarginFailsBeyondCeiling) {
+  ProcessParams tight;
+  tight.vdd_max = 1.05;
+  const auto op = voltage_margin_strategy(0.5, tight);
+  EXPECT_FALSE(op.is_ok());
+}
+
+TEST(VoltageModel, AdaptiveStrategyDominatesWorstCasePeriodMargin) {
+  // The adaptive clock pays the *mean* slowdown, not the worst case.
+  const auto fixed = period_margin_strategy(0.2);
+  const auto adaptive = adaptive_clock_strategy(0.05);
+  EXPECT_GT(adaptive.throughput_factor, fixed.throughput_factor);
+  EXPECT_LT(adaptive.energy_factor, fixed.energy_factor);
+}
+
+TEST(VoltageModel, StrategyOrderingAtTwentyPercent) {
+  // Energy: voltage margin > period margin ~ adaptive.
+  // Throughput: voltage margin = 1 > adaptive > period margin.
+  const auto period = period_margin_strategy(0.2);
+  const auto voltage = voltage_margin_strategy(0.2).value();
+  const auto adaptive = adaptive_clock_strategy(0.06);
+  EXPECT_GT(voltage.energy_factor, period.energy_factor);
+  EXPECT_GT(voltage.energy_factor, adaptive.energy_factor);
+  EXPECT_GT(voltage.throughput_factor, adaptive.throughput_factor);
+  EXPECT_GT(adaptive.throughput_factor, period.throughput_factor);
+}
+
+}  // namespace
+}  // namespace roclk::power

@@ -1,0 +1,114 @@
+#include "roclk/signal/jury.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "roclk/signal/roots.hpp"
+
+namespace roclk::signal {
+namespace {
+
+TEST(Jury, StableFirstOrder) {
+  // z - 0.5: root at 0.5.
+  auto r = jury_test(std::vector<double>{1.0, -0.5});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().stable);
+}
+
+TEST(Jury, UnstableFirstOrder) {
+  // z - 1.5.
+  auto r = jury_test(std::vector<double>{1.0, -1.5});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().stable);
+  EXPECT_FALSE(r.value().failed_condition.empty());
+}
+
+TEST(Jury, RootExactlyOnCircleIsNotStrictlyStable) {
+  // z - 1.
+  auto r = jury_test(std::vector<double>{1.0, -1.0});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().stable);
+}
+
+TEST(Jury, StableSecondOrder) {
+  // (z - 0.3)(z + 0.4) = z^2 + 0.1 z - 0.12.
+  auto r = jury_test(std::vector<double>{1.0, 0.1, -0.12});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().stable);
+}
+
+TEST(Jury, UnstableSecondOrderComplexPair) {
+  // z^2 + 1.21: roots at +/- 1.1i.
+  auto r = jury_test(std::vector<double>{1.0, 0.0, 1.21});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().stable);
+}
+
+TEST(Jury, NegativeLeadingCoefficientHandled) {
+  // -(z - 0.5): same root.
+  auto r = jury_test(std::vector<double>{-1.0, 0.5});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().stable);
+}
+
+TEST(Jury, ConstantPolynomialIsTriviallyStable) {
+  auto r = jury_test(std::vector<double>{3.0});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().stable);
+}
+
+TEST(Jury, EmptyRejected) {
+  auto r = jury_test(std::vector<double>{});
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(JuryWithoutUnitRoot, DividesOutIntegrator) {
+  // (z - 1)(z - 0.5) = z^2 - 1.5 z + 0.5: marginally stable overall, but
+  // stable after removing the unit root.
+  auto r = jury_test_without_unit_root(std::vector<double>{1.0, -1.5, 0.5});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().stable);
+}
+
+TEST(JuryWithoutUnitRoot, DetectsResidualInstability) {
+  // (z - 1)(z - 2) = z^2 - 3z + 2.
+  auto r = jury_test_without_unit_root(std::vector<double>{1.0, -3.0, 2.0});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().stable);
+}
+
+TEST(JuryWithoutUnitRoot, RequiresRootAtOne) {
+  auto r = jury_test_without_unit_root(std::vector<double>{1.0, -0.5});
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Property: the Jury verdict must agree with explicit root finding for a
+// family of second/third-order polynomials parameterised by a pole radius.
+class JuryVsRoots : public ::testing::TestWithParam<double> {};
+
+TEST_P(JuryVsRoots, AgreesWithSpectralRadius) {
+  const double radius = GetParam();
+  // Complex pair at radius * e^{+/- j pi/3} plus a real pole at radius/2:
+  // (z^2 - 2 r cos60 z + r^2)(z - r/2).
+  const double cos60 = 0.5;
+  std::vector<double> quad{1.0, -2.0 * radius * cos60, radius * radius};
+  std::vector<double> cubic{
+      quad[0], quad[1] - 0.5 * radius * quad[0],
+      quad[2] - 0.5 * radius * quad[1], -0.5 * radius * quad[2]};
+  auto jury = jury_test(cubic);
+  ASSERT_TRUE(jury.is_ok());
+  auto roots = find_roots(cubic);
+  ASSERT_TRUE(roots.is_ok());
+  const bool stable_by_roots = spectral_radius(roots.value()) < 1.0;
+  EXPECT_EQ(jury.value().stable, stable_by_roots) << "radius " << radius;
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, JuryVsRoots,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.95, 0.999, 1.05,
+                                           1.3, 2.0));
+
+}  // namespace
+}  // namespace roclk::signal

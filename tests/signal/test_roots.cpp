@@ -1,0 +1,135 @@
+#include "roclk/signal/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace roclk::signal {
+namespace {
+
+void expect_contains_root(const std::vector<std::complex<double>>& roots,
+                          std::complex<double> expected, double tol = 1e-8) {
+  const bool found = std::any_of(
+      roots.begin(), roots.end(),
+      [&](const auto& r) { return std::abs(r - expected) < tol; });
+  EXPECT_TRUE(found) << "missing root " << expected.real() << "+"
+                     << expected.imag() << "i";
+}
+
+TEST(Roots, Linear) {
+  // 2x - 6 = 0 -> x = 3.
+  auto r = find_roots(std::vector<double>{2.0, -6.0});
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  expect_contains_root(r.value(), {3.0, 0.0});
+}
+
+TEST(Roots, QuadraticRealRoots) {
+  // (x-1)(x-2) = x^2 - 3x + 2.
+  auto r = find_roots(std::vector<double>{1.0, -3.0, 2.0});
+  ASSERT_TRUE(r.is_ok());
+  expect_contains_root(r.value(), {1.0, 0.0});
+  expect_contains_root(r.value(), {2.0, 0.0});
+}
+
+TEST(Roots, QuadraticComplexPair) {
+  // x^2 + 1 -> +/- i.
+  auto r = find_roots(std::vector<double>{1.0, 0.0, 1.0});
+  ASSERT_TRUE(r.is_ok());
+  expect_contains_root(r.value(), {0.0, 1.0});
+  expect_contains_root(r.value(), {0.0, -1.0});
+}
+
+TEST(Roots, RepeatedRoot) {
+  // (x-1)^3.
+  auto r = find_roots(std::vector<double>{1.0, -3.0, 3.0, -1.0});
+  ASSERT_TRUE(r.is_ok());
+  for (const auto& root : r.value()) {
+    EXPECT_NEAR(std::abs(root - std::complex<double>{1.0, 0.0}), 0.0, 1e-4);
+  }
+}
+
+TEST(Roots, LeadingZerosStripped) {
+  auto r = find_roots(std::vector<double>{0.0, 0.0, 1.0, -2.0});
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  expect_contains_root(r.value(), {2.0, 0.0});
+}
+
+TEST(Roots, ConstantHasNoRoots) {
+  auto r = find_roots(std::vector<double>{5.0});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(Roots, EmptyPolynomialRejected) {
+  auto r = find_roots(std::vector<double>{0.0, 0.0});
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Roots, HighDegreeDelayPolynomial) {
+  // z^12 - 0.5: 12 roots evenly spread on a circle of radius 0.5^(1/12).
+  std::vector<double> coeffs(13, 0.0);
+  coeffs[0] = 1.0;
+  coeffs[12] = -0.5;
+  auto r = find_roots(coeffs);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().size(), 12u);
+  const double expected_radius = std::pow(0.5, 1.0 / 12.0);
+  for (const auto& root : r.value()) {
+    EXPECT_NEAR(std::abs(root), expected_radius, 1e-8);
+  }
+}
+
+TEST(Roots, PaperClosedLoopCharacteristicIsSolvable) {
+  // D(z) + N(z) z^{-M-2} for the paper IIR at M = 1, in positive powers
+  // (multiplied through by z^6):
+  //   4 z^6 - 2 z^5 - z^4 + 0.5 z^3 - 0.25 z^2 - 0.125 z - 0.125 .
+  std::vector<double> coeffs{4.0, -2.0, -1.0, 0.5, -0.25, -0.125, -0.125};
+  auto r = find_roots(coeffs);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().size(), 6u);
+  // The paper's loop is stable at M = 1: every root inside the unit circle.
+  EXPECT_LT(spectral_radius(r.value()), 1.0);
+}
+
+TEST(Roots, SpectralRadius) {
+  std::vector<std::complex<double>> roots{{0.5, 0.0}, {0.0, 0.9}, {-0.2, 0.0}};
+  EXPECT_NEAR(spectral_radius(roots), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(spectral_radius({}), 0.0);
+}
+
+// Property sweep: random-coefficient polynomials must reproduce near-zero
+// residuals at every reported root.
+class RootsResidual : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootsResidual, ResidualsAreSmall) {
+  const int degree = GetParam();
+  std::vector<double> coeffs(static_cast<std::size_t>(degree) + 1);
+  // Deterministic pseudo-random coefficients in [-2, 2].
+  std::uint64_t s = 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(degree + 1);
+  for (auto& c : coeffs) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    c = static_cast<double>(static_cast<std::int64_t>(s >> 11)) /
+            static_cast<double>(1LL << 52) -
+        2.0;
+    if (c == 0.0) c = 1.0;
+  }
+  auto r = find_roots(coeffs);
+  ASSERT_TRUE(r.is_ok());
+  for (const auto& root : r.value()) {
+    std::complex<double> p{0.0, 0.0};
+    for (double c : coeffs) p = p * root + c;
+    EXPECT_LT(std::abs(p), 1e-6 * std::abs(coeffs[0]) *
+                               std::pow(std::max(1.0, std::abs(root)),
+                                        degree));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RootsResidual,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace roclk::signal

@@ -1,0 +1,104 @@
+#include "roclk/signal/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "roclk/common/math.hpp"
+
+namespace roclk::signal {
+namespace {
+
+std::vector<double> make_tone(std::size_t n, double cycles_per_sample,
+                              double amplitude, double phase = 0.0) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = amplitude *
+            std::sin(kTwoPi * cycles_per_sample * static_cast<double>(i) +
+                     phase);
+  }
+  return xs;
+}
+
+TEST(Fft, RequiresPowerOfTwo) {
+  EXPECT_FALSE(fft(std::vector<double>(12, 0.0)).is_ok());
+  EXPECT_FALSE(fft(std::vector<double>{}).is_ok());
+  EXPECT_TRUE(fft(std::vector<double>(16, 0.0)).is_ok());
+}
+
+TEST(Fft, MatchesDirectDft) {
+  std::vector<double> xs{1.0, 2.0, -1.0, 0.5, 0.0, 3.0, -2.0, 1.5};
+  auto fast = fft(xs);
+  ASSERT_TRUE(fast.is_ok());
+  const auto slow = dft(xs);
+  ASSERT_EQ(fast.value().size(), slow.size());
+  for (std::size_t k = 0; k < slow.size(); ++k) {
+    EXPECT_NEAR(std::abs(fast.value()[k] - slow[k]), 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, DcBinIsSum) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  auto spec = fft(xs);
+  ASSERT_TRUE(spec.is_ok());
+  EXPECT_NEAR(spec.value()[0].real(), 10.0, 1e-12);
+  EXPECT_NEAR(spec.value()[0].imag(), 0.0, 1e-12);
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const auto xs = make_tone(n, 4.0 / n, 1.0);
+  auto spec = fft(xs);
+  ASSERT_TRUE(spec.is_ok());
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    const double expected = (k == 4) ? static_cast<double>(n) / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(spec.value()[k]), expected, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Goertzel, MatchesDftBin) {
+  const std::size_t n = 50;
+  const auto xs = make_tone(n, 5.0 / n, 2.0, 0.3);
+  const auto spectrum = dft(xs);
+  const auto g = goertzel(xs, 5.0 / static_cast<double>(n));
+  EXPECT_NEAR(std::abs(g - spectrum[5]), 0.0, 1e-8);
+}
+
+TEST(ToneAmplitude, RecoversSinusoidAmplitude) {
+  const std::size_t n = 200;
+  const auto xs = make_tone(n, 10.0 / n, 3.5, 1.1);
+  EXPECT_NEAR(tone_amplitude(xs, 10.0 / static_cast<double>(n)), 3.5, 1e-9);
+}
+
+TEST(ToneAmplitude, ZeroForQuietSignal) {
+  std::vector<double> xs(128, 0.0);
+  EXPECT_NEAR(tone_amplitude(xs, 0.1), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tone_amplitude(std::vector<double>{}, 0.1), 0.0);
+}
+
+TEST(DominantBin, FindsStrongestTone) {
+  const std::size_t n = 96;
+  auto xs = make_tone(n, 7.0 / n, 1.0);
+  const auto weak = make_tone(n, 13.0 / n, 0.2);
+  for (std::size_t i = 0; i < n; ++i) xs[i] += weak[i];
+  EXPECT_EQ(dominant_bin(xs), 7u);
+}
+
+// Parameterised sweep: amplitude recovery across frequencies.
+class ToneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToneSweep, AmplitudeRecoveredAtBin) {
+  const std::size_t n = 256;
+  const int bin = GetParam();
+  const double f = static_cast<double>(bin) / static_cast<double>(n);
+  const auto xs = make_tone(n, f, 1.25);
+  EXPECT_NEAR(tone_amplitude(xs, f), 1.25, 1e-9);
+  EXPECT_EQ(dominant_bin(xs), static_cast<std::size_t>(bin));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, ToneSweep,
+                         ::testing::Values(2, 5, 11, 23, 47, 90, 120));
+
+}  // namespace
+}  // namespace roclk::signal

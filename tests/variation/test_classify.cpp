@@ -1,0 +1,135 @@
+// Empirical verification of Table I: every model must *measure* into the
+// temporal/spatial cell the paper assigns it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "roclk/variation/sources.hpp"
+#include "roclk/variation/variation.hpp"
+
+namespace roclk::variation {
+namespace {
+
+struct Case {
+  const char* label;
+  TemporalClass temporal;
+  SpatialClass spatial;
+  std::unique_ptr<VariationSource> (*make)();
+};
+
+std::unique_ptr<VariationSource> make_d2d() {
+  return std::make_unique<DieToDieProcess>(0.05, 1);
+}
+std::unique_ptr<VariationSource> make_wid() {
+  return std::make_unique<WithinDieProcess>(0.05, 2);
+}
+std::unique_ptr<VariationSource> make_rnd() {
+  return std::make_unique<RandomDeviceProcess>(0.02, 3);
+}
+std::unique_ptr<VariationSource> make_vrm() {
+  return std::make_unique<VrmRipple>(0.1, 6400.0);
+}
+std::unique_ptr<VariationSource> make_room() {
+  return std::make_unique<RoomTemperatureDrift>(0.05, 50000.0);
+}
+std::unique_ptr<VariationSource> make_droop() {
+  return std::make_unique<OffChipVoltageDrop>(0.2, 30000.0, 20000.0);
+}
+std::unique_ptr<VariationSource> make_ssn() {
+  return std::make_unique<SimultaneousSwitchingNoise>(0.02, 64.0, 4);
+}
+std::unique_ptr<VariationSource> make_ir() {
+  return std::make_unique<IrDrop>(0.1, 9000.0, DiePoint{0.8, 0.2}, 5);
+}
+std::unique_ptr<VariationSource> make_hotspot() {
+  return std::make_unique<TemperatureHotspot>(0.08, DiePoint{0.3, 0.7}, 0.2,
+                                              10000.0, 30000.0);
+}
+std::unique_ptr<VariationSource> make_aging() {
+  return std::make_unique<Aging>(0.05, 60000.0, 6);
+}
+
+class TableOneCell : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TableOneCell, DeclaredClassificationMatchesDesign) {
+  const auto& c = GetParam();
+  const auto source = c.make();
+  EXPECT_EQ(source->temporal_class(), c.temporal) << c.label;
+  EXPECT_EQ(source->spatial_class(), c.spatial) << c.label;
+}
+
+TEST_P(TableOneCell, MeasuredClassificationMatchesDeclared) {
+  const auto& c = GetParam();
+  const auto source = c.make();
+  ClassificationOptions options;
+  options.threshold = 1e-5;
+  const auto measured = classify(*source, options);
+  EXPECT_EQ(measured.temporal, c.temporal)
+      << c.label << " temporal stddev " << measured.temporal_stddev;
+  EXPECT_EQ(measured.spatial, c.spatial)
+      << c.label << " spatial stddev " << measured.spatial_stddev;
+}
+
+TEST_P(TableOneCell, CloneIsBehaviourallyIdentical) {
+  const auto& c = GetParam();
+  const auto source = c.make();
+  const auto clone = source->clone();
+  for (double t : {0.0, 12345.0, 9.9e4}) {
+    for (const DiePoint p : {DiePoint{0.1, 0.9}, DiePoint{0.66, 0.33}}) {
+      EXPECT_DOUBLE_EQ(clone->at(t, p), source->at(t, p)) << c.label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, TableOneCell,
+    ::testing::Values(
+        Case{"D2D", TemporalClass::kStatic, SpatialClass::kHomogeneous,
+             &make_d2d},
+        Case{"WID", TemporalClass::kStatic, SpatialClass::kHeterogeneous,
+             &make_wid},
+        Case{"RND", TemporalClass::kStatic, SpatialClass::kHeterogeneous,
+             &make_rnd},
+        Case{"VRM ripple", TemporalClass::kDynamic,
+             SpatialClass::kHomogeneous, &make_vrm},
+        Case{"room temperature", TemporalClass::kDynamic,
+             SpatialClass::kHomogeneous, &make_room},
+        Case{"off-chip droop", TemporalClass::kDynamic,
+             SpatialClass::kHomogeneous, &make_droop},
+        Case{"SSN", TemporalClass::kDynamic, SpatialClass::kHeterogeneous,
+             &make_ssn},
+        Case{"IR drop", TemporalClass::kDynamic,
+             SpatialClass::kHeterogeneous, &make_ir},
+        Case{"hotspot", TemporalClass::kDynamic,
+             SpatialClass::kHeterogeneous, &make_hotspot},
+        Case{"aging", TemporalClass::kDynamic,
+             SpatialClass::kHeterogeneous, &make_aging}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.label;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(Classify, RespectsExplicitOptions) {
+  DieToDieProcess d2d{0.0, 0};  // zero-sigma: exactly zero everywhere
+  const auto m = classify(d2d);
+  EXPECT_EQ(m.temporal, TemporalClass::kStatic);
+  EXPECT_EQ(m.spatial, SpatialClass::kHomogeneous);
+  EXPECT_DOUBLE_EQ(m.temporal_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(m.spatial_stddev, 0.0);
+}
+
+TEST(Classify, RejectsDegenerateOptions) {
+  DieToDieProcess d2d{0.01, 0};
+  ClassificationOptions bad;
+  bad.time_samples = 1;
+  EXPECT_THROW((void)classify(d2d, bad), std::logic_error);
+  ClassificationOptions bad2;
+  bad2.grid = 1;
+  EXPECT_THROW((void)classify(d2d, bad2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::variation

@@ -1,0 +1,155 @@
+// roclk_sim — command-line driver for the adaptive clock simulator.
+//
+// Runs one clock-generation system against a harmonic HoDV (+ optional
+// static mismatch), prints the paper's metrics and optionally dumps the
+// full trace as CSV.  Examples:
+//
+//   roclk_sim                                   # paper defaults, IIR RO
+//   roclk_sim --system free --te-over-c 25
+//   roclk_sim --system teatime --mu-over-c 0.2 --csv trace.csv
+//   roclk_sim --system iir --governor --logic-depth 64
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "roclk/roclk.hpp"
+
+namespace {
+
+using namespace roclk;
+
+analysis::SystemKind parse_system(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "iir") return analysis::SystemKind::kIir;
+  if (name == "teatime") return analysis::SystemKind::kTeaTime;
+  if (name == "free") return analysis::SystemKind::kFreeRo;
+  if (name == "fixed") return analysis::SystemKind::kFixedClock;
+  ok = false;
+  return analysis::SystemKind::kIir;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace roclk;
+  FlagParser flags{
+      "roclk_sim — self-adaptive clock generation simulator "
+      "(SOCC 2012 reproduction)"};
+  flags.add_string("system", "iir", "iir | teatime | free | fixed");
+  flags.add_double("c", 64.0, "set-point (stages)");
+  flags.add_double("tclk-over-c", 1.0, "CDN delay in nominal periods");
+  flags.add_double("te-over-c", 50.0, "HoDV period in nominal periods");
+  flags.add_double("amplitude-frac", 0.2, "HoDV amplitude as fraction of c");
+  flags.add_double("mu-over-c", 0.0, "static RO<->TDC mismatch / c");
+  flags.add_int("cycles", 6000, "simulated clock periods");
+  flags.add_int("skip", 1500, "transient periods excluded from metrics");
+  flags.add_string("csv", "", "write the full trace to this CSV file");
+  flags.add_bool("governor", false,
+                 "enable the runtime set-point governor (closed-loop "
+                 "systems only)");
+  flags.add_double("logic-depth", 64.0,
+                   "pipeline logic depth L for the governor / throughput");
+  flags.add_double("replay-penalty", 8.0,
+                   "cycles lost per detected timing error");
+  flags.add_string("config", "",
+                   "load 'name = value' defaults from this file first; "
+                   "command-line flags override");
+
+  // Two-pass parse: pick up --config, load the file, then let the command
+  // line override whatever the file set.
+  if (Status s = flags.parse(argc, argv); !s.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+    return 2;
+  }
+  if (const std::string config = flags.get_string("config");
+      !config.empty()) {
+    if (Status s = flags.parse_file(config); !s.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+      return 2;
+    }
+    if (Status s = flags.parse(argc, argv); !s.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+      return 2;
+    }
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help_text().c_str());
+    return 0;
+  }
+
+  bool system_ok = false;
+  const auto kind = parse_system(flags.get_string("system"), system_ok);
+  if (!system_ok) {
+    std::fprintf(stderr, "error: unknown --system '%s'\n",
+                 flags.get_string("system").c_str());
+    return 2;
+  }
+
+  const double c = flags.get_double("c");
+  const double tclk = flags.get_double("tclk-over-c") * c;
+  const double te = flags.get_double("te-over-c") * c;
+  const double amplitude = flags.get_double("amplitude-frac") * c;
+  const double mu = flags.get_double("mu-over-c") * c;
+  const auto cycles = static_cast<std::size_t>(flags.get_int("cycles"));
+  const auto skip = static_cast<std::size_t>(flags.get_int("skip"));
+  if (cycles == 0 || skip >= cycles) {
+    std::fprintf(stderr, "error: need cycles > skip >= 0\n");
+    return 2;
+  }
+
+  auto system = analysis::make_system(kind, c, tclk);
+  const auto inputs = core::SimulationInputs::harmonic(amplitude, te, mu);
+
+  core::SimulationTrace trace;
+  const core::ThroughputConfig tp_cfg{flags.get_double("logic-depth"),
+                                      flags.get_double("replay-penalty")};
+  if (flags.get_bool("governor")) {
+    if (kind != analysis::SystemKind::kIir &&
+        kind != analysis::SystemKind::kTeaTime) {
+      std::fprintf(stderr,
+                   "error: --governor needs a closed-loop system\n");
+      return 2;
+    }
+    control::GovernorConfig gov_cfg;
+    gov_cfg.initial_setpoint = c;
+    gov_cfg.logic_depth = flags.get_double("logic-depth");
+    control::SetpointGovernor governor{gov_cfg};
+    trace = core::run_with_governor(system, governor, inputs, cycles);
+    std::printf("governor: final set-point %.1f stages after %zu epochs, "
+                "%llu detected errors\n",
+                governor.setpoint(), governor.epochs(),
+                static_cast<unsigned long long>(governor.total_errors()));
+  } else {
+    trace = system.run(inputs, cycles);
+  }
+
+  const double fixed_period =
+      analysis::fixed_clock_period(c, amplitude, std::fabs(mu));
+  const auto metrics = analysis::evaluate_run(trace, c, fixed_period, skip);
+  const auto throughput = core::evaluate_throughput(trace, tp_cfg, skip);
+
+  std::printf("system                 : %s\n", analysis::to_string(kind));
+  std::printf("cycles (skip)          : %zu (%zu)\n", cycles, skip);
+  std::printf("needed safety margin   : %.2f stages\n",
+              metrics.safety_margin);
+  std::printf("mean delivered period  : %.3f stages\n", metrics.mean_period);
+  std::printf("relative adaptive T    : %.4f  (T_fixed = %.1f stages)\n",
+              metrics.relative_adaptive_period, fixed_period);
+  std::printf("tau ripple             : %.2f stages\n", metrics.tau_ripple);
+  std::printf("violations (tau < c)   : %zu\n", metrics.violations);
+  std::printf("pipeline efficiency    : %.4f (errors vs L = %.0f: %zu)\n",
+              throughput.efficiency, tp_cfg.logic_depth, throughput.errors);
+  std::printf("tau trace              : %s\n",
+              sparkline(trace.tau(), 60).c_str());
+
+  const std::string csv_path = flags.get_string("csv");
+  if (!csv_path.empty()) {
+    if (trace.save_csv(csv_path)) {
+      std::printf("trace written          : %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", csv_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
