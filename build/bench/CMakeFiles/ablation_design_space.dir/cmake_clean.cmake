@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_design_space.dir/ablation_design_space.cpp.o"
+  "CMakeFiles/ablation_design_space.dir/ablation_design_space.cpp.o.d"
+  "ablation_design_space"
+  "ablation_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edge_model.dir/ablation_edge_model.cpp.o"
+  "CMakeFiles/ablation_edge_model.dir/ablation_edge_model.cpp.o.d"
+  "ablation_edge_model"
+  "ablation_edge_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gate_level.dir/ablation_gate_level.cpp.o"
+  "CMakeFiles/ablation_gate_level.dir/ablation_gate_level.cpp.o.d"
+  "ablation_gate_level"
+  "ablation_gate_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gate_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

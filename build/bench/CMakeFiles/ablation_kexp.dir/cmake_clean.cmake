@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kexp.dir/ablation_kexp.cpp.o"
+  "CMakeFiles/ablation_kexp.dir/ablation_kexp.cpp.o.d"
+  "ablation_kexp"
+  "ablation_kexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

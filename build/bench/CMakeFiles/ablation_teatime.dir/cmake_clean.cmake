@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_teatime.dir/ablation_teatime.cpp.o"
+  "CMakeFiles/ablation_teatime.dir/ablation_teatime.cpp.o.d"
+  "ablation_teatime"
+  "ablation_teatime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_teatime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_domain_partitioning.dir/ext_domain_partitioning.cpp.o"
+  "CMakeFiles/ext_domain_partitioning.dir/ext_domain_partitioning.cpp.o.d"
+  "ext_domain_partitioning"
+  "ext_domain_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_domain_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_domain_partitioning.
+# This may be replaced when dependencies are built.

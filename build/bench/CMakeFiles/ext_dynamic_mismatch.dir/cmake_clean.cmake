@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_mismatch.dir/ext_dynamic_mismatch.cpp.o"
+  "CMakeFiles/ext_dynamic_mismatch.dir/ext_dynamic_mismatch.cpp.o.d"
+  "ext_dynamic_mismatch"
+  "ext_dynamic_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

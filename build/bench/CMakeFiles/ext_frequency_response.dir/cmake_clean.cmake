@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_frequency_response.dir/ext_frequency_response.cpp.o"
+  "CMakeFiles/ext_frequency_response.dir/ext_frequency_response.cpp.o.d"
+  "ext_frequency_response"
+  "ext_frequency_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_frequency_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

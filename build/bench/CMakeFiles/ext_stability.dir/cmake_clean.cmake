@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stability.dir/ext_stability.cpp.o"
+  "CMakeFiles/ext_stability.dir/ext_stability.cpp.o.d"
+  "ext_stability"
+  "ext_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

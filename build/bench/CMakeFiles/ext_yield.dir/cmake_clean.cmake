@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_yield.dir/ext_yield.cpp.o"
+  "CMakeFiles/ext_yield.dir/ext_yield.cpp.o.d"
+  "ext_yield"
+  "ext_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

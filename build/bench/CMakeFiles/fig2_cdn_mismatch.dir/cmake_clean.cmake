@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cdn_mismatch.dir/fig2_cdn_mismatch.cpp.o"
+  "CMakeFiles/fig2_cdn_mismatch.dir/fig2_cdn_mismatch.cpp.o.d"
+  "fig2_cdn_mismatch"
+  "fig2_cdn_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cdn_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_timing_error.cpp" "bench/CMakeFiles/fig7_timing_error.dir/fig7_timing_error.cpp.o" "gcc" "bench/CMakeFiles/fig7_timing_error.dir/fig7_timing_error.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/roclk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/roclk_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/roclk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/roclk_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/roclk_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/osc/CMakeFiles/roclk_osc.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/roclk_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/roclk_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/roclk_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/roclk_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hedv_grid.dir/fig9_hedv_grid.cpp.o"
+  "CMakeFiles/fig9_hedv_grid.dir/fig9_hedv_grid.cpp.o.d"
+  "fig9_hedv_grid"
+  "fig9_hedv_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hedv_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_hedv_grid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_worked_examples.dir/sm_worked_examples.cpp.o"
+  "CMakeFiles/sm_worked_examples.dir/sm_worked_examples.cpp.o.d"
+  "sm_worked_examples"
+  "sm_worked_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_worked_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bringup_characterization.dir/bringup_characterization.cpp.o"
+  "CMakeFiles/bringup_characterization.dir/bringup_characterization.cpp.o.d"
+  "bringup_characterization"
+  "bringup_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bringup_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

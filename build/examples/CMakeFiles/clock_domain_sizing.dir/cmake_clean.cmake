@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_domain_sizing.dir/clock_domain_sizing.cpp.o"
+  "CMakeFiles/clock_domain_sizing.dir/clock_domain_sizing.cpp.o.d"
+  "clock_domain_sizing"
+  "clock_domain_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_domain_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

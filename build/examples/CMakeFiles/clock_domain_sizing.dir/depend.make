@@ -1,0 +1,2 @@
+# Empty dependencies file for clock_domain_sizing.
+# This may be replaced when dependencies are built.

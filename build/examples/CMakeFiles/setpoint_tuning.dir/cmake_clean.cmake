@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setpoint_tuning.dir/setpoint_tuning.cpp.o"
+  "CMakeFiles/setpoint_tuning.dir/setpoint_tuning.cpp.o.d"
+  "setpoint_tuning"
+  "setpoint_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setpoint_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_gradient.dir/thermal_gradient.cpp.o"
+  "CMakeFiles/thermal_gradient.dir/thermal_gradient.cpp.o.d"
+  "thermal_gradient"
+  "thermal_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_droop.dir/voltage_droop.cpp.o"
+  "CMakeFiles/voltage_droop.dir/voltage_droop.cpp.o.d"
+  "voltage_droop"
+  "voltage_droop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

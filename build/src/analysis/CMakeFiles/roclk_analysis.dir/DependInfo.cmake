@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analytic.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/analytic.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/analytic.cpp.o.d"
+  "/root/repo/src/analysis/estimation.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/estimation.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/estimation.cpp.o.d"
+  "/root/repo/src/analysis/experiments.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/experiments.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/experiments.cpp.o.d"
+  "/root/repo/src/analysis/frequency_response.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/frequency_response.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/frequency_response.cpp.o.d"
+  "/root/repo/src/analysis/iir_design.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/iir_design.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/iir_design.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/metrics.cpp.o.d"
+  "/root/repo/src/analysis/multi_domain.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/multi_domain.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/multi_domain.cpp.o.d"
+  "/root/repo/src/analysis/stability_metrics.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/stability_metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/stability_metrics.cpp.o.d"
+  "/root/repo/src/analysis/yield.cpp" "src/analysis/CMakeFiles/roclk_analysis.dir/yield.cpp.o" "gcc" "src/analysis/CMakeFiles/roclk_analysis.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/roclk_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/roclk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/roclk_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/roclk_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/roclk_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/roclk_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/osc/CMakeFiles/roclk_osc.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/roclk_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_analysis.dir/analytic.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/analytic.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/estimation.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/estimation.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/experiments.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/experiments.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/frequency_response.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/frequency_response.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/iir_design.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/iir_design.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/multi_domain.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/multi_domain.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/stability_metrics.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/stability_metrics.cpp.o.d"
+  "CMakeFiles/roclk_analysis.dir/yield.cpp.o"
+  "CMakeFiles/roclk_analysis.dir/yield.cpp.o.d"
+  "libroclk_analysis.a"
+  "libroclk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_cdn.dir/cdn.cpp.o"
+  "CMakeFiles/roclk_cdn.dir/cdn.cpp.o.d"
+  "libroclk_cdn.a"
+  "libroclk_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

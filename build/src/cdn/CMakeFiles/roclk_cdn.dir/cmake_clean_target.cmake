@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroclk_cdn.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/clock_domain.cpp" "src/chip/CMakeFiles/roclk_chip.dir/clock_domain.cpp.o" "gcc" "src/chip/CMakeFiles/roclk_chip.dir/clock_domain.cpp.o.d"
+  "/root/repo/src/chip/floorplan.cpp" "src/chip/CMakeFiles/roclk_chip.dir/floorplan.cpp.o" "gcc" "src/chip/CMakeFiles/roclk_chip.dir/floorplan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/roclk_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/roclk_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_chip.dir/clock_domain.cpp.o"
+  "CMakeFiles/roclk_chip.dir/clock_domain.cpp.o.d"
+  "CMakeFiles/roclk_chip.dir/floorplan.cpp.o"
+  "CMakeFiles/roclk_chip.dir/floorplan.cpp.o.d"
+  "libroclk_chip.a"
+  "libroclk_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/roclk_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/roclk_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/roclk_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/roclk_common.dir/flags.cpp.o"
+  "CMakeFiles/roclk_common.dir/flags.cpp.o.d"
+  "CMakeFiles/roclk_common.dir/rng.cpp.o"
+  "CMakeFiles/roclk_common.dir/rng.cpp.o.d"
+  "CMakeFiles/roclk_common.dir/stats.cpp.o"
+  "CMakeFiles/roclk_common.dir/stats.cpp.o.d"
+  "CMakeFiles/roclk_common.dir/table.cpp.o"
+  "CMakeFiles/roclk_common.dir/table.cpp.o.d"
+  "CMakeFiles/roclk_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/roclk_common.dir/thread_pool.cpp.o.d"
+  "libroclk_common.a"
+  "libroclk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/calibration.cpp" "src/control/CMakeFiles/roclk_control.dir/calibration.cpp.o" "gcc" "src/control/CMakeFiles/roclk_control.dir/calibration.cpp.o.d"
+  "/root/repo/src/control/constraints.cpp" "src/control/CMakeFiles/roclk_control.dir/constraints.cpp.o" "gcc" "src/control/CMakeFiles/roclk_control.dir/constraints.cpp.o.d"
+  "/root/repo/src/control/control_block.cpp" "src/control/CMakeFiles/roclk_control.dir/control_block.cpp.o" "gcc" "src/control/CMakeFiles/roclk_control.dir/control_block.cpp.o.d"
+  "/root/repo/src/control/iir_control.cpp" "src/control/CMakeFiles/roclk_control.dir/iir_control.cpp.o" "gcc" "src/control/CMakeFiles/roclk_control.dir/iir_control.cpp.o.d"
+  "/root/repo/src/control/setpoint_governor.cpp" "src/control/CMakeFiles/roclk_control.dir/setpoint_governor.cpp.o" "gcc" "src/control/CMakeFiles/roclk_control.dir/setpoint_governor.cpp.o.d"
+  "/root/repo/src/control/teatime.cpp" "src/control/CMakeFiles/roclk_control.dir/teatime.cpp.o" "gcc" "src/control/CMakeFiles/roclk_control.dir/teatime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/roclk_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

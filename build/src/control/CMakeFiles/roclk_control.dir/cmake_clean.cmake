@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_control.dir/calibration.cpp.o"
+  "CMakeFiles/roclk_control.dir/calibration.cpp.o.d"
+  "CMakeFiles/roclk_control.dir/constraints.cpp.o"
+  "CMakeFiles/roclk_control.dir/constraints.cpp.o.d"
+  "CMakeFiles/roclk_control.dir/control_block.cpp.o"
+  "CMakeFiles/roclk_control.dir/control_block.cpp.o.d"
+  "CMakeFiles/roclk_control.dir/iir_control.cpp.o"
+  "CMakeFiles/roclk_control.dir/iir_control.cpp.o.d"
+  "CMakeFiles/roclk_control.dir/setpoint_governor.cpp.o"
+  "CMakeFiles/roclk_control.dir/setpoint_governor.cpp.o.d"
+  "CMakeFiles/roclk_control.dir/teatime.cpp.o"
+  "CMakeFiles/roclk_control.dir/teatime.cpp.o.d"
+  "libroclk_control.a"
+  "libroclk_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

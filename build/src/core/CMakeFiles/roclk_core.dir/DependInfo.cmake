@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/edge_simulator.cpp" "src/core/CMakeFiles/roclk_core.dir/edge_simulator.cpp.o" "gcc" "src/core/CMakeFiles/roclk_core.dir/edge_simulator.cpp.o.d"
+  "/root/repo/src/core/gate_level_simulator.cpp" "src/core/CMakeFiles/roclk_core.dir/gate_level_simulator.cpp.o" "gcc" "src/core/CMakeFiles/roclk_core.dir/gate_level_simulator.cpp.o.d"
+  "/root/repo/src/core/inputs.cpp" "src/core/CMakeFiles/roclk_core.dir/inputs.cpp.o" "gcc" "src/core/CMakeFiles/roclk_core.dir/inputs.cpp.o.d"
+  "/root/repo/src/core/loop_simulator.cpp" "src/core/CMakeFiles/roclk_core.dir/loop_simulator.cpp.o" "gcc" "src/core/CMakeFiles/roclk_core.dir/loop_simulator.cpp.o.d"
+  "/root/repo/src/core/throughput_model.cpp" "src/core/CMakeFiles/roclk_core.dir/throughput_model.cpp.o" "gcc" "src/core/CMakeFiles/roclk_core.dir/throughput_model.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/roclk_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/roclk_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/roclk_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/roclk_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/osc/CMakeFiles/roclk_osc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/roclk_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/roclk_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/roclk_control.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_core.dir/edge_simulator.cpp.o"
+  "CMakeFiles/roclk_core.dir/edge_simulator.cpp.o.d"
+  "CMakeFiles/roclk_core.dir/gate_level_simulator.cpp.o"
+  "CMakeFiles/roclk_core.dir/gate_level_simulator.cpp.o.d"
+  "CMakeFiles/roclk_core.dir/inputs.cpp.o"
+  "CMakeFiles/roclk_core.dir/inputs.cpp.o.d"
+  "CMakeFiles/roclk_core.dir/loop_simulator.cpp.o"
+  "CMakeFiles/roclk_core.dir/loop_simulator.cpp.o.d"
+  "CMakeFiles/roclk_core.dir/throughput_model.cpp.o"
+  "CMakeFiles/roclk_core.dir/throughput_model.cpp.o.d"
+  "CMakeFiles/roclk_core.dir/trace.cpp.o"
+  "CMakeFiles/roclk_core.dir/trace.cpp.o.d"
+  "libroclk_core.a"
+  "libroclk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

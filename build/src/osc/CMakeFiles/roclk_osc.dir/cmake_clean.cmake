@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_osc.dir/jitter.cpp.o"
+  "CMakeFiles/roclk_osc.dir/jitter.cpp.o.d"
+  "CMakeFiles/roclk_osc.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/roclk_osc.dir/ring_oscillator.cpp.o.d"
+  "CMakeFiles/roclk_osc.dir/stage_chain.cpp.o"
+  "CMakeFiles/roclk_osc.dir/stage_chain.cpp.o.d"
+  "libroclk_osc.a"
+  "libroclk_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_power.dir/voltage_model.cpp.o"
+  "CMakeFiles/roclk_power.dir/voltage_model.cpp.o.d"
+  "libroclk_power.a"
+  "libroclk_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_sensor.dir/tdc.cpp.o"
+  "CMakeFiles/roclk_sensor.dir/tdc.cpp.o.d"
+  "CMakeFiles/roclk_sensor.dir/thermometer.cpp.o"
+  "CMakeFiles/roclk_sensor.dir/thermometer.cpp.o.d"
+  "libroclk_sensor.a"
+  "libroclk_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/filter.cpp" "src/signal/CMakeFiles/roclk_signal.dir/filter.cpp.o" "gcc" "src/signal/CMakeFiles/roclk_signal.dir/filter.cpp.o.d"
+  "/root/repo/src/signal/jury.cpp" "src/signal/CMakeFiles/roclk_signal.dir/jury.cpp.o" "gcc" "src/signal/CMakeFiles/roclk_signal.dir/jury.cpp.o.d"
+  "/root/repo/src/signal/polynomial.cpp" "src/signal/CMakeFiles/roclk_signal.dir/polynomial.cpp.o" "gcc" "src/signal/CMakeFiles/roclk_signal.dir/polynomial.cpp.o.d"
+  "/root/repo/src/signal/roots.cpp" "src/signal/CMakeFiles/roclk_signal.dir/roots.cpp.o" "gcc" "src/signal/CMakeFiles/roclk_signal.dir/roots.cpp.o.d"
+  "/root/repo/src/signal/spectrum.cpp" "src/signal/CMakeFiles/roclk_signal.dir/spectrum.cpp.o" "gcc" "src/signal/CMakeFiles/roclk_signal.dir/spectrum.cpp.o.d"
+  "/root/repo/src/signal/transfer_function.cpp" "src/signal/CMakeFiles/roclk_signal.dir/transfer_function.cpp.o" "gcc" "src/signal/CMakeFiles/roclk_signal.dir/transfer_function.cpp.o.d"
+  "/root/repo/src/signal/waveform.cpp" "src/signal/CMakeFiles/roclk_signal.dir/waveform.cpp.o" "gcc" "src/signal/CMakeFiles/roclk_signal.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_signal.dir/filter.cpp.o"
+  "CMakeFiles/roclk_signal.dir/filter.cpp.o.d"
+  "CMakeFiles/roclk_signal.dir/jury.cpp.o"
+  "CMakeFiles/roclk_signal.dir/jury.cpp.o.d"
+  "CMakeFiles/roclk_signal.dir/polynomial.cpp.o"
+  "CMakeFiles/roclk_signal.dir/polynomial.cpp.o.d"
+  "CMakeFiles/roclk_signal.dir/roots.cpp.o"
+  "CMakeFiles/roclk_signal.dir/roots.cpp.o.d"
+  "CMakeFiles/roclk_signal.dir/spectrum.cpp.o"
+  "CMakeFiles/roclk_signal.dir/spectrum.cpp.o.d"
+  "CMakeFiles/roclk_signal.dir/transfer_function.cpp.o"
+  "CMakeFiles/roclk_signal.dir/transfer_function.cpp.o.d"
+  "CMakeFiles/roclk_signal.dir/waveform.cpp.o"
+  "CMakeFiles/roclk_signal.dir/waveform.cpp.o.d"
+  "libroclk_signal.a"
+  "libroclk_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

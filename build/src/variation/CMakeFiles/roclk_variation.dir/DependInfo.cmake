@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/scenario.cpp" "src/variation/CMakeFiles/roclk_variation.dir/scenario.cpp.o" "gcc" "src/variation/CMakeFiles/roclk_variation.dir/scenario.cpp.o.d"
+  "/root/repo/src/variation/sources.cpp" "src/variation/CMakeFiles/roclk_variation.dir/sources.cpp.o" "gcc" "src/variation/CMakeFiles/roclk_variation.dir/sources.cpp.o.d"
+  "/root/repo/src/variation/spatial_map.cpp" "src/variation/CMakeFiles/roclk_variation.dir/spatial_map.cpp.o" "gcc" "src/variation/CMakeFiles/roclk_variation.dir/spatial_map.cpp.o.d"
+  "/root/repo/src/variation/variation.cpp" "src/variation/CMakeFiles/roclk_variation.dir/variation.cpp.o" "gcc" "src/variation/CMakeFiles/roclk_variation.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/roclk_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_variation.dir/scenario.cpp.o"
+  "CMakeFiles/roclk_variation.dir/scenario.cpp.o.d"
+  "CMakeFiles/roclk_variation.dir/sources.cpp.o"
+  "CMakeFiles/roclk_variation.dir/sources.cpp.o.d"
+  "CMakeFiles/roclk_variation.dir/spatial_map.cpp.o"
+  "CMakeFiles/roclk_variation.dir/spatial_map.cpp.o.d"
+  "CMakeFiles/roclk_variation.dir/variation.cpp.o"
+  "CMakeFiles/roclk_variation.dir/variation.cpp.o.d"
+  "libroclk_variation.a"
+  "libroclk_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

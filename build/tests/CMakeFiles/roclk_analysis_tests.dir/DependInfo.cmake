@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_analytic.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_analytic.cpp.o.d"
+  "/root/repo/tests/analysis/test_estimation.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_estimation.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_estimation.cpp.o.d"
+  "/root/repo/tests/analysis/test_experiments.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_experiments.cpp.o.d"
+  "/root/repo/tests/analysis/test_frequency_response.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_frequency_response.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_frequency_response.cpp.o.d"
+  "/root/repo/tests/analysis/test_iir_design.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_iir_design.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_iir_design.cpp.o.d"
+  "/root/repo/tests/analysis/test_metrics.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_metrics.cpp.o.d"
+  "/root/repo/tests/analysis/test_multi_domain.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_multi_domain.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_multi_domain.cpp.o.d"
+  "/root/repo/tests/analysis/test_stability_metrics.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_stability_metrics.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_stability_metrics.cpp.o.d"
+  "/root/repo/tests/analysis/test_yield.cpp" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_yield.cpp.o" "gcc" "tests/CMakeFiles/roclk_analysis_tests.dir/analysis/test_yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/roclk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/roclk_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/roclk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/roclk_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/roclk_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/osc/CMakeFiles/roclk_osc.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/roclk_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/roclk_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/roclk_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/roclk_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/roclk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

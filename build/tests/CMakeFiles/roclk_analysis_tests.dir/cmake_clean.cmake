@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_analytic.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_analytic.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_estimation.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_estimation.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_experiments.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_experiments.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_frequency_response.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_frequency_response.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_iir_design.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_iir_design.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_metrics.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_metrics.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_multi_domain.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_multi_domain.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_stability_metrics.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_stability_metrics.cpp.o.d"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_yield.cpp.o"
+  "CMakeFiles/roclk_analysis_tests.dir/analysis/test_yield.cpp.o.d"
+  "roclk_analysis_tests"
+  "roclk_analysis_tests.pdb"
+  "roclk_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_chip_tests.dir/chip/test_clock_domain.cpp.o"
+  "CMakeFiles/roclk_chip_tests.dir/chip/test_clock_domain.cpp.o.d"
+  "CMakeFiles/roclk_chip_tests.dir/chip/test_floorplan.cpp.o"
+  "CMakeFiles/roclk_chip_tests.dir/chip/test_floorplan.cpp.o.d"
+  "roclk_chip_tests"
+  "roclk_chip_tests.pdb"
+  "roclk_chip_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_chip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

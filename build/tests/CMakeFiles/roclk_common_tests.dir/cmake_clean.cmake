@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_common_tests.dir/common/test_ascii_plot.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_ascii_plot.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_fixed_point.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_fixed_point.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_flags.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_flags.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_math.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_math.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_rng.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_stats.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_status.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_status.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_table.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_thread_pool.cpp.o.d"
+  "CMakeFiles/roclk_common_tests.dir/common/test_units.cpp.o"
+  "CMakeFiles/roclk_common_tests.dir/common/test_units.cpp.o.d"
+  "roclk_common_tests"
+  "roclk_common_tests.pdb"
+  "roclk_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

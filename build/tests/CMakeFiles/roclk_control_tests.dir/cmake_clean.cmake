@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_control_tests.dir/control/test_calibration.cpp.o"
+  "CMakeFiles/roclk_control_tests.dir/control/test_calibration.cpp.o.d"
+  "CMakeFiles/roclk_control_tests.dir/control/test_constraints.cpp.o"
+  "CMakeFiles/roclk_control_tests.dir/control/test_constraints.cpp.o.d"
+  "CMakeFiles/roclk_control_tests.dir/control/test_control_misc.cpp.o"
+  "CMakeFiles/roclk_control_tests.dir/control/test_control_misc.cpp.o.d"
+  "CMakeFiles/roclk_control_tests.dir/control/test_iir_control.cpp.o"
+  "CMakeFiles/roclk_control_tests.dir/control/test_iir_control.cpp.o.d"
+  "CMakeFiles/roclk_control_tests.dir/control/test_setpoint_governor.cpp.o"
+  "CMakeFiles/roclk_control_tests.dir/control/test_setpoint_governor.cpp.o.d"
+  "CMakeFiles/roclk_control_tests.dir/control/test_teatime.cpp.o"
+  "CMakeFiles/roclk_control_tests.dir/control/test_teatime.cpp.o.d"
+  "roclk_control_tests"
+  "roclk_control_tests.pdb"
+  "roclk_control_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_control_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_core_tests.dir/core/test_edge_simulator.cpp.o"
+  "CMakeFiles/roclk_core_tests.dir/core/test_edge_simulator.cpp.o.d"
+  "CMakeFiles/roclk_core_tests.dir/core/test_gate_level_simulator.cpp.o"
+  "CMakeFiles/roclk_core_tests.dir/core/test_gate_level_simulator.cpp.o.d"
+  "CMakeFiles/roclk_core_tests.dir/core/test_inputs.cpp.o"
+  "CMakeFiles/roclk_core_tests.dir/core/test_inputs.cpp.o.d"
+  "CMakeFiles/roclk_core_tests.dir/core/test_loop_simulator.cpp.o"
+  "CMakeFiles/roclk_core_tests.dir/core/test_loop_simulator.cpp.o.d"
+  "CMakeFiles/roclk_core_tests.dir/core/test_throughput_model.cpp.o"
+  "CMakeFiles/roclk_core_tests.dir/core/test_throughput_model.cpp.o.d"
+  "CMakeFiles/roclk_core_tests.dir/core/test_trace.cpp.o"
+  "CMakeFiles/roclk_core_tests.dir/core/test_trace.cpp.o.d"
+  "roclk_core_tests"
+  "roclk_core_tests.pdb"
+  "roclk_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_hw_tests.dir/cdn/test_cdn.cpp.o"
+  "CMakeFiles/roclk_hw_tests.dir/cdn/test_cdn.cpp.o.d"
+  "CMakeFiles/roclk_hw_tests.dir/osc/test_jitter.cpp.o"
+  "CMakeFiles/roclk_hw_tests.dir/osc/test_jitter.cpp.o.d"
+  "CMakeFiles/roclk_hw_tests.dir/osc/test_ring_oscillator.cpp.o"
+  "CMakeFiles/roclk_hw_tests.dir/osc/test_ring_oscillator.cpp.o.d"
+  "CMakeFiles/roclk_hw_tests.dir/osc/test_stage_chain.cpp.o"
+  "CMakeFiles/roclk_hw_tests.dir/osc/test_stage_chain.cpp.o.d"
+  "CMakeFiles/roclk_hw_tests.dir/power/test_voltage_model.cpp.o"
+  "CMakeFiles/roclk_hw_tests.dir/power/test_voltage_model.cpp.o.d"
+  "CMakeFiles/roclk_hw_tests.dir/sensor/test_tdc.cpp.o"
+  "CMakeFiles/roclk_hw_tests.dir/sensor/test_tdc.cpp.o.d"
+  "CMakeFiles/roclk_hw_tests.dir/sensor/test_thermometer.cpp.o"
+  "CMakeFiles/roclk_hw_tests.dir/sensor/test_thermometer.cpp.o.d"
+  "roclk_hw_tests"
+  "roclk_hw_tests.pdb"
+  "roclk_hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

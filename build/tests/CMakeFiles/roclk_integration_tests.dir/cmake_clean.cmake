@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_fuzz_loop.cpp.o"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_fuzz_loop.cpp.o.d"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_gate_level.cpp.o"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_gate_level.cpp.o.d"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_golden_regression.cpp.o"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_golden_regression.cpp.o.d"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_linear_model_equivalence.cpp.o"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_linear_model_equivalence.cpp.o.d"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_paper_claims.cpp.o"
+  "CMakeFiles/roclk_integration_tests.dir/integration/test_paper_claims.cpp.o.d"
+  "roclk_integration_tests"
+  "roclk_integration_tests.pdb"
+  "roclk_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_filter.cpp.o"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_filter.cpp.o.d"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_jury.cpp.o"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_jury.cpp.o.d"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_polynomial.cpp.o"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_polynomial.cpp.o.d"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_roots.cpp.o"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_roots.cpp.o.d"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_spectrum.cpp.o"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_spectrum.cpp.o.d"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_transfer_function.cpp.o"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_transfer_function.cpp.o.d"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_waveform.cpp.o"
+  "CMakeFiles/roclk_signal_tests.dir/signal/test_waveform.cpp.o.d"
+  "roclk_signal_tests"
+  "roclk_signal_tests.pdb"
+  "roclk_signal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_signal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

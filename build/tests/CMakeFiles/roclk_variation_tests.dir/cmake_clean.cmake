@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_variation_tests.dir/variation/test_classify.cpp.o"
+  "CMakeFiles/roclk_variation_tests.dir/variation/test_classify.cpp.o.d"
+  "CMakeFiles/roclk_variation_tests.dir/variation/test_sources.cpp.o"
+  "CMakeFiles/roclk_variation_tests.dir/variation/test_sources.cpp.o.d"
+  "CMakeFiles/roclk_variation_tests.dir/variation/test_spatial_map.cpp.o"
+  "CMakeFiles/roclk_variation_tests.dir/variation/test_spatial_map.cpp.o.d"
+  "roclk_variation_tests"
+  "roclk_variation_tests.pdb"
+  "roclk_variation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_variation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

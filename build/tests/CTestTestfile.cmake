@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/roclk_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_signal_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_variation_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_chip_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_hw_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_control_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/roclk_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roclk_sim.dir/roclk_sim.cpp.o"
+  "CMakeFiles/roclk_sim.dir/roclk_sim.cpp.o.d"
+  "roclk_sim"
+  "roclk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roclk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

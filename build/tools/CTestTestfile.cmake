@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(roclk_sim_smoke "/root/repo/build/tools/roclk_sim" "--cycles" "2000" "--skip" "500")
+set_tests_properties(roclk_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(roclk_sim_help "/root/repo/build/tools/roclk_sim" "--help")
+set_tests_properties(roclk_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(roclk_sim_governor "/root/repo/build/tools/roclk_sim" "--system" "teatime" "--governor" "--cycles" "2000" "--skip" "500")
+set_tests_properties(roclk_sim_governor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(roclk_sim_rejects_unknown_flag "/root/repo/build/tools/roclk_sim" "--no-such-flag" "1")
+set_tests_properties(roclk_sim_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
