@@ -5,8 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "roclk/analysis/analytic.hpp"
+#include "roclk/analysis/experiments.hpp"
+#include "roclk/analysis/sweep_cache.hpp"
 #include "roclk/analysis/yield.hpp"
 #include "roclk/control/constraints.hpp"
 #include "roclk/control/iir_control.hpp"
@@ -67,6 +70,79 @@ void BM_LoopSimulatorRun4k(benchmark::State& state) {
                           4000);
 }
 BENCHMARK(BM_LoopSimulatorRun4k);
+
+void BM_LoopRunBatch4k(benchmark::State& state) {
+  // Counterpart of BM_LoopSimulatorRun4k on the batched path: the inputs
+  // are pre-evaluated into an SoA block (as the sweeps do once per cell)
+  // and the fused run_batch loop consumes them.
+  const auto inputs = core::SimulationInputs::harmonic(12.8, 3200.0);
+  const auto block = inputs.sample(4000, 64.0);
+  for (auto _ : state) {
+    auto sim = core::make_iir_system(64.0, 64.0);
+    benchmark::DoNotOptimize(sim.run_batch(block));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4000);
+}
+BENCHMARK(BM_LoopRunBatch4k);
+
+void BM_InputBlockSample4k(benchmark::State& state) {
+  const auto inputs = core::SimulationInputs::harmonic(12.8, 3200.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inputs.sample(4000, 64.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4000);
+}
+BENCHMARK(BM_InputBlockSample4k);
+
+void BM_Fig9Cell(benchmark::State& state) {
+  // One Fig. 9 cell (paper mu sweep, 3 systems per point).  The memo is
+  // disabled so every iteration measures real simulation work; see
+  // BM_Fig9CellMemoised for the cached path.
+  auto& memo = analysis::SweepMemo::global();
+  memo.set_enabled(false);
+  std::vector<double> mu_grid;
+  for (int i = -4; i <= 4; ++i) mu_grid.push_back(0.05 * i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::fig9_mismatch_sweep(1.0, 25.0,
+                                                           mu_grid));
+  }
+  memo.set_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mu_grid.size()) * 3);
+}
+BENCHMARK(BM_Fig9Cell);
+
+void BM_Fig9CellMemoised(benchmark::State& state) {
+  auto& memo = analysis::SweepMemo::global();
+  memo.clear();
+  std::vector<double> mu_grid;
+  for (int i = -4; i <= 4; ++i) mu_grid.push_back(0.05 * i);
+  // Warm the memo, then measure the pure-lookup sweep.
+  benchmark::DoNotOptimize(analysis::fig9_mismatch_sweep(1.0, 25.0, mu_grid));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::fig9_mismatch_sweep(1.0, 25.0,
+                                                           mu_grid));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mu_grid.size()) * 3);
+}
+BENCHMARK(BM_Fig9CellMemoised);
+
+void BM_YieldCurve1k(benchmark::State& state) {
+  // Sweep-scale Monte-Carlo: 1000 fabricated chips per yield curve, spread
+  // over the shared pool.
+  analysis::YieldConfig cfg;
+  cfg.chips = 1000;
+  const std::vector<double> margins{4.0, 8.0, 12.0, 16.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::yield_curve(margins, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_YieldCurve1k);
 
 void BM_EdgeSimulatorRun1k(benchmark::State& state) {
   const auto inputs = core::EdgeSimInputs::homogeneous(

@@ -1,0 +1,192 @@
+// P2 — sweep-scale performance tracker.
+//
+// Times the batched/persistent pipeline against the pre-batching baseline
+// it replaced and records items/sec before/after in BENCH_sweeps.json, so
+// the perf trajectory of the sweep engine is tracked from PR 1 onward:
+//  * loop_run      — LoopSimulator::run (per-cycle std::function inputs)
+//                    vs run_batch over a pre-sampled InputBlock.
+//  * scheduler     — parallel_for on a freshly constructed ThreadPool per
+//                    call (the old throwaway-pool behaviour) vs the shared
+//                    persistent pool.
+//  * fig9_grid     — the full 3x3 Fig. 9 grid (paper mu sweep): memo
+//                    disabled (every cell re-simulated, the old behaviour)
+//                    vs memo enabled and warm (the sweep pipeline's steady
+//                    state when figures/tests revisit cells).
+//
+// Usage: run from the repository root; writes BENCH_sweeps.json there.
+// An optional argv[1] overrides the output path.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "roclk/analysis/experiments.hpp"
+#include "roclk/analysis/sweep_cache.hpp"
+#include "roclk/common/thread_pool.hpp"
+#include "roclk/core/loop_simulator.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Entry {
+  std::string name;
+  std::string unit;
+  double before_items_per_sec{0.0};
+  double after_items_per_sec{0.0};
+  [[nodiscard]] double speedup() const {
+    return before_items_per_sec > 0.0
+               ? after_items_per_sec / before_items_per_sec
+               : 0.0;
+  }
+};
+
+volatile double g_sink = 0.0;  // defeats whole-run elision
+
+double time_loop_run(bool batched, int reps, std::size_t cycles) {
+  const auto inputs = roclk::core::SimulationInputs::harmonic(12.8, 3200.0);
+  const auto block = inputs.sample(cycles, 64.0);
+  const auto start = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    auto sim = roclk::core::make_iir_system(64.0, 64.0);
+    const auto trace =
+        batched ? sim.run_batch(block) : sim.run(inputs, cycles);
+    g_sink = g_sink + trace.tau().back();
+  }
+  return seconds_since(start);
+}
+
+double time_scheduler(bool persistent, int calls, std::size_t n) {
+  std::vector<double> out(n);
+  const auto body = [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 1e-3;
+  };
+  const auto start = Clock::now();
+  for (int c = 0; c < calls; ++c) {
+    if (persistent) {
+      roclk::parallel_for(roclk::ThreadPool::shared(), n, body);
+    } else {
+      roclk::ThreadPool throwaway;  // the seed built one of these per call
+      roclk::parallel_for(throwaway, n, body);
+    }
+    g_sink = g_sink + out[n / 2];
+  }
+  return seconds_since(start);
+}
+
+double time_fig9_grid(std::size_t* cells_out) {
+  std::vector<double> mu_grid;
+  for (int i = -4; i <= 4; ++i) mu_grid.push_back(0.05 * i);
+  const std::vector<double> te_rows{25.0, 37.5, 50.0};
+  const std::vector<double> tclk_cols{0.75, 1.0, 1.25};
+  const auto start = Clock::now();
+  std::size_t cells = 0;
+  for (double te : te_rows) {
+    for (double tclk : tclk_cols) {
+      const auto cell = roclk::analysis::fig9_mismatch_sweep(tclk, te,
+                                                             mu_grid);
+      g_sink = g_sink + cell.iir.back();
+      cells += mu_grid.size() * 3;
+    }
+  }
+  if (cells_out != nullptr) *cells_out = cells;
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweeps.json";
+  auto& memo = roclk::analysis::SweepMemo::global();
+  std::vector<Entry> entries;
+
+  {
+    // 4000-cycle closed-loop run, the unit of every sweep cell.
+    const int reps = 200;
+    const std::size_t cycles = 4000;
+    const double before = time_loop_run(/*batched=*/false, reps, cycles);
+    const double after = time_loop_run(/*batched=*/true, reps, cycles);
+    const double items = static_cast<double>(reps) * cycles;
+    entries.push_back({"loop_run_4k", "cycles", items / before,
+                       items / after});
+  }
+
+  {
+    // Scheduling overhead of many small sweeps (64 indices per call).
+    const int calls = 300;
+    const std::size_t n = 64;
+    const double before = time_scheduler(/*persistent=*/false, calls, n);
+    const double after = time_scheduler(/*persistent=*/true, calls, n);
+    const double items = static_cast<double>(calls) * n;
+    entries.push_back({"parallel_for_64x300", "indices", items / before,
+                       items / after});
+  }
+
+  {
+    // Full Fig. 9 grid.  "Before": every cell simulated (memo off, as the
+    // seed behaved).  "After": memo warm, as when figure benches and
+    // integration tests revisit the grid.
+    memo.set_enabled(false);
+    std::size_t cells = 0;
+    const double before = time_fig9_grid(&cells);
+    memo.set_enabled(true);
+    memo.clear();
+    const double cold = time_fig9_grid(nullptr);  // populates the memo
+    const double after = time_fig9_grid(nullptr);
+    const auto stats = memo.stats();
+    const double items = static_cast<double>(cells);
+    entries.push_back({"fig9_grid_3x3", "measurements", items / before,
+                       items / after});
+    std::printf("fig9 grid: memo-off %.3fs, cold %.3fs, warm %.3fs "
+                "(hits %zu, misses %zu, entries %zu)\n",
+                before, cold, after, stats.hits, stats.misses,
+                stats.entries);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const auto memo_stats = memo.stats();
+  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(
+      f,
+      "  \"notes\": \"'before' columns are the legacy paths still in-tree: "
+      "per-cycle std::function run(), a throwaway ThreadPool per call, and "
+      "the memo disabled. The pre-batching seed additionally lacked the "
+      "power-of-two CDN ring and the inlined hot path, so its run() was "
+      "slower than today's 'before' (11.0M cycles/s vs run_batch at 26.7M "
+      "on the 1-thread reference host when this file was first "
+      "committed).\",\n");
+  std::fprintf(f, "  \"memo\": {\"hits\": %zu, \"misses\": %zu, "
+               "\"entries\": %zu},\n",
+               memo_stats.hits, memo_stats.misses, memo_stats.entries);
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"unit\": \"%s\", "
+                 "\"before_items_per_sec\": %.1f, "
+                 "\"after_items_per_sec\": %.1f, \"speedup\": %.2f}%s\n",
+                 e.name.c_str(), e.unit.c_str(), e.before_items_per_sec,
+                 e.after_items_per_sec, e.speedup(),
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  for (const Entry& e : entries) {
+    std::printf("%-22s before %12.0f %s/s   after %12.0f %s/s   (%.2fx)\n",
+                e.name.c_str(), e.before_items_per_sec, e.unit.c_str(),
+                e.after_items_per_sec, e.unit.c_str(), e.speedup());
+  }
+  std::printf("[json] %s\n", out_path.c_str());
+  return 0;
+}

@@ -16,6 +16,8 @@
 //                       event-driven simulator where M is emergent.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <deque>
 #include <vector>
@@ -81,7 +83,39 @@ class QuantizedTimeCdn final : public DiscreteCdn {
                             DelayQuantization quantization =
                                 DelayQuantization::kRound);
 
-  double push(double generated_period) override;
+  // push() is the per-simulated-cycle hot path of every sweep; it is
+  // defined inline (class is final, so calls through the concrete type
+  // devirtualise and fuse into the simulation loop).
+  double push(double generated_period) override {
+    ROCLK_REQUIRE(generated_period > 0.0, "period must be positive");
+    ring_[next_] = generated_period;
+    next_ = (next_ + 1) & mask_;
+    count_ = std::min(count_ + 1, history_);
+
+    // Real-valued sample delay D[n] = t_clk / T_clk[n], bounded by the
+    // history we actually keep.
+    const double d = std::min(delay_stages_ / generated_period,
+                              static_cast<double>(history_ - 2));
+    last_m_ = static_cast<std::size_t>(std::llround(d));
+
+    switch (quantization_) {
+      case DelayQuantization::kRound:
+        return look_back(static_cast<std::size_t>(std::llround(d)));
+      case DelayQuantization::kFloor:
+        return look_back(static_cast<std::size_t>(std::floor(d)));
+      case DelayQuantization::kLinearInterp: {
+        const auto m0 = static_cast<std::size_t>(std::floor(d));
+        const double frac = d - std::floor(d);
+        const double v0 = look_back(m0);
+        if (frac == 0.0) return v0;
+        const double v1 = look_back(m0 + 1);
+        return v0 * (1.0 - frac) + v1 * frac;
+      }
+    }
+    ROCLK_REQUIRE(false, "unknown quantization mode");
+    return generated_period;
+  }
+
   void reset(double initial_period) override;
   [[nodiscard]] std::size_t current_delay_samples() const override {
     return last_m_;
@@ -91,16 +125,37 @@ class QuantizedTimeCdn final : public DiscreteCdn {
     return quantization_;
   }
 
+  /// Diagnostic look-back: period generated `m` cycles before the most
+  /// recent push.  Cycles before the simulation started (m past the pushed
+  /// count, including the freshly reset state) read the initial period.
+  [[nodiscard]] double peek_back(std::size_t m) const { return look_back(m); }
+
  private:
   /// Period generated `m` cycles before the most recent push.
-  [[nodiscard]] double look_back(std::size_t m) const;
+  [[nodiscard]] double look_back(std::size_t m) const {
+    if (m >= history_ || m >= count_) {
+      // Looking back before the simulation started (or past the retained
+      // window): the clock ran at the initial period.
+      return initial_period_;
+    }
+    // Most recent entry sits just behind the write cursor.  The ring is a
+    // power of two, so the wrap is a mask; m < history_ <= ring size keeps
+    // the subtraction in range.
+    const std::size_t newest = (next_ + mask_) & mask_;
+    const std::size_t idx = (newest + ring_.size() - m) & mask_;
+    return ring_[idx];
+  }
 
   double delay_stages_;
   std::size_t history_;
   DelayQuantization quantization_{DelayQuantization::kRound};
-  std::vector<double> ring_;   // circular buffer of generated periods
+  // Circular buffer of generated periods, sized to the power of two at or
+  // above `history` so the cursor arithmetic is mask-based (the hot loop
+  // otherwise pays three integer divisions per simulated cycle).
+  std::vector<double> ring_;
+  std::size_t mask_{0};        // ring_.size() - 1
   std::size_t next_{0};        // write cursor
-  std::size_t count_{0};       // number of valid entries
+  std::size_t count_{0};       // number of valid entries (capped at history)
   std::size_t last_m_{0};
   double initial_period_{0.0};
 };

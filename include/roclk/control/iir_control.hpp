@@ -84,7 +84,30 @@ class IirControlHardware final : public ControlBlock {
  public:
   explicit IirControlHardware(IirConfig config = paper_iir_config());
 
-  double step(double delta) override;
+  // Per-simulated-cycle hot path; inline so the batched simulation loop
+  // can fuse the datapath (the class is final, enabling devirtualisation
+  // when called through the concrete type).
+  double step(double delta) override {
+    // Datapath of Fig. 5 on integers scaled by k_exp:
+    //   A    = k_exp * x[n-1] + sum_i k_i W[n-i]   (adder)
+    //   W[n] = k* * A                              (shift, then z^-1)
+    //   y[n] = W[n] / k_exp                        (shift)
+    std::int64_t feedback = 0;
+    for (std::size_t i = 0; i < tap_gains_.size(); ++i) {
+      feedback += tap_gains_[i].apply(state_[i]);
+    }
+    const std::int64_t a = k_exp_gain_.apply(prev_input_) + feedback;
+    const std::int64_t w = k_star_gain_.apply(a);
+    for (std::size_t i = state_.size(); i-- > 1;) {
+      state_[i] = state_[i - 1];
+    }
+    state_[0] = w;
+    prev_input_ = static_cast<std::int64_t>(std::llround(delta));
+    // Output divider: arithmetic right shift by log2(k_exp).
+    const std::int64_t y = shift_signed(w, -k_exp_gain_.exponent());
+    return static_cast<double>(y);
+  }
+
   void reset(double initial_output) override;
   [[nodiscard]] std::string name() const override { return "IIR RO"; }
   [[nodiscard]] std::unique_ptr<ControlBlock> clone() const override;

@@ -9,13 +9,30 @@
 // For the paper's HoDV experiments e_ro == e_tdc == e and mu is constant.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "roclk/signal/waveform.hpp"
 #include "roclk/variation/variation.hpp"
 
 namespace roclk::core {
+
+/// Structure-of-arrays block of pre-evaluated perturbation samples: the
+/// batched counterpart of SimulationInputs.  Sampling once up front moves
+/// the waveform / variation-source evaluation (sin, spatial-map lookups,
+/// three std::function indirections per cycle) out of the simulation hot
+/// loop; LoopSimulator::run_batch then streams straight over the arrays.
+struct InputBlock {
+  double dt{0.0};  // sampling period the block was evaluated at (stages)
+  std::vector<double> e_ro;
+  std::vector<double> e_tdc;
+  std::vector<double> mu;
+
+  [[nodiscard]] std::size_t size() const { return e_ro.size(); }
+  [[nodiscard]] bool empty() const { return e_ro.empty(); }
+};
 
 struct SimulationInputs {
   using Signal = std::function<double(double t_stages)>;
@@ -47,6 +64,10 @@ struct SimulationInputs {
       std::shared_ptr<const variation::VariationSource> source,
       double setpoint_c, variation::DiePoint ro_location = {0.5, 0.5},
       std::size_t tdc_grid = 3);
+
+  /// Evaluates the three signals at t = k * dt for k in [0, n), exactly as
+  /// LoopSimulator::run samples them, into an SoA block for run_batch.
+  [[nodiscard]] InputBlock sample(std::size_t n, double dt) const;
 };
 
 }  // namespace roclk::core

@@ -89,6 +89,12 @@ class LoopSimulator {
   /// Runs n cycles, sampling `inputs` at t = n * sample_period.
   SimulationTrace run(const SimulationInputs& inputs, std::size_t n);
 
+  /// Batched hot loop: runs block.size() cycles over pre-evaluated SoA
+  /// samples (see SimulationInputs::sample), with no per-cycle signal
+  /// indirections.  Bit-for-bit equivalent to run() on the same inputs
+  /// when the block was sampled at this simulator's sample period.
+  SimulationTrace run_batch(const InputBlock& block);
+
   [[nodiscard]] const LoopConfig& config() const { return config_; }
   [[nodiscard]] const control::ControlBlock* controller() const {
     return controller_.get();
@@ -100,6 +106,14 @@ class LoopSimulator {
   void set_setpoint(double setpoint_c);
 
  private:
+  // Shared per-cycle body of step()/run_batch().  `control_step` computes
+  // the commanded RO length from delta; run_batch instantiates it with the
+  // concrete (devirtualised) controller, step() with the virtual call.
+  // Defined in loop_simulator.cpp — both users live in that TU.
+  template <typename ControlFn>
+  StepRecord step_impl(double e_ro, double e_tdc, double mu,
+                       ControlFn&& control_step);
+
   LoopConfig config_;
   std::unique_ptr<control::ControlBlock> controller_;
   osc::RingOscillator ro_;

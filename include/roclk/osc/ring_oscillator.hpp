@@ -18,6 +18,7 @@
 // chain), which the loop simulators model as the RO's one-cycle delay.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "roclk/common/status.hpp"
@@ -47,7 +48,13 @@ class RingOscillator {
 
   /// Requests a new length; clamps into [min, max].  Returns the actual
   /// length after clamping.
-  std::int64_t set_length(std::int64_t requested);
+  std::int64_t set_length(std::int64_t requested) {
+    const std::int64_t clamped =
+        std::clamp(requested, config_.min_length, config_.max_length);
+    saturated_ = clamped != requested;
+    length_ = clamped;
+    return length_;
+  }
 
   /// True if the last set_length had to clamp.
   [[nodiscard]] bool saturated() const { return saturated_; }

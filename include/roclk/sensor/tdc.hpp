@@ -20,6 +20,8 @@
 // paper's Fig. 4) is modelled by the loop simulator, not here.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -56,8 +58,12 @@ class Tdc {
   [[nodiscard]] const TdcConfig& config() const { return config_; }
 
   /// Additive (paper) model.  `delivered_period` and `e_local` in stages.
+  /// Per-simulated-cycle hot path: kept inline.
   [[nodiscard]] double measure_additive(double delivered_period,
-                                        double e_local) const;
+                                        double e_local) const {
+    ROCLK_REQUIRE(delivered_period > 0.0, "period must be positive");
+    return quantize(delivered_period - e_local + config_.mismatch_stages);
+  }
 
   /// Physical model. `v_local` is the fractional variation at the sensor.
   [[nodiscard]] double measure_physical(double delivered_period,
@@ -70,7 +76,21 @@ class Tdc {
   }
 
  private:
-  [[nodiscard]] double quantize(double raw) const;
+  [[nodiscard]] double quantize(double raw) const {
+    double q = raw;
+    switch (config_.quantization) {
+      case Quantization::kFloor:
+        q = std::floor(raw);
+        break;
+      case Quantization::kNearest:
+        q = std::round(raw);
+        break;
+      case Quantization::kNone:
+        break;
+    }
+    q = std::clamp(q, 0.0, static_cast<double>(config_.max_reading));
+    return q;
+  }
 
   TdcConfig config_;
 };

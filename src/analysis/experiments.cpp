@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "roclk/analysis/sweep_cache.hpp"
 #include "roclk/common/status.hpp"
 #include "roclk/common/thread_pool.hpp"
 #include "roclk/control/iir_control.hpp"
@@ -70,12 +71,35 @@ RunMetrics measure_system(SystemKind kind, double setpoint_c,
                           double fixed_period, std::size_t cycles,
                           std::size_t skip, double free_ro_margin,
                           cdn::DelayQuantization cdn_quantization) {
+  // The run is fully determined by the key; T_fixed only renormalises the
+  // result, so memo hits are valid across sweeps with different T_fixed.
+  const SweepKey key{static_cast<int>(kind),
+                     setpoint_c,
+                     tclk_stages,
+                     amplitude_stages,
+                     period_stages,
+                     mu_stages,
+                     cycles,
+                     skip,
+                     free_ro_margin,
+                     static_cast<int>(cdn_quantization)};
+  auto& memo = SweepMemo::global();
+  RunMetrics metrics;
+  if (memo.lookup(key, metrics)) {
+    metrics.relative_adaptive_period =
+        (metrics.mean_period + metrics.safety_margin) / fixed_period;
+    return metrics;
+  }
+
   auto system = make_system(kind, setpoint_c, tclk_stages, free_ro_margin,
                             cdn_quantization);
   const auto inputs = core::SimulationInputs::harmonic(
       amplitude_stages, period_stages, mu_stages);
-  const auto trace = system.run(inputs, cycles);
-  return evaluate_run(trace, setpoint_c, fixed_period, skip);
+  const auto block = inputs.sample(cycles, setpoint_c);
+  const auto trace = system.run_batch(block);
+  metrics = evaluate_run(trace, setpoint_c, fixed_period, skip);
+  memo.store(key, metrics);
+  return metrics;
 }
 
 // -------------------------------------------------------------------- Fig 7
@@ -145,7 +169,7 @@ std::vector<RelativePeriodRow> fig8_cdn_delay_sweep(
     std::span<const double> tclk_over_c, double te_over_c,
     const ExperimentParams& params) {
   std::vector<RelativePeriodRow> rows(tclk_over_c.size());
-  parallel_for_index(tclk_over_c.size(), [&](std::size_t i) {
+  parallel_for(tclk_over_c.size(), [&](std::size_t i) {
     rows[i] =
         relative_period_row(tclk_over_c[i], tclk_over_c[i], te_over_c, params);
   });
@@ -156,7 +180,7 @@ std::vector<RelativePeriodRow> fig8_frequency_sweep(
     std::span<const double> te_over_c, double tclk_over_c,
     const ExperimentParams& params) {
   std::vector<RelativePeriodRow> rows(te_over_c.size());
-  parallel_for_index(te_over_c.size(), [&](std::size_t i) {
+  parallel_for(te_over_c.size(), [&](std::size_t i) {
     rows[i] =
         relative_period_row(te_over_c[i], tclk_over_c, te_over_c[i], params);
   });
@@ -200,7 +224,7 @@ Fig9Cell fig9_mismatch_sweep(double tclk_over_c, double te_over_c,
   std::vector<double> free_margin(mu_over_c.size());
   std::vector<double> free_mean(mu_over_c.size());
 
-  parallel_for_index(mu_over_c.size(), [&](std::size_t i) {
+  parallel_for(mu_over_c.size(), [&](std::size_t i) {
     const double mu = mu_over_c[i] * c;
     cell.iir[i] =
         measure_system(SystemKind::kIir, c, tclk_over_c * c, amplitude,

@@ -4,6 +4,7 @@
 #include <complex>
 
 #include "roclk/common/math.hpp"
+#include "roclk/common/thread_pool.hpp"
 #include "roclk/control/iir_control.hpp"
 #include "roclk/control/teatime.hpp"
 #include "roclk/signal/spectrum.hpp"
@@ -60,10 +61,9 @@ double measured_error_gain(SystemKind kind, double setpoint_c,
       break;
   }
   core::LoopSimulator sim{cfg, std::move(controller)};
-  const auto trace = sim.run(
-      core::SimulationInputs::harmonic(amplitude_stages,
-                                       te_over_c * setpoint_c),
-      cycles);
+  const auto inputs = core::SimulationInputs::harmonic(
+      amplitude_stages, te_over_c * setpoint_c);
+  const auto trace = sim.run_batch(inputs.sample(cycles, setpoint_c));
   const auto err = trace.timing_error(setpoint_c);
   const std::vector<double> steady(err.begin() + static_cast<std::ptrdiff_t>(skip), err.end());
   const double tone = signal::tone_amplitude(steady, 1.0 / te_over_c);
@@ -75,17 +75,16 @@ std::vector<FrequencyResponsePoint> error_rejection_curve(
     double setpoint_c, double amplitude_stages) {
   const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
   const auto m = static_cast<std::size_t>(std::llround(tclk_over_c));
-  std::vector<FrequencyResponsePoint> curve;
-  curve.reserve(te_over_c_grid.size());
-  for (double te : te_over_c_grid) {
-    FrequencyResponsePoint point;
+  std::vector<FrequencyResponsePoint> curve(te_over_c_grid.size());
+  parallel_for(curve.size(), [&](std::size_t i) {
+    const double te = te_over_c_grid[i];
+    FrequencyResponsePoint& point = curve[i];
     point.te_over_c = te;
     point.analytic_gain = analytic_error_gain(n, d, m, te);
     point.measured_gain =
         measured_error_gain(SystemKind::kIir, setpoint_c,
                             tclk_over_c * setpoint_c, amplitude_stages, te);
-    curve.push_back(point);
-  }
+  });
   return curve;
 }
 

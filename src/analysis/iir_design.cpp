@@ -132,7 +132,7 @@ std::vector<IirCandidate> enumerate_candidates(
   }
 
   std::vector<IirCandidate> candidates(configs.size());
-  parallel_for_index(configs.size(), [&](std::size_t i) {
+  parallel_for(configs.size(), [&](std::size_t i) {
     candidates[i] = score_candidate(configs[i], options);
   });
   return candidates;

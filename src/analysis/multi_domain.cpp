@@ -61,8 +61,7 @@ MultiDomainResult run_partitioning(const MultiDomainConfig& config,
   result.cdn_delay_stages = chip::ClockDomainGeometry{tree}.cdn_delay_stages();
 
   result.per_domain.resize(result.domains);
-  ThreadPool pool;
-  parallel_for_index(pool, result.domains, [&](std::size_t d) {
+  parallel_for(result.domains, [&](std::size_t d) {
     const std::size_t ix = d % config.side;
     const std::size_t iy = d / config.side;
     const double step = 1.0 / static_cast<double>(config.side);
@@ -74,7 +73,8 @@ MultiDomainResult run_partitioning(const MultiDomainConfig& config,
                                      result.cdn_delay_stages);
     const auto inputs = domain_inputs(environment, config.setpoint_c, lo, hi,
                                       config.tdc_grid);
-    const auto trace = sim.run(inputs, config.cycles);
+    const auto block = inputs.sample(config.cycles, config.setpoint_c);
+    const auto trace = sim.run_batch(block);
 
     DomainResult& domain = result.per_domain[d];
     domain.centre = {0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y)};

@@ -5,6 +5,7 @@
 
 #include "roclk/common/rng.hpp"
 #include "roclk/common/stats.hpp"
+#include "roclk/common/thread_pool.hpp"
 #include "roclk/variation/sources.hpp"
 
 namespace roclk::analysis {
@@ -36,16 +37,20 @@ YieldCurve yield_curve(std::span<const double> margins,
   ROCLK_REQUIRE(config.paths > 0, "need at least one path");
   ROCLK_REQUIRE(!margins.empty(), "empty margin sweep");
 
+  // Chip seeds are derived from the index, so the Monte-Carlo parallelises
+  // with bitwise-identical results; the statistics accumulate serially
+  // afterwards to keep their order deterministic too.
   std::vector<double> worst_paths(config.chips);
+  parallel_for(config.chips, [&](std::size_t i) {
+    const std::uint64_t chip_seed =
+        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+    worst_paths[i] = sample_worst_path(config, chip_seed);
+  });
+
   RunningStats worst_stats;
   RunningStats adaptive_period_stats;
   std::size_t adaptive_ok = 0;
-
-  for (std::size_t i = 0; i < config.chips; ++i) {
-    const std::uint64_t chip_seed =
-        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
-    const double worst = sample_worst_path(config, chip_seed);
-    worst_paths[i] = worst;
+  for (const double worst : worst_paths) {
     worst_stats.add(worst);
     // The adaptive clock serves this chip if the RO can stretch at least
     // to the slowest path (and the chip's period *is* that path + loop
@@ -83,13 +88,14 @@ MarginComparison compare_margins(double target_yield,
   ROCLK_REQUIRE(target_yield > 0.0 && target_yield <= 1.0,
                 "target yield must be in (0, 1]");
   std::vector<double> worst_paths(config.chips);
-  RunningStats adaptive_extra;
-  for (std::size_t i = 0; i < config.chips; ++i) {
+  parallel_for(config.chips, [&](std::size_t i) {
     const std::uint64_t chip_seed =
         hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
     worst_paths[i] = sample_worst_path(config, chip_seed);
-    adaptive_extra.add(
-        std::max(0.0, worst_paths[i] - config.setpoint_c));
+  });
+  RunningStats adaptive_extra;
+  for (const double worst : worst_paths) {
+    adaptive_extra.add(std::max(0.0, worst - config.setpoint_c));
   }
   MarginComparison cmp;
   cmp.fixed_margin_needed = std::max(

@@ -1,6 +1,7 @@
 #include "roclk/cdn/cdn.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace roclk::cdn {
@@ -31,51 +32,9 @@ QuantizedTimeCdn::QuantizedTimeCdn(double delay_stages, std::size_t history,
       quantization_{quantization} {
   ROCLK_REQUIRE(delay_stages >= 0.0, "CDN delay cannot be negative");
   ROCLK_REQUIRE(history >= 2, "history too small");
-  ring_.assign(history_, 0.0);
+  ring_.assign(std::bit_ceil(history_), 0.0);
+  mask_ = ring_.size() - 1;
   reset(0.0);
-}
-
-double QuantizedTimeCdn::look_back(std::size_t m) const {
-  if (m >= history_) return initial_period_;
-  if (m > count_ - 1) {
-    // Looking back before the simulation started: the clock ran at the
-    // initial period.
-    return initial_period_;
-  }
-  // Most recent entry sits just behind the write cursor.
-  const std::size_t newest = (next_ + history_ - 1) % history_;
-  const std::size_t idx = (newest + history_ - m) % history_;
-  return ring_[idx];
-}
-
-double QuantizedTimeCdn::push(double generated_period) {
-  ROCLK_REQUIRE(generated_period > 0.0, "period must be positive");
-  ring_[next_] = generated_period;
-  next_ = (next_ + 1) % history_;
-  count_ = std::min(count_ + 1, history_);
-
-  // Real-valued sample delay D[n] = t_clk / T_clk[n], bounded by the
-  // history we actually keep.
-  const double d = std::min(delay_stages_ / generated_period,
-                            static_cast<double>(history_ - 2));
-  last_m_ = static_cast<std::size_t>(std::llround(d));
-
-  switch (quantization_) {
-    case DelayQuantization::kRound:
-      return look_back(static_cast<std::size_t>(std::llround(d)));
-    case DelayQuantization::kFloor:
-      return look_back(static_cast<std::size_t>(std::floor(d)));
-    case DelayQuantization::kLinearInterp: {
-      const auto m0 = static_cast<std::size_t>(std::floor(d));
-      const double frac = d - std::floor(d);
-      const double v0 = look_back(m0);
-      if (frac == 0.0) return v0;
-      const double v1 = look_back(m0 + 1);
-      return v0 * (1.0 - frac) + v1 * frac;
-    }
-  }
-  ROCLK_REQUIRE(false, "unknown quantization mode");
-  return generated_period;
 }
 
 void QuantizedTimeCdn::reset(double initial_period) {

@@ -1,6 +1,8 @@
 #include "roclk/common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "roclk/common/status.hpp"
 
@@ -16,13 +18,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mutex_);
-    stop_ = true;
-  }
-  cv_task_.notify_all();
-  for (auto& worker : workers_) worker.join();
+ThreadPool::~ThreadPool() { shutdown(); }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -39,6 +39,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -60,28 +71,82 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for_index(ThreadPool& pool, std::size_t n,
-                        const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  // Chunk the index space so tiny tasks do not thrash the queue.
-  const std::size_t chunks = std::min(n, pool.size() * 4);
-  std::atomic<std::size_t> next{0};
-  for (std::size_t c = 0; c < chunks; ++c) {
-    pool.submit([&fn, &next, n] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
+namespace {
+
+/// Per-call scheduling state, heap-held so range tasks that drain after the
+/// caller has already returned (every index claimed by other threads) touch
+/// only memory they co-own.
+struct ForState {
+  std::atomic<std::size_t> next{0};  // first unclaimed index
+  std::atomic<std::size_t> done{0};  // indices fully executed
+  std::size_t n{0};
+  std::size_t chunk{1};
+  const std::function<void(std::size_t)>* fn{nullptr};
+  std::mutex m;
+  std::condition_variable cv;
+};
+
+/// Claims and executes ranges until the index space is exhausted; returns
+/// the number of indices this thread completed.  `fn` is only dereferenced
+/// while at least one index is still owed, which the caller outlives.
+std::size_t drain(ForState& s) {
+  std::size_t completed = 0;
+  for (;;) {
+    const std::size_t begin = s.next.fetch_add(s.chunk,
+                                               std::memory_order_relaxed);
+    if (begin >= s.n) break;
+    const std::size_t end = std::min(s.n, begin + s.chunk);
+    for (std::size_t i = begin; i < end; ++i) (*s.fn)(i);
+    completed += end - begin;
   }
-  pool.wait_idle();
+  return completed;
 }
 
-void parallel_for_index(std::size_t n,
-                        const std::function<void(std::size_t)>& fn) {
-  ThreadPool pool;
-  parallel_for_index(pool, n, fn);
+void finish(ForState& s, std::size_t completed) {
+  if (completed == 0) return;
+  if (s.done.fetch_add(completed, std::memory_order_acq_rel) + completed ==
+      s.n) {
+    std::lock_guard lock(s.m);  // pairs with the caller's predicate check
+    s.cv.notify_all();
+  }
+}
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = pool.size();
+  if (n == 1 || workers <= 1) {
+    // One worker gains nothing over the caller running the loop directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  // ~4 ranges per thread balances load without per-index queue churn.
+  state->chunk = std::max<std::size_t>(1, n / ((workers + 1) * 4));
+
+  const std::size_t helpers =
+      std::min(workers, (n + state->chunk - 1) / state->chunk);
+  for (std::size_t w = 0; w < helpers; ++w) {
+    pool.submit([state] { finish(*state, drain(*state)); });
+  }
+
+  // The caller claims ranges too: progress is guaranteed even if every
+  // worker is blocked inside an outer parallel_for (nested use).
+  const std::size_t mine = drain(*state);
+  finish(*state, mine);
+  std::unique_lock lock(state->m);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for(ThreadPool::shared(), n, fn);
 }
 
 }  // namespace roclk

@@ -60,4 +60,20 @@ SimulationInputs SimulationInputs::from_variation_source(
   return inputs;
 }
 
+InputBlock SimulationInputs::sample(std::size_t n, double dt) const {
+  ROCLK_REQUIRE(dt > 0.0, "sample period must be positive");
+  InputBlock block;
+  block.dt = dt;
+  block.e_ro.resize(n);
+  block.e_tdc.resize(n);
+  block.mu.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    block.e_ro[k] = e_ro(t);
+    block.e_tdc[k] = e_tdc(t);
+    block.mu[k] = mu(t);
+  }
+  return block;
+}
+
 }  // namespace roclk::core

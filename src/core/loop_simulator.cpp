@@ -89,7 +89,9 @@ void LoopSimulator::reset() {
   prev_mu_ = 0.0;
 }
 
-StepRecord LoopSimulator::step(double e_ro, double e_tdc, double mu) {
+template <typename ControlFn>
+StepRecord LoopSimulator::step_impl(double e_ro, double e_tdc, double mu,
+                                    ControlFn&& control_step) {
   StepRecord record;
 
   // TDC (one-cycle latency): measure the period delivered last cycle under
@@ -103,7 +105,7 @@ StepRecord LoopSimulator::step(double e_ro, double e_tdc, double mu) {
   double lro_now = prev_lro_;
   switch (config_.mode) {
     case GeneratorMode::kControlledRo: {
-      const double commanded = controller_->step(record.delta);
+      const double commanded = control_step(record.delta);
       if (config_.quantize_lro) {
         lro_now = static_cast<double>(
             ro_.set_length(static_cast<std::int64_t>(std::llround(commanded))));
@@ -139,6 +141,11 @@ StepRecord LoopSimulator::step(double e_ro, double e_tdc, double mu) {
   return record;
 }
 
+StepRecord LoopSimulator::step(double e_ro, double e_tdc, double mu) {
+  return step_impl(e_ro, e_tdc, mu,
+                   [this](double delta) { return controller_->step(delta); });
+}
+
 SimulationTrace LoopSimulator::run(const SimulationInputs& inputs,
                                    std::size_t n) {
   const double dt = config_.sample_period.value_or(config_.setpoint_c);
@@ -147,6 +154,33 @@ SimulationTrace LoopSimulator::run(const SimulationInputs& inputs,
   for (std::size_t k = 0; k < n; ++k) {
     const double t = static_cast<double>(k) * dt;
     trace.push(step(inputs.e_ro(t), inputs.e_tdc(t), inputs.mu(t)));
+  }
+  return trace;
+}
+
+SimulationTrace LoopSimulator::run_batch(const InputBlock& block) {
+  const std::size_t n = block.size();
+  ROCLK_REQUIRE(block.e_tdc.size() == n && block.mu.size() == n,
+                "ragged input block");
+  SimulationTrace trace;
+  trace.reserve(n);
+  const double* const e_ro = block.e_ro.data();
+  const double* const e_tdc = block.e_tdc.data();
+  const double* const mu = block.mu.data();
+  // The arithmetic is shared with run() via step_impl to keep the two
+  // paths bit-identical.  For the common controller the virtual dispatch
+  // is hoisted out of the loop: IirControlHardware is final with an inline
+  // step(), so the whole datapath fuses into this loop body.
+  if (auto* iir =
+          dynamic_cast<control::IirControlHardware*>(controller_.get())) {
+    for (std::size_t k = 0; k < n; ++k) {
+      trace.push(step_impl(e_ro[k], e_tdc[k], mu[k],
+                           [iir](double delta) { return iir->step(delta); }));
+    }
+    return trace;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    trace.push(step(e_ro[k], e_tdc[k], mu[k]));
   }
   return trace;
 }

@@ -16,15 +16,6 @@ void SimulationTrace::reserve(std::size_t n) {
   violation_.reserve(n);
 }
 
-void SimulationTrace::push(const StepRecord& record) {
-  tau_.push_back(record.tau);
-  delta_.push_back(record.delta);
-  lro_.push_back(record.lro);
-  t_gen_.push_back(record.t_gen);
-  t_dlv_.push_back(record.t_dlv);
-  violation_.push_back(record.violation ? 1 : 0);
-}
-
 std::vector<double> SimulationTrace::timing_error(double setpoint) const {
   std::vector<double> out;
   out.reserve(tau_.size());

@@ -31,14 +31,6 @@ RingOscillator::RingOscillator(RingOscillatorConfig config)
   ROCLK_REQUIRE(status.is_ok(), status.to_string());
 }
 
-std::int64_t RingOscillator::set_length(std::int64_t requested) {
-  const std::int64_t clamped =
-      std::clamp(requested, config_.min_length, config_.max_length);
-  saturated_ = clamped != requested;
-  length_ = clamped;
-  return length_;
-}
-
 FixedClockSource::FixedClockSource(double period_stages)
     : period_stages_{period_stages} {
   ROCLK_REQUIRE(period_stages > 0.0, "fixed period must be positive");

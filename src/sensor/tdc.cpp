@@ -23,27 +23,6 @@ Tdc::Tdc(TdcConfig config) : config_{config} {
   ROCLK_REQUIRE(status.is_ok(), status.to_string());
 }
 
-double Tdc::quantize(double raw) const {
-  double q = raw;
-  switch (config_.quantization) {
-    case Quantization::kFloor:
-      q = std::floor(raw);
-      break;
-    case Quantization::kNearest:
-      q = std::round(raw);
-      break;
-    case Quantization::kNone:
-      break;
-  }
-  q = std::clamp(q, 0.0, static_cast<double>(config_.max_reading));
-  return q;
-}
-
-double Tdc::measure_additive(double delivered_period, double e_local) const {
-  ROCLK_REQUIRE(delivered_period > 0.0, "period must be positive");
-  return quantize(delivered_period - e_local + config_.mismatch_stages);
-}
-
 double Tdc::measure_physical(double delivered_period, double v_local) const {
   ROCLK_REQUIRE(delivered_period > 0.0, "period must be positive");
   const double stage_scale =

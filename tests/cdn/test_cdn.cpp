@@ -176,5 +176,53 @@ INSTANTIATE_TEST_SUITE_P(Delays, CdnTransparency,
                          ::testing::Values(0.0, 6.4, 32.0, 64.0, 96.0, 128.0,
                                            320.0, 640.0));
 
+// Regression for the look_back underflow: with zero pushes count_ == 0 and
+// the old `m > count_ - 1` guard wrapped to SIZE_MAX, skipping the
+// pre-simulation branch entirely.  Every look-back on a freshly reset CDN
+// must read the initial period.
+TEST(QuantizedTimeCdn, LookBackOnFreshlyResetCdnReadsInitialPeriod) {
+  QuantizedTimeCdn cdn{64.0, /*history=*/16};
+  cdn.reset(48.0);
+  for (std::size_t m = 0; m < 20; ++m) {
+    EXPECT_DOUBLE_EQ(cdn.peek_back(m), 48.0) << "m = " << m;
+  }
+  // A reset after traffic must also forget the pushed history.
+  cdn.push(100.0);
+  cdn.push(90.0);
+  cdn.reset(52.0);
+  for (std::size_t m = 0; m < 20; ++m) {
+    EXPECT_DOUBLE_EQ(cdn.peek_back(m), 52.0) << "m = " << m;
+  }
+}
+
+TEST(QuantizedTimeCdn, LookBackPastPushedCountReadsInitialPeriod) {
+  QuantizedTimeCdn cdn{640.0, /*history=*/32};
+  cdn.reset(64.0);
+  // First push: D = 640/64 = 10 but only one period was ever generated, so
+  // the delivered period is still the pre-simulation one.
+  EXPECT_DOUBLE_EQ(cdn.push(64.0), 64.0);
+  EXPECT_DOUBLE_EQ(cdn.peek_back(0), 64.0);
+  EXPECT_DOUBLE_EQ(cdn.peek_back(1), 64.0);
+}
+
+// The ring is rounded up to a power of two internally (mask arithmetic in
+// the hot loop); a non-power-of-two history must keep byte-identical
+// look-back semantics at its logical bound.
+TEST(QuantizedTimeCdn, NonPowerOfTwoHistoryKeepsLogicalWindow) {
+  QuantizedTimeCdn cdn{0.0, /*history=*/6};
+  cdn.reset(1.0);
+  for (int i = 0; i < 12; ++i) {
+    cdn.push(100.0 + i);  // delay 0: delivered == pushed
+  }
+  // The newest 6 entries (the logical history) are retained...
+  for (std::size_t m = 0; m < 6; ++m) {
+    EXPECT_DOUBLE_EQ(cdn.peek_back(m), 111.0 - static_cast<double>(m));
+  }
+  // ...and anything past the logical history reads the initial period even
+  // though the physical ring (8 slots) still holds newer data.
+  EXPECT_DOUBLE_EQ(cdn.peek_back(6), 1.0);
+  EXPECT_DOUBLE_EQ(cdn.peek_back(7), 1.0);
+}
+
 }  // namespace
 }  // namespace roclk::cdn

@@ -36,6 +36,26 @@ TEST(Inputs, NullWaveformRejected) {
                std::logic_error);
 }
 
+TEST(Inputs, SampleEvaluatesSignalsOnTheRunGrid) {
+  const auto inputs = SimulationInputs::harmonic(12.8, 1600.0, -2.5);
+  const InputBlock block = inputs.sample(64, 32.0);
+  ASSERT_EQ(block.size(), 64u);
+  EXPECT_DOUBLE_EQ(block.dt, 32.0);
+  for (std::size_t k = 0; k < block.size(); ++k) {
+    const double t = static_cast<double>(k) * 32.0;
+    EXPECT_EQ(block.e_ro[k], inputs.e_ro(t)) << "k = " << k;
+    EXPECT_EQ(block.e_tdc[k], inputs.e_tdc(t)) << "k = " << k;
+    EXPECT_EQ(block.mu[k], inputs.mu(t)) << "k = " << k;
+  }
+}
+
+TEST(Inputs, SampleRejectsNonPositiveDt) {
+  const auto inputs = SimulationInputs::none();
+  EXPECT_THROW((void)inputs.sample(8, 0.0), std::logic_error);
+  const InputBlock empty = inputs.sample(0, 64.0);
+  EXPECT_TRUE(empty.empty());
+}
+
 TEST(Inputs, FromVariationSourceScalesBySetpoint) {
   auto source = std::shared_ptr<const variation::VariationSource>(
       variation::DieToDieProcess::with_offset(0.1).clone());

@@ -7,6 +7,7 @@
 
 #include "roclk/control/iir_control.hpp"
 #include "roclk/control/teatime.hpp"
+#include "roclk/variation/sources.hpp"
 
 namespace roclk::core {
 namespace {
@@ -193,6 +194,82 @@ TEST(LoopSimulator, SamplePeriodOverrideChangesPerturbationSampling) {
   const auto inputs = SimulationInputs::harmonic(12.8, 1600.0);
   const auto trace = sim.run(inputs, 100);
   EXPECT_EQ(trace.size(), 100u);
+}
+
+// ------------------------------------------------------- run_batch parity
+
+namespace {
+
+/// Asserts run_batch on a pre-sampled block reproduces run() bit for bit.
+void expect_batch_matches_run(LoopSimulator& a, LoopSimulator& b,
+                              const SimulationInputs& inputs,
+                              std::size_t cycles) {
+  const double dt = a.config().sample_period.value_or(a.config().setpoint_c);
+  const auto reference = a.run(inputs, cycles);
+  const auto batched = b.run_batch(inputs.sample(cycles, dt));
+  ASSERT_EQ(reference.size(), batched.size());
+  for (std::size_t k = 0; k < cycles; ++k) {
+    ASSERT_EQ(reference.tau()[k], batched.tau()[k]) << "cycle " << k;
+    ASSERT_EQ(reference.delta()[k], batched.delta()[k]) << "cycle " << k;
+    ASSERT_EQ(reference.lro()[k], batched.lro()[k]) << "cycle " << k;
+    ASSERT_EQ(reference.generated_period()[k],
+              batched.generated_period()[k])
+        << "cycle " << k;
+    ASSERT_EQ(reference.delivered_period()[k],
+              batched.delivered_period()[k])
+        << "cycle " << k;
+  }
+  EXPECT_EQ(reference.violation_count(), batched.violation_count());
+}
+
+}  // namespace
+
+TEST(LoopSimulatorBatch, MatchesRunBitForBitOnHarmonicInputs) {
+  const auto inputs = SimulationInputs::harmonic(12.8, 1600.0, 3.0);
+  auto a_iir = make_iir_system(64.0, 64.0);
+  auto b_iir = make_iir_system(64.0, 64.0);
+  expect_batch_matches_run(a_iir, b_iir, inputs, 3000);
+
+  auto a_tea = make_teatime_system(64.0, 64.0);
+  auto b_tea = make_teatime_system(64.0, 64.0);
+  expect_batch_matches_run(a_tea, b_tea, inputs, 3000);
+
+  auto a_free = make_free_ro_system(64.0, 64.0, 12.8);
+  auto b_free = make_free_ro_system(64.0, 64.0, 12.8);
+  expect_batch_matches_run(a_free, b_free, inputs, 3000);
+
+  auto a_fix = make_fixed_clock_system(64.0, 64.0, 12.8);
+  auto b_fix = make_fixed_clock_system(64.0, 64.0, 12.8);
+  expect_batch_matches_run(a_fix, b_fix, inputs, 3000);
+}
+
+TEST(LoopSimulatorBatch, MatchesRunBitForBitOnVariationSourceInputs) {
+  const auto source = std::make_shared<const variation::VrmRipple>(
+      0.08, 1600.0, 0.3);
+  const auto inputs =
+      SimulationInputs::from_variation_source(source, 64.0, {0.25, 0.75});
+  auto a = make_iir_system(64.0, 96.0);
+  auto b = make_iir_system(64.0, 96.0);
+  expect_batch_matches_run(a, b, inputs, 2000);
+}
+
+TEST(LoopSimulatorBatch, MatchesRunWithFractionalSamplePeriod) {
+  LoopConfig cfg = linear_config(100.0);
+  cfg.sample_period = 31.7;
+  cfg.cdn_quantization = cdn::DelayQuantization::kLinearInterp;
+  LoopSimulator a{cfg, std::make_unique<control::IirControlReference>()};
+  LoopSimulator b{cfg, std::make_unique<control::IirControlReference>()};
+  expect_batch_matches_run(a, b, SimulationInputs::harmonic(5.0, 731.0),
+                           1500);
+}
+
+TEST(LoopSimulatorBatch, RejectsRaggedBlock) {
+  auto sim = make_iir_system(64.0, 64.0);
+  InputBlock block;
+  block.e_ro.assign(10, 0.0);
+  block.e_tdc.assign(9, 0.0);
+  block.mu.assign(10, 0.0);
+  EXPECT_THROW((void)sim.run_batch(block), std::logic_error);
 }
 
 }  // namespace
