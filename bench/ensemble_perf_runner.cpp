@@ -1,0 +1,194 @@
+// P3 — ensemble-scale Monte-Carlo performance tracker.
+//
+// Times a 256-trial x 4000-cycle Monte-Carlo (the paper's IIR system under
+// a harmonic HoDV, one static mismatch per trial) two ways:
+//  * before — the PR 1 per-trial pipeline: SimulationInputs::harmonic +
+//    sample(), one LoopSimulator per trial, run_batch materialising a full
+//    SimulationTrace, then evaluate_run.
+//  * after  — the lane-parallel pipeline: sample_homogeneous_ensemble
+//    (waveform evaluated once per cycle, broadcast to all lanes), one
+//    EnsembleSimulator over all trials, metrics streamed through
+//    MetricsReducer with no traces.
+//
+// The two paths must agree bit-for-bit per lane (the ensemble engine's
+// core guarantee); the run aborts without recording if they do not.
+//
+// Usage: run from the repository root; appends a run record (git SHA, UTC
+// timestamp, hardware threads) to BENCH_sweeps.json.  An optional argv[1]
+// overrides the output path; --smoke shrinks the study for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "roclk/analysis/ensemble_metrics.hpp"
+#include "roclk/analysis/metrics.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/core/ensemble_simulator.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/signal/waveform.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using roclk::analysis::RunMetrics;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+volatile double g_sink = 0.0;  // defeats whole-run elision
+
+struct Study {
+  std::size_t trials{256};
+  std::size_t cycles{4000};
+  std::size_t skip{1000};
+  double setpoint_c{64.0};
+  double amplitude{12.8};  // 0.2 c, the paper's HoDV amplitude
+  double period{3200.0};   // T_e = 50 c
+  double fixed_period{76.8};  // c * 1.2, the HoDV design margin
+  /// One static mismatch per trial, spread over +-0.1 c.
+  [[nodiscard]] std::vector<double> mus() const {
+    std::vector<double> out(trials);
+    for (std::size_t w = 0; w < trials; ++w) {
+      const double frac = trials > 1
+          ? static_cast<double>(w) / static_cast<double>(trials - 1)
+          : 0.5;
+      out[w] = setpoint_c * (-0.1 + 0.2 * frac);
+    }
+    return out;
+  }
+};
+
+/// PR 1 Monte-Carlo: sample, simulate and evaluate one trial at a time.
+std::vector<RunMetrics> run_per_trial(const Study& s,
+                                      const std::vector<double>& mus) {
+  std::vector<RunMetrics> out(mus.size());
+  for (std::size_t w = 0; w < mus.size(); ++w) {
+    const auto inputs =
+        roclk::core::SimulationInputs::harmonic(s.amplitude, s.period, mus[w]);
+    const auto block = inputs.sample(s.cycles, s.setpoint_c);
+    auto sim = roclk::core::make_iir_system(s.setpoint_c, s.setpoint_c);
+    const auto trace = sim.run_batch(block);
+    out[w] = roclk::analysis::evaluate_run(trace, s.setpoint_c,
+                                           s.fixed_period, s.skip);
+  }
+  return out;
+}
+
+/// Ensemble Monte-Carlo: tile-streamed broadcast sampling, lane-parallel
+/// kernel, streaming metrics.
+std::vector<RunMetrics> run_ensemble(const Study& s,
+                                     const std::vector<double>& mus) {
+  roclk::core::LoopConfig loop;
+  loop.setpoint_c = s.setpoint_c;
+  loop.cdn_delay_stages = s.setpoint_c;
+  loop.mode = roclk::core::GeneratorMode::kControlledRo;
+  const roclk::control::IirControlHardware prototype{
+      roclk::control::paper_iir_config()};
+  auto ensemble =
+      roclk::core::EnsembleSimulator::uniform(loop, &prototype, mus.size());
+  return roclk::analysis::evaluate_homogeneous_mc(
+      ensemble, roclk::signal::SineWaveform{s.amplitude, s.period}, mus,
+      s.cycles, s.setpoint_c, {s.fixed_period}, s.skip, /*parallel=*/true);
+}
+
+bool bitwise_equal(const std::vector<RunMetrics>& a,
+                   const std::vector<RunMetrics>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    if (a[w].safety_margin != b[w].safety_margin ||
+        a[w].mean_period != b[w].mean_period ||
+        a[w].relative_adaptive_period != b[w].relative_adaptive_period ||
+        a[w].violations != b[w].violations ||
+        a[w].tau_ripple != b[w].tau_ripple) {
+      std::fprintf(stderr, "lane %zu metrics diverge\n", w);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_sweeps.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  Study s;
+  int reps = 5;
+  if (smoke) {
+    s.trials = 8;
+    s.cycles = 1000;
+    s.skip = 250;
+    reps = 1;
+  }
+  const auto mus = s.mus();
+
+  // Equivalence gate first: the speedup is only worth recording if the
+  // ensemble reproduced the per-trial metrics exactly.
+  const auto scalar_metrics = run_per_trial(s, mus);
+  const auto ensemble_metrics = run_ensemble(s, mus);
+  const bool identical = bitwise_equal(scalar_metrics, ensemble_metrics);
+  roclk::bench::shape_check(
+      identical, "ensemble per-lane metrics bit-identical to per-trial "
+                 "run_batch + evaluate_run");
+  if (!identical) return 1;
+
+  // Best-of-reps: the minimum time per path is robust against scheduler
+  // and frequency noise that would otherwise pollute a summed total.
+  double before_s = std::numeric_limits<double>::infinity();
+  double after_s = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    const auto a = run_per_trial(s, mus);
+    before_s = std::min(before_s, seconds_since(start));
+    g_sink = g_sink + a.back().mean_period;
+
+    start = Clock::now();
+    const auto b = run_ensemble(s, mus);
+    after_s = std::min(after_s, seconds_since(start));
+    g_sink = g_sink + b.back().mean_period;
+  }
+
+  const double items = static_cast<double>(s.trials) *
+                       static_cast<double>(s.cycles);
+  std::vector<roclk::bench::PerfEntry> entries;
+  entries.push_back({smoke ? "mc_ensemble_smoke" : "mc_ensemble_256x4k",
+                     "lane_cycles", items / before_s, items / after_s});
+
+  char notes[512];
+  std::snprintf(
+      notes, sizeof notes,
+      "%zu-trial x %zu-cycle IIR Monte-Carlo under harmonic HoDV. 'before' "
+      "is the PR 1 per-trial path (sample + run_batch + full trace + "
+      "evaluate_run); 'after' is sample_homogeneous_ensemble + "
+      "EnsembleSimulator + streaming MetricsReducer. Per-lane metrics "
+      "verified bit-identical before timing; best of %d reps.%s",
+      s.trials, s.cycles, reps,
+      smoke ? " Smoke-sized run; rates are not comparable." : "");
+  if (!roclk::bench::append_perf_run(out_path, "ensemble_perf_runner", notes,
+                                     entries)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  for (const auto& e : entries) {
+    std::printf("%-22s before %12.0f %s/s   after %12.0f %s/s   (%.2fx)\n",
+                e.name.c_str(), e.before_items_per_sec, e.unit.c_str(),
+                e.after_items_per_sec, e.unit.c_str(), e.speedup());
+  }
+  std::printf("[json] %s\n", out_path.c_str());
+  return 0;
+}

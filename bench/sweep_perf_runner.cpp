@@ -13,14 +13,17 @@
 //                    vs memo enabled and warm (the sweep pipeline's steady
 //                    state when figures/tests revisit cells).
 //
-// Usage: run from the repository root; writes BENCH_sweeps.json there.
-// An optional argv[1] overrides the output path.
+// Usage: run from the repository root; appends a run record (git SHA,
+// UTC timestamp, hardware threads) to BENCH_sweeps.json there.  An
+// optional argv[1] overrides the output path; --smoke shrinks every
+// measurement for CI smoke coverage.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "roclk/analysis/experiments.hpp"
 #include "roclk/analysis/sweep_cache.hpp"
 #include "roclk/common/thread_pool.hpp"
@@ -29,22 +32,11 @@
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using roclk::bench::PerfEntry;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
-
-struct Entry {
-  std::string name;
-  std::string unit;
-  double before_items_per_sec{0.0};
-  double after_items_per_sec{0.0};
-  [[nodiscard]] double speedup() const {
-    return before_items_per_sec > 0.0
-               ? after_items_per_sec / before_items_per_sec
-               : 0.0;
-  }
-};
 
 volatile double g_sink = 0.0;  // defeats whole-run elision
 
@@ -79,9 +71,10 @@ double time_scheduler(bool persistent, int calls, std::size_t n) {
   return seconds_since(start);
 }
 
-double time_fig9_grid(std::size_t* cells_out) {
+double time_fig9_grid(std::size_t* cells_out, bool smoke) {
   std::vector<double> mu_grid;
-  for (int i = -4; i <= 4; ++i) mu_grid.push_back(0.05 * i);
+  const int half = smoke ? 1 : 4;
+  for (int i = -half; i <= half; ++i) mu_grid.push_back(0.05 * i);
   const std::vector<double> te_rows{25.0, 37.5, 50.0};
   const std::vector<double> tclk_cols{0.75, 1.0, 1.25};
   const auto start = Clock::now();
@@ -101,13 +94,21 @@ double time_fig9_grid(std::size_t* cells_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweeps.json";
+  bool smoke = false;
+  std::string out_path = "BENCH_sweeps.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
   auto& memo = roclk::analysis::SweepMemo::global();
-  std::vector<Entry> entries;
+  std::vector<PerfEntry> entries;
 
   {
     // 4000-cycle closed-loop run, the unit of every sweep cell.
-    const int reps = 200;
+    const int reps = smoke ? 4 : 200;
     const std::size_t cycles = 4000;
     const double before = time_loop_run(/*batched=*/false, reps, cycles);
     const double after = time_loop_run(/*batched=*/true, reps, cycles);
@@ -118,7 +119,7 @@ int main(int argc, char** argv) {
 
   {
     // Scheduling overhead of many small sweeps (64 indices per call).
-    const int calls = 300;
+    const int calls = smoke ? 10 : 300;
     const std::size_t n = 64;
     const double before = time_scheduler(/*persistent=*/false, calls, n);
     const double after = time_scheduler(/*persistent=*/true, calls, n);
@@ -133,11 +134,11 @@ int main(int argc, char** argv) {
     // integration tests revisit the grid.
     memo.set_enabled(false);
     std::size_t cells = 0;
-    const double before = time_fig9_grid(&cells);
+    const double before = time_fig9_grid(&cells, smoke);
     memo.set_enabled(true);
     memo.clear();
-    const double cold = time_fig9_grid(nullptr);  // populates the memo
-    const double after = time_fig9_grid(nullptr);
+    const double cold = time_fig9_grid(nullptr, smoke);  // populates the memo
+    const double after = time_fig9_grid(nullptr, smoke);
     const auto stats = memo.stats();
     const double items = static_cast<double>(cells);
     entries.push_back({"fig9_grid_3x3", "measurements", items / before,
@@ -148,41 +149,22 @@ int main(int argc, char** argv) {
                 stats.entries);
   }
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
+  const auto memo_stats = memo.stats();
+  char notes[512];
+  std::snprintf(
+      notes, sizeof notes,
+      "'before' columns are the legacy paths still in-tree: per-cycle "
+      "std::function run(), a throwaway ThreadPool per call, and the memo "
+      "disabled (memo this run: %zu hits, %zu misses, %zu entries).%s",
+      memo_stats.hits, memo_stats.misses, memo_stats.entries,
+      smoke ? " Smoke-sized run; rates are not comparable." : "");
+  if (!roclk::bench::append_perf_run(out_path, "sweep_perf_runner", notes,
+                                     entries)) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  const auto memo_stats = memo.stats();
-  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(
-      f,
-      "  \"notes\": \"'before' columns are the legacy paths still in-tree: "
-      "per-cycle std::function run(), a throwaway ThreadPool per call, and "
-      "the memo disabled. The pre-batching seed additionally lacked the "
-      "power-of-two CDN ring and the inlined hot path, so its run() was "
-      "slower than today's 'before' (11.0M cycles/s vs run_batch at 26.7M "
-      "on the 1-thread reference host when this file was first "
-      "committed).\",\n");
-  std::fprintf(f, "  \"memo\": {\"hits\": %zu, \"misses\": %zu, "
-               "\"entries\": %zu},\n",
-               memo_stats.hits, memo_stats.misses, memo_stats.entries);
-  std::fprintf(f, "  \"benchmarks\": [\n");
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const Entry& e = entries[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"unit\": \"%s\", "
-                 "\"before_items_per_sec\": %.1f, "
-                 "\"after_items_per_sec\": %.1f, \"speedup\": %.2f}%s\n",
-                 e.name.c_str(), e.unit.c_str(), e.before_items_per_sec,
-                 e.after_items_per_sec, e.speedup(),
-                 i + 1 < entries.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
 
-  for (const Entry& e : entries) {
+  for (const PerfEntry& e : entries) {
     std::printf("%-22s before %12.0f %s/s   after %12.0f %s/s   (%.2fx)\n",
                 e.name.c_str(), e.before_items_per_sec, e.unit.c_str(),
                 e.after_items_per_sec, e.unit.c_str(), e.speedup());

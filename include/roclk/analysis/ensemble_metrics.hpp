@@ -1,0 +1,94 @@
+// Streaming RunMetrics reduction for ensemble runs.
+//
+// MetricsReducer folds EnsembleSimulator's per-cycle lane slices straight
+// into the four figures of merit of evaluate_run — required safety margin,
+// mean delivered period, violation count, tau ripple — without ever
+// materialising a per-lane SimulationTrace.  A W-lane Monte-Carlo
+// therefore allocates O(W) accumulator state instead of O(W * cycles)
+// trace memory.
+//
+// The accumulators use the *same* definitions, in the *same* fold order,
+// as SimulationTrace + evaluate_run: the margin folds delta[n] = c -
+// tau[n], which the kernel computes with the identical subtraction; the
+// period mean performs RunningStats::add's Welford update (without the m2
+// term the metrics never read); the tau ripple keeps the running extrema.
+// The resulting RunMetrics are therefore bit-for-bit equal to running each
+// lane through run_batch + evaluate_run.
+// tests/core/test_ensemble_simulator enforces this.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "roclk/analysis/metrics.hpp"
+#include "roclk/core/ensemble_simulator.hpp"
+#include "roclk/signal/waveform.hpp"
+
+namespace roclk::analysis {
+
+/// Streaming per-lane RunMetrics accumulator.  `skip` drops the initial
+/// transient, counted per lane (like evaluate_run's skip).  Thread-safe
+/// under EnsembleSimulator::run(parallel=true): each lane's state is
+/// touched only by the chunk that owns the lane.
+class MetricsReducer final : public core::StreamingReducer {
+ public:
+  /// One shared fixed-clock reference period for every lane.
+  MetricsReducer(std::size_t lanes, double fixed_period, std::size_t skip);
+  /// Per-lane fixed-clock reference periods.
+  MetricsReducer(std::vector<double> fixed_periods, std::size_t skip);
+
+  void accumulate(const core::LaneSlice& slice) override;
+  /// The metrics never read l_RO or T_gen, so the kernel may skip staging
+  /// them.
+  [[nodiscard]] bool wants_full_slice() const override { return false; }
+
+  [[nodiscard]] std::size_t lanes() const { return accumulators_.size(); }
+  [[nodiscard]] std::size_t cycles_seen(std::size_t lane) const;
+
+  /// Finished-run metrics for one lane; requires that more than `skip`
+  /// cycles have been accumulated (same precondition as evaluate_run).
+  [[nodiscard]] RunMetrics metrics(std::size_t lane) const;
+  /// metrics() for every lane.
+  [[nodiscard]] std::vector<RunMetrics> all() const;
+
+ private:
+  struct LaneAccumulator {
+    double worst_margin{0.0};  // max(0, max(c - tau)), folded from delta
+    double period_mean{0.0};   // Welford mean of t_dlv after skip
+    std::size_t period_n{0};
+    double tau_min{std::numeric_limits<double>::infinity()};
+    double tau_max{-std::numeric_limits<double>::infinity()};
+    std::size_t violations{0};
+    std::size_t seen{0};       // cycles observed, including skipped ones
+  };
+
+  std::vector<LaneAccumulator> accumulators_;
+  std::vector<double> fixed_periods_;
+  std::size_t skip_;
+};
+
+/// Convenience wrapper: reset the ensemble, run `block`, return one
+/// RunMetrics per lane.  `fixed_periods` must either hold one shared value
+/// or one per lane.
+[[nodiscard]] std::vector<RunMetrics> evaluate_ensemble(
+    core::EnsembleSimulator& ensemble, const core::EnsembleInputBlock& block,
+    std::vector<double> fixed_periods, std::size_t skip,
+    bool parallel = false);
+
+/// The homogeneous Monte-Carlo fast path: equivalent to
+/// sample_homogeneous_ensemble + evaluate_ensemble over `cycles` cycles
+/// sampled at `dt`, but sampling and simulating in cache-resident cycle
+/// tiles (sample a tile, run it, refill) so a long study never
+/// materialises cycles * lanes * 3 doubles at once.  Per-lane results are
+/// bit-identical to the whole-block path — and therefore to per-lane
+/// run_batch + evaluate_run.  `tile_cycles` = 0 picks a tile sized to
+/// ~256 KiB of samples.
+[[nodiscard]] std::vector<RunMetrics> evaluate_homogeneous_mc(
+    core::EnsembleSimulator& ensemble, const signal::Waveform& waveform,
+    std::span<const double> static_mu_stages, std::size_t cycles, double dt,
+    std::vector<double> fixed_periods, std::size_t skip,
+    bool parallel = false, std::size_t tile_cycles = 0);
+
+}  // namespace roclk::analysis

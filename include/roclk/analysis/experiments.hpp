@@ -152,4 +152,20 @@ struct WorkedExample {
     cdn::DelayQuantization cdn_quantization =
         cdn::DelayQuantization::kLinearInterp);
 
+/// Lane-parallel measure_system: one lane per operating point of the same
+/// system kind, sharing one harmonic HoDV of `amplitude_stages` /
+/// `period_stages` (so all lanes run the same number of cycles).
+/// `tclk_stages` and `mu_stages` each hold either one shared value or one
+/// per lane; the lane count is the longer of the two.  Results (and memo
+/// entries) are bit-for-bit identical to calling measure_system per lane —
+/// lanes already memoised are not re-simulated, the rest run through one
+/// EnsembleSimulator with a streaming MetricsReducer.
+[[nodiscard]] std::vector<RunMetrics> measure_system_ensemble(
+    SystemKind kind, double setpoint_c, std::span<const double> tclk_stages,
+    double amplitude_stages, double period_stages,
+    std::span<const double> mu_stages, double fixed_period,
+    std::size_t cycles, std::size_t skip, double free_ro_margin = 0.0,
+    cdn::DelayQuantization cdn_quantization =
+        cdn::DelayQuantization::kLinearInterp);
+
 }  // namespace roclk::analysis

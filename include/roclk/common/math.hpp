@@ -44,6 +44,26 @@ template <class T>
   return v >> (-sh);
 }
 
+/// std::round without the libm call: round-half-away-from-zero, bit-exact
+/// for every finite and non-finite double (x - trunc(x) is exact below
+/// 2^52, and trunc inlines on every target).  round/llround cannot inline
+/// through SSE4's roundsd (it has no ties-away mode), so the hot loops use
+/// these; tests/common/test_math sweeps them against libm.
+[[nodiscard]] inline double round_ties_away(double x) {
+  const double t = std::trunc(x);
+  const double diff = x - t;
+  const double up = diff >= 0.5 ? 1.0 : 0.0;
+  const double down = diff <= -0.5 ? 1.0 : 0.0;
+  // copysign restores the sign of a -0.0 result (t + up - down yields
+  // +0.0 for x in (-0.5, -0.0]); the result's sign always equals x's.
+  return std::copysign(t + up - down, x);
+}
+
+/// std::llround without the libm call; same contract as round_ties_away.
+[[nodiscard]] inline std::int64_t llround_ties_away(double x) {
+  return static_cast<std::int64_t>(round_ties_away(x));
+}
+
 /// True if |a - b| <= tol (absolute comparison for simulation traces).
 [[nodiscard]] inline bool near(double a, double b, double tol = 1e-9) {
   return std::fabs(a - b) <= tol;

@@ -1,0 +1,227 @@
+// Lane-parallel ensemble execution of the paper's control loop.
+//
+// Ensemble studies (Monte-Carlo over PVTA scenarios, mismatch grids,
+// multi-domain partitionings) run many *independent* instances of the
+// Fig. 4 loop.  LoopSimulator executes one instance per call and
+// materializes a full SimulationTrace even when the caller only wants four
+// RunMetrics numbers.  EnsembleSimulator instead runs W lanes in
+// structure-of-arrays lockstep:
+//
+//  * the z^-1 delay registers (prev_lro / prev_t_dlv / prev_e_*) are lane
+//    vectors, so the per-cycle inner loop over lanes is branch-light and
+//    exposes W independent dependency chains to the core;
+//  * the CDN rings are interleaved per lane chunk ([slot][lane], power of
+//    two slots, mask indexing) and stay L1-resident;
+//  * the IIR control hardware is devirtualized once per ensemble into a
+//    lane-strided integer bank ([tap][lane]), mirroring run_batch's fast
+//    path; other controllers fall back to one cloned ControlBlock per lane.
+//
+// Per-cycle results stream into a StreamingReducer instead of a trace, so
+// a 1k-lane study allocates O(W) accumulator state, not O(W * cycles)
+// trace memory.
+//
+// Equivalence guarantee (enforced by tests/core/test_ensemble_simulator):
+// lane w of run() performs exactly the arithmetic, in exactly the order,
+// of a scalar LoopSimulator::run_batch over the same per-lane inputs —
+// every tau/delta/lro/t_gen/t_dlv it streams is bit-for-bit identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "roclk/common/fixed_point.hpp"
+#include "roclk/common/status.hpp"
+#include "roclk/control/control_block.hpp"
+#include "roclk/core/inputs.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/core/trace.hpp"
+#include "roclk/sensor/tdc.hpp"
+
+namespace roclk::core {
+
+/// One simulated cycle's results for a contiguous range of lanes.  The
+/// arrays are indexed [0, width) and belong to lanes
+/// [first_lane, first_lane + width).
+struct LaneSlice {
+  std::size_t first_lane{0};
+  std::size_t width{0};
+  std::size_t cycle{0};  // cycle index within the current run() call
+  const double* tau{nullptr};
+  const double* delta{nullptr};
+  const double* lro{nullptr};
+  const double* t_gen{nullptr};
+  const double* t_dlv{nullptr};
+  const std::uint8_t* violation{nullptr};
+};
+
+/// Streaming consumer of ensemble results.  accumulate() is called once
+/// per cycle per lane chunk, with cycles strictly increasing within a
+/// chunk.  When run(..., parallel=true) is used, chunks covering disjoint
+/// lane ranges may call accumulate() concurrently — implementations must
+/// only touch per-lane state (as MetricsReducer and TraceReducer do).
+class StreamingReducer {
+ public:
+  virtual ~StreamingReducer() = default;
+  virtual void accumulate(const LaneSlice& slice) = 0;
+  /// Reducers that never read slice.lro / slice.t_gen may return false;
+  /// the kernel then skips staging those two arrays and their slice
+  /// pointers may reference stale values.  Defaults to the full slice.
+  [[nodiscard]] virtual bool wants_full_slice() const { return true; }
+};
+
+/// Reducer that materializes one full SimulationTrace per lane — the
+/// compatibility/debug path, and the witness for the bit-for-bit
+/// equivalence tests against LoopSimulator::run_batch.
+class TraceReducer final : public StreamingReducer {
+ public:
+  explicit TraceReducer(std::size_t lanes, std::size_t reserve_cycles = 0);
+
+  void accumulate(const LaneSlice& slice) override;
+
+  [[nodiscard]] std::size_t lanes() const { return traces_.size(); }
+  [[nodiscard]] const SimulationTrace& trace(std::size_t lane) const;
+  /// Moves the traces out (the reducer is spent afterwards).
+  [[nodiscard]] std::vector<SimulationTrace> take();
+
+ private:
+  std::vector<SimulationTrace> traces_;
+};
+
+class EnsembleSimulator {
+ public:
+  /// One LoopConfig per lane.  All lanes must agree on mode, quantize_lro
+  /// and the TDC/CDN quantization (the kernel hoists those branches);
+  /// scalar fields — set-point, CDN delay, open-loop period, length range —
+  /// may vary per lane.  In controlled mode `controllers` supplies one
+  /// ControlBlock per lane; in the open-loop modes it must be empty.
+  EnsembleSimulator(
+      std::vector<LoopConfig> lane_configs,
+      std::vector<std::unique_ptr<control::ControlBlock>> controllers);
+
+  /// W lanes of one scalar configuration; `prototype` (may be null for the
+  /// open-loop modes) is cloned per lane.
+  [[nodiscard]] static EnsembleSimulator uniform(
+      const LoopConfig& config, const control::ControlBlock* prototype,
+      std::size_t width);
+
+  [[nodiscard]] static Status validate(
+      std::span<const LoopConfig> lane_configs, std::size_t controller_count);
+
+  /// Restores every lane to its error-free equilibrium (same semantics as
+  /// LoopSimulator::reset per lane).
+  void reset();
+
+  [[nodiscard]] std::size_t width() const { return configs_.size(); }
+  [[nodiscard]] const LoopConfig& lane_config(std::size_t lane) const {
+    return configs_.at(lane);
+  }
+  /// True when every lane runs the devirtualized integer-IIR bank.
+  [[nodiscard]] bool uses_iir_fast_path() const { return iir_bank_active_; }
+
+  /// Runs block.cycles cycles on every lane, streaming per-cycle lane
+  /// slices into `reducer`.  block.width must equal width().  `parallel`
+  /// distributes lane chunks over ThreadPool::shared(); per-lane results
+  /// are schedule-independent.  Like run_batch, successive calls continue
+  /// from the current loop state; call reset() to start a fresh run.
+  void run(const EnsembleInputBlock& block, StreamingReducer& reducer,
+           bool parallel = false);
+
+ private:
+  // Lanes are processed in chunks of kChunkLanes: the chunk's interleaved
+  // CDN ring plus its delay registers fit in L1, and chunks are the unit
+  // of thread parallelism.
+  static constexpr std::size_t kChunkLanes = 16;
+
+  struct Chunk {
+    std::size_t first{0};
+    std::size_t width{0};
+
+    // z^-1 delay registers, one slot per lane.
+    std::vector<double> prev_lro;
+    std::vector<double> prev_t_dlv;
+    std::vector<double> prev_e_ro;
+    std::vector<double> prev_e_local;  // e_tdc - mu of the previous cycle
+
+    // Per-lane loop constants.
+    std::vector<double> setpoint;
+    std::vector<double> open_loop;     // resolved open-loop period
+    std::vector<std::int64_t> min_len;
+    std::vector<std::int64_t> max_len;
+    std::vector<double> min_len_d;
+    std::vector<double> max_len_d;
+
+    // Interleaved CDN ring: slot s of lane w at ring[s * width + w].
+    // slots is a power of two covering the largest per-lane history;
+    // per-lane history/initial values keep the boundary conditions (and
+    // the d-clamp) bit-identical to each lane's own QuantizedTimeCdn.
+    std::vector<double> ring;
+    std::size_t ring_slots{0};
+    std::size_t slot_mask{0};
+    std::uint64_t pushes{0};
+    std::vector<double> cdn_delay;
+    std::vector<double> cdn_history_d;      // history - 2, as double
+    std::vector<std::uint64_t> cdn_history;
+    std::vector<double> cdn_initial;
+
+    // Devirtualized IIR bank: state W[n-i] interleaved [tap * width + w].
+    // The tap rows form a ring rotated once per cycle (iir_head is the
+    // physical row holding the newest state), so advancing the shift
+    // register is one pointer rotation per chunk instead of a per-lane
+    // register move.
+    std::vector<std::int64_t> iir_state;
+    std::vector<std::int64_t> iir_prev_input;
+    std::size_t iir_head{0};
+
+    // Per-cycle output staging handed to the reducer.
+    std::vector<double> tau;
+    std::vector<double> delta;
+    std::vector<double> lro;
+    std::vector<double> t_gen;
+    std::vector<double> t_dlv;
+    std::vector<std::uint8_t> violation;
+  };
+
+  // kIntegralCommand marks controllers whose commanded length is already
+  // an exact integer (the IIR bank emits double(int64)), letting the
+  // quantize-l_RO step cast instead of rounding.  The TDC and CDN
+  // quantization modes are template parameters so the per-lane-cycle
+  // switches compile away; `Control` provides step(lane, delta) plus an
+  // end_cycle() hook called once per simulated cycle.
+  template <bool kIntegralCommand, sensor::Quantization TdcQ,
+            cdn::DelayQuantization CdnQ, typename Control>
+  void run_chunk(Chunk& chunk, const EnsembleInputBlock& block,
+                 StreamingReducer& reducer, Control& control);
+
+  // Runtime-to-compile-time dispatch of the quantization modes.
+  template <bool kIntegralCommand, sensor::Quantization TdcQ,
+            typename Control>
+  void dispatch_cdn(Chunk& chunk, const EnsembleInputBlock& block,
+                    StreamingReducer& reducer, Control& control);
+  template <bool kIntegralCommand, typename Control>
+  void dispatch_chunk(Chunk& chunk, const EnsembleInputBlock& block,
+                      StreamingReducer& reducer, Control& control);
+
+  void run_one_chunk(Chunk& chunk, const EnsembleInputBlock& block,
+                     StreamingReducer& reducer);
+
+  std::vector<LoopConfig> configs_;
+  std::vector<std::unique_ptr<control::ControlBlock>> controllers_;
+  sensor::Tdc tdc_;  // quantization shared by all lanes (validated)
+  GeneratorMode mode_;
+  bool quantize_lro_;
+  cdn::DelayQuantization cdn_quantization_;
+
+  // IIR fast path (all controllers are IirControlHardware with one shared
+  // config): the power-of-two gains, devirtualized once per ensemble.
+  bool iir_bank_active_{false};
+  std::vector<PowerOfTwoGain> iir_tap_gains_;
+  PowerOfTwoGain iir_k_exp_gain_;
+  PowerOfTwoGain iir_k_star_gain_;
+  double iir_k_exp_{1.0};
+
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace roclk::core

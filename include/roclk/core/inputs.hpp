@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "roclk/signal/waveform.hpp"
@@ -32,6 +33,32 @@ struct InputBlock {
 
   [[nodiscard]] std::size_t size() const { return e_ro.size(); }
   [[nodiscard]] bool empty() const { return e_ro.empty(); }
+};
+
+/// Lane-interleaved perturbation samples for an ensemble of W independent
+/// loop instances: sample k of lane w lives at index k * width + w, so the
+/// ensemble kernel's inner loop over lanes reads one contiguous row per
+/// cycle.  Filled in one pass by the batched samplers below; per lane the
+/// values are identical to InputBlock's (same signal evaluated at the same
+/// t), which keeps EnsembleSimulator bit-for-bit equal to per-lane
+/// run_batch.
+struct EnsembleInputBlock {
+  double dt{0.0};          // sampling period all lanes were evaluated at
+  std::size_t width{0};    // number of lanes W
+  std::size_t cycles{0};   // samples per lane
+  std::vector<double> e_ro;
+  std::vector<double> e_tdc;
+  std::vector<double> mu;
+
+  [[nodiscard]] bool empty() const { return width == 0 || cycles == 0; }
+
+  /// De-interleaves one lane back into a scalar InputBlock (tests, debug,
+  /// feeding a single lane through LoopSimulator::run_batch).
+  [[nodiscard]] InputBlock lane(std::size_t w) const;
+
+  /// Interleaves per-lane blocks (all the same length and dt).
+  [[nodiscard]] static EnsembleInputBlock from_blocks(
+      std::span<const InputBlock> blocks);
 };
 
 struct SimulationInputs {
@@ -69,5 +96,35 @@ struct SimulationInputs {
   /// LoopSimulator::run samples them, into an SoA block for run_batch.
   [[nodiscard]] InputBlock sample(std::size_t n, double dt) const;
 };
+
+/// Samples one SimulationInputs per lane into an interleaved ensemble
+/// block in a single pass (cycle-major).  `parallel` distributes lane
+/// groups over ThreadPool::shared(); per-lane results are independent of
+/// the schedule.
+[[nodiscard]] EnsembleInputBlock sample_ensemble(
+    std::span<const SimulationInputs> lanes, std::size_t n, double dt,
+    bool parallel = false);
+
+/// The Monte-Carlo fast path: every lane sees the same homogeneous
+/// waveform (e_ro == e_tdc, the paper's HoDV setup) plus its own static
+/// mismatch mu.  The waveform is evaluated once per cycle and broadcast,
+/// so W lanes cost one signal evaluation per sample instead of W —
+/// bit-for-bit identical to sampling SimulationInputs::homogeneous(wave,
+/// mu[w]) per lane.
+[[nodiscard]] EnsembleInputBlock sample_homogeneous_ensemble(
+    const signal::Waveform& waveform, std::span<const double> static_mu_stages,
+    std::size_t n, double dt);
+
+/// Tile-refill variant of sample_homogeneous_ensemble: (re)fills `block`
+/// with cycles [start_cycle, start_cycle + n) of the same signals, reusing
+/// its storage when the shape matches.  Long ensembles stream through a
+/// cache-resident tile (sample a tile, run it, resample) instead of
+/// materialising cycles * width * 3 doubles at once; sample k of the tile
+/// equals sample start_cycle + k of the whole-run block exactly.
+void sample_homogeneous_into(EnsembleInputBlock& block,
+                             const signal::Waveform& waveform,
+                             std::span<const double> static_mu_stages,
+                             std::size_t n, double dt,
+                             std::size_t start_cycle);
 
 }  // namespace roclk::core

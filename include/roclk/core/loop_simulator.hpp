@@ -128,6 +128,15 @@ class LoopSimulator {
   double prev_mu_{0.0};
 };
 
+namespace detail {
+/// Construction parameters shared between LoopSimulator and
+/// EnsembleSimulator, factored so the two engines derive bit-identical
+/// CDN history, TDC configuration and reset equilibrium from a LoopConfig.
+[[nodiscard]] std::size_t cdn_history_for(const LoopConfig& config);
+[[nodiscard]] sensor::TdcConfig tdc_config_for(const LoopConfig& config);
+[[nodiscard]] double equilibrium_for(const LoopConfig& config);
+}  // namespace detail
+
 /// Convenience factories for the paper's four systems, preconfigured at
 /// set-point c and CDN delay t_clk (both in stages).
 [[nodiscard]] LoopSimulator make_iir_system(double setpoint_c,

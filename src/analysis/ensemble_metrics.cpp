@@ -1,0 +1,124 @@
+#include "roclk/analysis/ensemble_metrics.hpp"
+
+#include <algorithm>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::analysis {
+
+MetricsReducer::MetricsReducer(std::size_t lanes, double fixed_period,
+                               std::size_t skip)
+    : MetricsReducer{std::vector<double>(lanes, fixed_period), skip} {}
+
+MetricsReducer::MetricsReducer(std::vector<double> fixed_periods,
+                               std::size_t skip)
+    : accumulators_(fixed_periods.size()),
+      fixed_periods_{std::move(fixed_periods)},
+      skip_{skip} {
+  ROCLK_REQUIRE(!fixed_periods_.empty(), "reducer needs at least one lane");
+  for (double fixed : fixed_periods_) {
+    ROCLK_REQUIRE(fixed > 0.0, "fixed period must be positive");
+  }
+}
+
+void MetricsReducer::accumulate(const core::LaneSlice& slice) {
+  ROCLK_REQUIRE(slice.first_lane + slice.width <= accumulators_.size(),
+                "lane slice out of range");
+  LaneAccumulator* const accs = accumulators_.data() + slice.first_lane;
+  const double* const delta = slice.delta;
+  const double* const t_dlv = slice.t_dlv;
+  const double* const tau = slice.tau;
+  const std::uint8_t* const violation = slice.violation;
+  for (std::size_t w = 0; w < slice.width; ++w) {
+    LaneAccumulator& acc = accs[w];
+    if (acc.seen++ < skip_) continue;
+    // delta[n] = c - tau[n] is computed by the kernel with the identical
+    // subtraction required_safety_margin performs, so folding it keeps the
+    // margin bit-for-bit equal to the trace-based path.
+    acc.worst_margin = std::max(acc.worst_margin, delta[w]);
+    // RunningStats::add's Welford mean, without the m2 update the metrics
+    // never consume.
+    ++acc.period_n;
+    acc.period_mean += (t_dlv[w] - acc.period_mean) /
+                       static_cast<double>(acc.period_n);
+    acc.tau_min = std::min(acc.tau_min, tau[w]);
+    acc.tau_max = std::max(acc.tau_max, tau[w]);
+    acc.violations += violation[w];
+  }
+}
+
+std::size_t MetricsReducer::cycles_seen(std::size_t lane) const {
+  return accumulators_.at(lane).seen;
+}
+
+RunMetrics MetricsReducer::metrics(std::size_t lane) const {
+  const LaneAccumulator& acc = accumulators_.at(lane);
+  // Same precondition as evaluate_run: the transient skip must leave at
+  // least one sample.
+  ROCLK_REQUIRE(skip_ < acc.seen, "transient skip longer than run");
+  RunMetrics metrics;
+  metrics.safety_margin = acc.worst_margin;
+  metrics.mean_period = acc.period_mean;
+  metrics.relative_adaptive_period =
+      (metrics.mean_period + metrics.safety_margin) /
+      fixed_periods_[lane];
+  metrics.violations = acc.violations;
+  metrics.tau_ripple = acc.tau_max - acc.tau_min;
+  return metrics;
+}
+
+std::vector<RunMetrics> MetricsReducer::all() const {
+  std::vector<RunMetrics> out;
+  out.reserve(accumulators_.size());
+  for (std::size_t lane = 0; lane < accumulators_.size(); ++lane) {
+    out.push_back(metrics(lane));
+  }
+  return out;
+}
+
+std::vector<RunMetrics> evaluate_ensemble(
+    core::EnsembleSimulator& ensemble, const core::EnsembleInputBlock& block,
+    std::vector<double> fixed_periods, std::size_t skip, bool parallel) {
+  const std::size_t lanes = ensemble.width();
+  if (fixed_periods.size() == 1 && lanes > 1) {
+    fixed_periods.assign(lanes, fixed_periods.front());
+  }
+  ROCLK_REQUIRE(fixed_periods.size() == lanes,
+                "need one fixed period per lane (or one shared)");
+  MetricsReducer reducer{std::move(fixed_periods), skip};
+  ensemble.reset();
+  ensemble.run(block, reducer, parallel);
+  return reducer.all();
+}
+
+std::vector<RunMetrics> evaluate_homogeneous_mc(
+    core::EnsembleSimulator& ensemble, const signal::Waveform& waveform,
+    std::span<const double> static_mu_stages, std::size_t cycles, double dt,
+    std::vector<double> fixed_periods, std::size_t skip, bool parallel,
+    std::size_t tile_cycles) {
+  const std::size_t lanes = ensemble.width();
+  ROCLK_REQUIRE(static_mu_stages.size() == lanes, "one mu per lane");
+  if (fixed_periods.size() == 1 && lanes > 1) {
+    fixed_periods.assign(lanes, fixed_periods.front());
+  }
+  ROCLK_REQUIRE(fixed_periods.size() == lanes,
+                "need one fixed period per lane (or one shared)");
+  if (tile_cycles == 0) {
+    // ~256 KiB of samples per tile (3 arrays of lanes doubles per cycle),
+    // floored so per-tile dispatch overhead stays negligible.
+    tile_cycles = std::max<std::size_t>(
+        64, (256 * std::size_t{1024}) / (24 * lanes));
+  }
+  MetricsReducer reducer{std::move(fixed_periods), skip};
+  ensemble.reset();
+  core::EnsembleInputBlock tile;
+  for (std::size_t start = 0; start < cycles; start += tile_cycles) {
+    const std::size_t n = std::min(tile_cycles, cycles - start);
+    core::sample_homogeneous_into(tile, waveform, static_mu_stages, n, dt,
+                                  start);
+    ensemble.run(tile, reducer, parallel);
+  }
+  return reducer.all();
+}
+
+}  // namespace roclk::analysis

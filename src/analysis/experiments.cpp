@@ -3,32 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "roclk/analysis/ensemble_metrics.hpp"
 #include "roclk/analysis/sweep_cache.hpp"
 #include "roclk/common/status.hpp"
 #include "roclk/common/thread_pool.hpp"
 #include "roclk/control/iir_control.hpp"
 #include "roclk/control/teatime.hpp"
+#include "roclk/core/ensemble_simulator.hpp"
+#include "roclk/signal/waveform.hpp"
 
 namespace roclk::analysis {
 
-core::LoopSimulator make_system(SystemKind kind, double setpoint_c,
-                                double cdn_delay_stages,
-                                double open_loop_margin,
-                                cdn::DelayQuantization cdn_quantization) {
-  core::LoopConfig cfg;
+namespace {
+
+/// Config + controller for one system, shared by the scalar and ensemble
+/// paths so both construct bit-identical loops.
+struct SystemParts {
+  core::LoopConfig config;
+  std::unique_ptr<control::ControlBlock> controller;
+};
+
+SystemParts make_system_parts(SystemKind kind, double setpoint_c,
+                              double cdn_delay_stages, double open_loop_margin,
+                              cdn::DelayQuantization cdn_quantization) {
+  SystemParts parts;
+  core::LoopConfig& cfg = parts.config;
   cfg.setpoint_c = setpoint_c;
   cfg.cdn_delay_stages = cdn_delay_stages;
   cfg.cdn_quantization = cdn_quantization;
-  std::unique_ptr<control::ControlBlock> controller;
   switch (kind) {
     case SystemKind::kIir:
       cfg.mode = core::GeneratorMode::kControlledRo;
-      controller = std::make_unique<control::IirControlHardware>(
+      parts.controller = std::make_unique<control::IirControlHardware>(
           control::paper_iir_config());
       break;
     case SystemKind::kTeaTime:
       cfg.mode = core::GeneratorMode::kControlledRo;
-      controller = std::make_unique<control::TeaTimeControl>();
+      parts.controller = std::make_unique<control::TeaTimeControl>();
       break;
     case SystemKind::kFreeRo:
       cfg.mode = core::GeneratorMode::kFreeRunningRo;
@@ -39,7 +50,18 @@ core::LoopSimulator make_system(SystemKind kind, double setpoint_c,
       cfg.open_loop_period = setpoint_c + open_loop_margin;
       break;
   }
-  return core::LoopSimulator{cfg, std::move(controller)};
+  return parts;
+}
+
+}  // namespace
+
+core::LoopSimulator make_system(SystemKind kind, double setpoint_c,
+                                double cdn_delay_stages,
+                                double open_loop_margin,
+                                cdn::DelayQuantization cdn_quantization) {
+  SystemParts parts = make_system_parts(kind, setpoint_c, cdn_delay_stages,
+                                        open_loop_margin, cdn_quantization);
+  return core::LoopSimulator{parts.config, std::move(parts.controller)};
 }
 
 std::size_t cycles_for(const ExperimentParams& params, double te_over_c) {
@@ -100,6 +122,83 @@ RunMetrics measure_system(SystemKind kind, double setpoint_c,
   metrics = evaluate_run(trace, setpoint_c, fixed_period, skip);
   memo.store(key, metrics);
   return metrics;
+}
+
+std::vector<RunMetrics> measure_system_ensemble(
+    SystemKind kind, double setpoint_c, std::span<const double> tclk_stages,
+    double amplitude_stages, double period_stages,
+    std::span<const double> mu_stages, double fixed_period,
+    std::size_t cycles, std::size_t skip, double free_ro_margin,
+    cdn::DelayQuantization cdn_quantization) {
+  const std::size_t lanes = std::max(tclk_stages.size(), mu_stages.size());
+  ROCLK_REQUIRE(lanes > 0, "no operating points");
+  ROCLK_REQUIRE(tclk_stages.size() == lanes || tclk_stages.size() == 1,
+                "tclk span must hold one value or one per lane");
+  ROCLK_REQUIRE(mu_stages.size() == lanes || mu_stages.size() == 1,
+                "mu span must hold one value or one per lane");
+  const auto tclk_at = [&](std::size_t i) {
+    return tclk_stages.size() == 1 ? tclk_stages.front() : tclk_stages[i];
+  };
+  const auto mu_at = [&](std::size_t i) {
+    return mu_stages.size() == 1 ? mu_stages.front() : mu_stages[i];
+  };
+  const auto key_for = [&](std::size_t i) {
+    return SweepKey{static_cast<int>(kind),
+                    setpoint_c,
+                    tclk_at(i),
+                    amplitude_stages,
+                    period_stages,
+                    mu_at(i),
+                    cycles,
+                    skip,
+                    free_ro_margin,
+                    static_cast<int>(cdn_quantization)};
+  };
+
+  auto& memo = SweepMemo::global();
+  std::vector<RunMetrics> out(lanes);
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    RunMetrics metrics;
+    if (memo.lookup(key_for(i), metrics)) {
+      metrics.relative_adaptive_period =
+          (metrics.mean_period + metrics.safety_margin) / fixed_period;
+      out[i] = metrics;
+    } else {
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) return out;
+
+  // Only the memo misses become ensemble lanes.
+  std::vector<core::LoopConfig> configs;
+  std::vector<std::unique_ptr<control::ControlBlock>> controllers;
+  std::vector<double> lane_mus;
+  configs.reserve(pending.size());
+  lane_mus.reserve(pending.size());
+  for (const std::size_t i : pending) {
+    SystemParts parts = make_system_parts(kind, setpoint_c, tclk_at(i),
+                                          free_ro_margin, cdn_quantization);
+    configs.push_back(parts.config);
+    if (parts.controller) controllers.push_back(std::move(parts.controller));
+    lane_mus.push_back(mu_at(i));
+  }
+  core::EnsembleSimulator ensemble{std::move(configs),
+                                   std::move(controllers)};
+
+  // All lanes share the harmonic HoDV waveform; it is evaluated once per
+  // cycle and broadcast (the bit-identical fast path of the per-lane
+  // SimulationInputs::harmonic sampling measure_system performs).
+  const signal::SineWaveform waveform{amplitude_stages, period_stages};
+  const auto block = core::sample_homogeneous_ensemble(
+      waveform, lane_mus, cycles, setpoint_c);
+  const std::vector<RunMetrics> measured = evaluate_ensemble(
+      ensemble, block, {fixed_period}, skip, /*parallel=*/true);
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    out[pending[j]] = measured[j];
+    memo.store(key_for(pending[j]), measured[j]);
+  }
+  return out;
 }
 
 // -------------------------------------------------------------------- Fig 7
@@ -168,11 +267,40 @@ RelativePeriodRow relative_period_row(double x, double tclk_over_c,
 std::vector<RelativePeriodRow> fig8_cdn_delay_sweep(
     std::span<const double> tclk_over_c, double te_over_c,
     const ExperimentParams& params) {
+  // The perturbation (and therefore the cycle count) is shared across the
+  // sweep, so the t_clk axis runs as ensemble lanes: one lane-parallel run
+  // per system instead of one simulator per (system, t_clk) cell.
+  const double c = params.setpoint_c;
+  const double amplitude = params.amplitude_frac * c;
+  const double fixed_period = fixed_clock_period(c, amplitude);
+  const std::size_t cycles = cycles_for(params, te_over_c);
+  const std::size_t skip = skip_for(params, te_over_c);
+
+  std::vector<double> tclk_lanes;
+  tclk_lanes.reserve(tclk_over_c.size());
+  for (const double x : tclk_over_c) tclk_lanes.push_back(x * c);
+  const double mu = 0.0;
+
   std::vector<RelativePeriodRow> rows(tclk_over_c.size());
-  parallel_for(tclk_over_c.size(), [&](std::size_t i) {
-    rows[i] =
-        relative_period_row(tclk_over_c[i], tclk_over_c[i], te_over_c, params);
-  });
+  for (const SystemKind kind : kAdaptiveSystems) {
+    const std::vector<RunMetrics> metrics = measure_system_ensemble(
+        kind, c, tclk_lanes, amplitude, te_over_c * c, {&mu, 1},
+        fixed_period, cycles, skip, 0.0, params.cdn_quantization);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i].x = tclk_over_c[i];
+      switch (kind) {
+        case SystemKind::kIir:
+          rows[i].iir = metrics[i].relative_adaptive_period;
+          break;
+        case SystemKind::kTeaTime:
+          rows[i].teatime = metrics[i].relative_adaptive_period;
+          break;
+        default:
+          rows[i].free_ro = metrics[i].relative_adaptive_period;
+          break;
+      }
+    }
+  }
   return rows;
 }
 
@@ -221,32 +349,33 @@ Fig9Cell fig9_mismatch_sweep(double tclk_over_c, double te_over_c,
   cell.teatime.resize(mu_over_c.size());
   cell.free_ro.resize(mu_over_c.size());
 
-  std::vector<double> free_margin(mu_over_c.size());
-  std::vector<double> free_mean(mu_over_c.size());
+  // The mu axis runs as ensemble lanes: all lanes share the harmonic HoDV
+  // and cycle count, only the static mismatch differs per lane.
+  std::vector<double> mu_lanes;
+  mu_lanes.reserve(mu_over_c.size());
+  for (const double mu : mu_over_c) mu_lanes.push_back(mu * c);
+  const double tclk = tclk_over_c * c;
 
-  parallel_for(mu_over_c.size(), [&](std::size_t i) {
-    const double mu = mu_over_c[i] * c;
-    cell.iir[i] =
-        measure_system(SystemKind::kIir, c, tclk_over_c * c, amplitude,
-                       te_over_c * c, mu, fixed_period, cycles, skip)
-            .relative_adaptive_period;
-    cell.teatime[i] =
-        measure_system(SystemKind::kTeaTime, c, tclk_over_c * c, amplitude,
-                       te_over_c * c, mu, fixed_period, cycles, skip)
-            .relative_adaptive_period;
-    const auto free_run =
-        measure_system(SystemKind::kFreeRo, c, tclk_over_c * c, amplitude,
-                       te_over_c * c, mu, fixed_period, cycles, skip);
-    free_margin[i] = free_run.safety_margin;
-    free_mean[i] = free_run.mean_period;
-  });
+  const std::vector<RunMetrics> iir = measure_system_ensemble(
+      SystemKind::kIir, c, {&tclk, 1}, amplitude, te_over_c * c, mu_lanes,
+      fixed_period, cycles, skip);
+  const std::vector<RunMetrics> teatime = measure_system_ensemble(
+      SystemKind::kTeaTime, c, {&tclk, 1}, amplitude, te_over_c * c,
+      mu_lanes, fixed_period, cycles, skip);
+  const std::vector<RunMetrics> free_ro = measure_system_ensemble(
+      SystemKind::kFreeRo, c, {&tclk, 1}, amplitude, te_over_c * c, mu_lanes,
+      fixed_period, cycles, skip);
 
   // The free RO's l_RO is frozen at design time, so its margin must cover
   // the worst mu of the whole range.
-  const double design_margin =
-      *std::max_element(free_margin.begin(), free_margin.end());
+  double design_margin = 0.0;
+  for (const RunMetrics& run : free_ro) {
+    design_margin = std::max(design_margin, run.safety_margin);
+  }
   for (std::size_t i = 0; i < mu_over_c.size(); ++i) {
-    cell.free_ro[i] = (free_mean[i] + design_margin) / fixed_period;
+    cell.iir[i] = iir[i].relative_adaptive_period;
+    cell.teatime[i] = teatime[i].relative_adaptive_period;
+    cell.free_ro[i] = (free_ro[i].mean_period + design_margin) / fixed_period;
   }
   return cell;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "roclk/common/thread_pool.hpp"
+#include "roclk/analysis/ensemble_metrics.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/core/ensemble_simulator.hpp"
 
 namespace roclk::analysis {
 
@@ -60,28 +62,41 @@ MultiDomainResult run_partitioning(const MultiDomainConfig& config,
   tree.size_mm = result.domain_size_mm;
   result.cdn_delay_stages = chip::ClockDomainGeometry{tree}.cdn_delay_stages();
 
+  // One ensemble lane per domain: the domains share the loop configuration
+  // (set-point, CDN delay) and differ only in where on the die they sample
+  // the environment, so the whole partitioning is one lane-parallel run
+  // with streaming metrics instead of one simulator + trace per domain.
   result.per_domain.resize(result.domains);
-  parallel_for(result.domains, [&](std::size_t d) {
+  std::vector<core::SimulationInputs> lane_inputs;
+  lane_inputs.reserve(result.domains);
+  for (std::size_t d = 0; d < result.domains; ++d) {
     const std::size_t ix = d % config.side;
     const std::size_t iy = d / config.side;
     const double step = 1.0 / static_cast<double>(config.side);
     const variation::DiePoint lo{static_cast<double>(ix) * step,
                                  static_cast<double>(iy) * step};
     const variation::DiePoint hi{lo.x + step, lo.y + step};
+    result.per_domain[d].centre = {0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y)};
+    result.per_domain[d].cdn_delay_stages = result.cdn_delay_stages;
+    lane_inputs.push_back(domain_inputs(environment, config.setpoint_c, lo,
+                                        hi, config.tdc_grid));
+  }
 
-    auto sim = core::make_iir_system(config.setpoint_c,
-                                     result.cdn_delay_stages);
-    const auto inputs = domain_inputs(environment, config.setpoint_c, lo, hi,
-                                      config.tdc_grid);
-    const auto block = inputs.sample(config.cycles, config.setpoint_c);
-    const auto trace = sim.run_batch(block);
-
-    DomainResult& domain = result.per_domain[d];
-    domain.centre = {0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y)};
-    domain.cdn_delay_stages = result.cdn_delay_stages;
-    domain.metrics = analysis::evaluate_run(
-        trace, config.setpoint_c, fixed_period, config.transient_skip);
-  });
+  core::LoopConfig loop;
+  loop.setpoint_c = config.setpoint_c;
+  loop.cdn_delay_stages = result.cdn_delay_stages;
+  loop.mode = core::GeneratorMode::kControlledRo;
+  const control::IirControlHardware prototype{control::paper_iir_config()};
+  auto ensemble =
+      core::EnsembleSimulator::uniform(loop, &prototype, result.domains);
+  const auto block = core::sample_ensemble(
+      lane_inputs, config.cycles, config.setpoint_c, /*parallel=*/true);
+  const std::vector<RunMetrics> metrics =
+      evaluate_ensemble(ensemble, block, {fixed_period},
+                        config.transient_skip, /*parallel=*/true);
+  for (std::size_t d = 0; d < result.domains; ++d) {
+    result.per_domain[d].metrics = metrics[d];
+  }
 
   double period_sum = 0.0;
   for (const auto& domain : result.per_domain) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "roclk/common/rng.hpp"
 #include "roclk/common/stats.hpp"
@@ -29,6 +32,55 @@ double sample_worst_path(const YieldConfig& config, std::uint64_t chip_seed) {
   return worst;
 }
 
+/// The fields of YieldConfig that determine the worst-path distribution
+/// (set-point, RO range and margins only post-process it).
+struct WorstPathKey {
+  std::size_t chips{0};
+  std::size_t paths{0};
+  double nominal_depth{0.0};
+  double d2d_sigma{0.0};
+  double wid_sigma{0.0};
+  double rnd_sigma{0.0};
+  std::uint64_t seed{0};
+
+  [[nodiscard]] bool operator==(const WorstPathKey&) const = default;
+};
+
+/// Samples the per-chip slowest-path delays for `config`, memoising the
+/// result: yield_curve and compare_margins share the Monte-Carlo instead
+/// of re-fabricating the same virtual chips.  Chip seeds are derived from
+/// the index, so the sampling parallelises with bitwise-identical results.
+std::shared_ptr<const std::vector<double>> sampled_worst_paths(
+    const YieldConfig& config) {
+  const WorstPathKey key{config.chips,     config.paths,
+                         config.nominal_depth, config.d2d_sigma,
+                         config.wid_sigma, config.rnd_sigma,
+                         config.seed};
+  static std::mutex mutex;
+  static std::vector<
+      std::pair<WorstPathKey, std::shared_ptr<const std::vector<double>>>>
+      cache;
+  {
+    const std::lock_guard<std::mutex> lock{mutex};
+    for (const auto& [cached_key, cached] : cache) {
+      if (cached_key == key) return cached;
+    }
+  }
+
+  auto worst_paths = std::make_shared<std::vector<double>>(config.chips);
+  parallel_for(config.chips, [&](std::size_t i) {
+    const std::uint64_t chip_seed =
+        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
+    (*worst_paths)[i] = sample_worst_path(config, chip_seed);
+  });
+
+  const std::lock_guard<std::mutex> lock{mutex};
+  // A concurrent caller may have raced us here; the duplicate entry is
+  // harmless (both hold identical samples) and the first match wins.
+  cache.emplace_back(key, worst_paths);
+  return worst_paths;
+}
+
 }  // namespace
 
 YieldCurve yield_curve(std::span<const double> margins,
@@ -37,15 +89,8 @@ YieldCurve yield_curve(std::span<const double> margins,
   ROCLK_REQUIRE(config.paths > 0, "need at least one path");
   ROCLK_REQUIRE(!margins.empty(), "empty margin sweep");
 
-  // Chip seeds are derived from the index, so the Monte-Carlo parallelises
-  // with bitwise-identical results; the statistics accumulate serially
-  // afterwards to keep their order deterministic too.
-  std::vector<double> worst_paths(config.chips);
-  parallel_for(config.chips, [&](std::size_t i) {
-    const std::uint64_t chip_seed =
-        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
-    worst_paths[i] = sample_worst_path(config, chip_seed);
-  });
+  const auto worst_paths_ptr = sampled_worst_paths(config);
+  const std::vector<double>& worst_paths = *worst_paths_ptr;
 
   RunningStats worst_stats;
   RunningStats adaptive_period_stats;
@@ -68,13 +113,18 @@ YieldCurve yield_curve(std::span<const double> margins,
 
   const double adaptive_yield =
       static_cast<double>(adaptive_ok) / static_cast<double>(config.chips);
+
+  // One sort turns every margin's pass count into a binary search: chips
+  // with worst <= c + m are exactly the prefix up to upper_bound.
+  std::vector<double> sorted_paths{worst_paths};
+  std::sort(sorted_paths.begin(), sorted_paths.end());
   for (double margin : margins) {
     YieldPoint point;
     point.margin_stages = margin;
-    std::size_t fixed_ok = 0;
-    for (double worst : worst_paths) {
-      if (worst <= config.setpoint_c + margin) ++fixed_ok;
-    }
+    const auto fixed_ok = static_cast<std::size_t>(
+        std::upper_bound(sorted_paths.begin(), sorted_paths.end(),
+                         config.setpoint_c + margin) -
+        sorted_paths.begin());
     point.fixed_yield =
         static_cast<double>(fixed_ok) / static_cast<double>(config.chips);
     point.adaptive_yield = adaptive_yield;  // margin-independent
@@ -87,12 +137,12 @@ MarginComparison compare_margins(double target_yield,
                                  const YieldConfig& config) {
   ROCLK_REQUIRE(target_yield > 0.0 && target_yield <= 1.0,
                 "target yield must be in (0, 1]");
-  std::vector<double> worst_paths(config.chips);
-  parallel_for(config.chips, [&](std::size_t i) {
-    const std::uint64_t chip_seed =
-        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
-    worst_paths[i] = sample_worst_path(config, chip_seed);
-  });
+  ROCLK_REQUIRE(config.chips > 0, "need at least one chip");
+  ROCLK_REQUIRE(config.paths > 0, "need at least one path");
+
+  const auto worst_paths_ptr = sampled_worst_paths(config);
+  const std::vector<double>& worst_paths = *worst_paths_ptr;
+
   RunningStats adaptive_extra;
   for (const double worst : worst_paths) {
     adaptive_extra.add(std::max(0.0, worst - config.setpoint_c));

@@ -1,0 +1,576 @@
+#include "roclk/core/ensemble_simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "roclk/common/math.hpp"
+#include "roclk/common/thread_pool.hpp"
+#include "roclk/control/iir_control.hpp"
+
+namespace roclk::core {
+
+// ------------------------------------------------------- TraceReducer
+
+TraceReducer::TraceReducer(std::size_t lanes, std::size_t reserve_cycles)
+    : traces_(lanes) {
+  if (reserve_cycles > 0) {
+    for (SimulationTrace& trace : traces_) trace.reserve(reserve_cycles);
+  }
+}
+
+void TraceReducer::accumulate(const LaneSlice& slice) {
+  ROCLK_REQUIRE(slice.first_lane + slice.width <= traces_.size(),
+                "lane slice out of range");
+  for (std::size_t w = 0; w < slice.width; ++w) {
+    StepRecord record;
+    record.tau = slice.tau[w];
+    record.delta = slice.delta[w];
+    record.lro = slice.lro[w];
+    record.t_gen = slice.t_gen[w];
+    record.t_dlv = slice.t_dlv[w];
+    record.violation = slice.violation[w] != 0;
+    traces_[slice.first_lane + w].push(record);
+  }
+}
+
+const SimulationTrace& TraceReducer::trace(std::size_t lane) const {
+  return traces_.at(lane);
+}
+
+std::vector<SimulationTrace> TraceReducer::take() {
+  return std::move(traces_);
+}
+
+// -------------------------------------------------- EnsembleSimulator
+
+Status EnsembleSimulator::validate(std::span<const LoopConfig> lane_configs,
+                                   std::size_t controller_count) {
+  if (lane_configs.empty()) {
+    return Status::invalid_argument("ensemble needs at least one lane");
+  }
+  const LoopConfig& head = lane_configs.front();
+  if (head.mode == GeneratorMode::kControlledRo) {
+    if (controller_count != lane_configs.size()) {
+      return Status::invalid_argument(
+          "controlled ensemble needs one controller per lane");
+    }
+  } else if (controller_count != 0) {
+    return Status::invalid_argument(
+        "open-loop ensemble must not have controllers");
+  }
+  for (const LoopConfig& config : lane_configs) {
+    if (config.mode != head.mode) {
+      return Status::invalid_argument("lanes disagree on generator mode");
+    }
+    if (config.quantize_lro != head.quantize_lro) {
+      return Status::invalid_argument(
+          "lanes disagree on l_RO quantisation");
+    }
+    if (config.tdc_quantization != head.tdc_quantization) {
+      return Status::invalid_argument(
+          "lanes disagree on TDC quantisation");
+    }
+    if (config.cdn_quantization != head.cdn_quantization) {
+      return Status::invalid_argument(
+          "lanes disagree on CDN quantisation");
+    }
+    const Status status = LoopSimulator::validate(
+        config, head.mode == GeneratorMode::kControlledRo);
+    if (!status.is_ok()) return status;
+  }
+  return Status::ok();
+}
+
+EnsembleSimulator::EnsembleSimulator(
+    std::vector<LoopConfig> lane_configs,
+    std::vector<std::unique_ptr<control::ControlBlock>> controllers)
+    : configs_{std::move(lane_configs)},
+      controllers_{std::move(controllers)} {
+  const Status status = validate(configs_, controllers_.size());
+  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  for (const auto& controller : controllers_) {
+    ROCLK_REQUIRE(controller != nullptr, "null controller");
+  }
+
+  mode_ = configs_.front().mode;
+  quantize_lro_ = configs_.front().quantize_lro;
+  cdn_quantization_ = configs_.front().cdn_quantization;
+  tdc_ = sensor::Tdc{detail::tdc_config_for(configs_.front())};
+
+  // Devirtualise the IIR hardware once per ensemble, the lane-parallel
+  // analogue of run_batch's dynamic_cast hoist: when every lane runs an
+  // IirControlHardware with one shared configuration, its power-of-two
+  // gains are cached here and the per-lane integer state lives in the
+  // chunk-strided bank instead of the virtual controllers.
+  if (mode_ == GeneratorMode::kControlledRo && !controllers_.empty()) {
+    iir_bank_active_ = true;
+    const control::IirConfig* reference = nullptr;
+    for (const auto& controller : controllers_) {
+      const auto* iir =
+          dynamic_cast<const control::IirControlHardware*>(controller.get());
+      if (iir == nullptr) {
+        iir_bank_active_ = false;
+        break;
+      }
+      if (reference == nullptr) {
+        reference = &iir->config();
+      } else if (iir->config().taps != reference->taps ||
+                 iir->config().k_exp != reference->k_exp ||
+                 iir->config().k_star != reference->k_star) {
+        iir_bank_active_ = false;
+        break;
+      }
+    }
+    if (iir_bank_active_) {
+      iir_k_exp_gain_ = PowerOfTwoGain::from_value(reference->k_exp).value();
+      iir_k_star_gain_ = PowerOfTwoGain::from_value(reference->k_star).value();
+      iir_tap_gains_.reserve(reference->taps.size());
+      for (double k : reference->taps) {
+        iir_tap_gains_.push_back(PowerOfTwoGain::from_value(k).value());
+      }
+      iir_k_exp_ = reference->k_exp;
+    }
+  }
+
+  const std::size_t total = configs_.size();
+  chunks_.reserve((total + kChunkLanes - 1) / kChunkLanes);
+  for (std::size_t first = 0; first < total; first += kChunkLanes) {
+    const std::size_t cw = std::min(kChunkLanes, total - first);
+    Chunk chunk;
+    chunk.first = first;
+    chunk.width = cw;
+    chunk.prev_lro.resize(cw);
+    chunk.prev_t_dlv.resize(cw);
+    chunk.prev_e_ro.resize(cw);
+    chunk.prev_e_local.resize(cw);
+    chunk.setpoint.resize(cw);
+    chunk.open_loop.resize(cw);
+    chunk.min_len.resize(cw);
+    chunk.max_len.resize(cw);
+    chunk.min_len_d.resize(cw);
+    chunk.max_len_d.resize(cw);
+    chunk.cdn_delay.resize(cw);
+    chunk.cdn_history_d.resize(cw);
+    chunk.cdn_history.resize(cw);
+    chunk.cdn_initial.resize(cw);
+    chunk.tau.resize(cw);
+    chunk.delta.resize(cw);
+    chunk.lro.resize(cw);
+    chunk.t_gen.resize(cw);
+    chunk.t_dlv.resize(cw);
+    chunk.violation.resize(cw);
+
+    std::size_t max_history = 2;
+    for (std::size_t w = 0; w < cw; ++w) {
+      const LoopConfig& config = configs_[first + w];
+      chunk.setpoint[w] = config.setpoint_c;
+      chunk.open_loop[w] =
+          config.open_loop_period.value_or(config.setpoint_c);
+      chunk.min_len[w] = config.min_length;
+      chunk.max_len[w] = config.max_length;
+      chunk.min_len_d[w] = static_cast<double>(config.min_length);
+      chunk.max_len_d[w] = static_cast<double>(config.max_length);
+      const std::size_t history = detail::cdn_history_for(config);
+      chunk.cdn_delay[w] = config.cdn_delay_stages;
+      chunk.cdn_history[w] = history;
+      chunk.cdn_history_d[w] = static_cast<double>(history - 2);
+      max_history = std::max(max_history, history);
+    }
+    chunk.ring_slots = std::bit_ceil(max_history);
+    chunk.slot_mask = chunk.ring_slots - 1;
+    chunk.ring.assign(chunk.ring_slots * cw, 0.0);
+    if (iir_bank_active_) {
+      chunk.iir_state.assign(iir_tap_gains_.size() * cw, 0);
+      chunk.iir_prev_input.assign(cw, 0);
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+
+  reset();
+}
+
+EnsembleSimulator EnsembleSimulator::uniform(
+    const LoopConfig& config, const control::ControlBlock* prototype,
+    std::size_t width) {
+  ROCLK_REQUIRE(width > 0, "ensemble needs at least one lane");
+  std::vector<LoopConfig> configs(width, config);
+  std::vector<std::unique_ptr<control::ControlBlock>> controllers;
+  if (config.mode == GeneratorMode::kControlledRo) {
+    ROCLK_REQUIRE(prototype != nullptr,
+                  "controlled ensemble needs a controller prototype");
+    controllers.reserve(width);
+    for (std::size_t w = 0; w < width; ++w) {
+      controllers.push_back(prototype->clone());
+    }
+  }
+  return EnsembleSimulator{std::move(configs), std::move(controllers)};
+}
+
+void EnsembleSimulator::reset() {
+  for (Chunk& chunk : chunks_) {
+    const std::size_t cw = chunk.width;
+    chunk.pushes = 0;
+    for (std::size_t w = 0; w < cw; ++w) {
+      const LoopConfig& config = configs_[chunk.first + w];
+      const double equilibrium = detail::equilibrium_for(config);
+      chunk.prev_lro[w] = equilibrium;
+      chunk.prev_t_dlv[w] = equilibrium;
+      chunk.prev_e_ro[w] = 0.0;
+      chunk.prev_e_local[w] = 0.0;
+      chunk.cdn_initial[w] = equilibrium;
+      for (std::size_t s = 0; s < chunk.ring_slots; ++s) {
+        chunk.ring[s * cw + w] = equilibrium;
+      }
+      if (iir_bank_active_) {
+        // IirControlHardware::reset: W = round(initial_output * k_exp) in
+        // every tap register, previous input cleared.
+        const auto w0 = static_cast<std::int64_t>(
+            std::llround(equilibrium * iir_k_exp_));
+        for (std::size_t i = 0; i < iir_tap_gains_.size(); ++i) {
+          chunk.iir_state[i * cw + w] = w0;
+        }
+        chunk.iir_prev_input[w] = 0;
+      }
+    }
+    chunk.iir_head = 0;
+  }
+  for (std::size_t lane = 0; lane < controllers_.size(); ++lane) {
+    controllers_[lane]->reset(detail::equilibrium_for(configs_[lane]));
+  }
+}
+
+namespace {
+
+/// Control policy for the open-loop generator modes: never consulted (the
+/// kernel's `controlled` branch is false) but keeps run_chunk uniform.
+struct OpenLoopControl {
+  static double step(std::size_t, double) { return 0.0; }
+  static void end_cycle() {}
+};
+
+/// Fallback control policy: one virtual ControlBlock per lane.
+struct VirtualControl {
+  control::ControlBlock* const* controllers;  // chunk's first lane
+  [[nodiscard]] double step(std::size_t w, double delta) const {
+    return controllers[w]->step(delta);
+  }
+  static void end_cycle() {}
+};
+
+/// Devirtualized IIR bank policy.  The tap rows are addressed through a
+/// newest-first pointer ring: step() reads the feedback taps, overwrites
+/// the oldest row in place with the new state, and end_cycle() rotates the
+/// ring so that row becomes rows[0] — the shift register advances with one
+/// pointer rotation per cycle instead of taps-1 moves per lane.
+struct IirBankControl {
+  const PowerOfTwoGain* tap_gains;
+  std::size_t taps;
+  PowerOfTwoGain k_exp_gain;
+  PowerOfTwoGain k_star_gain;
+  std::int64_t* prev_input;
+  std::vector<std::int64_t*> rows;  // rows[i] = W[n-1-i]'s physical row
+  // True when delta is always exactly integral (integral set-points and a
+  // quantizing TDC): the ties-away rounding of the bank input collapses to
+  // a cast with identical results.
+  bool integral_input{false};
+
+  double step(std::size_t w, double delta) {
+    // IirControlHardware::step on the lane-strided integer bank.
+    std::int64_t* const* const r = rows.data();
+    std::int64_t feedback = 0;
+    for (std::size_t i = 0; i < taps; ++i) {
+      feedback += tap_gains[i].apply(r[i][w]);
+    }
+    const std::int64_t a = k_exp_gain.apply(prev_input[w]) + feedback;
+    const std::int64_t state = k_star_gain.apply(a);
+    r[taps - 1][w] = state;  // all taps are read; reuse the oldest row
+    prev_input[w] = integral_input ? static_cast<std::int64_t>(delta)
+                                   : llround_ties_away(delta);
+    const std::int64_t y = shift_signed(state, -k_exp_gain.exponent());
+    return static_cast<double>(y);
+  }
+  void end_cycle() {
+    std::rotate(rows.begin(), rows.end() - 1, rows.end());
+  }
+};
+
+}  // namespace
+
+// The per-chunk kernel.  Lane w executes exactly the arithmetic of
+// LoopSimulator::step_impl, in the same order, against its own CDN
+// boundary conditions — the equivalence tests rely on this being
+// bit-for-bit faithful.  The libm ties-away rounders are replaced by the
+// bit-exact inline round_ties_away / llround_ties_away (common/math.hpp),
+// every per-lane array is hoisted to a raw pointer so the eight lane
+// dependency chains stay register-resident, and the TDC/CDN quantization
+// switches are resolved at compile time.
+template <bool kIntegralCommand, sensor::Quantization TdcQ,
+          cdn::DelayQuantization CdnQ, typename Control>
+void EnsembleSimulator::run_chunk(Chunk& chunk,
+                                  const EnsembleInputBlock& block,
+                                  StreamingReducer& reducer,
+                                  Control& control) {
+  const std::size_t cw = chunk.width;
+  const std::size_t stride = block.width;
+  const std::size_t cycles = block.cycles;
+  const bool controlled = mode_ == GeneratorMode::kControlledRo;
+  const bool fixed_clock = mode_ == GeneratorMode::kFixedClock;
+  const bool quantize_lro = quantize_lro_;
+
+  // Tdc::measure_additive with its configuration hoisted out of the loop.
+  const sensor::TdcConfig& tdc = tdc_.config();
+  const double tdc_mismatch = tdc.mismatch_stages;
+  const double tdc_max = static_cast<double>(tdc.max_reading);
+
+  // __restrict: the chunk's arrays are distinct allocations, so stores
+  // through one never alias loads through another — this keeps the lane
+  // dependency chains schedulable across the ring/staging stores.
+  double* __restrict const prev_lro = chunk.prev_lro.data();
+  double* __restrict const prev_t_dlv = chunk.prev_t_dlv.data();
+  double* __restrict const prev_e_ro = chunk.prev_e_ro.data();
+  double* __restrict const prev_e_local = chunk.prev_e_local.data();
+  const double* __restrict const setpoint = chunk.setpoint.data();
+  const double* __restrict const open_loop = chunk.open_loop.data();
+  const std::int64_t* __restrict const min_len = chunk.min_len.data();
+  const std::int64_t* __restrict const max_len = chunk.max_len.data();
+  const double* __restrict const min_len_d = chunk.min_len_d.data();
+  const double* __restrict const max_len_d = chunk.max_len_d.data();
+  double* __restrict const ring = chunk.ring.data();
+  const std::size_t slot_mask = chunk.slot_mask;
+  const double* __restrict const cdn_delay = chunk.cdn_delay.data();
+  const double* __restrict const cdn_history_d = chunk.cdn_history_d.data();
+  const std::uint64_t* const cdn_history = chunk.cdn_history.data();
+  const double* __restrict const cdn_initial = chunk.cdn_initial.data();
+  double* __restrict const out_tau = chunk.tau.data();
+  double* __restrict const out_delta = chunk.delta.data();
+  double* __restrict const out_lro = chunk.lro.data();
+  double* __restrict const out_t_gen = chunk.t_gen.data();
+  double* __restrict const out_t_dlv = chunk.t_dlv.data();
+  std::uint8_t* __restrict const out_violation = chunk.violation.data();
+
+  const bool full_slice = reducer.wants_full_slice();
+
+  LaneSlice slice;
+  slice.first_lane = chunk.first;
+  slice.width = cw;
+  slice.tau = out_tau;
+  slice.delta = out_delta;
+  slice.lro = out_lro;
+  slice.t_gen = out_t_gen;
+  slice.t_dlv = out_t_dlv;
+  slice.violation = out_violation;
+
+  std::uint64_t pos = chunk.pushes;
+  for (std::size_t k = 0; k < cycles; ++k) {
+    const double* const e_ro = block.e_ro.data() + k * stride + chunk.first;
+    const double* const e_tdc = block.e_tdc.data() + k * stride + chunk.first;
+    const double* const mu = block.mu.data() + k * stride + chunk.first;
+
+    // Period generated `m` cycles before this cycle's push, with the same
+    // boundary rule as QuantizedTimeCdn::look_back: beyond the lane's
+    // history window, or before the simulation started, the clock ran at
+    // the initial (equilibrium) period.
+    const auto look_back = [&](std::size_t w, std::uint64_t m) -> double {
+      if (m >= cdn_history[w] || m > pos) return cdn_initial[w];
+      return ring[((pos - m) & slot_mask) * cw + w];
+    };
+
+    for (std::size_t w = 0; w < cw; ++w) {
+      // TDC (one-cycle latency): Tdc::measure_additive inlined, with the
+      // identical operation order (delivered - e_local, then + mismatch).
+      ROCLK_REQUIRE(prev_t_dlv[w] > 0.0, "period must be positive");
+      const double e_local = prev_e_local[w];
+      const double raw = prev_t_dlv[w] - e_local + tdc_mismatch;
+      double tau;
+      if constexpr (TdcQ == sensor::Quantization::kFloor) {
+        tau = std::floor(raw);
+      } else if constexpr (TdcQ == sensor::Quantization::kNearest) {
+        tau = round_ties_away(raw);
+      } else {
+        tau = raw;
+      }
+      tau = std::clamp(tau, 0.0, tdc_max);
+      const double delta = setpoint[w] - tau;
+
+      // Controller / generator.
+      double lro_now;
+      if (controlled) {
+        const double commanded = control.step(w, delta);
+        if (quantize_lro) {
+          const std::int64_t length =
+              kIntegralCommand ? static_cast<std::int64_t>(commanded)
+                               : llround_ties_away(commanded);
+          lro_now = static_cast<double>(
+              std::clamp(length, min_len[w], max_len[w]));
+        } else {
+          lro_now = std::clamp(commanded, min_len_d[w], max_len_d[w]);
+        }
+      } else {
+        lro_now = open_loop[w];
+      }
+
+      // RO (one-cycle latency; a fixed clock ignores on-die variation).
+      const double e_at_ro = fixed_clock ? 0.0 : prev_e_ro[w];
+      const double t_gen = std::max(1.0, prev_lro[w] + e_at_ro);
+
+      // CDN push into the interleaved ring, then the quantised look-back.
+      ring[(pos & slot_mask) * cw + w] = t_gen;
+      const double d = std::min(cdn_delay[w] / t_gen, cdn_history_d[w]);
+      double t_dlv;
+      if constexpr (CdnQ == cdn::DelayQuantization::kRound) {
+        t_dlv = look_back(
+            w, static_cast<std::uint64_t>(llround_ties_away(d)));
+      } else if constexpr (CdnQ == cdn::DelayQuantization::kFloor) {
+        t_dlv = look_back(w, static_cast<std::uint64_t>(std::floor(d)));
+      } else {
+        const auto m0 = static_cast<std::uint64_t>(std::floor(d));
+        const double frac = d - std::floor(d);
+        const double v0 = look_back(w, m0);
+        if (frac == 0.0) {
+          t_dlv = v0;
+        } else {
+          const double v1 = look_back(w, m0 + 1);
+          t_dlv = v0 * (1.0 - frac) + v1 * frac;
+        }
+      }
+
+      out_tau[w] = tau;
+      out_delta[w] = delta;
+      if (full_slice) {
+        out_lro[w] = lro_now;
+        out_t_gen[w] = t_gen;
+      }
+      out_t_dlv[w] = t_dlv;
+      out_violation[w] = tau < setpoint[w] ? 1 : 0;
+
+      // Advance the z^-1 delay registers.
+      prev_lro[w] = lro_now;
+      prev_t_dlv[w] = t_dlv;
+      prev_e_ro[w] = e_ro[w];
+      // The TDC only ever reads e_tdc - mu; folding the subtraction
+      // here (same operands, same op) keeps one delay register instead
+      // of two while staying bit-identical to Tdc::measure_additive.
+      prev_e_local[w] = e_tdc[w] - mu[w];
+    }
+    control.end_cycle();
+    ++pos;
+
+    slice.cycle = k;
+    reducer.accumulate(slice);
+  }
+  chunk.pushes = pos;
+}
+
+template <bool kIntegralCommand, sensor::Quantization TdcQ, typename Control>
+void EnsembleSimulator::dispatch_cdn(Chunk& chunk,
+                                     const EnsembleInputBlock& block,
+                                     StreamingReducer& reducer,
+                                     Control& control) {
+  switch (cdn_quantization_) {
+    case cdn::DelayQuantization::kRound:
+      run_chunk<kIntegralCommand, TdcQ, cdn::DelayQuantization::kRound>(
+          chunk, block, reducer, control);
+      break;
+    case cdn::DelayQuantization::kFloor:
+      run_chunk<kIntegralCommand, TdcQ, cdn::DelayQuantization::kFloor>(
+          chunk, block, reducer, control);
+      break;
+    case cdn::DelayQuantization::kLinearInterp:
+      run_chunk<kIntegralCommand, TdcQ,
+                cdn::DelayQuantization::kLinearInterp>(chunk, block, reducer,
+                                                       control);
+      break;
+  }
+}
+
+template <bool kIntegralCommand, typename Control>
+void EnsembleSimulator::dispatch_chunk(Chunk& chunk,
+                                       const EnsembleInputBlock& block,
+                                       StreamingReducer& reducer,
+                                       Control& control) {
+  switch (tdc_.config().quantization) {
+    case sensor::Quantization::kFloor:
+      dispatch_cdn<kIntegralCommand, sensor::Quantization::kFloor>(
+          chunk, block, reducer, control);
+      break;
+    case sensor::Quantization::kNearest:
+      dispatch_cdn<kIntegralCommand, sensor::Quantization::kNearest>(
+          chunk, block, reducer, control);
+      break;
+    case sensor::Quantization::kNone:
+      dispatch_cdn<kIntegralCommand, sensor::Quantization::kNone>(
+          chunk, block, reducer, control);
+      break;
+  }
+}
+
+void EnsembleSimulator::run_one_chunk(Chunk& chunk,
+                                      const EnsembleInputBlock& block,
+                                      StreamingReducer& reducer) {
+  if (mode_ != GeneratorMode::kControlledRo) {
+    OpenLoopControl control;
+    dispatch_chunk<false>(chunk, block, reducer, control);
+    return;
+  }
+  if (iir_bank_active_) {
+    // The bank's output double(y) is exactly integral, so the kernel casts
+    // instead of rounding (kIntegralCommand).
+    const std::size_t taps = iir_tap_gains_.size();
+    const std::size_t cw = chunk.width;
+    std::int64_t* const bank = chunk.iir_state.data();
+    IirBankControl control;
+    control.tap_gains = iir_tap_gains_.data();
+    control.taps = taps;
+    control.k_exp_gain = iir_k_exp_gain_;
+    control.k_star_gain = iir_k_star_gain_;
+    control.prev_input = chunk.iir_prev_input.data();
+    // delta = setpoint - tau is exactly integral when the set-points are
+    // integers and the TDC floors or rounds (tau and the clamp bounds are
+    // then integral), so the bank input needs no rounding.
+    bool integral_setpoints = true;
+    for (std::size_t w = 0; w < cw; ++w) {
+      const double c = chunk.setpoint[w];
+      integral_setpoints = integral_setpoints && c == std::trunc(c);
+    }
+    control.integral_input =
+        integral_setpoints &&
+        tdc_.config().quantization != sensor::Quantization::kNone;
+    control.rows.resize(taps);
+    for (std::size_t i = 0; i < taps; ++i) {
+      control.rows[i] = bank + ((chunk.iir_head + i) % taps) * cw;
+    }
+    dispatch_chunk<true>(chunk, block, reducer, control);
+    // Persist the ring phase so the next tile continues the shift register.
+    chunk.iir_head =
+        static_cast<std::size_t>(control.rows[0] - bank) / cw;
+    return;
+  }
+  std::vector<control::ControlBlock*> lane_controllers(chunk.width);
+  for (std::size_t w = 0; w < chunk.width; ++w) {
+    lane_controllers[w] = controllers_[chunk.first + w].get();
+  }
+  VirtualControl control{lane_controllers.data()};
+  dispatch_chunk<false>(chunk, block, reducer, control);
+}
+
+void EnsembleSimulator::run(const EnsembleInputBlock& block,
+                            StreamingReducer& reducer, bool parallel) {
+  ROCLK_REQUIRE(block.width == width(),
+                "input block width != ensemble width");
+  if (block.empty()) return;
+  const std::size_t samples = block.width * block.cycles;
+  ROCLK_REQUIRE(block.e_ro.size() == samples &&
+                    block.e_tdc.size() == samples &&
+                    block.mu.size() == samples,
+                "ragged ensemble block");
+  if (parallel && chunks_.size() > 1) {
+    parallel_for(chunks_.size(), [&](std::size_t i) {
+      run_one_chunk(chunks_[i], block, reducer);
+    });
+    return;
+  }
+  for (Chunk& chunk : chunks_) run_one_chunk(chunk, block, reducer);
+}
+
+}  // namespace roclk::core

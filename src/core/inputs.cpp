@@ -4,8 +4,52 @@
 #include <vector>
 
 #include "roclk/common/status.hpp"
+#include "roclk/common/thread_pool.hpp"
 
 namespace roclk::core {
+
+InputBlock EnsembleInputBlock::lane(std::size_t w) const {
+  ROCLK_REQUIRE(w < width, "lane out of range");
+  InputBlock block;
+  block.dt = dt;
+  block.e_ro.resize(cycles);
+  block.e_tdc.resize(cycles);
+  block.mu.resize(cycles);
+  for (std::size_t k = 0; k < cycles; ++k) {
+    const std::size_t idx = k * width + w;
+    block.e_ro[k] = e_ro[idx];
+    block.e_tdc[k] = e_tdc[idx];
+    block.mu[k] = mu[idx];
+  }
+  return block;
+}
+
+EnsembleInputBlock EnsembleInputBlock::from_blocks(
+    std::span<const InputBlock> blocks) {
+  ROCLK_REQUIRE(!blocks.empty(), "no lanes");
+  EnsembleInputBlock out;
+  out.width = blocks.size();
+  out.cycles = blocks.front().size();
+  out.dt = blocks.front().dt;
+  for (const InputBlock& b : blocks) {
+    ROCLK_REQUIRE(b.size() == out.cycles && b.e_tdc.size() == out.cycles &&
+                      b.mu.size() == out.cycles,
+                  "ragged lane blocks");
+    ROCLK_REQUIRE(b.dt == out.dt, "lanes sampled at different dt");
+  }
+  out.e_ro.resize(out.width * out.cycles);
+  out.e_tdc.resize(out.width * out.cycles);
+  out.mu.resize(out.width * out.cycles);
+  for (std::size_t w = 0; w < out.width; ++w) {
+    for (std::size_t k = 0; k < out.cycles; ++k) {
+      const std::size_t idx = k * out.width + w;
+      out.e_ro[idx] = blocks[w].e_ro[k];
+      out.e_tdc[idx] = blocks[w].e_tdc[k];
+      out.mu[idx] = blocks[w].mu[k];
+    }
+  }
+  return out;
+}
 
 SimulationInputs SimulationInputs::none() { return SimulationInputs{}; }
 
@@ -74,6 +118,80 @@ InputBlock SimulationInputs::sample(std::size_t n, double dt) const {
     block.mu[k] = mu(t);
   }
   return block;
+}
+
+EnsembleInputBlock sample_ensemble(std::span<const SimulationInputs> lanes,
+                                   std::size_t n, double dt, bool parallel) {
+  ROCLK_REQUIRE(dt > 0.0, "sample period must be positive");
+  ROCLK_REQUIRE(!lanes.empty(), "no lanes");
+  EnsembleInputBlock block;
+  block.dt = dt;
+  block.width = lanes.size();
+  block.cycles = n;
+  block.e_ro.resize(block.width * n);
+  block.e_tdc.resize(block.width * n);
+  block.mu.resize(block.width * n);
+
+  // Each task fills a contiguous group of lanes (cycle-major columns), so
+  // concurrent tasks never write into the same cache line.
+  constexpr std::size_t kLanesPerTask = 8;
+  const std::size_t tasks =
+      (block.width + kLanesPerTask - 1) / kLanesPerTask;
+  const auto fill_group = [&](std::size_t g) {
+    const std::size_t first = g * kLanesPerTask;
+    const std::size_t last = std::min(first + kLanesPerTask, block.width);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double t = static_cast<double>(k) * dt;
+      const std::size_t row = k * block.width;
+      for (std::size_t w = first; w < last; ++w) {
+        block.e_ro[row + w] = lanes[w].e_ro(t);
+        block.e_tdc[row + w] = lanes[w].e_tdc(t);
+        block.mu[row + w] = lanes[w].mu(t);
+      }
+    }
+  };
+  if (parallel) {
+    parallel_for(tasks, fill_group);
+  } else {
+    for (std::size_t g = 0; g < tasks; ++g) fill_group(g);
+  }
+  return block;
+}
+
+EnsembleInputBlock sample_homogeneous_ensemble(
+    const signal::Waveform& waveform,
+    std::span<const double> static_mu_stages, std::size_t n, double dt) {
+  EnsembleInputBlock block;
+  sample_homogeneous_into(block, waveform, static_mu_stages, n, dt,
+                          /*start_cycle=*/0);
+  return block;
+}
+
+void sample_homogeneous_into(EnsembleInputBlock& block,
+                             const signal::Waveform& waveform,
+                             std::span<const double> static_mu_stages,
+                             std::size_t n, double dt,
+                             std::size_t start_cycle) {
+  ROCLK_REQUIRE(dt > 0.0, "sample period must be positive");
+  ROCLK_REQUIRE(!static_mu_stages.empty(), "no lanes");
+  const std::size_t width = static_mu_stages.size();
+  block.dt = dt;
+  block.width = width;
+  block.cycles = n;
+  block.e_ro.resize(width * n);
+  block.e_tdc.resize(width * n);
+  block.mu.resize(width * n);
+  double* const e_ro = block.e_ro.data();
+  double* const e_tdc = block.e_tdc.data();
+  double* const mu = block.mu.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double e =
+        waveform.at(static_cast<double>(start_cycle + k) * dt);
+    const std::size_t row = k * width;
+    std::fill_n(e_ro + row, width, e);
+    std::fill_n(e_tdc + row, width, e);
+    std::copy(static_mu_stages.begin(), static_mu_stages.end(), mu + row);
+  }
 }
 
 }  // namespace roclk::core

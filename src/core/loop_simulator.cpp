@@ -30,6 +30,30 @@ Status LoopSimulator::validate(const LoopConfig& config, bool has_controller) {
   return Status::ok();
 }
 
+namespace detail {
+
+std::size_t cdn_history_for(const LoopConfig& config) {
+  return static_cast<std::size_t>(
+             std::max(64.0, 8.0 * config.cdn_delay_stages /
+                                static_cast<double>(config.min_length))) +
+         2;
+}
+
+sensor::TdcConfig tdc_config_for(const LoopConfig& config) {
+  sensor::TdcConfig tdc;
+  tdc.quantization = config.tdc_quantization;
+  tdc.max_reading = 1 << 20;  // dynamic mu is injected per step instead
+  return tdc;
+}
+
+double equilibrium_for(const LoopConfig& config) {
+  return config.mode == GeneratorMode::kControlledRo
+             ? config.setpoint_c
+             : config.open_loop_period.value_or(config.setpoint_c);
+}
+
+}  // namespace detail
+
 namespace {
 
 osc::RingOscillatorConfig make_ro_config(const LoopConfig& config) {
@@ -43,13 +67,6 @@ osc::RingOscillatorConfig make_ro_config(const LoopConfig& config) {
   return ro;
 }
 
-sensor::TdcConfig make_tdc_config(const LoopConfig& config) {
-  sensor::TdcConfig tdc;
-  tdc.quantization = config.tdc_quantization;
-  tdc.max_reading = 1 << 20;  // dynamic mu is injected per step instead
-  return tdc;
-}
-
 }  // namespace
 
 LoopSimulator::LoopSimulator(LoopConfig config,
@@ -57,13 +74,9 @@ LoopSimulator::LoopSimulator(LoopConfig config,
     : config_{config},
       controller_{std::move(controller)},
       ro_{make_ro_config(config_)},
-      cdn_{config_.cdn_delay_stages,
-           /*history=*/static_cast<std::size_t>(
-               std::max(64.0, 8.0 * config_.cdn_delay_stages /
-                                  static_cast<double>(config_.min_length))) +
-               2,
+      cdn_{config_.cdn_delay_stages, detail::cdn_history_for(config_),
            config_.cdn_quantization},
-      tdc_{make_tdc_config(config_)} {
+      tdc_{detail::tdc_config_for(config_)} {
   const Status status = validate(config_, controller_ != nullptr);
   ROCLK_REQUIRE(status.is_ok(), status.to_string());
   reset();
@@ -75,10 +88,7 @@ void LoopSimulator::set_setpoint(double setpoint_c) {
 }
 
 void LoopSimulator::reset() {
-  const double equilibrium =
-      config_.mode == GeneratorMode::kControlledRo
-          ? config_.setpoint_c
-          : config_.open_loop_period.value_or(config_.setpoint_c);
+  const double equilibrium = detail::equilibrium_for(config_);
   if (controller_) controller_->reset(equilibrium);
   ro_.set_length(static_cast<std::int64_t>(std::llround(equilibrium)));
   cdn_.reset(equilibrium);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace roclk::analysis {
@@ -99,6 +100,55 @@ TEST(Yield, AdaptiveSavesMarginOnAverage) {
   // fixed margin pays the 99th percentile of the population.
   EXPECT_GT(cmp.fixed_margin_needed, cmp.adaptive_mean_extra_period);
   EXPECT_GT(cmp.margin_saved, 0.0);
+}
+
+TEST(Yield, SortedScanMatchesSingleMarginQueries) {
+  // The one-sort + upper_bound prefix scan must count exactly what a
+  // per-margin pass would: querying each margin on its own (its own sort,
+  // its own scan) has to reproduce the batched sweep, regardless of the
+  // sweep's ordering or duplicates.
+  const std::vector<double> margins{20.0, 0.0, 7.5, 0.0, 40.0, 3.25};
+  const auto batched = yield_curve(margins, small_config());
+  ASSERT_EQ(batched.points.size(), margins.size());
+  for (std::size_t i = 0; i < margins.size(); ++i) {
+    const auto single =
+        yield_curve(std::vector<double>{margins[i]}, small_config());
+    EXPECT_DOUBLE_EQ(batched.points[i].fixed_yield,
+                     single.points[0].fixed_yield)
+        << "margin " << margins[i];
+    EXPECT_DOUBLE_EQ(batched.points[i].margin_stages, margins[i]);
+  }
+  // The prefix count agrees with the reported percentile: at the p99
+  // margin at least 99% of chips fall inside the prefix.
+  const double p99_margin =
+      batched.p99_worst_path - small_config().setpoint_c;
+  const auto at_p99 =
+      yield_curve(std::vector<double>{p99_margin}, small_config());
+  EXPECT_GE(at_p99.points[0].fixed_yield, 0.99);
+}
+
+TEST(Yield, SharedSamplingKeepsEntryPointsConsistent) {
+  // yield_curve and compare_margins memoise one worst-path sample set per
+  // config, so statistics they both derive from it must agree exactly.
+  const YieldConfig cfg = small_config();
+  const auto curve = yield_curve(std::vector<double>{0.0}, cfg);
+  const auto cmp = compare_margins(0.99, cfg);
+
+  // Both sides compute percentile(worst_paths, 0.99) on the same samples.
+  EXPECT_DOUBLE_EQ(cmp.fixed_margin_needed,
+                   std::max(0.0, curve.p99_worst_path - cfg.setpoint_c));
+
+  // With the default generous RO range every chip is adaptive-served, so
+  // the curve's mean adaptive period and the comparison's mean extra
+  // period describe the same per-chip values, offset by c.
+  ASSERT_DOUBLE_EQ(curve.points[0].adaptive_yield, 1.0);
+  EXPECT_NEAR(curve.mean_adaptive_period - cfg.setpoint_c,
+              cmp.adaptive_mean_extra_period, 1e-9);
+
+  // And the margin compare_margins asks for is enough on the curve.
+  const auto at_needed = yield_curve(
+      std::vector<double>{cmp.fixed_margin_needed}, cfg);
+  EXPECT_GE(at_needed.points[0].fixed_yield, 0.99);
 }
 
 TEST(Yield, Preconditions) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 namespace roclk {
 namespace {
 
@@ -69,6 +74,61 @@ TEST(Math, LerpAndSmoothstep) {
   EXPECT_DOUBLE_EQ(smoothstep(0.5), 0.5);
   // Monotone on [0, 1].
   EXPECT_LT(smoothstep(0.3), smoothstep(0.4));
+}
+
+
+TEST(Math, RoundTiesAwayMatchesLibmOnSpecials) {
+  const double cases[] = {0.0,   -0.0,  0.5,    -0.5,   1.5,   -1.5,
+                          2.5,   -2.5,  0.49999999999999994,
+                          4503599627370495.5,  // largest x with a .5 tie
+                          -4503599627370495.5, 1e308, -1e308,
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max()};
+  for (double x : cases) {
+    const double want = std::round(x);
+    const double got = round_ties_away(x);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(want),
+              std::bit_cast<std::uint64_t>(got))
+        << "x = " << x;
+  }
+  EXPECT_TRUE(std::isnan(round_ties_away(
+      std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(Math, RoundTiesAwayMatchesLibmNearTies) {
+  // Every representable neighbour of the half-integer ties in +-[0, 64).
+  for (int k = -128; k < 128; ++k) {
+    const double tie = 0.5 * static_cast<double>(k);
+    for (double x : {tie, std::nextafter(tie, -1e9),
+                     std::nextafter(tie, 1e9)}) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(std::round(x)),
+                std::bit_cast<std::uint64_t>(round_ties_away(x)))
+          << "x = " << x;
+      EXPECT_EQ(std::llround(x), llround_ties_away(x)) << "x = " << x;
+    }
+  }
+}
+
+TEST(Math, RoundTiesAwayMatchesLibmOnRandomBitPatterns) {
+  // Deterministic xorshift sweep over raw double bit patterns (finite
+  // values only for llround, which has UB on overflow in both spellings).
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  for (int i = 0; i < 200000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double x = std::bit_cast<double>(state);
+    if (std::isnan(x)) continue;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(std::round(x)),
+              std::bit_cast<std::uint64_t>(round_ties_away(x)))
+        << "bits = " << state;
+    if (std::abs(x) < 9.0e18) {
+      EXPECT_EQ(std::llround(x), llround_ties_away(x)) << "bits = " << state;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,375 @@
+#include "roclk/core/ensemble_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "roclk/analysis/ensemble_metrics.hpp"
+#include "roclk/analysis/metrics.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/teatime.hpp"
+#include "roclk/signal/waveform.hpp"
+
+namespace roclk::core {
+namespace {
+
+constexpr double kSetpoint = 64.0;
+
+LoopConfig lane_config(GeneratorMode mode, double cdn_delay,
+                       double open_loop_margin = 0.0) {
+  LoopConfig cfg;
+  cfg.setpoint_c = kSetpoint;
+  cfg.cdn_delay_stages = cdn_delay;
+  cfg.mode = mode;
+  if (mode != GeneratorMode::kControlledRo) {
+    cfg.open_loop_period = kSetpoint + open_loop_margin;
+  }
+  return cfg;
+}
+
+/// Per-lane inputs with lane-dependent phase and mismatch, so every lane
+/// exercises a genuinely different trajectory.
+std::vector<SimulationInputs> varied_inputs(std::size_t lanes) {
+  std::vector<SimulationInputs> inputs;
+  inputs.reserve(lanes);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    const double mu = -6.0 + 1.7 * static_cast<double>(w % 8);
+    const double phase = 0.37 * static_cast<double>(w);
+    inputs.push_back(SimulationInputs::harmonic(10.0, 1600.0, mu, phase));
+  }
+  return inputs;
+}
+
+/// Runs every lane of `ensemble` and checks each against a freshly built
+/// scalar LoopSimulator fed the de-interleaved block through run_batch.
+void expect_lanes_match_scalar(
+    EnsembleSimulator& ensemble, const EnsembleInputBlock& block,
+    const std::function<std::unique_ptr<control::ControlBlock>(std::size_t)>&
+        make_controller,
+    bool parallel = false) {
+  TraceReducer reducer{ensemble.width(), block.cycles};
+  ensemble.reset();
+  ensemble.run(block, reducer, parallel);
+  for (std::size_t w = 0; w < ensemble.width(); ++w) {
+    LoopSimulator scalar{ensemble.lane_config(w), make_controller(w)};
+    const SimulationTrace reference = scalar.run_batch(block.lane(w));
+    const SimulationTrace& lane = reducer.trace(w);
+    ASSERT_EQ(reference.size(), lane.size());
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+      ASSERT_EQ(reference.tau()[k], lane.tau()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.delta()[k], lane.delta()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.lro()[k], lane.lro()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.generated_period()[k], lane.generated_period()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.delivered_period()[k], lane.delivered_period()[k])
+          << "lane " << w << " cycle " << k;
+    }
+    ASSERT_EQ(reference.violation_count(), lane.violation_count())
+        << "lane " << w;
+  }
+}
+
+// ------------------------------------------------------------- samplers
+
+TEST(EnsembleInputs, SampleEnsembleMatchesPerLaneSampling) {
+  const auto lanes = varied_inputs(11);
+  const std::size_t n = 257;
+  const auto block = sample_ensemble(lanes, n, kSetpoint);
+  ASSERT_EQ(block.width, lanes.size());
+  ASSERT_EQ(block.cycles, n);
+  for (std::size_t w = 0; w < lanes.size(); ++w) {
+    const InputBlock scalar = lanes[w].sample(n, kSetpoint);
+    const InputBlock deinterleaved = block.lane(w);
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(scalar.e_ro[k], deinterleaved.e_ro[k]);
+      ASSERT_EQ(scalar.e_tdc[k], deinterleaved.e_tdc[k]);
+      ASSERT_EQ(scalar.mu[k], deinterleaved.mu[k]);
+    }
+  }
+}
+
+TEST(EnsembleInputs, ParallelSamplingMatchesSerial) {
+  const auto lanes = varied_inputs(37);
+  const auto serial = sample_ensemble(lanes, 300, kSetpoint, false);
+  const auto parallel = sample_ensemble(lanes, 300, kSetpoint, true);
+  ASSERT_EQ(serial.e_ro, parallel.e_ro);
+  ASSERT_EQ(serial.e_tdc, parallel.e_tdc);
+  ASSERT_EQ(serial.mu, parallel.mu);
+}
+
+TEST(EnsembleInputs, HomogeneousBroadcastMatchesPerLaneSampling) {
+  const signal::SineWaveform wave{10.0, 1600.0, 0.25};
+  const std::vector<double> mus{-3.0, 0.0, 1.5, 8.0, -12.0};
+  const auto block =
+      sample_homogeneous_ensemble(wave, mus, 200, kSetpoint);
+  for (std::size_t w = 0; w < mus.size(); ++w) {
+    const auto scalar =
+        SimulationInputs::homogeneous(
+            std::make_shared<signal::SineWaveform>(10.0, 1600.0, 0.25),
+            mus[w])
+            .sample(200, kSetpoint);
+    const InputBlock lane = block.lane(w);
+    ASSERT_EQ(scalar.e_ro, lane.e_ro) << "lane " << w;
+    ASSERT_EQ(scalar.e_tdc, lane.e_tdc) << "lane " << w;
+    ASSERT_EQ(scalar.mu, lane.mu) << "lane " << w;
+  }
+}
+
+TEST(EnsembleInputs, FromBlocksRoundTripsThroughLane) {
+  const auto lanes = varied_inputs(5);
+  std::vector<InputBlock> blocks;
+  for (const auto& in : lanes) blocks.push_back(in.sample(100, kSetpoint));
+  const auto ensemble = EnsembleInputBlock::from_blocks(blocks);
+  for (std::size_t w = 0; w < lanes.size(); ++w) {
+    const InputBlock lane = ensemble.lane(w);
+    ASSERT_EQ(blocks[w].e_ro, lane.e_ro);
+    ASSERT_EQ(blocks[w].e_tdc, lane.e_tdc);
+    ASSERT_EQ(blocks[w].mu, lane.mu);
+  }
+}
+
+// ------------------------------------------- bit-for-bit vs run_batch
+
+TEST(EnsembleSimulator, IirLanesMatchScalarRunBatchBitForBit) {
+  // 19 lanes: not a multiple of the chunk width, so the tail chunk is
+  // exercised.  Lane-dependent mismatch and phase give every lane its own
+  // trajectory through the quantisers.
+  const std::size_t lanes = 19;
+  const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
+  const control::IirControlHardware prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, lanes);
+  EXPECT_TRUE(ensemble.uses_iir_fast_path());
+  const auto block = sample_ensemble(varied_inputs(lanes), 2000, kSetpoint);
+  expect_lanes_match_scalar(ensemble, block, [](std::size_t) {
+    return std::make_unique<control::IirControlHardware>();
+  });
+}
+
+TEST(EnsembleSimulator, HeterogeneousCdnDelaysMatchScalar) {
+  // Different CDN delays per lane: the interleaved ring must honour each
+  // lane's own history window and boundary conditions.
+  const std::vector<double> delays{0.0, 16.0, 64.0, 96.0, 160.0, 640.0,
+                                   48.0, 200.0, 1024.0};
+  std::vector<LoopConfig> configs;
+  std::vector<std::unique_ptr<control::ControlBlock>> controllers;
+  for (double d : delays) {
+    configs.push_back(lane_config(GeneratorMode::kControlledRo, d));
+    controllers.push_back(std::make_unique<control::IirControlHardware>());
+  }
+  EnsembleSimulator ensemble{configs, std::move(controllers)};
+  const auto block =
+      sample_ensemble(varied_inputs(delays.size()), 3000, kSetpoint);
+  expect_lanes_match_scalar(ensemble, block, [](std::size_t) {
+    return std::make_unique<control::IirControlHardware>();
+  });
+}
+
+TEST(EnsembleSimulator, TeaTimeFallbackMatchesScalar) {
+  const std::size_t lanes = 10;
+  const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
+  const control::TeaTimeControl prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, lanes);
+  EXPECT_FALSE(ensemble.uses_iir_fast_path());
+  const auto block = sample_ensemble(varied_inputs(lanes), 2000, kSetpoint);
+  expect_lanes_match_scalar(ensemble, block, [](std::size_t) {
+    return std::make_unique<control::TeaTimeControl>();
+  });
+}
+
+TEST(EnsembleSimulator, MixedControllerConfigsDisableFastPathButMatch) {
+  // Same IirControlHardware type but different tap sets: the shared bank
+  // cannot be used, and the per-lane fallback must still be exact.
+  control::IirConfig alt;
+  alt.taps = {2.0, 1.0, 0.5, 0.5};
+  alt.k_star = 0.25;
+  std::vector<LoopConfig> configs;
+  std::vector<std::unique_ptr<control::ControlBlock>> controllers;
+  for (std::size_t w = 0; w < 6; ++w) {
+    configs.push_back(lane_config(GeneratorMode::kControlledRo, 64.0));
+    if (w % 2 == 0) {
+      controllers.push_back(std::make_unique<control::IirControlHardware>());
+    } else {
+      controllers.push_back(
+          std::make_unique<control::IirControlHardware>(alt));
+    }
+  }
+  EnsembleSimulator ensemble{configs, std::move(controllers)};
+  EXPECT_FALSE(ensemble.uses_iir_fast_path());
+  const auto block = sample_ensemble(varied_inputs(6), 1500, kSetpoint);
+  expect_lanes_match_scalar(ensemble, block, [&](std::size_t w) {
+    return w % 2 == 0
+               ? std::make_unique<control::IirControlHardware>()
+               : std::make_unique<control::IirControlHardware>(alt);
+  });
+}
+
+TEST(EnsembleSimulator, OpenLoopModesMatchScalar) {
+  for (const GeneratorMode mode :
+       {GeneratorMode::kFreeRunningRo, GeneratorMode::kFixedClock}) {
+    std::vector<LoopConfig> configs;
+    for (std::size_t w = 0; w < 9; ++w) {
+      configs.push_back(
+          lane_config(mode, 64.0, 1.5 * static_cast<double>(w)));
+    }
+    EnsembleSimulator ensemble{configs, {}};
+    const auto block = sample_ensemble(varied_inputs(9), 1500, kSetpoint);
+    expect_lanes_match_scalar(
+        ensemble, block,
+        [](std::size_t) -> std::unique_ptr<control::ControlBlock> {
+          return nullptr;
+        });
+  }
+}
+
+TEST(EnsembleSimulator, LinearInterpCdnMatchesScalar) {
+  LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 80.0);
+  cfg.cdn_quantization = cdn::DelayQuantization::kLinearInterp;
+  cfg.quantize_lro = false;
+  cfg.tdc_quantization = sensor::Quantization::kNone;
+  const control::IirControlHardware prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, 7);
+  const auto block = sample_ensemble(varied_inputs(7), 1500, kSetpoint);
+  expect_lanes_match_scalar(ensemble, block, [](std::size_t) {
+    return std::make_unique<control::IirControlHardware>();
+  });
+}
+
+TEST(EnsembleSimulator, ParallelRunMatchesScalar) {
+  const std::size_t lanes = 33;
+  const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
+  const control::IirControlHardware prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, lanes);
+  const auto block = sample_ensemble(varied_inputs(lanes), 1200, kSetpoint);
+  expect_lanes_match_scalar(
+      ensemble, block,
+      [](std::size_t) {
+        return std::make_unique<control::IirControlHardware>();
+      },
+      /*parallel=*/true);
+}
+
+TEST(EnsembleSimulator, SuccessiveRunsContinueLikeRunBatch) {
+  const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
+  const control::IirControlHardware prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, 4);
+  const auto inputs = varied_inputs(4);
+  const auto first = sample_ensemble(inputs, 500, kSetpoint);
+  TraceReducer reducer{4, 1000};
+  ensemble.reset();
+  ensemble.run(first, reducer);
+  ensemble.run(first, reducer);  // continue, replaying the same samples
+  for (std::size_t w = 0; w < 4; ++w) {
+    LoopSimulator scalar{cfg,
+                         std::make_unique<control::IirControlHardware>()};
+    const InputBlock lane_block = first.lane(w);
+    SimulationTrace reference = scalar.run_batch(lane_block);
+    const SimulationTrace continued = scalar.run_batch(lane_block);
+    ASSERT_EQ(reducer.trace(w).size(), 1000u);
+    for (std::size_t k = 0; k < 500; ++k) {
+      ASSERT_EQ(reference.tau()[k], reducer.trace(w).tau()[k]);
+      ASSERT_EQ(continued.tau()[k], reducer.trace(w).tau()[k + 500]);
+    }
+  }
+}
+
+// ------------------------------------------------- streaming metrics
+
+TEST(EnsembleMetrics, MetricsReducerMatchesEvaluateRunBitForBit) {
+  using analysis::RunMetrics;
+  const std::size_t lanes = 17;
+  const std::size_t cycles = 2500;
+  const std::size_t skip = 500;
+  const double fixed_period = 1.2 * kSetpoint;
+  const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
+  const control::IirControlHardware prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, lanes);
+  const auto block = sample_ensemble(varied_inputs(lanes), cycles, kSetpoint);
+
+  const std::vector<RunMetrics> streamed = analysis::evaluate_ensemble(
+      ensemble, block, {fixed_period}, skip);
+  ASSERT_EQ(streamed.size(), lanes);
+
+  for (std::size_t w = 0; w < lanes; ++w) {
+    LoopSimulator scalar{cfg,
+                         std::make_unique<control::IirControlHardware>()};
+    const RunMetrics reference = analysis::evaluate_run(
+        scalar.run_batch(block.lane(w)), kSetpoint, fixed_period, skip);
+    ASSERT_EQ(reference.safety_margin, streamed[w].safety_margin)
+        << "lane " << w;
+    ASSERT_EQ(reference.mean_period, streamed[w].mean_period) << "lane " << w;
+    ASSERT_EQ(reference.relative_adaptive_period,
+              streamed[w].relative_adaptive_period)
+        << "lane " << w;
+    ASSERT_EQ(reference.violations, streamed[w].violations) << "lane " << w;
+    ASSERT_EQ(reference.tau_ripple, streamed[w].tau_ripple) << "lane " << w;
+  }
+}
+
+TEST(EnsembleMetrics, ReducerRejectsSkipLongerThanRun) {
+  analysis::MetricsReducer reducer{2, 76.8, /*skip=*/100};
+  EXPECT_THROW((void)reducer.metrics(0), std::logic_error);
+}
+
+// ------------------------------------------------------- validation
+
+TEST(EnsembleSimulator, ValidateRejectsBadEnsembles) {
+  const LoopConfig controlled =
+      lane_config(GeneratorMode::kControlledRo, 64.0);
+  const LoopConfig free_ro = lane_config(GeneratorMode::kFreeRunningRo, 64.0);
+
+  // Empty ensemble.
+  EXPECT_FALSE(EnsembleSimulator::validate({}, 0).is_ok());
+
+  // Controller count mismatch.
+  {
+    const std::vector<LoopConfig> configs{controlled, controlled};
+    EXPECT_FALSE(EnsembleSimulator::validate(configs, 1).is_ok());
+    EXPECT_TRUE(EnsembleSimulator::validate(configs, 2).is_ok());
+  }
+
+  // Controllers supplied to an open-loop ensemble.
+  {
+    const std::vector<LoopConfig> configs{free_ro};
+    EXPECT_FALSE(EnsembleSimulator::validate(configs, 1).is_ok());
+    EXPECT_TRUE(EnsembleSimulator::validate(configs, 0).is_ok());
+  }
+
+  // Mixed generator modes.
+  {
+    const std::vector<LoopConfig> configs{controlled, free_ro};
+    EXPECT_FALSE(EnsembleSimulator::validate(configs, 2).is_ok());
+  }
+
+  // Mixed quantisation settings.
+  {
+    LoopConfig other = controlled;
+    other.tdc_quantization = sensor::Quantization::kNone;
+    const std::vector<LoopConfig> configs{controlled, other};
+    EXPECT_FALSE(EnsembleSimulator::validate(configs, 2).is_ok());
+  }
+
+  // A lane config that LoopSimulator itself would reject.
+  {
+    LoopConfig bad = controlled;
+    bad.setpoint_c = -1.0;
+    const std::vector<LoopConfig> configs{controlled, bad};
+    EXPECT_FALSE(EnsembleSimulator::validate(configs, 2).is_ok());
+  }
+}
+
+TEST(EnsembleSimulator, RunRejectsMismatchedBlock) {
+  const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
+  const control::IirControlHardware prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, 3);
+  TraceReducer reducer{3};
+  const auto block = sample_ensemble(varied_inputs(4), 10, kSetpoint);
+  EXPECT_THROW(ensemble.run(block, reducer), std::logic_error);
+}
+
+}  // namespace
+}  // namespace roclk::core

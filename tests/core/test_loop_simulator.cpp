@@ -243,6 +243,50 @@ TEST(LoopSimulatorBatch, MatchesRunBitForBitOnHarmonicInputs) {
   expect_batch_matches_run(a_fix, b_fix, inputs, 3000);
 }
 
+TEST(LoopSimulatorBatch, MatchesRunBitForBitOnFallbackControllers) {
+  // Controllers outside the devirtualized IIR fast path exercise
+  // run_batch's virtual-dispatch fallback branch.
+  const auto inputs = SimulationInputs::harmonic(9.6, 1100.0, -2.0);
+  LoopConfig cfg;
+  cfg.setpoint_c = 64.0;
+  cfg.cdn_delay_stages = 64.0;
+  cfg.mode = GeneratorMode::kControlledRo;
+
+  {
+    LoopSimulator a{cfg, std::make_unique<control::ProportionalControl>(0.5)};
+    LoopSimulator b{cfg, std::make_unique<control::ProportionalControl>(0.5)};
+    expect_batch_matches_run(a, b, inputs, 2000);
+  }
+  {
+    LoopSimulator a{cfg, std::make_unique<control::PiControl>(0.5, 0.125)};
+    LoopSimulator b{cfg, std::make_unique<control::PiControl>(0.5, 0.125)};
+    expect_batch_matches_run(a, b, inputs, 2000);
+  }
+  {
+    control::TeaTimeConfig tea;
+    tea.zero_policy = control::SignZeroPolicy::kDither;
+    tea.delayed_sign = true;
+    LoopSimulator a{cfg, std::make_unique<control::TeaTimeControl>(tea)};
+    LoopSimulator b{cfg, std::make_unique<control::TeaTimeControl>(tea)};
+    expect_batch_matches_run(a, b, inputs, 2000);
+  }
+}
+
+TEST(LoopSimulatorBatch, MatchesRunBitForBitOnOpenLoopMargins) {
+  // The open-loop generators take the controller-free branch of the batch
+  // loop; sweep the design margin including the no-margin edge.
+  const auto inputs = SimulationInputs::harmonic(12.8, 900.0, 1.5);
+  for (double margin : {0.0, 6.4, 19.2}) {
+    auto a_free = make_free_ro_system(64.0, 64.0, margin);
+    auto b_free = make_free_ro_system(64.0, 64.0, margin);
+    expect_batch_matches_run(a_free, b_free, inputs, 1500);
+
+    auto a_fix = make_fixed_clock_system(64.0, 64.0, margin);
+    auto b_fix = make_fixed_clock_system(64.0, 64.0, margin);
+    expect_batch_matches_run(a_fix, b_fix, inputs, 1500);
+  }
+}
+
 TEST(LoopSimulatorBatch, MatchesRunBitForBitOnVariationSourceInputs) {
   const auto source = std::make_shared<const variation::VrmRipple>(
       0.08, 1600.0, 0.3);
