@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "roclk/analysis/metrics.hpp"
 #include "roclk/cdn/cdn.hpp"
@@ -76,7 +77,7 @@ class SweepMemo {
 
  private:
   struct Impl;
-  Impl* impl_;
+  std::unique_ptr<Impl> impl_;  // out-of-line dtor: Impl is incomplete here
 };
 
 }  // namespace roclk::analysis

@@ -22,7 +22,8 @@
 #include <deque>
 #include <vector>
 
-#include "roclk/common/status.hpp"
+#include "roclk/common/check.hpp"
+#include "roclk/common/math.hpp"
 
 namespace roclk::cdn {
 
@@ -79,15 +80,22 @@ class QuantizedTimeCdn final : public DiscreteCdn {
  public:
   /// `delay_stages` is t_clk; `history` bounds the look-back window and
   /// must exceed every M that can occur (t_clk / min-period).
+  /// `ring_depth` is the physical circular-buffer depth: 0 (the default)
+  /// sizes it to the smallest power of two covering `history`; an explicit
+  /// value must itself be a power of two >= history (mask indexing is a
+  /// load-bearing invariant of the hot loop) or construction throws.
   explicit QuantizedTimeCdn(double delay_stages, std::size_t history = 4096,
                             DelayQuantization quantization =
-                                DelayQuantization::kRound);
+                                DelayQuantization::kRound,
+                            std::size_t ring_depth = 0);
 
   // push() is the per-simulated-cycle hot path of every sweep; it is
   // defined inline (class is final, so calls through the concrete type
   // devirtualise and fuse into the simulation loop).
   double push(double generated_period) override {
-    ROCLK_REQUIRE(generated_period > 0.0, "period must be positive");
+    ROCLK_CHECK(generated_period > 0.0,
+                "generated period must be positive, got "
+                    << generated_period << " stages");
     ring_[next_] = generated_period;
     next_ = (next_ + 1) & mask_;
     count_ = std::min(count_ + 1, history_);
@@ -96,11 +104,11 @@ class QuantizedTimeCdn final : public DiscreteCdn {
     // history we actually keep.
     const double d = std::min(delay_stages_ / generated_period,
                               static_cast<double>(history_ - 2));
-    last_m_ = static_cast<std::size_t>(std::llround(d));
+    last_m_ = static_cast<std::size_t>(llround_ties_away(d));
 
     switch (quantization_) {
       case DelayQuantization::kRound:
-        return look_back(static_cast<std::size_t>(std::llround(d)));
+        return look_back(last_m_);
       case DelayQuantization::kFloor:
         return look_back(static_cast<std::size_t>(std::floor(d)));
       case DelayQuantization::kLinearInterp: {
@@ -112,7 +120,7 @@ class QuantizedTimeCdn final : public DiscreteCdn {
         return v0 * (1.0 - frac) + v1 * frac;
       }
     }
-    ROCLK_REQUIRE(false, "unknown quantization mode");
+    ROCLK_CHECK(false, "unknown quantization mode");
     return generated_period;
   }
 

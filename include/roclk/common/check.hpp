@@ -1,0 +1,92 @@
+// Contract layer: ROCLK_CHECK / ROCLK_DCHECK.
+//
+// The simulation stack is only trustworthy if its invariants are enforced,
+// not documented: the paper's type-1 loop constraints (N(1) != 0, D(1) = 0,
+// eq. 8), Jury stability, power-of-two CDN ring depth and l_RO saturation
+// ranges are all *checkable* properties, and a violated one must stop the
+// run instead of silently corrupting a sweep.
+//
+//  * ROCLK_CHECK(cond, msg)  — always on, in every build type.  Simulation
+//    correctness beats the nanoseconds saved by stripping checks; a failed
+//    check throws roclk::ContractViolation with the expression, location
+//    and a caller-formatted context message.  `msg` is a stream expression,
+//    so the violated quantity travels with the error:
+//        ROCLK_CHECK(period > 0.0, "period=" << period << " stages");
+//  * ROCLK_DCHECK(cond, msg) — compiled in for Debug and sanitizer builds
+//    (ROCLK_ENABLE_DCHECKS, set by the asan-ubsan/tsan presets, or any
+//    !NDEBUG build); expands to dead code otherwise, but the condition and
+//    message still type-check in every configuration.
+//
+// ContractViolation derives from std::logic_error: contract breaches are
+// programming errors, and existing handlers/tests that catch logic_error
+// keep working.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace roclk {
+
+/// Thrown by ROCLK_CHECK / ROCLK_DCHECK.  what() carries the full
+/// formatted context; expression/file/line are exposed for tooling.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const std::string& what, const char* expression,
+                    const char* file, int line)
+      : std::logic_error{what},
+        expression_{expression},
+        file_{file},
+        line_{line} {}
+
+  [[nodiscard]] const char* expression() const { return expression_; }
+  [[nodiscard]] const char* file() const { return file_; }
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  const char* expression_;
+  const char* file_;
+  int line_;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_contract_violation(const char* expr,
+                                                  const char* file, int line,
+                                                  const std::string& context) {
+  std::ostringstream os;
+  os << "contract violated at " << file << ":" << line << ": (" << expr
+     << ")";
+  if (!context.empty()) os << " — " << context;
+  throw ContractViolation{os.str(), expr, file, line};
+}
+
+}  // namespace detail
+}  // namespace roclk
+
+/// Always-on contract check.  `msg` is a stream expression evaluated only
+/// on failure; include the violated quantity in it.
+#define ROCLK_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream roclk_check_os_;                               \
+      roclk_check_os_ << msg;  /* NOLINT(bugprone-macro-parentheses) */ \
+      ::roclk::detail::throw_contract_violation(                        \
+          #cond, __FILE__, __LINE__, roclk_check_os_.str());            \
+    }                                                                   \
+  } while (false)
+
+/// Debug/sanitizer-build contract check.  Free in release builds; the
+/// condition and message still compile everywhere (dead branch).
+#if defined(ROCLK_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define ROCLK_DCHECK(cond, msg) ROCLK_CHECK(cond, msg)
+#define ROCLK_DCHECKS_ENABLED 1
+#else
+#define ROCLK_DCHECK(cond, msg)           \
+  do {                                    \
+    if (false) {                          \
+      ROCLK_CHECK(cond, msg);             \
+    }                                     \
+  } while (false)
+#define ROCLK_DCHECKS_ENABLED 0
+#endif

@@ -4,8 +4,8 @@
 // detected up front (bad filter coefficients, non-positive periods, empty
 // sensor arrays).  We report them with value-semantics Status/Result rather
 // than exceptions so call sites can handle them locally, and reserve
-// exceptions for programming errors (precondition violations) via
-// ROCLK_REQUIRE.
+// exceptions for programming errors (contract violations) via the
+// ROCLK_CHECK family in common/check.hpp.
 #pragma once
 
 #include <optional>
@@ -14,6 +14,8 @@
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "roclk/common/check.hpp"
 
 namespace roclk {
 
@@ -130,25 +132,15 @@ class [[nodiscard]] Result {
   std::variant<T, Status> data_;
 };
 
-namespace detail {
-[[noreturn]] inline void require_failed(const char* expr, const char* file,
-                                        int line, const std::string& what) {
-  std::ostringstream os;
-  os << "precondition failed at " << file << ":" << line << ": (" << expr
-     << ")";
-  if (!what.empty()) os << " — " << what;
-  throw std::logic_error(os.str());
-}
-}  // namespace detail
-
 }  // namespace roclk
 
-/// Precondition check for programming errors.  Always on (simulation
-/// correctness beats the nanoseconds saved by disabling it).
-#define ROCLK_REQUIRE(cond, what)                                     \
+/// Enforces that a Status-returning validation passed; throws
+/// ContractViolation carrying the status message otherwise.  The idiom for
+/// constructors that reuse a `static Status validate(...)`:
+///     ROCLK_CHECK_OK(validate(config));
+#define ROCLK_CHECK_OK(status_expr)                                   \
   do {                                                                \
-    if (!(cond)) {                                                    \
-      ::roclk::detail::require_failed(#cond, __FILE__, __LINE__,      \
-                                      (what));                        \
-    }                                                                 \
+    const ::roclk::Status roclk_check_status_ = (status_expr);        \
+    ROCLK_CHECK(roclk_check_status_.is_ok(),                          \
+                roclk_check_status_.to_string());                     \
   } while (false)

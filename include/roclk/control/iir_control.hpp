@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "roclk/common/fixed_point.hpp"
+#include "roclk/common/math.hpp"
 #include "roclk/common/status.hpp"
 #include "roclk/control/control_block.hpp"
 #include "roclk/signal/transfer_function.hpp"
@@ -102,7 +103,7 @@ class IirControlHardware final : public ControlBlock {
       state_[i] = state_[i - 1];
     }
     state_[0] = w;
-    prev_input_ = static_cast<std::int64_t>(std::llround(delta));
+    prev_input_ = static_cast<std::int64_t>(llround_ties_away(delta));
     // Output divider: arithmetic right shift by log2(k_exp).
     const std::int64_t y = shift_signed(w, -k_exp_gain_.exponent());
     return static_cast<double>(y);

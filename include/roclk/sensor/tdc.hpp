@@ -26,6 +26,8 @@
 #include <span>
 #include <vector>
 
+#include "roclk/common/check.hpp"
+#include "roclk/common/math.hpp"
 #include "roclk/common/status.hpp"
 #include "roclk/variation/variation.hpp"
 
@@ -61,7 +63,9 @@ class Tdc {
   /// Per-simulated-cycle hot path: kept inline.
   [[nodiscard]] double measure_additive(double delivered_period,
                                         double e_local) const {
-    ROCLK_REQUIRE(delivered_period > 0.0, "period must be positive");
+    ROCLK_CHECK(delivered_period > 0.0,
+                "delivered period must be positive, got "
+                    << delivered_period << " stages");
     return quantize(delivered_period - e_local + config_.mismatch_stages);
   }
 
@@ -77,17 +81,25 @@ class Tdc {
 
  private:
   [[nodiscard]] double quantize(double raw) const {
+    // A NaN reading would slip through the saturation clamp below (every
+    // comparison is false) and poison the control loop several cycles
+    // downstream of the actual bug — catch it at the sensor.
+    ROCLK_DCHECK(!std::isnan(raw),
+                 "TDC raw reading is NaN (delivered period / variation "
+                 "inputs inconsistent)");
     double q = raw;
     switch (config_.quantization) {
       case Quantization::kFloor:
         q = std::floor(raw);
         break;
       case Quantization::kNearest:
-        q = std::round(raw);
+        q = round_ties_away(raw);
         break;
       case Quantization::kNone:
         break;
     }
+    // Saturation (not an error): the hardware chain is max_reading stages
+    // long and cannot count past it, nor report negative crossings.
     q = std::clamp(q, 0.0, static_cast<double>(config_.max_reading));
     return q;
   }

@@ -13,14 +13,14 @@ double cdn_mismatch(const signal::Waveform& nu, double t, double t_clk) {
 }
 
 double harmonic_worst_mismatch(double t_clk, double period, double amplitude) {
-  ROCLK_REQUIRE(period > 0.0, "period must be positive");
+  ROCLK_CHECK(period > 0.0, "period must be positive");
   return 2.0 * std::fabs(amplitude) *
          std::fabs(std::sin(kPi * t_clk / period));
 }
 
 double single_event_worst_mismatch(double t_clk, double duration,
                                    double amplitude) {
-  ROCLK_REQUIRE(duration > 0.0, "duration must be positive");
+  ROCLK_CHECK(duration > 0.0, "duration must be positive");
   const double ratio = t_clk / duration;
   if (ratio <= 0.0) return 0.0;
   if (ratio <= 0.5) return 2.0 * std::fabs(amplitude) * ratio;
@@ -37,7 +37,7 @@ double harmonic_benefit_limit(double period) { return period / 6.0; }
 
 double numeric_worst_mismatch(const signal::Waveform& nu, double period,
                               double t_clk, std::size_t samples) {
-  ROCLK_REQUIRE(samples >= 2, "need at least two samples");
+  ROCLK_CHECK(samples >= 2, "need at least two samples");
   double worst = 0.0;
   for (std::size_t i = 0; i < samples; ++i) {
     const double t =

@@ -15,14 +15,14 @@ MetricsReducer::MetricsReducer(std::vector<double> fixed_periods,
     : accumulators_(fixed_periods.size()),
       fixed_periods_{std::move(fixed_periods)},
       skip_{skip} {
-  ROCLK_REQUIRE(!fixed_periods_.empty(), "reducer needs at least one lane");
+  ROCLK_CHECK(!fixed_periods_.empty(), "reducer needs at least one lane");
   for (double fixed : fixed_periods_) {
-    ROCLK_REQUIRE(fixed > 0.0, "fixed period must be positive");
+    ROCLK_CHECK(fixed > 0.0, "fixed period must be positive");
   }
 }
 
 void MetricsReducer::accumulate(const core::LaneSlice& slice) {
-  ROCLK_REQUIRE(slice.first_lane + slice.width <= accumulators_.size(),
+  ROCLK_CHECK(slice.first_lane + slice.width <= accumulators_.size(),
                 "lane slice out of range");
   LaneAccumulator* const accs = accumulators_.data() + slice.first_lane;
   const double* const delta = slice.delta;
@@ -55,7 +55,7 @@ RunMetrics MetricsReducer::metrics(std::size_t lane) const {
   const LaneAccumulator& acc = accumulators_.at(lane);
   // Same precondition as evaluate_run: the transient skip must leave at
   // least one sample.
-  ROCLK_REQUIRE(skip_ < acc.seen, "transient skip longer than run");
+  ROCLK_CHECK(skip_ < acc.seen, "transient skip longer than run");
   RunMetrics metrics;
   metrics.safety_margin = acc.worst_margin;
   metrics.mean_period = acc.period_mean;
@@ -83,7 +83,7 @@ std::vector<RunMetrics> evaluate_ensemble(
   if (fixed_periods.size() == 1 && lanes > 1) {
     fixed_periods.assign(lanes, fixed_periods.front());
   }
-  ROCLK_REQUIRE(fixed_periods.size() == lanes,
+  ROCLK_CHECK(fixed_periods.size() == lanes,
                 "need one fixed period per lane (or one shared)");
   MetricsReducer reducer{std::move(fixed_periods), skip};
   ensemble.reset();
@@ -97,12 +97,20 @@ std::vector<RunMetrics> evaluate_homogeneous_mc(
     std::vector<double> fixed_periods, std::size_t skip, bool parallel,
     std::size_t tile_cycles) {
   const std::size_t lanes = ensemble.width();
-  ROCLK_REQUIRE(static_mu_stages.size() == lanes, "one mu per lane");
+  ROCLK_CHECK(static_mu_stages.size() == lanes,
+              "one mu per lane: got " << static_mu_stages.size()
+                                      << " for " << lanes << " lanes");
+  ROCLK_CHECK(dt > 0.0, "sampling period must be positive, got " << dt);
+  ROCLK_CHECK(skip < cycles, "transient skip " << skip
+                                               << " must leave at least one "
+                                                  "of the "
+                                               << cycles << " cycles");
   if (fixed_periods.size() == 1 && lanes > 1) {
     fixed_periods.assign(lanes, fixed_periods.front());
   }
-  ROCLK_REQUIRE(fixed_periods.size() == lanes,
-                "need one fixed period per lane (or one shared)");
+  ROCLK_CHECK(fixed_periods.size() == lanes,
+              "need one fixed period per lane (or one shared), got "
+                  << fixed_periods.size() << " for " << lanes << " lanes");
   if (tile_cycles == 0) {
     // ~256 KiB of samples per tile (3 arrays of lanes doubles per cycle),
     // floored so per-tile dispatch overhead stays negligible.

@@ -11,8 +11,8 @@ namespace roclk::analysis {
 double cross_correlation_at_lag(std::span<const double> x,
                                 std::span<const double> y,
                                 std::ptrdiff_t lag) {
-  ROCLK_REQUIRE(x.size() == y.size(), "series length mismatch");
-  ROCLK_REQUIRE(!x.empty(), "empty series");
+  ROCLK_CHECK(x.size() == y.size(), "series length mismatch");
+  ROCLK_CHECK(!x.empty(), "empty series");
   const double mx = mean(x);
   const double my = mean(y);
   double num = 0.0;
@@ -34,7 +34,7 @@ double cross_correlation_at_lag(std::span<const double> x,
 
 std::ptrdiff_t best_lag(std::span<const double> x, std::span<const double> y,
                         std::ptrdiff_t min_lag, std::ptrdiff_t max_lag) {
-  ROCLK_REQUIRE(min_lag <= max_lag, "empty lag range");
+  ROCLK_CHECK(min_lag <= max_lag, "empty lag range");
   std::ptrdiff_t best = min_lag;
   double best_corr = -2.0;
   for (std::ptrdiff_t lag = min_lag; lag <= max_lag; ++lag) {
@@ -78,10 +78,10 @@ Result<LoopDelayEstimate> estimate_loop_delay(
 double measured_attenuation(std::span<const double> timing_error,
                             std::span<const double> perturbation,
                             double period_samples) {
-  ROCLK_REQUIRE(period_samples > 1.0, "period must exceed one sample");
+  ROCLK_CHECK(period_samples > 1.0, "period must exceed one sample");
   const double injected =
       signal::tone_amplitude(perturbation, 1.0 / period_samples);
-  ROCLK_REQUIRE(injected > 0.0, "no tone in the perturbation series");
+  ROCLK_CHECK(injected > 0.0, "no tone in the perturbation series");
   const double residual =
       signal::tone_amplitude(timing_error, 1.0 / period_samples);
   return residual / injected;

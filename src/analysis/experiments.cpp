@@ -131,10 +131,10 @@ std::vector<RunMetrics> measure_system_ensemble(
     std::size_t cycles, std::size_t skip, double free_ro_margin,
     cdn::DelayQuantization cdn_quantization) {
   const std::size_t lanes = std::max(tclk_stages.size(), mu_stages.size());
-  ROCLK_REQUIRE(lanes > 0, "no operating points");
-  ROCLK_REQUIRE(tclk_stages.size() == lanes || tclk_stages.size() == 1,
+  ROCLK_CHECK(lanes > 0, "no operating points");
+  ROCLK_CHECK(tclk_stages.size() == lanes || tclk_stages.size() == 1,
                 "tclk span must hold one value or one per lane");
-  ROCLK_REQUIRE(mu_stages.size() == lanes || mu_stages.size() == 1,
+  ROCLK_CHECK(mu_stages.size() == lanes || mu_stages.size() == 1,
                 "mu span must hold one value or one per lane");
   const auto tclk_at = [&](std::size_t i) {
     return tclk_stages.size() == 1 ? tclk_stages.front() : tclk_stages[i];
@@ -207,7 +207,7 @@ Fig7Result fig7_timing_error(double te_over_c, double tclk_over_c,
                              std::size_t first_period,
                              std::size_t last_period,
                              const ExperimentParams& params) {
-  ROCLK_REQUIRE(last_period > first_period, "empty period window");
+  ROCLK_CHECK(last_period > first_period, "empty period window");
   const double c = params.setpoint_c;
   const double amplitude = params.amplitude_frac * c;
   const double period = te_over_c * c;
@@ -316,8 +316,8 @@ std::vector<RelativePeriodRow> fig8_frequency_sweep(
 }
 
 std::vector<double> log_space(double lo, double hi, std::size_t points) {
-  ROCLK_REQUIRE(lo > 0.0 && hi > lo, "invalid log range");
-  ROCLK_REQUIRE(points >= 2, "need at least two points");
+  ROCLK_CHECK(lo > 0.0 && hi > lo, "invalid log range");
+  ROCLK_CHECK(points >= 2, "need at least two points");
   std::vector<double> out(points);
   const double step =
       (std::log10(hi) - std::log10(lo)) / static_cast<double>(points - 1);
@@ -332,7 +332,7 @@ std::vector<double> log_space(double lo, double hi, std::size_t points) {
 Fig9Cell fig9_mismatch_sweep(double tclk_over_c, double te_over_c,
                              std::span<const double> mu_over_c,
                              const ExperimentParams& params) {
-  ROCLK_REQUIRE(!mu_over_c.empty(), "empty mu sweep");
+  ROCLK_CHECK(!mu_over_c.empty(), "empty mu sweep");
   const double c = params.setpoint_c;
   const double amplitude = params.amplitude_frac * c;
   double mu_bound = 0.0;

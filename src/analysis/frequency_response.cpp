@@ -15,7 +15,7 @@ namespace roclk::analysis {
 double analytic_error_gain(const signal::Polynomial& numerator,
                            const signal::Polynomial& denominator,
                            std::size_t cdn_delay_m, double te_over_c) {
-  ROCLK_REQUIRE(te_over_c > 0.0, "perturbation period must be positive");
+  ROCLK_CHECK(te_over_c > 0.0, "perturbation period must be positive");
   const auto loop =
       signal::make_paper_closed_loop(numerator, denominator, cdn_delay_m);
   const double w = kTwoPi / te_over_c;  // one sample ~ one nominal period
@@ -30,7 +30,7 @@ double analytic_error_gain(const signal::Polynomial& numerator,
 double measured_error_gain(SystemKind kind, double setpoint_c,
                            double tclk_stages, double amplitude_stages,
                            double te_over_c, std::size_t cycles) {
-  ROCLK_REQUIRE(amplitude_stages > 0.0, "need a non-zero tone");
+  ROCLK_CHECK(amplitude_stages > 0.0, "need a non-zero tone");
   if (cycles == 0) {
     cycles = std::max<std::size_t>(
         6000, static_cast<std::size_t>(30.0 * te_over_c));
@@ -74,7 +74,7 @@ std::vector<FrequencyResponsePoint> error_rejection_curve(
     std::span<const double> te_over_c_grid, double tclk_over_c,
     double setpoint_c, double amplitude_stages) {
   const auto [n, d] = control::iir_polynomials(control::paper_iir_config());
-  const auto m = static_cast<std::size_t>(std::llround(tclk_over_c));
+  const auto m = static_cast<std::size_t>(llround_ties_away(tclk_over_c));
   std::vector<FrequencyResponsePoint> curve(te_over_c_grid.size());
   parallel_for(curve.size(), [&](std::size_t i) {
     const double te = te_over_c_grid[i];

@@ -37,7 +37,7 @@ bool eq10_feasible(const std::vector<int>& exponents, double& k_star) {
   double sum = 0.0;
   for (int e : exponents) sum += std::ldexp(1.0, e);
   const double log2_sum = std::log2(sum);
-  if (std::fabs(log2_sum - std::round(log2_sum)) > 1e-12) return false;
+  if (std::fabs(log2_sum - round_ties_away(log2_sum)) > 1e-12) return false;
   k_star = 1.0 / sum;
   return true;
 }
@@ -46,8 +46,7 @@ bool eq10_feasible(const std::vector<int>& exponents, double& k_star) {
 
 IirCandidate score_candidate(const control::IirConfig& config,
                              const DesignSpaceOptions& options) {
-  const Status valid = control::validate_iir_config(config);
-  ROCLK_REQUIRE(valid.is_ok(), valid.to_string());
+  ROCLK_CHECK_OK(control::validate_iir_config(config));
 
   IirCandidate candidate;
   candidate.config = config;
@@ -100,10 +99,10 @@ IirCandidate score_candidate(const control::IirConfig& config,
 
 std::vector<IirCandidate> enumerate_candidates(
     const DesignSpaceOptions& options) {
-  ROCLK_REQUIRE(options.min_taps >= 1 &&
+  ROCLK_CHECK(options.min_taps >= 1 &&
                     options.max_taps >= options.min_taps,
                 "invalid tap-count range");
-  ROCLK_REQUIRE(options.min_exponent <= options.max_exponent,
+  ROCLK_CHECK(options.min_exponent <= options.max_exponent,
                 "invalid exponent range");
 
   std::vector<std::vector<int>> tap_sets;
@@ -112,7 +111,7 @@ std::vector<IirCandidate> enumerate_candidates(
 
   // The scoring scenario runs at M = t_clk / c; designs that cannot even
   // stabilise that loop are infeasible, not merely bad.
-  const auto scenario_m = static_cast<std::size_t>(std::llround(
+  const auto scenario_m = static_cast<std::size_t>(llround_ties_away(
       options.cdn_delay_stages / options.setpoint_c));
 
   std::vector<control::IirConfig> configs;

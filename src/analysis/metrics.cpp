@@ -6,8 +6,8 @@ namespace roclk::analysis {
 
 RunMetrics evaluate_run(const core::SimulationTrace& trace, double setpoint_c,
                         double fixed_period, std::size_t skip) {
-  ROCLK_REQUIRE(fixed_period > 0.0, "fixed period must be positive");
-  ROCLK_REQUIRE(skip < trace.size(), "transient skip longer than trace");
+  ROCLK_CHECK(fixed_period > 0.0, "fixed period must be positive");
+  ROCLK_CHECK(skip < trace.size(), "transient skip longer than trace");
   RunMetrics metrics;
   metrics.safety_margin = trace.required_safety_margin(setpoint_c, skip);
   metrics.mean_period = trace.mean_delivered_period(skip);
@@ -20,16 +20,16 @@ RunMetrics evaluate_run(const core::SimulationTrace& trace, double setpoint_c,
 
 double fixed_clock_period(double setpoint_c, double hodv_amplitude_stages,
                           double mu_bound_stages) {
-  ROCLK_REQUIRE(setpoint_c > 0.0, "set-point must be positive");
-  ROCLK_REQUIRE(hodv_amplitude_stages >= 0.0, "amplitude cannot be negative");
-  ROCLK_REQUIRE(mu_bound_stages >= 0.0, "mismatch bound cannot be negative");
+  ROCLK_CHECK(setpoint_c > 0.0, "set-point must be positive");
+  ROCLK_CHECK(hodv_amplitude_stages >= 0.0, "amplitude cannot be negative");
+  ROCLK_CHECK(mu_bound_stages >= 0.0, "mismatch bound cannot be negative");
   return setpoint_c + hodv_amplitude_stages + mu_bound_stages;
 }
 
 double safety_margin_reduction(double relative_adaptive_period,
                                double fixed_period, double setpoint_c) {
   const double fixed_margin = fixed_period - setpoint_c;
-  ROCLK_REQUIRE(fixed_margin > 0.0, "fixed clock has no margin to reduce");
+  ROCLK_CHECK(fixed_margin > 0.0, "fixed clock has no margin to reduce");
   const double adaptive_margin =
       relative_adaptive_period * fixed_period - setpoint_c;
   return (fixed_margin - adaptive_margin) / fixed_margin;

@@ -48,9 +48,9 @@ MultiDomainResult run_partitioning(const MultiDomainConfig& config,
                                    const variation::VariationSource&
                                        environment,
                                    double fixed_period) {
-  ROCLK_REQUIRE(config.side >= 1, "need at least one domain per side");
-  ROCLK_REQUIRE(config.die_size_mm > 0.0, "die size must be positive");
-  ROCLK_REQUIRE(config.transient_skip < config.cycles,
+  ROCLK_CHECK(config.side >= 1, "need at least one domain per side");
+  ROCLK_CHECK(config.die_size_mm > 0.0, "die size must be positive");
+  ROCLK_CHECK(config.transient_skip < config.cycles,
                 "skip exceeds run length");
 
   MultiDomainResult result;

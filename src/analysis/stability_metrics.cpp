@@ -41,7 +41,7 @@ std::vector<AllanPoint> allan_curve(std::span<const double> y) {
 
 std::vector<double> fractional_deviation(std::span<const double> periods,
                                          double nominal) {
-  ROCLK_REQUIRE(nominal > 0.0, "nominal period must be positive");
+  ROCLK_CHECK(nominal > 0.0, "nominal period must be positive");
   std::vector<double> out;
   out.reserve(periods.size());
   for (double t : periods) out.push_back((t - nominal) / nominal);

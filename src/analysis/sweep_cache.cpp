@@ -1,6 +1,7 @@
 #include "roclk/analysis/sweep_cache.hpp"
 
 #include <bit>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -44,8 +45,8 @@ struct SweepMemo::Impl {
   bool enabled{true};
 };
 
-SweepMemo::SweepMemo() : impl_{new Impl} {}
-SweepMemo::~SweepMemo() { delete impl_; }
+SweepMemo::SweepMemo() : impl_{std::make_unique<Impl>()} {}
+SweepMemo::~SweepMemo() = default;
 
 SweepMemo& SweepMemo::global() {
   static SweepMemo memo;

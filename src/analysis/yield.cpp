@@ -85,9 +85,9 @@ std::shared_ptr<const std::vector<double>> sampled_worst_paths(
 
 YieldCurve yield_curve(std::span<const double> margins,
                        const YieldConfig& config) {
-  ROCLK_REQUIRE(config.chips > 0, "need at least one chip");
-  ROCLK_REQUIRE(config.paths > 0, "need at least one path");
-  ROCLK_REQUIRE(!margins.empty(), "empty margin sweep");
+  ROCLK_CHECK(config.chips > 0, "need at least one chip");
+  ROCLK_CHECK(config.paths > 0, "need at least one path");
+  ROCLK_CHECK(!margins.empty(), "empty margin sweep");
 
   const auto worst_paths_ptr = sampled_worst_paths(config);
   const std::vector<double>& worst_paths = *worst_paths_ptr;
@@ -135,10 +135,10 @@ YieldCurve yield_curve(std::span<const double> margins,
 
 MarginComparison compare_margins(double target_yield,
                                  const YieldConfig& config) {
-  ROCLK_REQUIRE(target_yield > 0.0 && target_yield <= 1.0,
+  ROCLK_CHECK(target_yield > 0.0 && target_yield <= 1.0,
                 "target yield must be in (0, 1]");
-  ROCLK_REQUIRE(config.chips > 0, "need at least one chip");
-  ROCLK_REQUIRE(config.paths > 0, "need at least one path");
+  ROCLK_CHECK(config.chips > 0, "need at least one chip");
+  ROCLK_CHECK(config.paths > 0, "need at least one path");
 
   const auto worst_paths_ptr = sampled_worst_paths(config);
   const std::vector<double>& worst_paths = *worst_paths_ptr;

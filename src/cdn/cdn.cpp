@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "roclk/common/math.hpp"
+
 namespace roclk::cdn {
 
 FixedSampleCdn::FixedSampleCdn(std::size_t delay_samples)
@@ -12,6 +14,8 @@ FixedSampleCdn::FixedSampleCdn(std::size_t delay_samples)
 }
 
 double FixedSampleCdn::push(double generated_period) {
+  ROCLK_DCHECK(std::isfinite(generated_period),
+               "generated period must be finite, got " << generated_period);
   pipeline_.push_back(generated_period);
   const double delivered = pipeline_.front();
   pipeline_.pop_front();
@@ -26,13 +30,24 @@ void FixedSampleCdn::reset(double initial_period) {
 }
 
 QuantizedTimeCdn::QuantizedTimeCdn(double delay_stages, std::size_t history,
-                                   DelayQuantization quantization)
+                                   DelayQuantization quantization,
+                                   std::size_t ring_depth)
     : delay_stages_{delay_stages},
       history_{history},
       quantization_{quantization} {
-  ROCLK_REQUIRE(delay_stages >= 0.0, "CDN delay cannot be negative");
-  ROCLK_REQUIRE(history >= 2, "history too small");
-  ring_.assign(std::bit_ceil(history_), 0.0);
+  ROCLK_CHECK(delay_stages >= 0.0,
+              "CDN delay cannot be negative, got t_clk=" << delay_stages
+                                                         << " stages");
+  ROCLK_CHECK(history >= 2, "history must be >= 2, got " << history);
+  if (ring_depth == 0) ring_depth = std::bit_ceil(history_);
+  // Mask indexing in look_back() requires a power-of-two depth that covers
+  // the retained history; reject anything else at construction.
+  ROCLK_CHECK(is_power_of_two(ring_depth),
+              "CDN ring depth must be a power of two, got " << ring_depth);
+  ROCLK_CHECK(ring_depth >= history_,
+              "CDN ring depth " << ring_depth
+                                << " cannot cover history " << history_);
+  ring_.assign(ring_depth, 0.0);
   mask_ = ring_.size() - 1;
   reset(0.0);
 }
@@ -47,7 +62,9 @@ void QuantizedTimeCdn::reset(double initial_period) {
 
 EdgeDelayCdn::EdgeDelayCdn(double delay_stages)
     : delay_stages_{delay_stages} {
-  ROCLK_REQUIRE(delay_stages >= 0.0, "CDN delay cannot be negative");
+  ROCLK_CHECK(delay_stages >= 0.0,
+              "CDN delay cannot be negative, got t_clk=" << delay_stages
+                                                         << " stages");
 }
 
 }  // namespace roclk::cdn

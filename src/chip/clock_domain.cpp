@@ -8,10 +8,10 @@ namespace roclk::chip {
 
 ClockDomainGeometry::ClockDomainGeometry(ClockDomainConfig config)
     : config_{config} {
-  ROCLK_REQUIRE(config_.size_mm > 0.0, "domain size must be positive");
-  ROCLK_REQUIRE(config_.max_unbuffered_mm > 0.0,
+  ROCLK_CHECK(config_.size_mm > 0.0, "domain size must be positive");
+  ROCLK_CHECK(config_.max_unbuffered_mm > 0.0,
                 "unbuffered segment length must be positive");
-  ROCLK_REQUIRE(config_.wire_delay_stages_per_mm >= 0.0,
+  ROCLK_CHECK(config_.wire_delay_stages_per_mm >= 0.0,
                 "wire delay cannot be negative");
 }
 
@@ -44,7 +44,7 @@ double ClockDomainGeometry::cdn_delay_stages() const {
 
 double ClockDomainGeometry::max_domain_size_mm(
     double perturbation_period_stages, const ClockDomainConfig& config) {
-  ROCLK_REQUIRE(perturbation_period_stages > 0.0,
+  ROCLK_CHECK(perturbation_period_stages > 0.0,
                 "perturbation period must be positive");
   const double budget = perturbation_period_stages / 6.0;  // t_clk < T/6
   // Binary search the monotonic size -> delay map.

@@ -11,7 +11,7 @@ namespace roclk::chip {
 
 Floorplan Floorplan::random_paths(std::size_t n, double nominal_depth,
                                   std::uint64_t seed) {
-  ROCLK_REQUIRE(nominal_depth > 0.0, "path depth must be positive");
+  ROCLK_CHECK(nominal_depth > 0.0, "path depth must be positive");
   Floorplan fp;
   Xoshiro256 rng{seed};
   for (std::size_t i = 0; i < n; ++i) {
@@ -27,7 +27,7 @@ Floorplan Floorplan::random_paths(std::size_t n, double nominal_depth,
 }
 
 Floorplan& Floorplan::add_path(CriticalPath path) {
-  ROCLK_REQUIRE(path.depth_stages > 0.0, "path depth must be positive");
+  ROCLK_CHECK(path.depth_stages > 0.0, "path depth must be positive");
   paths_.push_back(std::move(path));
   return *this;
 }
@@ -38,7 +38,7 @@ Floorplan& Floorplan::add_sensor(SensorSite site) {
 }
 
 Floorplan& Floorplan::add_sensor_grid(std::size_t grid) {
-  ROCLK_REQUIRE(grid >= 1, "sensor grid must be at least 1x1");
+  ROCLK_CHECK(grid >= 1, "sensor grid must be at least 1x1");
   for (std::size_t ix = 0; ix < grid; ++ix) {
     for (std::size_t iy = 0; iy < grid; ++iy) {
       SensorSite site;
@@ -62,7 +62,7 @@ double Floorplan::path_delay(const CriticalPath& path,
 
 double Floorplan::worst_path_delay(const variation::VariationSource& source,
                                    double t) const {
-  ROCLK_REQUIRE(!paths_.empty(), "floorplan has no paths");
+  ROCLK_CHECK(!paths_.empty(), "floorplan has no paths");
   double worst = -std::numeric_limits<double>::infinity();
   for (const auto& path : paths_) {
     worst = std::max(worst, path_delay(path, source, t));
@@ -72,7 +72,7 @@ double Floorplan::worst_path_delay(const variation::VariationSource& source,
 
 std::size_t Floorplan::worst_path_index(
     const variation::VariationSource& source, double t) const {
-  ROCLK_REQUIRE(!paths_.empty(), "floorplan has no paths");
+  ROCLK_CHECK(!paths_.empty(), "floorplan has no paths");
   std::size_t best = 0;
   double worst = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < paths_.size(); ++i) {
@@ -86,7 +86,7 @@ std::size_t Floorplan::worst_path_index(
 }
 
 std::size_t Floorplan::nearest_sensor(variation::DiePoint p) const {
-  ROCLK_REQUIRE(!sensors_.empty(), "floorplan has no sensors");
+  ROCLK_CHECK(!sensors_.empty(), "floorplan has no sensors");
   std::size_t best = 0;
   double best_d2 = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < sensors_.size(); ++i) {
@@ -103,7 +103,7 @@ std::size_t Floorplan::nearest_sensor(variation::DiePoint p) const {
 
 double Floorplan::worst_sensor_blind_spot(
     const variation::VariationSource& source, double t) const {
-  ROCLK_REQUIRE(!paths_.empty() && !sensors_.empty(),
+  ROCLK_CHECK(!paths_.empty() && !sensors_.empty(),
                 "need paths and sensors");
   double worst = -std::numeric_limits<double>::infinity();
   for (const auto& path : paths_) {

@@ -6,17 +6,18 @@
 #include <limits>
 #include <sstream>
 
+#include "roclk/common/math.hpp"
 #include "roclk/common/status.hpp"
 
 namespace roclk {
 
 AsciiPlot::AsciiPlot(PlotOptions options) : options_{options} {
-  ROCLK_REQUIRE(options_.width >= 10 && options_.height >= 4,
+  ROCLK_CHECK(options_.width >= 10 && options_.height >= 4,
                 "plot area too small");
 }
 
 AsciiPlot& AsciiPlot::add_series(PlotSeries series) {
-  ROCLK_REQUIRE(series.x.size() == series.y.size(),
+  ROCLK_CHECK(series.x.size() == series.y.size(),
                 "series x/y length mismatch");
   series_.push_back(std::move(series));
   return *this;
@@ -74,12 +75,12 @@ std::string AsciiPlot::render() const {
     } else {
       t = (x - x_lo) / (x_hi - x_lo);
     }
-    const int col = static_cast<int>(std::lround(t * (w - 1)));
+    const int col = static_cast<int>(llround_ties_away(t * (w - 1)));
     return (col < 0 || col >= w) ? -1 : col;
   };
   auto y_to_row = [&](double y) -> int {
     const double t = (y - y_lo) / (y_hi - y_lo);
-    const int row = static_cast<int>(std::lround((1.0 - t) * (h - 1)));
+    const int row = static_cast<int>(llround_ties_away((1.0 - t) * (h - 1)));
     return (row < 0 || row >= h) ? -1 : row;
   };
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "roclk/common/math.hpp"
+
 namespace roclk {
 
 Result<PowerOfTwoGain> PowerOfTwoGain::from_value(double v) {
@@ -12,7 +14,7 @@ Result<PowerOfTwoGain> PowerOfTwoGain::from_value(double v) {
   const bool negative = v < 0.0;
   const double mag = std::fabs(v);
   const double exponent = std::log2(mag);
-  const double rounded = std::round(exponent);
+  const double rounded = round_ties_away(exponent);
   if (std::fabs(exponent - rounded) > 1e-12) {
     std::ostringstream os;
     os << "gain " << v << " is not a power of two";

@@ -201,8 +201,8 @@ std::string FlagParser::help_text() const {
 const FlagParser::Flag& FlagParser::require(const std::string& name,
                                             Type type) const {
   const auto it = flags_.find(name);
-  ROCLK_REQUIRE(it != flags_.end(), "flag not registered: " + name);
-  ROCLK_REQUIRE(it->second.type == type, "flag type mismatch: " + name);
+  ROCLK_CHECK(it != flags_.end(), "flag not registered: " + name);
+  ROCLK_CHECK(it->second.type == type, "flag type mismatch: " + name);
   return it->second;
 }
 

@@ -27,7 +27,7 @@ double Xoshiro256::normal() {
 }
 
 double Xoshiro256::exponential(double lambda) {
-  ROCLK_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+  ROCLK_CHECK(lambda > 0.0, "exponential rate must be positive");
   // Inverse CDF on (0,1]; 1-uniform() avoids log(0).
   return -std::log(1.0 - uniform()) / lambda;
 }

@@ -63,8 +63,8 @@ double max_of(std::span<const double> xs) {
 }
 
 double percentile(std::span<const double> xs, double p) {
-  ROCLK_REQUIRE(!xs.empty(), "percentile of empty span");
-  ROCLK_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  ROCLK_CHECK(!xs.empty(), "percentile of empty span");
+  ROCLK_CHECK(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const double idx = p * static_cast<double>(sorted.size() - 1);
@@ -88,8 +88,8 @@ double peak_to_peak(std::span<const double> xs) {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_{lo}, hi_{hi}, counts_(bins, 0) {
-  ROCLK_REQUIRE(hi > lo, "histogram range must be non-empty");
-  ROCLK_REQUIRE(bins > 0, "histogram needs at least one bin");
+  ROCLK_CHECK(hi > lo, "histogram range must be non-empty");
+  ROCLK_CHECK(bins > 0, "histogram needs at least one bin");
 }
 
 void Histogram::add(double x) {

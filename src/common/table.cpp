@@ -12,11 +12,11 @@ namespace roclk {
 
 TextTable::TextTable(std::vector<std::string> header)
     : header_{std::move(header)} {
-  ROCLK_REQUIRE(!header_.empty(), "table needs at least one column");
+  ROCLK_CHECK(!header_.empty(), "table needs at least one column");
 }
 
 TextTable& TextTable::add_row(std::vector<std::string> cells) {
-  ROCLK_REQUIRE(cells.size() == header_.size(),
+  ROCLK_CHECK(cells.size() == header_.size(),
                 "row width must match header width");
   rows_.push_back(std::move(cells));
   return *this;

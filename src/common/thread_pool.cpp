@@ -26,10 +26,10 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  ROCLK_REQUIRE(task != nullptr, "null task submitted");
+  ROCLK_CHECK(task != nullptr, "null task submitted");
   {
     std::lock_guard lock(mutex_);
-    ROCLK_REQUIRE(!stop_, "submit after shutdown");
+    ROCLK_CHECK(!stop_, "submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
   }

@@ -5,7 +5,7 @@
 namespace roclk::control {
 
 ProportionalControl::ProportionalControl(double kp) : kp_{kp} {
-  ROCLK_REQUIRE(kp > 0.0, "proportional gain must be positive");
+  ROCLK_CHECK(kp > 0.0, "proportional gain must be positive");
 }
 
 double ProportionalControl::step(double delta) {
@@ -24,8 +24,8 @@ std::unique_ptr<ControlBlock> ProportionalControl::clone() const {
 }
 
 PiControl::PiControl(double kp, double ki) : kp_{kp}, ki_{ki} {
-  ROCLK_REQUIRE(kp >= 0.0, "proportional gain cannot be negative");
-  ROCLK_REQUIRE(ki > 0.0, "integral gain must be positive");
+  ROCLK_CHECK(kp >= 0.0, "proportional gain cannot be negative");
+  ROCLK_CHECK(ki > 0.0, "integral gain must be positive");
 }
 
 double PiControl::step(double delta) {

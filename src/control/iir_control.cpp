@@ -4,6 +4,10 @@
 #include <numeric>
 #include <sstream>
 
+#include "roclk/common/math.hpp"
+#include "roclk/control/constraints.hpp"
+#include "roclk/signal/jury.hpp"
+
 namespace roclk::control {
 
 IirConfig paper_iir_config() { return IirConfig{}; }
@@ -40,6 +44,33 @@ Status validate_iir_config(const IirConfig& config) {
        << 1.0 / tap_sum;
     return Status::invalid_argument(os.str());
   }
+  // Paper eq. 8 on H_IIR itself: the loop is type-1 only if N(1) != 0 and
+  // D(1) = 0 (the integrator pole sits exactly at z = 1).  eq. 10 implies
+  // this, but we enforce it on the actual polynomials so a construction
+  // with a violated design constraint cannot slip through rounding.
+  const auto [num, den] = iir_polynomials(config);
+  const ConstraintReport report = check_paper_constraints(num, den);
+  if (!report.satisfied()) {
+    std::ostringstream os;
+    os << "eq. 8 violated: N(1) = " << report.n_at_one
+       << " (must be != 0), D(1) = " << report.d_at_one << " (must be 0)";
+    return Status::invalid_argument(os.str());
+  }
+  // Jury test on the remaining dynamics: after dividing out the designed
+  // integrator pole at z = 1, every other pole of D(z) must lie strictly
+  // inside the unit circle or the filter is internally unstable and no
+  // closed loop can rescue it.
+  const auto jury = signal::jury_test_without_unit_root(den.ascending_in_z());
+  if (!jury.is_ok()) {
+    return Status::invalid_argument("Jury test failed: " +
+                                    jury.status().message());
+  }
+  if (!jury.value().stable) {
+    return Status::invalid_argument(
+        "IIR filter is Jury-unstable after removing the z = 1 integrator "
+        "pole: " +
+        jury.value().failed_condition);
+  }
   return Status::ok();
 }
 
@@ -62,8 +93,7 @@ signal::TransferFunction iir_transfer_function(const IirConfig& config) {
 
 IirControlReference::IirControlReference(IirConfig config)
     : config_{std::move(config)} {
-  const Status status = validate_iir_config(config_);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate_iir_config(config_));
   outputs_.assign(config_.taps.size(), 0.0);
 }
 
@@ -96,8 +126,7 @@ std::unique_ptr<ControlBlock> IirControlReference::clone() const {
 
 IirControlHardware::IirControlHardware(IirConfig config)
     : config_{std::move(config)} {
-  const Status status = validate_iir_config(config_);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate_iir_config(config_));
   k_exp_gain_ = PowerOfTwoGain::from_value(config_.k_exp).value();
   k_star_gain_ = PowerOfTwoGain::from_value(config_.k_star).value();
   tap_gains_.reserve(config_.taps.size());
@@ -109,7 +138,7 @@ IirControlHardware::IirControlHardware(IirConfig config)
 
 void IirControlHardware::reset(double initial_output) {
   const auto w0 = static_cast<std::int64_t>(
-      std::llround(initial_output * config_.k_exp));
+      llround_ties_away(initial_output * config_.k_exp));
   state_.assign(config_.taps.size(), w0);
   prev_input_ = 0;
 }

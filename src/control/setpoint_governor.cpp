@@ -31,8 +31,7 @@ Status SetpointGovernor::validate(const GovernorConfig& config) {
 
 SetpointGovernor::SetpointGovernor(GovernorConfig config)
     : config_{config}, setpoint_{config.initial_setpoint} {
-  const Status status = validate(config_);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate(config_));
   worst_tau_in_window_ = std::numeric_limits<double>::infinity();
 }
 

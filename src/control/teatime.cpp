@@ -6,7 +6,7 @@
 namespace roclk::control {
 
 TeaTimeControl::TeaTimeControl(TeaTimeConfig config) : config_{config} {
-  ROCLK_REQUIRE(config.step_stages > 0.0, "TEAtime step must be positive");
+  ROCLK_CHECK(config.step_stages > 0.0, "TEAtime step must be positive");
 }
 
 double TeaTimeControl::step(double delta) {

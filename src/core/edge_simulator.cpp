@@ -4,11 +4,13 @@
 #include <cmath>
 #include <deque>
 
+#include "roclk/common/math.hpp"
+
 namespace roclk::core {
 
 EdgeSimInputs EdgeSimInputs::homogeneous(
     std::shared_ptr<const signal::Waveform> waveform) {
-  ROCLK_REQUIRE(waveform != nullptr, "null waveform");
+  ROCLK_CHECK(waveform != nullptr, "null waveform");
   EdgeSimInputs inputs;
   inputs.v_ro = [waveform](double t) { return waveform->at(t); };
   inputs.v_tdc = [waveform](double t) { return waveform->at(t); };
@@ -18,12 +20,12 @@ EdgeSimInputs EdgeSimInputs::homogeneous(
 EdgeSimulator::EdgeSimulator(EdgeSimConfig config,
                              std::unique_ptr<control::ControlBlock> controller)
     : config_{config}, controller_{std::move(controller)} {
-  ROCLK_REQUIRE(config_.setpoint_c > 0.0, "set-point must be positive");
-  ROCLK_REQUIRE(config_.cdn_delay_stages >= 0.0, "negative CDN delay");
-  ROCLK_REQUIRE(
+  ROCLK_CHECK(config_.setpoint_c > 0.0, "set-point must be positive");
+  ROCLK_CHECK(config_.cdn_delay_stages >= 0.0, "negative CDN delay");
+  ROCLK_CHECK(
       config_.mode != GeneratorMode::kControlledRo || controller_ != nullptr,
       "controlled mode requires a controller");
-  ROCLK_REQUIRE(config_.tdc_relative_mismatch > -1.0,
+  ROCLK_CHECK(config_.tdc_relative_mismatch > -1.0,
                 "mismatch must keep stage delay positive");
 }
 
@@ -65,8 +67,8 @@ SimulationTrace EdgeSimulator::run(const EdgeSimInputs& inputs,
       const double period_dlv = d_now - d_prev;
       const double v = inputs.v_tdc(d_now);
       const double stage_scale = (1.0 + v) * mismatch_scale;
-      ROCLK_REQUIRE(stage_scale > 0.0, "variation drove stage delay negative");
-      const double tau = std::round(period_dlv / stage_scale);
+      ROCLK_CHECK(stage_scale > 0.0, "variation drove stage delay negative");
+      const double tau = round_ties_away(period_dlv / stage_scale);
 
       StepRecord record;
       record.tau = tau;
@@ -78,7 +80,7 @@ SimulationTrace EdgeSimulator::run(const EdgeSimInputs& inputs,
 
       if (config_.mode == GeneratorMode::kControlledRo) {
         const double commanded = controller_->step(record.delta);
-        lro = std::clamp(std::round(commanded),
+        lro = std::clamp(round_ties_away(commanded),
                          static_cast<double>(config_.min_length),
                          static_cast<double>(config_.max_length));
       }
@@ -98,7 +100,7 @@ SimulationTrace EdgeSimulator::run(const EdgeSimInputs& inputs,
         period = config_.open_loop_period.value_or(c);
         break;
     }
-    ROCLK_REQUIRE(period > 0.0, "non-positive generated period");
+    ROCLK_CHECK(period > 0.0, "non-positive generated period");
     g += period;
     delivered.push_back(g + t_clk);
     generated_periods.push_back(period);

@@ -20,7 +20,7 @@ TraceReducer::TraceReducer(std::size_t lanes, std::size_t reserve_cycles)
 }
 
 void TraceReducer::accumulate(const LaneSlice& slice) {
-  ROCLK_REQUIRE(slice.first_lane + slice.width <= traces_.size(),
+  ROCLK_CHECK(slice.first_lane + slice.width <= traces_.size(),
                 "lane slice out of range");
   for (std::size_t w = 0; w < slice.width; ++w) {
     StepRecord record;
@@ -87,10 +87,9 @@ EnsembleSimulator::EnsembleSimulator(
     std::vector<std::unique_ptr<control::ControlBlock>> controllers)
     : configs_{std::move(lane_configs)},
       controllers_{std::move(controllers)} {
-  const Status status = validate(configs_, controllers_.size());
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate(configs_, controllers_.size()));
   for (const auto& controller : controllers_) {
-    ROCLK_REQUIRE(controller != nullptr, "null controller");
+    ROCLK_CHECK(controller != nullptr, "null controller");
   }
 
   mode_ = configs_.front().mode;
@@ -178,6 +177,12 @@ EnsembleSimulator::EnsembleSimulator(
       max_history = std::max(max_history, history);
     }
     chunk.ring_slots = std::bit_ceil(max_history);
+    // Mask indexing into the interleaved ring is only sound on a
+    // power-of-two slot count; bit_ceil guarantees it, the check keeps the
+    // invariant explicit if the sizing logic ever changes.
+    ROCLK_DCHECK(is_power_of_two(chunk.ring_slots),
+                 "interleaved CDN ring slots must be a power of two, got "
+                     << chunk.ring_slots);
     chunk.slot_mask = chunk.ring_slots - 1;
     chunk.ring.assign(chunk.ring_slots * cw, 0.0);
     if (iir_bank_active_) {
@@ -193,11 +198,11 @@ EnsembleSimulator::EnsembleSimulator(
 EnsembleSimulator EnsembleSimulator::uniform(
     const LoopConfig& config, const control::ControlBlock* prototype,
     std::size_t width) {
-  ROCLK_REQUIRE(width > 0, "ensemble needs at least one lane");
+  ROCLK_CHECK(width > 0, "ensemble needs at least one lane");
   std::vector<LoopConfig> configs(width, config);
   std::vector<std::unique_ptr<control::ControlBlock>> controllers;
   if (config.mode == GeneratorMode::kControlledRo) {
-    ROCLK_REQUIRE(prototype != nullptr,
+    ROCLK_CHECK(prototype != nullptr,
                   "controlled ensemble needs a controller prototype");
     controllers.reserve(width);
     for (std::size_t w = 0; w < width; ++w) {
@@ -226,7 +231,7 @@ void EnsembleSimulator::reset() {
         // IirControlHardware::reset: W = round(initial_output * k_exp) in
         // every tap register, previous input cleared.
         const auto w0 = static_cast<std::int64_t>(
-            std::llround(equilibrium * iir_k_exp_));
+            llround_ties_away(equilibrium * iir_k_exp_));
         for (std::size_t i = 0; i < iir_tap_gains_.size(); ++i) {
           chunk.iir_state[i * cw + w] = w0;
         }
@@ -379,7 +384,10 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
     for (std::size_t w = 0; w < cw; ++w) {
       // TDC (one-cycle latency): Tdc::measure_additive inlined, with the
       // identical operation order (delivered - e_local, then + mismatch).
-      ROCLK_REQUIRE(prev_t_dlv[w] > 0.0, "period must be positive");
+      ROCLK_CHECK(prev_t_dlv[w] > 0.0,
+                  "delivered period must be positive, got "
+                      << prev_t_dlv[w] << " stages (lane "
+                      << chunk.first + w << ")");
       const double e_local = prev_e_local[w];
       const double raw = prev_t_dlv[w] - e_local + tdc_mismatch;
       double tau;
@@ -556,14 +564,18 @@ void EnsembleSimulator::run_one_chunk(Chunk& chunk,
 
 void EnsembleSimulator::run(const EnsembleInputBlock& block,
                             StreamingReducer& reducer, bool parallel) {
-  ROCLK_REQUIRE(block.width == width(),
-                "input block width != ensemble width");
+  ROCLK_CHECK(block.width == width(),
+              "input block has " << block.width << " lanes but the ensemble "
+                                 << width());
   if (block.empty()) return;
   const std::size_t samples = block.width * block.cycles;
-  ROCLK_REQUIRE(block.e_ro.size() == samples &&
-                    block.e_tdc.size() == samples &&
-                    block.mu.size() == samples,
-                "ragged ensemble block");
+  ROCLK_CHECK(block.e_ro.size() == samples &&
+                  block.e_tdc.size() == samples &&
+                  block.mu.size() == samples,
+              "ragged ensemble block: expected "
+                  << samples << " samples per signal, got e_ro="
+                  << block.e_ro.size() << ", e_tdc=" << block.e_tdc.size()
+                  << ", mu=" << block.mu.size());
   if (parallel && chunks_.size() > 1) {
     parallel_for(chunks_.size(), [&](std::size_t i) {
       run_one_chunk(chunks_[i], block, reducer);

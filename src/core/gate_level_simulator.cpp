@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "roclk/common/math.hpp"
+
 namespace roclk::core {
 
 Status GateLevelSimulator::validate(const GateLevelConfig& config) {
@@ -37,9 +39,8 @@ GateLevelSimulator::GateLevelSimulator(
                2,
            config_.cdn_quantization},
       jitter_{config_.jitter} {
-  const Status status = validate(config_);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
-  ROCLK_REQUIRE(controller_ != nullptr,
+  ROCLK_CHECK_OK(validate(config_));
+  ROCLK_CHECK(controller_ != nullptr,
                 "gate-level simulator requires a controller");
   tdcs_.reserve(config_.tdcs.size());
   for (const auto& cfg : config_.tdcs) tdcs_.emplace_back(cfg);
@@ -50,7 +51,7 @@ void GateLevelSimulator::reset() {
   const double c = config_.setpoint_c;
   controller_->reset(c);
   // Nearest odd realisable equilibrium length.
-  prev_lro_ = ro_.set_length(static_cast<std::int64_t>(std::llround(c)));
+  prev_lro_ = ro_.set_length(static_cast<std::int64_t>(llround_ties_away(c)));
   cdn_.reset(c);
   jitter_.reset();
   prev_t_dlv_ = c;
@@ -77,7 +78,7 @@ StepRecord GateLevelSimulator::step(
   // Controller commands a new length; the tap mux realises the nearest odd
   // value in range.  Effective for the *next* generated period.
   const std::int64_t commanded = static_cast<std::int64_t>(
-      std::llround(controller_->step(record.delta)));
+      llround_ties_away(controller_->step(record.delta)));
   const std::int64_t lro_now = ro_.set_length(commanded);
   record.lro = static_cast<double>(lro_now);
 

@@ -9,7 +9,7 @@
 namespace roclk::core {
 
 InputBlock EnsembleInputBlock::lane(std::size_t w) const {
-  ROCLK_REQUIRE(w < width, "lane out of range");
+  ROCLK_CHECK(w < width, "lane out of range");
   InputBlock block;
   block.dt = dt;
   block.e_ro.resize(cycles);
@@ -26,16 +26,16 @@ InputBlock EnsembleInputBlock::lane(std::size_t w) const {
 
 EnsembleInputBlock EnsembleInputBlock::from_blocks(
     std::span<const InputBlock> blocks) {
-  ROCLK_REQUIRE(!blocks.empty(), "no lanes");
+  ROCLK_CHECK(!blocks.empty(), "no lanes");
   EnsembleInputBlock out;
   out.width = blocks.size();
   out.cycles = blocks.front().size();
   out.dt = blocks.front().dt;
   for (const InputBlock& b : blocks) {
-    ROCLK_REQUIRE(b.size() == out.cycles && b.e_tdc.size() == out.cycles &&
+    ROCLK_CHECK(b.size() == out.cycles && b.e_tdc.size() == out.cycles &&
                       b.mu.size() == out.cycles,
                   "ragged lane blocks");
-    ROCLK_REQUIRE(b.dt == out.dt, "lanes sampled at different dt");
+    ROCLK_CHECK(b.dt == out.dt, "lanes sampled at different dt");
   }
   out.e_ro.resize(out.width * out.cycles);
   out.e_tdc.resize(out.width * out.cycles);
@@ -56,7 +56,7 @@ SimulationInputs SimulationInputs::none() { return SimulationInputs{}; }
 SimulationInputs SimulationInputs::homogeneous(
     std::shared_ptr<const signal::Waveform> waveform,
     double static_mu_stages) {
-  ROCLK_REQUIRE(waveform != nullptr, "null waveform");
+  ROCLK_CHECK(waveform != nullptr, "null waveform");
   SimulationInputs inputs;
   inputs.e_ro = [waveform](double t) { return waveform->at(t); };
   inputs.e_tdc = [waveform](double t) { return waveform->at(t); };
@@ -76,8 +76,8 @@ SimulationInputs SimulationInputs::harmonic(double amplitude_stages,
 SimulationInputs SimulationInputs::from_variation_source(
     std::shared_ptr<const variation::VariationSource> source,
     double setpoint_c, variation::DiePoint ro_location, std::size_t tdc_grid) {
-  ROCLK_REQUIRE(source != nullptr, "null variation source");
-  ROCLK_REQUIRE(tdc_grid >= 1, "need at least one TDC");
+  ROCLK_CHECK(source != nullptr, "null variation source");
+  ROCLK_CHECK(tdc_grid >= 1, "need at least one TDC");
 
   std::vector<variation::DiePoint> sites;
   sites.reserve(tdc_grid * tdc_grid);
@@ -105,7 +105,7 @@ SimulationInputs SimulationInputs::from_variation_source(
 }
 
 InputBlock SimulationInputs::sample(std::size_t n, double dt) const {
-  ROCLK_REQUIRE(dt > 0.0, "sample period must be positive");
+  ROCLK_CHECK(dt > 0.0, "sample period must be positive");
   InputBlock block;
   block.dt = dt;
   block.e_ro.resize(n);
@@ -122,8 +122,8 @@ InputBlock SimulationInputs::sample(std::size_t n, double dt) const {
 
 EnsembleInputBlock sample_ensemble(std::span<const SimulationInputs> lanes,
                                    std::size_t n, double dt, bool parallel) {
-  ROCLK_REQUIRE(dt > 0.0, "sample period must be positive");
-  ROCLK_REQUIRE(!lanes.empty(), "no lanes");
+  ROCLK_CHECK(dt > 0.0, "sample period must be positive");
+  ROCLK_CHECK(!lanes.empty(), "no lanes");
   EnsembleInputBlock block;
   block.dt = dt;
   block.width = lanes.size();
@@ -172,8 +172,8 @@ void sample_homogeneous_into(EnsembleInputBlock& block,
                              std::span<const double> static_mu_stages,
                              std::size_t n, double dt,
                              std::size_t start_cycle) {
-  ROCLK_REQUIRE(dt > 0.0, "sample period must be positive");
-  ROCLK_REQUIRE(!static_mu_stages.empty(), "no lanes");
+  ROCLK_CHECK(dt > 0.0, "sample period must be positive");
+  ROCLK_CHECK(!static_mu_stages.empty(), "no lanes");
   const std::size_t width = static_mu_stages.size();
   block.dt = dt;
   block.width = width;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "roclk/common/math.hpp"
 #include "roclk/control/iir_control.hpp"
 #include "roclk/control/teatime.hpp"
 
@@ -10,13 +12,21 @@ namespace roclk::core {
 
 Status LoopSimulator::validate(const LoopConfig& config, bool has_controller) {
   if (config.setpoint_c <= 0.0) {
-    return Status::invalid_argument("set-point must be positive");
+    std::ostringstream os;
+    os << "set-point must be positive, got c=" << config.setpoint_c;
+    return Status::invalid_argument(os.str());
   }
   if (config.cdn_delay_stages < 0.0) {
-    return Status::invalid_argument("CDN delay cannot be negative");
+    std::ostringstream os;
+    os << "CDN delay cannot be negative, got t_clk="
+       << config.cdn_delay_stages;
+    return Status::invalid_argument(os.str());
   }
   if (config.min_length < 1 || config.max_length < config.min_length) {
-    return Status::invalid_argument("invalid RO length range");
+    std::ostringstream os;
+    os << "invalid l_RO range [" << config.min_length << ", "
+       << config.max_length << "]: need 1 <= min <= max";
+    return Status::invalid_argument(os.str());
   }
   if (config.mode == GeneratorMode::kControlledRo && !has_controller) {
     return Status::invalid_argument("controlled mode requires a controller");
@@ -61,7 +71,7 @@ osc::RingOscillatorConfig make_ro_config(const LoopConfig& config) {
   ro.min_length = config.min_length;
   ro.max_length = config.max_length;
   const double initial = config.open_loop_period.value_or(config.setpoint_c);
-  ro.initial_length = static_cast<std::int64_t>(std::llround(initial));
+  ro.initial_length = static_cast<std::int64_t>(llround_ties_away(initial));
   ro.initial_length =
       std::clamp(ro.initial_length, ro.min_length, ro.max_length);
   return ro;
@@ -77,20 +87,20 @@ LoopSimulator::LoopSimulator(LoopConfig config,
       cdn_{config_.cdn_delay_stages, detail::cdn_history_for(config_),
            config_.cdn_quantization},
       tdc_{detail::tdc_config_for(config_)} {
-  const Status status = validate(config_, controller_ != nullptr);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate(config_, controller_ != nullptr));
   reset();
 }
 
 void LoopSimulator::set_setpoint(double setpoint_c) {
-  ROCLK_REQUIRE(setpoint_c > 0.0, "set-point must be positive");
+  ROCLK_CHECK(setpoint_c > 0.0,
+              "set-point must be positive, got c=" << setpoint_c);
   config_.setpoint_c = setpoint_c;
 }
 
 void LoopSimulator::reset() {
   const double equilibrium = detail::equilibrium_for(config_);
   if (controller_) controller_->reset(equilibrium);
-  ro_.set_length(static_cast<std::int64_t>(std::llround(equilibrium)));
+  ro_.set_length(static_cast<std::int64_t>(llround_ties_away(equilibrium)));
   cdn_.reset(equilibrium);
   prev_lro_ = equilibrium;
   prev_t_dlv_ = equilibrium;
@@ -118,7 +128,7 @@ StepRecord LoopSimulator::step_impl(double e_ro, double e_tdc, double mu,
       const double commanded = control_step(record.delta);
       if (config_.quantize_lro) {
         lro_now = static_cast<double>(
-            ro_.set_length(static_cast<std::int64_t>(std::llround(commanded))));
+            ro_.set_length(static_cast<std::int64_t>(llround_ties_away(commanded))));
       } else {
         lro_now = std::clamp(commanded,
                              static_cast<double>(config_.min_length),
@@ -170,7 +180,7 @@ SimulationTrace LoopSimulator::run(const SimulationInputs& inputs,
 
 SimulationTrace LoopSimulator::run_batch(const InputBlock& block) {
   const std::size_t n = block.size();
-  ROCLK_REQUIRE(block.e_tdc.size() == n && block.mu.size() == n,
+  ROCLK_CHECK(block.e_tdc.size() == n && block.mu.size() == n,
                 "ragged input block");
   SimulationTrace trace;
   trace.reserve(n);

@@ -7,10 +7,10 @@ namespace roclk::core {
 ThroughputReport evaluate_throughput(const SimulationTrace& trace,
                                      const ThroughputConfig& config,
                                      std::size_t skip) {
-  ROCLK_REQUIRE(config.logic_depth > 0.0, "logic depth must be positive");
-  ROCLK_REQUIRE(config.replay_penalty_cycles >= 0.0,
+  ROCLK_CHECK(config.logic_depth > 0.0, "logic depth must be positive");
+  ROCLK_CHECK(config.replay_penalty_cycles >= 0.0,
                 "replay penalty cannot be negative");
-  ROCLK_REQUIRE(skip <= trace.size(), "skip exceeds trace length");
+  ROCLK_CHECK(skip <= trace.size(), "skip exceeds trace length");
 
   ThroughputReport report;
   const auto& tau = trace.tau();

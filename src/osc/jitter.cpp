@@ -6,9 +6,9 @@ namespace roclk::osc {
 
 JitterModel::JitterModel(JitterConfig config)
     : config_{config}, rng_{config.seed} {
-  ROCLK_REQUIRE(config_.white_sigma >= 0.0, "white sigma cannot be negative");
-  ROCLK_REQUIRE(config_.walk_sigma >= 0.0, "walk sigma cannot be negative");
-  ROCLK_REQUIRE(config_.walk_leak >= 0.0 && config_.walk_leak <= 1.0,
+  ROCLK_CHECK(config_.white_sigma >= 0.0, "white sigma cannot be negative");
+  ROCLK_CHECK(config_.walk_sigma >= 0.0, "walk sigma cannot be negative");
+  ROCLK_CHECK(config_.walk_leak >= 0.0 && config_.walk_leak <= 1.0,
                 "walk leak must be in [0, 1]");
 }
 

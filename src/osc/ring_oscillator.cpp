@@ -27,13 +27,14 @@ Status RingOscillator::validate(const RingOscillatorConfig& config) {
 
 RingOscillator::RingOscillator(RingOscillatorConfig config)
     : config_{config}, length_{config.initial_length} {
-  const Status status = validate(config_);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate(config_));
 }
 
 FixedClockSource::FixedClockSource(double period_stages)
     : period_stages_{period_stages} {
-  ROCLK_REQUIRE(period_stages > 0.0, "fixed period must be positive");
+  ROCLK_CHECK(period_stages > 0.0,
+              "fixed period must be positive, got " << period_stages
+                                                    << " stages");
 }
 
 }  // namespace roclk::osc

@@ -18,8 +18,7 @@ Status StageChain::validate(const StageChainConfig& config) {
 }
 
 StageChain::StageChain(StageChainConfig config) : config_{config} {
-  const Status status = validate(config_);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate(config_));
   positions_.reserve(config_.stages);
   const double n = static_cast<double>(config_.stages - 1);
   for (std::size_t i = 0; i < config_.stages; ++i) {
@@ -30,24 +29,24 @@ StageChain::StageChain(StageChainConfig config) : config_{config} {
 }
 
 variation::DiePoint StageChain::position(std::size_t i) const {
-  ROCLK_REQUIRE(i < positions_.size(), "stage index out of range");
+  ROCLK_CHECK(i < positions_.size(), "stage index out of range");
   return positions_[i];
 }
 
 double StageChain::stage_delay(std::size_t i,
                                const variation::VariationSource& source,
                                double t) const {
-  ROCLK_REQUIRE(i < positions_.size(), "stage index out of range");
+  ROCLK_CHECK(i < positions_.size(), "stage index out of range");
   const double v = source.at(t, positions_[i]);
   const double d = config_.nominal_stage_delay * (1.0 + v);
-  ROCLK_REQUIRE(d > 0.0, "variation drove a stage delay non-positive");
+  ROCLK_CHECK(d > 0.0, "variation drove a stage delay non-positive");
   return d;
 }
 
 double StageChain::chain_delay(std::size_t count,
                                const variation::VariationSource& source,
                                double t) const {
-  ROCLK_REQUIRE(count <= positions_.size(), "count exceeds chain length");
+  ROCLK_CHECK(count <= positions_.size(), "count exceeds chain length");
   double acc = 0.0;
   for (std::size_t i = 0; i < count; ++i) {
     acc += stage_delay(i, source, t);
@@ -57,7 +56,7 @@ double StageChain::chain_delay(std::size_t count,
 
 std::size_t StageChain::stages_crossed(
     double window, const variation::VariationSource& source, double t) const {
-  ROCLK_REQUIRE(window >= 0.0, "window cannot be negative");
+  ROCLK_CHECK(window >= 0.0, "window cannot be negative");
   double acc = 0.0;
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     acc += stage_delay(i, source, t);
@@ -79,8 +78,8 @@ TappedRingOscillator::TappedRingOscillator(StageChainConfig chain,
       min_length_{nearest_odd(std::max<std::int64_t>(3, min_length))},
       max_length_{max_length % 2 == 0 ? max_length - 1 : max_length},
       length_{min_length_} {
-  ROCLK_REQUIRE(max_length_ >= min_length_, "empty tap range");
-  ROCLK_REQUIRE(static_cast<std::size_t>(max_length_) <= chain_.size(),
+  ROCLK_CHECK(max_length_ >= min_length_, "empty tap range");
+  ROCLK_CHECK(static_cast<std::size_t>(max_length_) <= chain_.size(),
                 "tap range exceeds physical chain");
   // Start mid-range.
   length_ = nearest_odd(min_length_ + (max_length_ - min_length_) / 2);

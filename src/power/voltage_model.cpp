@@ -24,9 +24,8 @@ Status validate(const ProcessParams& params) {
 }
 
 double delay_factor(double vdd, const ProcessParams& params) {
-  const Status status = validate(params);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
-  ROCLK_REQUIRE(vdd > params.vth, "vdd must exceed vth for switching");
+  ROCLK_CHECK_OK(validate(params));
+  ROCLK_CHECK(vdd > params.vth, "vdd must exceed vth for switching");
   const double num = vdd / std::pow(vdd - params.vth, params.alpha);
   const double den = params.vdd_nominal /
                      std::pow(params.vdd_nominal - params.vth, params.alpha);
@@ -60,7 +59,7 @@ Result<double> vdd_for_delay_factor(double target,
 
 double energy_per_op_factor(double vdd_factor, double period_factor,
                             const ProcessParams& params) {
-  ROCLK_REQUIRE(vdd_factor > 0.0 && period_factor > 0.0,
+  ROCLK_CHECK(vdd_factor > 0.0 && period_factor > 0.0,
                 "factors must be positive");
   const double dynamic = (1.0 - params.leakage_share) * vdd_factor *
                          vdd_factor;
@@ -71,7 +70,7 @@ double energy_per_op_factor(double vdd_factor, double period_factor,
 
 OperatingPoint period_margin_strategy(double delay_uncertainty,
                                       const ProcessParams& params) {
-  ROCLK_REQUIRE(delay_uncertainty >= 0.0, "uncertainty cannot be negative");
+  ROCLK_CHECK(delay_uncertainty >= 0.0, "uncertainty cannot be negative");
   OperatingPoint op;
   op.name = "fixed clock, period margin";
   op.vdd_factor = 1.0;
@@ -84,7 +83,7 @@ OperatingPoint period_margin_strategy(double delay_uncertainty,
 
 Result<OperatingPoint> voltage_margin_strategy(double delay_uncertainty,
                                                const ProcessParams& params) {
-  ROCLK_REQUIRE(delay_uncertainty >= 0.0, "uncertainty cannot be negative");
+  ROCLK_CHECK(delay_uncertainty >= 0.0, "uncertainty cannot be negative");
   // Worst-case gates are (1+u) slower at nominal V; overdrive until the
   // alpha-power speed-up cancels it.
   auto vdd = vdd_for_delay_factor(1.0 / (1.0 + delay_uncertainty), params);
@@ -101,7 +100,7 @@ Result<OperatingPoint> voltage_margin_strategy(double delay_uncertainty,
 
 OperatingPoint adaptive_clock_strategy(double mean_extra_period_fraction,
                                        const ProcessParams& params) {
-  ROCLK_REQUIRE(mean_extra_period_fraction >= 0.0,
+  ROCLK_CHECK(mean_extra_period_fraction >= 0.0,
                 "extra period cannot be negative");
   OperatingPoint op;
   op.name = "adaptive clock (this paper)";

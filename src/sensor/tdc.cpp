@@ -19,15 +19,20 @@ Status Tdc::validate(const TdcConfig& config) {
 }
 
 Tdc::Tdc(TdcConfig config) : config_{config} {
-  const Status status = validate(config_);
-  ROCLK_REQUIRE(status.is_ok(), status.to_string());
+  ROCLK_CHECK_OK(validate(config_));
 }
 
 double Tdc::measure_physical(double delivered_period, double v_local) const {
-  ROCLK_REQUIRE(delivered_period > 0.0, "period must be positive");
+  ROCLK_CHECK(delivered_period > 0.0,
+              "delivered period must be positive, got " << delivered_period
+                                                        << " stages");
   const double stage_scale =
       (1.0 + v_local) * (1.0 + config_.relative_mismatch);
-  ROCLK_REQUIRE(stage_scale > 0.0, "variation drove stage delay negative");
+  ROCLK_CHECK(stage_scale > 0.0,
+              "variation drove stage delay non-positive: v_local="
+                  << v_local << ", relative_mismatch="
+                  << config_.relative_mismatch << " give scale "
+                  << stage_scale);
   return quantize(delivered_period / stage_scale);
 }
 
@@ -39,7 +44,7 @@ TdcArray& TdcArray::add(Tdc tdc) {
 }
 
 TdcArray TdcArray::make_grid(std::size_t grid, double mismatch_stages) {
-  ROCLK_REQUIRE(grid >= 1, "grid must be at least 1x1");
+  ROCLK_CHECK(grid >= 1, "grid must be at least 1x1, got " << grid);
   TdcArray array;
   for (std::size_t ix = 0; ix < grid; ++ix) {
     for (std::size_t iy = 0; iy < grid; ++iy) {
@@ -56,7 +61,7 @@ TdcArray TdcArray::make_grid(std::size_t grid, double mismatch_stages) {
 
 double TdcArray::worst_additive(double delivered_period,
                                 double e_local) const {
-  ROCLK_REQUIRE(!sensors_.empty(), "empty TDC array");
+  ROCLK_CHECK(!sensors_.empty(), "empty TDC array");
   double worst = std::numeric_limits<double>::infinity();
   for (const auto& tdc : sensors_) {
     worst = std::min(worst, tdc.measure_additive(delivered_period, e_local));
@@ -67,7 +72,7 @@ double TdcArray::worst_additive(double delivered_period,
 double TdcArray::worst_physical(double delivered_period,
                                 const variation::VariationSource& source,
                                 double t) const {
-  ROCLK_REQUIRE(!sensors_.empty(), "empty TDC array");
+  ROCLK_CHECK(!sensors_.empty(), "empty TDC array");
   double worst = std::numeric_limits<double>::infinity();
   for (const auto& tdc : sensors_) {
     const double v = tdc.local_variation(source, t);

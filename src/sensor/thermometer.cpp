@@ -9,7 +9,7 @@ ThermometerCode::ThermometerCode(std::vector<bool> bits)
 
 ThermometerCode ThermometerCode::ideal(std::size_t count,
                                        std::size_t length) {
-  ROCLK_REQUIRE(count <= length, "count exceeds code length");
+  ROCLK_CHECK(count <= length, "count exceeds code length");
   std::vector<bool> bits(length, false);
   std::fill(bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(count),
             true);
@@ -52,7 +52,7 @@ std::size_t ThermometerCode::decode_ones_count() const {
 
 void ThermometerCode::inject_boundary_noise(Xoshiro256& rng, double p,
                                             std::size_t radius) {
-  ROCLK_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  ROCLK_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
   if (bits_.empty() || p == 0.0) return;
   const std::size_t boundary = decode_priority();
   const std::size_t lo =
@@ -65,7 +65,7 @@ void ThermometerCode::inject_boundary_noise(Xoshiro256& rng, double p,
 
 DetailedTdc::DetailedTdc(DetailedTdcConfig config)
     : config_{config}, chain_{config.chain}, rng_{config.seed} {
-  ROCLK_REQUIRE(config_.metastability_p >= 0.0 &&
+  ROCLK_CHECK(config_.metastability_p >= 0.0 &&
                     config_.metastability_p <= 1.0,
                 "metastability probability out of range");
 }
@@ -73,7 +73,7 @@ DetailedTdc::DetailedTdc(DetailedTdcConfig config)
 std::int64_t DetailedTdc::measure(double delivered_period,
                                   const variation::VariationSource& source,
                                   double t) {
-  ROCLK_REQUIRE(delivered_period > 0.0, "period must be positive");
+  ROCLK_CHECK(delivered_period > 0.0, "period must be positive");
   const std::size_t crossed =
       chain_.stages_crossed(delivered_period, source, t);
   last_ = ThermometerCode::ideal(crossed, chain_.size());
@@ -87,7 +87,7 @@ std::int64_t DetailedTdc::measure(double delivered_period,
     case TdcDecoder::kOnesCount:
       return static_cast<std::int64_t>(last_.decode_ones_count());
   }
-  ROCLK_REQUIRE(false, "unknown decoder");
+  ROCLK_CHECK(false, "unknown decoder");
   return 0;
 }
 

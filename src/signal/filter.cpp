@@ -7,7 +7,7 @@ namespace roclk::signal {
 
 LinearFilter::LinearFilter(std::vector<double> b, std::vector<double> a)
     : b_{std::move(b)}, a_{std::move(a)} {
-  ROCLK_REQUIRE(!a_.empty() && a_[0] != 0.0,
+  ROCLK_CHECK(!a_.empty() && a_[0] != 0.0,
                 "denominator leading coefficient must be non-zero");
   if (b_.empty()) b_ = {0.0};
   const double a0 = a_[0];
@@ -51,7 +51,7 @@ void LinearFilter::reset() {
 }
 
 ExponentialSmoother::ExponentialSmoother(double alpha) : alpha_{alpha} {
-  ROCLK_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  ROCLK_CHECK(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
 }
 
 double ExponentialSmoother::step(double x) {
@@ -70,7 +70,7 @@ void ExponentialSmoother::reset(double initial) {
 }
 
 SlidingMinimum::SlidingMinimum(std::size_t window) : window_{window} {
-  ROCLK_REQUIRE(window > 0, "window must be positive");
+  ROCLK_CHECK(window > 0, "window must be positive");
 }
 
 double SlidingMinimum::step(double x) {

@@ -38,7 +38,7 @@ double Polynomial::coefficient(std::size_t k) const {
 }
 
 std::complex<double> Polynomial::evaluate(std::complex<double> z) const {
-  ROCLK_REQUIRE(std::abs(z) > 0.0 || degree() == 0,
+  ROCLK_CHECK(std::abs(z) > 0.0 || degree() == 0,
                 "cannot evaluate negative powers at z = 0");
   // Horner in z^-1: a0 + z^-1 (a1 + z^-1 (a2 + ...)).
   const std::complex<double> zi =

@@ -19,7 +19,7 @@ TransferFunction::TransferFunction(Polynomial numerator,
       break;
     }
   }
-  ROCLK_REQUIRE(!all_zero, "transfer function denominator is zero");
+  ROCLK_CHECK(!all_zero, "transfer function denominator is zero");
 }
 
 std::complex<double> TransferFunction::evaluate(std::complex<double> z) const {
@@ -103,7 +103,7 @@ std::vector<double> TransferFunction::impulse_response(std::size_t n) const {
   // Strip the common leading delay.
   std::size_t lead = 0;
   while (den.coefficient(lead) == 0.0) ++lead;
-  ROCLK_REQUIRE(lead <= den.degree(), "zero denominator");
+  ROCLK_CHECK(lead <= den.degree(), "zero denominator");
 
   std::vector<double> y(n, 0.0);
   const double d0 = den.coefficient(lead);

@@ -18,7 +18,7 @@ std::vector<double> Waveform::sample(std::size_t n, double step,
 
 SineWaveform::SineWaveform(double amplitude, double period, double phase)
     : amplitude_{amplitude}, period_{period}, phase_{phase} {
-  ROCLK_REQUIRE(period > 0.0, "sine period must be positive");
+  ROCLK_CHECK(period > 0.0, "sine period must be positive");
 }
 
 double SineWaveform::at(double t) const {
@@ -28,7 +28,7 @@ double SineWaveform::at(double t) const {
 TrianglePulseWaveform::TrianglePulseWaveform(double amplitude, double start,
                                              double duration)
     : amplitude_{amplitude}, start_{start}, duration_{duration} {
-  ROCLK_REQUIRE(duration > 0.0, "pulse duration must be positive");
+  ROCLK_CHECK(duration > 0.0, "pulse duration must be positive");
 }
 
 double TrianglePulseWaveform::at(double t) const {
@@ -56,7 +56,7 @@ double RampWaveform::at(double t) const {
 
 SquareWaveform::SquareWaveform(double amplitude, double period, double phase)
     : amplitude_{amplitude}, period_{period}, phase_{phase} {
-  ROCLK_REQUIRE(period > 0.0, "square period must be positive");
+  ROCLK_CHECK(period > 0.0, "square period must be positive");
 }
 
 double SquareWaveform::at(double t) const {
@@ -67,7 +67,7 @@ double SquareWaveform::at(double t) const {
 HoldNoiseWaveform::HoldNoiseWaveform(double stddev, double hold,
                                      std::uint64_t seed)
     : stddev_{stddev}, hold_{hold}, seed_{seed} {
-  ROCLK_REQUIRE(hold > 0.0, "hold interval must be positive");
+  ROCLK_CHECK(hold > 0.0, "hold interval must be positive");
 }
 
 double HoldNoiseWaveform::at(double t) const {
@@ -97,7 +97,7 @@ CompositeWaveform& CompositeWaveform::operator=(
 
 CompositeWaveform& CompositeWaveform::add(std::unique_ptr<Waveform> w,
                                           double scale) {
-  ROCLK_REQUIRE(w != nullptr, "null waveform");
+  ROCLK_CHECK(w != nullptr, "null waveform");
   parts_.push_back({std::move(w), scale});
   return *this;
 }

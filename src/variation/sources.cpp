@@ -46,7 +46,7 @@ std::unique_ptr<VariationSource> WithinDieProcess::clone() const {
 RandomDeviceProcess::RandomDeviceProcess(double sigma, std::uint64_t seed,
                                          int buckets)
     : sigma_{sigma}, seed_{seed}, buckets_{buckets} {
-  ROCLK_REQUIRE(buckets >= 1, "need at least one bucket");
+  ROCLK_CHECK(buckets >= 1, "need at least one bucket");
 }
 
 double RandomDeviceProcess::at(double /*t*/, DiePoint p) const {
@@ -141,7 +141,7 @@ TemperatureHotspot::TemperatureHotspot(double peak, DiePoint centre,
                                        double sigma, double onset,
                                        double time_constant)
     : bump_{centre, sigma, peak}, onset_{onset}, time_constant_{time_constant} {
-  ROCLK_REQUIRE(time_constant > 0.0, "thermal time constant must be positive");
+  ROCLK_CHECK(time_constant > 0.0, "thermal time constant must be positive");
 }
 
 double TemperatureHotspot::at(double t, DiePoint p) const {
@@ -160,7 +160,7 @@ Aging::Aging(double saturation, double time_constant, std::uint64_t seed)
     : saturation_{saturation},
       time_constant_{time_constant},
       stress_{seed, 0.3, 3, 2} {
-  ROCLK_REQUIRE(time_constant > 0.0, "aging time constant must be positive");
+  ROCLK_CHECK(time_constant > 0.0, "aging time constant must be positive");
 }
 
 double Aging::at(double t, DiePoint p) const {
@@ -184,11 +184,11 @@ DroopTrain::DroopTrain(double peak, double mean_spacing_stages,
       min_duration_{min_duration},
       max_duration_{max_duration},
       seed_{seed} {
-  ROCLK_REQUIRE(peak >= 0.0, "peak cannot be negative");
-  ROCLK_REQUIRE(mean_spacing_stages > 0.0, "spacing must be positive");
-  ROCLK_REQUIRE(min_duration > 0.0 && max_duration >= min_duration,
+  ROCLK_CHECK(peak >= 0.0, "peak cannot be negative");
+  ROCLK_CHECK(mean_spacing_stages > 0.0, "spacing must be positive");
+  ROCLK_CHECK(min_duration > 0.0 && max_duration >= min_duration,
                 "invalid duration range");
-  ROCLK_REQUIRE(max_duration <= mean_spacing_stages,
+  ROCLK_CHECK(max_duration <= mean_spacing_stages,
                 "events longer than their slots would overlap");
 }
 
@@ -240,7 +240,7 @@ CompositeVariation& CompositeVariation::operator=(
 
 CompositeVariation& CompositeVariation::add(
     std::unique_ptr<VariationSource> source) {
-  ROCLK_REQUIRE(source != nullptr, "null variation source");
+  ROCLK_CHECK(source != nullptr, "null variation source");
   parts_.push_back(std::move(source));
   return *this;
 }
@@ -289,7 +289,7 @@ std::unique_ptr<VariationSource> CompositeVariation::clone() const {
 WaveformVariation::WaveformVariation(std::unique_ptr<signal::Waveform> wave,
                                      std::string label)
     : wave_{std::move(wave)}, label_{std::move(label)} {
-  ROCLK_REQUIRE(wave_ != nullptr, "null waveform");
+  ROCLK_CHECK(wave_ != nullptr, "null waveform");
 }
 
 WaveformVariation::WaveformVariation(const WaveformVariation& other)

@@ -11,8 +11,8 @@ namespace roclk::variation {
 SpatialMap::SpatialMap(std::uint64_t seed, double stddev, int cells,
                        int octaves)
     : seed_{seed}, stddev_{stddev}, cells_{cells}, octaves_{octaves} {
-  ROCLK_REQUIRE(cells >= 1, "need at least one lattice cell");
-  ROCLK_REQUIRE(octaves >= 1, "need at least one octave");
+  ROCLK_CHECK(cells >= 1, "need at least one lattice cell");
+  ROCLK_CHECK(octaves >= 1, "need at least one octave");
 }
 
 double SpatialMap::lattice_value(int octave, int ix, int iy) const {
@@ -61,7 +61,7 @@ double SpatialMap::at(DiePoint p) const {
 
 GaussianBump::GaussianBump(DiePoint centre, double sigma, double peak)
     : centre_{centre}, sigma_{sigma}, peak_{peak} {
-  ROCLK_REQUIRE(sigma > 0.0, "bump sigma must be positive");
+  ROCLK_CHECK(sigma > 0.0, "bump sigma must be positive");
 }
 
 double GaussianBump::at(DiePoint p) const {

@@ -9,9 +9,9 @@ namespace roclk::variation {
 
 MeasuredClassification classify(const VariationSource& source,
                                 const ClassificationOptions& options) {
-  ROCLK_REQUIRE(options.time_samples >= 2, "need at least two time samples");
-  ROCLK_REQUIRE(options.grid >= 2, "need at least a 2x2 spatial grid");
-  ROCLK_REQUIRE(options.t_end > options.t_begin, "empty time range");
+  ROCLK_CHECK(options.time_samples >= 2, "need at least two time samples");
+  ROCLK_CHECK(options.grid >= 2, "need at least a 2x2 spatial grid");
+  ROCLK_CHECK(options.t_end > options.t_begin, "empty time range");
 
   const double dt = (options.t_end - options.t_begin) /
                     static_cast<double>(options.time_samples - 1);

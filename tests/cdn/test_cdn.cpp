@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace roclk::cdn {
@@ -97,6 +98,32 @@ TEST(QuantizedTimeCdn, RejectsBadInputs) {
   QuantizedTimeCdn cdn{10.0};
   cdn.reset(64.0);
   EXPECT_THROW((void)cdn.push(0.0), std::logic_error);
+}
+
+TEST(QuantizedTimeCdn, RejectsBadExplicitRingDepth) {
+  // The ring buffer is indexed with a power-of-two mask, so a depth that
+  // is not a power of two (or cannot hold the history window) must be
+  // refused at construction instead of aliasing reads at run time.
+  EXPECT_THROW((QuantizedTimeCdn{10.0, 64, DelayQuantization::kRound, 100}),
+               std::logic_error);
+  EXPECT_THROW((QuantizedTimeCdn{10.0, 64, DelayQuantization::kRound, 32}),
+               std::logic_error);
+  EXPECT_NO_THROW(
+      (QuantizedTimeCdn{10.0, 64, DelayQuantization::kRound, 128}));
+}
+
+TEST(QuantizedTimeCdn, ExplicitRingDepthMatchesAutoDepth) {
+  // Oversizing the ring must not change delivered periods: the logical
+  // window is `history`, the ring depth only affects storage.
+  QuantizedTimeCdn auto_depth{640.0, 128};
+  QuantizedTimeCdn oversized{640.0, 128, DelayQuantization::kRound, 1024};
+  auto_depth.reset(64.0);
+  oversized.reset(64.0);
+  for (int i = 0; i < 200; ++i) {
+    const double period = 64.0 + 0.5 * std::sin(0.1 * i);
+    EXPECT_DOUBLE_EQ(auto_depth.push(period), oversized.push(period))
+        << "push " << i;
+  }
 }
 
 TEST(QuantizedTimeCdn, InterpolationMatchesRoundAtIntegerDelays) {

@@ -1,0 +1,73 @@
+#include "roclk/common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk {
+namespace {
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(ROCLK_CHECK(true, "never evaluated"));
+}
+
+TEST(Check, ThrowsContractViolationWithContext) {
+  try {
+    const int lanes = 7;
+    ROCLK_CHECK(lanes % 2 == 0, "lanes=" << lanes << " must be even");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lanes % 2 == 0"), std::string::npos);
+    EXPECT_NE(what.find("lanes=7 must be even"), std::string::npos);
+    EXPECT_STREQ(e.expression(), "lanes % 2 == 0");
+    EXPECT_NE(std::string{e.file()}.find("test_check.cpp"),
+              std::string::npos);
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(Check, ViolationIsALogicError) {
+  // Pre-contract-layer code and tests catch std::logic_error; the
+  // derivation keeps them working.
+  EXPECT_THROW(ROCLK_CHECK(false, "compat"), std::logic_error);
+}
+
+TEST(Check, MessageOnlyEvaluatedOnFailure) {
+  int evaluations = 0;
+  const auto count = [&]() {
+    ++evaluations;
+    return "side effect";
+  };
+  ROCLK_CHECK(true, count());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(ROCLK_CHECK(false, count()), ContractViolation);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckOk, ForwardsStatusMessage) {
+  EXPECT_NO_THROW(ROCLK_CHECK_OK(Status::ok()));
+  try {
+    ROCLK_CHECK_OK(Status::invalid_argument("gain must be 2^-k"));
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string{e.what()}.find("gain must be 2^-k"),
+              std::string::npos);
+  }
+}
+
+TEST(Dcheck, CompilesInEveryBuildAndFiresWhenEnabled) {
+  // The condition must type-check even when DCHECKs compile to dead code.
+  EXPECT_NO_THROW(ROCLK_DCHECK(1 + 1 == 2, "arithmetic"));
+#if ROCLK_DCHECKS_ENABLED
+  EXPECT_THROW(ROCLK_DCHECK(false, "debug-only guard"), ContractViolation);
+#else
+  EXPECT_NO_THROW(ROCLK_DCHECK(false, "stripped in release"));
+#endif
+}
+
+}  // namespace
+}  // namespace roclk

@@ -52,20 +52,8 @@ TEST(Result, MoveOutValue) {
   EXPECT_EQ(s, "payload");
 }
 
-TEST(Require, ThrowsLogicErrorWithLocation) {
-  try {
-    ROCLK_REQUIRE(1 == 2, "math is broken");
-    FAIL() << "expected throw";
-  } catch (const std::logic_error& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("1 == 2"), std::string::npos);
-    EXPECT_NE(what.find("math is broken"), std::string::npos);
-  }
-}
-
-TEST(Require, PassesSilently) {
-  EXPECT_NO_THROW(ROCLK_REQUIRE(true, "never"));
-}
+// ROCLK_CHECK / ROCLK_DCHECK / ROCLK_CHECK_OK are covered in
+// test_check.cpp alongside roclk/common/check.hpp.
 
 }  // namespace
 }  // namespace roclk

@@ -56,6 +56,37 @@ TEST(IirConfig, RejectsEmptyTapsAndFractionalKexp) {
   EXPECT_FALSE(validate_iir_config(frac).is_ok());
 }
 
+TEST(IirConfig, RejectsNonIntegratorDenominatorAtConstruction) {
+  // D(1) = 1/k* - sum(k_i): violating eq. 10 leaves the denominator
+  // without its z = 1 integrator pole (eq. 8), so both controller
+  // implementations must refuse to construct.
+  IirConfig cfg;
+  cfg.taps = {1.0, 1.0};
+  cfg.k_star = 1.0;  // D(1) = 1 - 2 = -1 != 0
+  cfg.k_exp = 8.0;
+  const Status status = validate_iir_config(cfg);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_THROW(IirControlHardware{cfg}, std::logic_error);
+  EXPECT_THROW(IirControlReference{cfg}, std::logic_error);
+}
+
+TEST(IirConfig, RejectsJuryUnstableFilterAtConstruction) {
+  // taps = {2, -1}, k* = 1 satisfies eq. 10 (sum = 1) and eq. 8, but
+  // D(z) = 1 - 2 z^-1 + z^-2 = (1 - z^-1)^2: after dividing out the
+  // designed integrator pole the remaining root sits ON the unit circle,
+  // so the filter is Jury-unstable and construction must fail.
+  IirConfig cfg;
+  cfg.taps = {2.0, -1.0};
+  cfg.k_star = 1.0;
+  cfg.k_exp = 8.0;
+  const Status status = validate_iir_config(cfg);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("Jury-unstable"), std::string::npos)
+      << status.message();
+  EXPECT_THROW(IirControlHardware{cfg}, std::logic_error);
+  EXPECT_THROW(IirControlReference{cfg}, std::logic_error);
+}
+
 TEST(IirPolynomials, MatchEquation9) {
   const auto [n, d] = iir_polynomials(paper_iir_config());
   // N(z) = z^-1.

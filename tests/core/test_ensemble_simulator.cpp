@@ -362,6 +362,43 @@ TEST(EnsembleSimulator, ValidateRejectsBadEnsembles) {
   }
 }
 
+TEST(EnsembleSimulator, RejectsOutOfRangeLroAtConstruction) {
+  LoopConfig bad = lane_config(GeneratorMode::kControlledRo, 64.0);
+  bad.min_length = 0;
+  const std::vector<LoopConfig> configs{bad};
+  EXPECT_FALSE(EnsembleSimulator::validate(configs, 1).is_ok());
+  const control::IirControlHardware prototype;
+  EXPECT_THROW(EnsembleSimulator::uniform(bad, &prototype, 3),
+               std::logic_error);
+}
+
+TEST(EnsembleMetrics, HomogeneousMcRejectsBadLanePreconditions) {
+  const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
+  const control::IirControlHardware prototype;
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, 3);
+  const signal::SineWaveform wave{10.0, 1600.0, 0.0};
+  const std::vector<double> mu(3, 0.0);
+
+  // One static mu per lane, exactly.
+  const std::vector<double> mu_short(2, 0.0);
+  EXPECT_THROW((void)analysis::evaluate_homogeneous_mc(
+                   ensemble, wave, mu_short, 100, kSetpoint, {kSetpoint}, 10),
+               std::logic_error);
+  // Fixed periods: one per lane or one shared, nothing in between.
+  EXPECT_THROW((void)analysis::evaluate_homogeneous_mc(
+                   ensemble, wave, mu, 100, kSetpoint,
+                   {kSetpoint, kSetpoint}, 10),
+               std::logic_error);
+  // The sampling period must be positive.
+  EXPECT_THROW((void)analysis::evaluate_homogeneous_mc(
+                   ensemble, wave, mu, 100, 0.0, {kSetpoint}, 10),
+               std::logic_error);
+  // The transient skip must leave at least one counted cycle.
+  EXPECT_THROW((void)analysis::evaluate_homogeneous_mc(
+                   ensemble, wave, mu, 100, kSetpoint, {kSetpoint}, 100),
+               std::logic_error);
+}
+
 TEST(EnsembleSimulator, RunRejectsMismatchedBlock) {
   const LoopConfig cfg = lane_config(GeneratorMode::kControlledRo, 64.0);
   const control::IirControlHardware prototype;

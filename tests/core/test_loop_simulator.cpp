@@ -43,6 +43,25 @@ TEST(LoopSimulator, ValidateRejectsBadConfigs) {
   EXPECT_FALSE(LoopSimulator::validate(bad_period, true).is_ok());
 }
 
+TEST(LoopSimulator, ConstructionRejectsOutOfRangeLro) {
+  // l_RO is a physical stage count: the saturation range must satisfy
+  // 1 <= min <= max, and a config outside it fails at construction, not
+  // mid-run.
+  LoopConfig zero_min = linear_config();
+  zero_min.min_length = 0;
+  EXPECT_FALSE(LoopSimulator::validate(zero_min, true).is_ok());
+  EXPECT_THROW((LoopSimulator{zero_min,
+                              std::make_unique<control::IirControlHardware>()}),
+               std::logic_error);
+
+  LoopConfig inverted = linear_config();
+  inverted.min_length = 64;
+  inverted.max_length = 8;
+  EXPECT_THROW((LoopSimulator{inverted,
+                              std::make_unique<control::IirControlHardware>()}),
+               std::logic_error);
+}
+
 // Equilibrium: with zero perturbation every system must hold tau = c
 // exactly, forever, with zero violations.
 class EquilibriumAllSystems

@@ -1,0 +1,52 @@
+// roclk_lint: project-specific static checks the generic toolchain
+// cannot express.
+//
+// The rules encode repo invariants that matter for reproducibility:
+//   round       std::round/lround/llround bypass round_ties_away and are
+//               only allowed inside common/math.hpp, the one place the
+//               tie-breaking contract is defined and tested.
+//   rng         rand()/srand()/std::random_device are nondeterministic;
+//               all randomness must flow through common/rng.
+//   naked-new   owning raw new/delete; use containers or smart pointers.
+//   endl        std::endl flushes on every call; use '\n'.
+//   pragma-once every header must start its include guard with
+//               #pragma once.
+//
+// A finding on a line can be waived with an inline comment naming the
+// rule: `// roclk-lint: allow(round)`.  Comments and string/character
+// literals are stripped before matching, so prose and patterns (such as
+// the ones in this tool's own source) never trigger findings.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roclk::lint {
+
+struct Finding {
+  std::filesystem::path file;
+  std::size_t line{0};  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Replaces comments and string/character literals (including raw
+/// strings) with spaces, preserving newlines so line numbers survive.
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view source);
+
+/// Lints one file's contents.  `display_path` is used both for reporting
+/// and for the per-file rule exemptions (math.hpp may round, rng.hpp/.cpp
+/// may use the raw generators), so pass a path rooted at the repo.
+[[nodiscard]] std::vector<Finding> lint_source(
+    const std::filesystem::path& display_path, std::string_view source);
+
+/// Recursively lints every .hpp/.cpp under `root` (files are reported
+/// relative to `base` when given).  Throws std::runtime_error on I/O
+/// failure.
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::filesystem::path& root,
+    const std::filesystem::path& base = {});
+
+}  // namespace roclk::lint

@@ -1,0 +1,37 @@
+// roclk_lint driver: lints each path given on the command line and
+// exits non-zero if any finding survives.  Run from CI (and ctest) as
+//   roclk_lint <repo>/include <repo>/src <repo>/tools
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: roclk_lint <dir-or-file>...\n");
+    return 2;
+  }
+  try {
+    std::size_t total = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::filesystem::path root{argv[i]};
+      const auto findings = roclk::lint::lint_tree(root, root.parent_path());
+      for (const auto& finding : findings) {
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n",
+                     finding.file.generic_string().c_str(), finding.line,
+                     finding.rule.c_str(), finding.message.c_str());
+      }
+      total += findings.size();
+    }
+    if (total != 0) {
+      std::fprintf(stderr, "roclk_lint: %zu finding(s)\n", total);
+      return 1;
+    }
+    std::printf("roclk_lint: clean\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  }
+}
