@@ -1,0 +1,107 @@
+// Robustness figures of merit for fault-injection runs.
+//
+// A fault experiment asks three questions the standard RunMetrics cannot
+// answer:
+//
+//  1. How many timing errors did the fault actually cause, and when —
+//     before, during, or after the fault window?  (A hardened loop is
+//     allowed a handful of errors while the watchdog counts toward its
+//     trip, but must incur ZERO true errors once degraded to the safe
+//     period.)
+//  2. How long did the loop take to re-lock after the fault cleared
+//     (time-to-relock, in cycles)?
+//  3. Did the type-1 loop actually re-converge — zero steady-state
+//     adaptation error at the tail of the run — or is it limping along at
+//     an offset?  (Eq. 8 guarantees zero steady-state error only for the
+//     healthy loop; re-convergence after a transient fault is the property
+//     the watchdog's re-acquire path must restore.)
+//
+// evaluate_fault_recovery answers all three from a SimulationTrace plus
+// the fault window; schedule_span derives that window from a
+// FaultSchedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "roclk/common/status.hpp"
+#include "roclk/core/trace.hpp"
+#include "roclk/fault/fault.hpp"
+
+namespace roclk::analysis {
+
+/// Cycle span covered by a schedule's events: [start, end).  `end` is
+/// nullopt when a permanent event never clears.  Empty schedules span
+/// [0, 0).
+struct FaultSpan {
+  std::uint64_t start{0};
+  std::optional<std::uint64_t> end{0};
+};
+
+[[nodiscard]] FaultSpan schedule_span(const fault::FaultSchedule& schedule);
+
+struct FaultRecoveryConfig {
+  /// |delta| <= lock_bound for lock_cycles consecutive cycles declares
+  /// relock (same convention as control::Watchdog).
+  double lock_bound{2.0};
+  std::size_t lock_cycles{8};
+  /// Tail window checked for re-convergence; every tail sample must have
+  /// |delta| <= reconverge_bound (0.5 = "rounds to zero", the type-1
+  /// zero-steady-state-error criterion under integer quantisation).
+  std::size_t tail_cycles{32};
+  double reconverge_bound{0.5};
+};
+
+struct FaultRecoveryMetrics {
+  /// True timing errors (tau < c judged on the unfaulted reading) split by
+  /// position relative to the fault window.
+  std::size_t violations_before{0};
+  std::size_t violations_during{0};
+  std::size_t violations_after{0};
+  /// Relock found after the fault window?
+  bool relocked{false};
+  /// Cycles from the end of the fault window to the first cycle of the
+  /// relock streak (0 when never relocked or the fault never clears).
+  std::size_t relock_latency{0};
+  /// Zero steady-state adaptation error over the tail window.
+  bool reconverged{false};
+  /// Largest |delta| over the tail window (diagnostic).
+  double tail_max_abs_delta{0.0};
+};
+
+/// Scores one finished run against its fault window [fault_start,
+/// fault_end).  A permanent fault (no end) reports all post-start cycles
+/// as "during" and never relocks.  Requires a non-empty trace.
+[[nodiscard]] FaultRecoveryMetrics evaluate_fault_recovery(
+    const core::SimulationTrace& trace, std::uint64_t fault_start,
+    std::optional<std::uint64_t> fault_end,
+    const FaultRecoveryConfig& config = {});
+
+/// Convenience: evaluate_fault_recovery with the window derived from the
+/// schedule that was injected.
+[[nodiscard]] FaultRecoveryMetrics evaluate_fault_recovery(
+    const core::SimulationTrace& trace, const fault::FaultSchedule& schedule,
+    const FaultRecoveryConfig& config = {});
+
+/// Guarded-vs-baseline verdict for one fault scenario: the hardened loop
+/// must incur no more post-fault timing errors than the unguarded one and
+/// must re-converge.
+struct HardeningVerdict {
+  FaultRecoveryMetrics guarded;
+  FaultRecoveryMetrics baseline;
+  [[nodiscard]] bool guarded_no_worse() const {
+    return guarded.violations_during + guarded.violations_after <=
+           baseline.violations_during + baseline.violations_after;
+  }
+  [[nodiscard]] bool guarded_recovers() const {
+    return guarded.relocked && guarded.reconverged;
+  }
+};
+
+[[nodiscard]] HardeningVerdict compare_hardening(
+    const core::SimulationTrace& guarded, const core::SimulationTrace& baseline,
+    const fault::FaultSchedule& schedule,
+    const FaultRecoveryConfig& config = {});
+
+}  // namespace roclk::analysis

@@ -17,9 +17,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "roclk/analysis/metrics.hpp"
 #include "roclk/cdn/cdn.hpp"
+#include "roclk/common/status.hpp"
 
 namespace roclk::analysis {
 
@@ -71,6 +73,17 @@ class SweepMemo {
 
   /// Drops all entries and zeroes the counters.
   void clear();
+
+  /// Persists every entry to `path` (binary, checksummed).  Entries only;
+  /// hit/miss counters and the enabled flag are session state.
+  [[nodiscard]] Status save_file(const std::string& path) const;
+
+  /// Replaces the memo's entries with the ones persisted at `path`.
+  /// Robustness contract: a missing, truncated (torn write), or corrupt
+  /// file can only DEGRADE the memo — entries become empty, a non-ok
+  /// Status describes the problem, and nothing throws.  A stale or broken
+  /// cache must never break a sweep; it just stops saving time.
+  [[nodiscard]] Status load_file(const std::string& path);
 
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const;

@@ -1,0 +1,111 @@
+// Hardened control decorator: SensorGuard + Watchdog around any ControlBlock.
+//
+// The paper's loop computes delta = c - tau and feeds it straight into the
+// controller, so a faulted tau owns l_RO.  HardenedControl wraps an inner
+// controller (normally the IIR hardware block) with the two defence layers
+// and maps watchdog states onto commands:
+//
+//   kLocked       tau is reconstructed from delta (tau = c - delta), passed
+//                 through the SensorGuard, and the guarded delta drives the
+//                 inner controller.  A guard that holds too long resyncs to
+//                 raw, which is what lets a persistent fault reach (and
+//                 trip) the watchdog instead of being masked forever.
+//
+//   kDegraded     graceful degradation: on entry the inner controller is
+//                 reset to safe_lro (the slow-but-safe maximum length) and
+//                 the command is pinned there for the hold window.  The
+//                 inner state cannot wind up while pinned.
+//
+//   kReacquiring  closed-loop control resumes from the safe point with the
+//                 guard BYPASSED: during re-acquisition tau legitimately
+//                 sweeps across the whole range the guard would reject, and
+//                 only the raw stream can prove the fault has cleared.  A
+//                 still-active fault re-trips the watchdog back to
+//                 kDegraded, parking the loop at the safe period.  The
+//                 command is floored at the last healthy locked command
+//                 (with the inner state back-calculated onto the floor):
+//                 the descent from the safe park is a large-signal
+//                 transient whose integrator momentum would otherwise
+//                 undershoot the operating point and commit timing
+//                 violations during recovery.  A re-acquisition that
+//                 fails while pinned at the floor releases it: that
+//                 stall means the remembered operating point is stale
+//                 (a long fault let the loop lock onto a corrupted
+//                 reading), and the next descent runs unconstrained.
+//
+//   relock        on the kReacquiring -> kLocked edge the guard is resync'd
+//                 to the current tau so hold-last-good restarts from the
+//                 true operating point.
+//
+// The decorator satisfies the ControlBlock contract, so it drops into
+// LoopSimulator / EnsembleSimulator unchanged and the type-1 property of
+// the inner loop (zero steady-state error) is preserved whenever the
+// watchdog reports kLocked.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "roclk/common/status.hpp"
+#include "roclk/control/control_block.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/control/sensor_guard.hpp"
+#include "roclk/control/watchdog.hpp"
+
+namespace roclk::control {
+
+struct HardenedConfig {
+  /// Loop set-point c in TDC stages (needed to reconstruct tau = c - delta
+  /// for the guard's plausibility checks).
+  double setpoint_c{64.0};
+  /// Command pinned while degraded: the safe maximum l_RO (slowest clock,
+  /// guaranteed to meet timing).
+  double safe_lro{1024.0};
+  SensorGuardConfig guard{};
+  WatchdogConfig watchdog{};
+};
+
+[[nodiscard]] Status validate_hardened_config(const HardenedConfig& config);
+
+class HardenedControl final : public ControlBlock {
+ public:
+  HardenedControl(std::unique_ptr<ControlBlock> inner,
+                  HardenedConfig config);
+  HardenedControl(const HardenedControl& other);
+  HardenedControl& operator=(const HardenedControl&) = delete;
+
+  double step(double delta) override;
+  void reset(double initial_output) override;
+  [[nodiscard]] std::string name() const override {
+    return "hardened(" + inner_->name() + ")";
+  }
+  [[nodiscard]] std::unique_ptr<ControlBlock> clone() const override;
+
+  [[nodiscard]] const HardenedConfig& config() const { return config_; }
+  [[nodiscard]] const ControlBlock& inner() const { return *inner_; }
+  [[nodiscard]] const SensorGuard& guard() const { return guard_; }
+  [[nodiscard]] const Watchdog& watchdog() const { return watchdog_; }
+
+ private:
+  HardenedConfig config_;
+  std::unique_ptr<ControlBlock> inner_;
+  SensorGuard guard_;
+  Watchdog watchdog_;
+  /// Last command issued while locked; the re-acquisition descent never
+  /// commands below it (0 = inactive until the first locked step).
+  /// Released when a re-acquisition fails while pinned at it — a long
+  /// fault can let the loop lock onto a corrupted reading and poison
+  /// this memory, and only the stalled-at-floor descent reveals that.
+  double locked_command_{0.0};
+  /// Did the last re-acquisition step clamp at locked_command_?
+  bool floor_clamped_{false};
+};
+
+/// Convenience factory for the acceptance scenario: an IIR hardware block
+/// with anti-windup wired to the loop's [min_length, max_length] l_RO
+/// clamps, wrapped in a HardenedControl whose safe command is max_length.
+[[nodiscard]] std::unique_ptr<HardenedControl> make_hardened_iir(
+    IirConfig iir, HardenedConfig config, double min_length,
+    double max_length);
+
+}  // namespace roclk::control

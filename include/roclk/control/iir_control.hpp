@@ -21,7 +21,9 @@
 // pair quantifies the rounding cost of the hardware (ablation A1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "roclk/common/fixed_point.hpp"
@@ -32,6 +34,14 @@
 
 namespace roclk::control {
 
+/// Output saturation range the anti-windup logic back-calculates against
+/// (normally the loop's [min_length, max_length] l_RO clamps).
+struct IirOutputClamp {
+  double min_output{0.0};
+  double max_output{0.0};
+  [[nodiscard]] bool operator==(const IirOutputClamp&) const = default;
+};
+
 struct IirConfig {
   /// Feedback tap gains k_1..k_N; every |k_i| must be a power of two.
   std::vector<double> taps{2.0, 1.0, 0.5, 0.25, 0.125, 0.125};
@@ -39,6 +49,14 @@ struct IirConfig {
   double k_exp{8.0};
   /// k*; must be a power of two and equal 1 / sum(taps) (eq. 10).
   double k_star{0.25};
+  /// Conditional anti-windup (disengaged by default, leaving the paper's
+  /// published datapath untouched): when set, a step whose output y lands
+  /// beyond the clamp back-calculates the newest internal state to the
+  /// clamp value, so the integrator cannot wind past the range the loop's
+  /// l_RO saturation can actually deliver.  The step's *return* value is
+  /// unchanged (the loop applies its own clamp); only the stored state is
+  /// bounded, which is what keeps post-saturation recovery overshoot-free.
+  std::optional<IirOutputClamp> anti_windup{};
 };
 
 /// The published parameterisation (section IV): k_exp = 8, k* = 1/4,
@@ -106,6 +124,13 @@ class IirControlHardware final : public ControlBlock {
     prev_input_ = static_cast<std::int64_t>(llround_ties_away(delta));
     // Output divider: arithmetic right shift by log2(k_exp).
     const std::int64_t y = shift_signed(w, -k_exp_gain_.exponent());
+    if (aw_enabled_) {
+      // Conditional anti-windup: while the command is beyond the l_RO
+      // clamps the loop will saturate anyway, so back-calculate the newly
+      // stored state to the clamp instead of letting W integrate past it.
+      const std::int64_t bounded = std::clamp(y, aw_min_, aw_max_);
+      if (bounded != y) state_[0] = k_exp_gain_.apply(bounded);
+    }
     return static_cast<double>(y);
   }
 
@@ -124,6 +149,9 @@ class IirControlHardware final : public ControlBlock {
   PowerOfTwoGain k_exp_gain_;
   PowerOfTwoGain k_star_gain_;
   std::vector<PowerOfTwoGain> tap_gains_;
+  bool aw_enabled_{false};   // anti-windup clamp, pre-resolved to int64
+  std::int64_t aw_min_{0};
+  std::int64_t aw_max_{0};
   std::int64_t prev_input_{0};
   std::vector<std::int64_t> state_;  // W[n-1], W[n-2], ... scaled by k_exp
 };

@@ -1,0 +1,86 @@
+// Plausibility filter for the worst-reading TDC mux.
+//
+// The control loop trusts one number per cycle: the minimum tau over every
+// TDC.  A single glitching sensor therefore owns the loop — a metastable
+// outlier or a dropped capture (tau = 0) feeds straight into the IIR and
+// walks l_RO away from the operating point.  SensorGuard sits between the
+// mux and the controller and sanitizes the reading with three
+// hardware-realistic stages:
+//
+//  1. optional median-of-K debounce — a K-deep shift register whose
+//     median masks isolated outliers entirely (K odd, typically 3 or 5);
+//  2. range plausibility — readings outside [tau_min, tau_max] are
+//     physically impossible at this operating point and are rejected;
+//  3. rate-of-change plausibility — the die's thermal/voltage time
+//     constants bound how fast tau can legitimately move; a jump beyond
+//     max_step per cycle is rejected.
+//
+// A rejected reading is replaced by the last accepted one (hold-last-good)
+// so the controller sees a frozen, not a poisoned, error.  Holding forever
+// would mask genuine operating-point shifts, so after hold_limit
+// consecutive rejections the guard resynchronises: it accepts the raw
+// reading and hands the decision to the Watchdog above it (a real shift
+// relocks; a persistent sensor fault trips the watchdog).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::control {
+
+struct SensorGuardConfig {
+  /// Plausible reading range in stages (range stage).  Both inclusive.
+  double tau_min{0.0};
+  double tau_max{1e12};
+  /// Max plausible |tau - last_good| per cycle (rate stage); 0 disables.
+  double max_step{0.0};
+  /// Consecutive rejections before the guard resynchronises to raw.
+  std::size_t hold_limit{4};
+  /// Median-of-K debounce depth; 0 or 1 disables; otherwise odd.
+  std::size_t median_window{0};
+};
+
+/// Counters for reporting how hard the guard is working (a healthy locked
+/// loop should show all zeros in steady state).
+struct SensorGuardStats {
+  std::size_t range_rejects{0};
+  std::size_t rate_rejects{0};
+  std::size_t resyncs{0};  // holds exhausted, raw accepted
+};
+
+class SensorGuard {
+ public:
+  explicit SensorGuard(SensorGuardConfig config = {});
+
+  [[nodiscard]] static Status validate(const SensorGuardConfig& config);
+
+  /// Establishes the pre-run equilibrium: last-good = initial_tau, median
+  /// window pre-filled with it, counters preserved (use a fresh guard for
+  /// fresh counters).
+  void reset(double initial_tau);
+
+  /// Sanitizes one mux reading; returns the tau the controller should see.
+  [[nodiscard]] double filter(double raw_tau);
+
+  /// True when the previous filter() call rejected its input.
+  [[nodiscard]] bool holding() const { return holds_ > 0; }
+  [[nodiscard]] std::size_t consecutive_holds() const { return holds_; }
+  [[nodiscard]] double last_good() const { return last_good_; }
+  [[nodiscard]] const SensorGuardStats& stats() const { return stats_; }
+  [[nodiscard]] const SensorGuardConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double debounced(double raw_tau);
+
+  SensorGuardConfig config_;
+  double last_good_{0.0};
+  std::size_t holds_{0};
+  SensorGuardStats stats_;
+  std::vector<double> window_;   // median ring, oldest overwritten
+  std::size_t window_head_{0};
+  std::vector<double> scratch_;  // median workspace (no per-cycle alloc)
+};
+
+}  // namespace roclk::control

@@ -1,0 +1,115 @@
+// Loss-of-lock watchdog with graceful degradation.
+//
+// The paper's type-1 loop (eq. 8) guarantees zero steady-state error —
+// when every component is healthy.  A persistent sensor fault or a step
+// the controller cannot track leaves |delta| = |c - tau| pinned beyond any
+// plausible transient.  The watchdog detects that condition and degrades
+// gracefully instead of letting the IIR walk l_RO into a wall:
+//
+//            sustained |delta| > delta_bound for trip_cycles
+//   kLocked ------------------------------------------------> kDegraded
+//
+//   kDegraded: the loop snaps to the safe maximum l_RO (slow but
+//              guaranteed to meet timing) and holds for hold_cycles.
+//
+//   kDegraded --(hold elapsed)--> kReacquiring: closed-loop control
+//              resumes from the safe point; the type-1 integrator slews
+//              l_RO back toward the set-point.
+//
+//   kReacquiring --(|delta| <= relock_bound for relock_cycles)--> kLocked
+//   kReacquiring --(stalled for stall_cycles, or reacquire_timeout
+//              elapsed)--> kDegraded.
+//              Re-acquisition legitimately starts far out of bound (the
+//              loop descends from the safe park toward the set-point), so
+//              a large |delta| alone must not re-trip.  What distinguishes
+//              a still-active fault is *lack of progress*: |delta| not
+//              shrinking cycle over cycle.  A stalled descent — or one
+//              that exhausts the timeout without relocking — bounces back
+//              to the safe hold, so a stuck sensor parks the loop at the
+//              safe period instead of fighting it.
+//
+// The watchdog is a pure observer state machine: it consumes one delta per
+// cycle and reports the state; HardenedControl maps states onto commands.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::control {
+
+enum class WatchdogState : std::uint8_t { kLocked, kDegraded, kReacquiring };
+
+[[nodiscard]] constexpr const char* to_string(WatchdogState state) {
+  switch (state) {
+    case WatchdogState::kLocked:
+      return "locked";
+    case WatchdogState::kDegraded:
+      return "degraded";
+    case WatchdogState::kReacquiring:
+      return "reacquiring";
+  }
+  return "?";
+}
+
+struct WatchdogConfig {
+  /// |delta| beyond this counts toward a trip (stages).
+  double delta_bound{8.0};
+  /// Consecutive out-of-bound cycles before degrading.
+  std::size_t trip_cycles{4};
+  /// Cycles to hold at the safe command before re-acquiring.
+  std::size_t hold_cycles{16};
+  /// |delta| within this counts toward relock (stages).
+  double relock_bound{2.0};
+  /// Consecutive in-bound cycles to declare lock again.
+  std::size_t relock_cycles{8};
+  /// Consecutive out-of-bound re-acquisition cycles with no |delta|
+  /// improvement before bouncing back to kDegraded.
+  std::size_t stall_cycles{6};
+  /// Hard cap on cycles spent in kReacquiring before bouncing back
+  /// (catches oscillating faults that neither stall nor relock).
+  std::size_t reacquire_timeout{256};
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config = {});
+
+  [[nodiscard]] static Status validate(const WatchdogConfig& config);
+
+  /// Back to kLocked with cleared counters (trip statistics survive).
+  void reset();
+
+  /// Feeds one cycle's adaptation error; returns the state that governs
+  /// THIS cycle's command (transitions take effect immediately).
+  WatchdogState observe(double delta);
+
+  [[nodiscard]] WatchdogState state() const { return state_; }
+  /// Number of kLocked/kReacquiring -> kDegraded transitions ever taken.
+  [[nodiscard]] std::size_t trips() const { return trips_; }
+  /// Cycles spent in the current state.
+  [[nodiscard]] std::size_t cycles_in_state() const { return in_state_; }
+  /// Cycles from the most recent degradation to the most recent relock
+  /// (0 until the first complete degrade->relock round trip).
+  [[nodiscard]] std::size_t last_relock_latency() const {
+    return last_relock_latency_;
+  }
+  [[nodiscard]] const WatchdogConfig& config() const { return config_; }
+
+ private:
+  void enter(WatchdogState next);
+
+  WatchdogConfig config_;
+  WatchdogState state_{WatchdogState::kLocked};
+  std::size_t out_of_bound_{0};  // consecutive |delta| > delta_bound
+  std::size_t in_bound_{0};      // consecutive |delta| <= relock_bound
+  std::size_t stalled_{0};       // consecutive non-improving reacquire cycles
+  double last_magnitude_{0.0};   // previous |delta| seen while reacquiring
+  std::size_t in_state_{0};
+  std::size_t trips_{0};
+  std::size_t since_degrade_{0};  // cycles since the last trip
+  std::size_t last_relock_latency_{0};
+};
+
+}  // namespace roclk::control

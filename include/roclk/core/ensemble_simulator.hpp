@@ -54,6 +54,10 @@ struct LaneSlice {
   const double* t_gen{nullptr};
   const double* t_dlv{nullptr};
   const std::uint8_t* violation{nullptr};
+  /// Per-lane isolation mask, or nullptr on a fault-free run.  An isolated
+  /// lane's slice entries repeat its last good cycle (never NaN); reducers
+  /// that aggregate across lanes should skip flagged lanes.
+  const std::uint8_t* isolated{nullptr};
 };
 
 /// Streaming consumer of ensemble results.  accumulate() is called once
@@ -128,6 +132,22 @@ class EnsembleSimulator {
   void run(const EnsembleInputBlock& block, StreamingReducer& reducer,
            bool parallel = false);
 
+  /// Arms one FaultSchedule per lane (an empty schedule leaves its lane
+  /// fault-free), replayed against each lane's absolute cycle counter just
+  /// like LoopSimulator::attach_faults.  Lane w of a faulted ensemble run
+  /// stays bit-for-bit identical to a scalar LoopSimulator running the
+  /// same schedule.  The fault-free kernel is compiled separately, so runs
+  /// without faults are untouched.
+  void attach_faults(std::vector<fault::FaultSchedule> schedules);
+  void clear_faults();
+  [[nodiscard]] bool has_faults() const { return faults_active_; }
+
+  /// True when `lane` has been isolated (non-physical faulted signal; the
+  /// lane froze at its last good cycle).  Cleared by reset().
+  [[nodiscard]] bool isolated(std::size_t lane) const;
+  /// Number of isolated lanes.
+  [[nodiscard]] std::size_t isolated_count() const;
+
  private:
   // Lanes are processed in chunks of kChunkLanes: the chunk's interleaved
   // CDN ring plus its delay registers fit in L1, and chunks are the unit
@@ -181,6 +201,13 @@ class EnsembleSimulator {
     std::vector<double> t_gen;
     std::vector<double> t_dlv;
     std::vector<std::uint8_t> violation;
+
+    // Fault replay state (populated only by attach_faults).  An isolated
+    // lane is skipped by the kernel, so its staging entries keep repeating
+    // the last good cycle — the exact analogue of LoopSimulator's frozen
+    // record.
+    std::vector<fault::FaultInjector> injectors;
+    std::vector<std::uint8_t> isolated;
   };
 
   // kIntegralCommand marks controllers whose commanded length is already
@@ -189,15 +216,20 @@ class EnsembleSimulator {
   // quantization modes are template parameters so the per-lane-cycle
   // switches compile away; `Control` provides step(lane, delta) plus an
   // end_cycle() hook called once per simulated cycle.
-  template <bool kIntegralCommand, sensor::Quantization TdcQ,
+  // kFaults compiles the fault-replay sites into the lane body; the
+  // fault-free instantiation is the exact pre-fault kernel.
+  template <bool kIntegralCommand, bool kFaults, sensor::Quantization TdcQ,
             cdn::DelayQuantization CdnQ, typename Control>
   void run_chunk(Chunk& chunk, const EnsembleInputBlock& block,
                  StreamingReducer& reducer, Control& control);
 
   // Runtime-to-compile-time dispatch of the quantization modes.
-  template <bool kIntegralCommand, sensor::Quantization TdcQ,
+  template <bool kIntegralCommand, bool kFaults, sensor::Quantization TdcQ,
             typename Control>
   void dispatch_cdn(Chunk& chunk, const EnsembleInputBlock& block,
+                    StreamingReducer& reducer, Control& control);
+  template <bool kIntegralCommand, bool kFaults, typename Control>
+  void dispatch_tdc(Chunk& chunk, const EnsembleInputBlock& block,
                     StreamingReducer& reducer, Control& control);
   template <bool kIntegralCommand, typename Control>
   void dispatch_chunk(Chunk& chunk, const EnsembleInputBlock& block,
@@ -220,7 +252,11 @@ class EnsembleSimulator {
   PowerOfTwoGain iir_k_exp_gain_;
   PowerOfTwoGain iir_k_star_gain_;
   double iir_k_exp_{1.0};
+  bool iir_aw_enabled_{false};
+  std::int64_t iir_aw_min_{0};
+  std::int64_t iir_aw_max_{0};
 
+  bool faults_active_{false};
   std::vector<Chunk> chunks_;
 };
 

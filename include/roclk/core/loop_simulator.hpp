@@ -28,6 +28,7 @@
 #include "roclk/control/control_block.hpp"
 #include "roclk/core/inputs.hpp"
 #include "roclk/core/trace.hpp"
+#include "roclk/fault/injector.hpp"
 #include "roclk/osc/ring_oscillator.hpp"
 #include "roclk/sensor/tdc.hpp"
 
@@ -70,6 +71,11 @@ struct LoopConfig {
   /// Sampling period of the perturbation signals; defaults to setpoint_c
   /// (one sample per nominal period, as in the paper's model).
   std::optional<double> sample_period{};
+  /// TDC chain length (readings saturate here); defaults to 1 << 20.  The
+  /// simulators check max_reading >= c wherever a set-point is compared —
+  /// a chain shorter than the set-point could never report "period OK" and
+  /// the mis-sizing must fail loudly, not lock the loop at the rail.
+  std::optional<std::int64_t> tdc_max_reading{};
 };
 
 class LoopSimulator {
@@ -105,6 +111,23 @@ class LoopSimulator {
   /// state is deliberately NOT reset — the controller slews to the new c.
   void set_setpoint(double setpoint_c);
 
+  /// Attaches a fault schedule, replayed against the simulator's absolute
+  /// cycle counter (cycle 0 = first step after the last reset()).  Replaces
+  /// any previous schedule; the loop state is NOT reset, so a schedule can
+  /// be armed mid-run.  The no-fault path is bit-for-bit unchanged.
+  void attach_faults(const fault::FaultSchedule& schedule);
+  void clear_faults();
+  [[nodiscard]] bool has_faults() const { return injector_.has_value(); }
+
+  /// True once the loop has been isolated: a faulted cycle produced a
+  /// non-physical signal (non-finite tau or delivered period) and the
+  /// simulator froze at the last good record instead of letting the poison
+  /// propagate into metrics.  Cleared by reset().
+  [[nodiscard]] bool isolated() const { return isolated_; }
+
+  /// Absolute cycle index of the next step (diagnostics).
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
  private:
   // Shared per-cycle body of step()/run_batch().  `control_step` computes
   // the commanded RO length from delta; run_batch instantiates it with the
@@ -126,6 +149,12 @@ class LoopSimulator {
   double prev_e_ro_{0.0};
   double prev_e_tdc_{0.0};
   double prev_mu_{0.0};
+
+  // Fault replay state.
+  std::optional<fault::FaultInjector> injector_{};
+  std::uint64_t cycle_{0};
+  bool isolated_{false};
+  StepRecord frozen_{};  // last good record, repeated while isolated
 };
 
 namespace detail {
@@ -141,6 +170,12 @@ namespace detail {
 /// set-point c and CDN delay t_clk (both in stages).
 [[nodiscard]] LoopSimulator make_iir_system(double setpoint_c,
                                             double cdn_delay_stages);
+/// The hardened counterpart of make_iir_system: the same IIR datapath with
+/// anti-windup wired to the l_RO clamps, wrapped in SensorGuard + Watchdog
+/// (see control/hardened_control.hpp).  Guard and watchdog bounds scale
+/// with the set-point.
+[[nodiscard]] LoopSimulator make_hardened_iir_system(double setpoint_c,
+                                                     double cdn_delay_stages);
 [[nodiscard]] LoopSimulator make_teatime_system(double setpoint_c,
                                                 double cdn_delay_stages);
 /// `safety_margin_stages` is the design-time margin added to l_RO.

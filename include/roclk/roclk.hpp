@@ -44,13 +44,20 @@
 #include "roclk/sensor/tdc.hpp"
 #include "roclk/sensor/thermometer.hpp"
 
+// Fault injection.
+#include "roclk/fault/fault.hpp"
+#include "roclk/fault/injector.hpp"
+
 // Controllers.
 #include "roclk/control/calibration.hpp"
 #include "roclk/control/constraints.hpp"
 #include "roclk/control/control_block.hpp"
+#include "roclk/control/hardened_control.hpp"
 #include "roclk/control/iir_control.hpp"
+#include "roclk/control/sensor_guard.hpp"
 #include "roclk/control/setpoint_governor.hpp"
 #include "roclk/control/teatime.hpp"
+#include "roclk/control/watchdog.hpp"
 
 // The adaptive clock systems and simulators.
 #include "roclk/core/edge_simulator.hpp"
@@ -64,6 +71,7 @@
 #include "roclk/analysis/analytic.hpp"
 #include "roclk/analysis/estimation.hpp"
 #include "roclk/analysis/experiments.hpp"
+#include "roclk/analysis/fault_metrics.hpp"
 #include "roclk/analysis/frequency_response.hpp"
 #include "roclk/analysis/iir_design.hpp"
 #include "roclk/analysis/metrics.hpp"

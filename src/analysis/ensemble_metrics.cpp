@@ -29,8 +29,17 @@ void MetricsReducer::accumulate(const core::LaneSlice& slice) {
   const double* const t_dlv = slice.t_dlv;
   const double* const tau = slice.tau;
   const std::uint8_t* const violation = slice.violation;
+  const std::uint8_t* const isolated = slice.isolated;
   for (std::size_t w = 0; w < slice.width; ++w) {
     LaneAccumulator& acc = accs[w];
+    // An isolated lane's slice entries repeat its last good cycle; folding
+    // them would weight the frozen values into the ensemble statistics.
+    // The metrics therefore stop at the isolation point (the lane is
+    // reported via EnsembleSimulator::isolated()).
+    if (isolated != nullptr && isolated[w] != 0) {
+      ++acc.seen;
+      continue;
+    }
     if (acc.seen++ < skip_) continue;
     // delta[n] = c - tau[n] is computed by the kernel with the identical
     // subtraction required_safety_margin performs, so folding it keeps the

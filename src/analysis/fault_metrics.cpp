@@ -1,0 +1,97 @@
+#include "roclk/analysis/fault_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roclk/common/check.hpp"
+
+namespace roclk::analysis {
+
+FaultSpan schedule_span(const fault::FaultSchedule& schedule) {
+  FaultSpan span;
+  if (schedule.empty()) return span;
+  span.start = schedule.events().front().start_cycle;
+  std::uint64_t end = 0;
+  for (const fault::FaultEvent& event : schedule.events()) {
+    span.start = std::min(span.start, event.start_cycle);
+    if (event.permanent()) {
+      span.end = std::nullopt;
+      return span;
+    }
+    end = std::max(end, event.start_cycle + event.duration);
+  }
+  span.end = end;
+  return span;
+}
+
+FaultRecoveryMetrics evaluate_fault_recovery(
+    const core::SimulationTrace& trace, std::uint64_t fault_start,
+    std::optional<std::uint64_t> fault_end,
+    const FaultRecoveryConfig& config) {
+  ROCLK_CHECK(!trace.empty(), "fault recovery needs a non-empty trace");
+  ROCLK_CHECK(config.lock_cycles >= 1 && config.tail_cycles >= 1,
+              "lock_cycles and tail_cycles must be >= 1");
+  ROCLK_CHECK(config.lock_bound >= 0.0 && config.reconverge_bound >= 0.0,
+              "bounds cannot be negative");
+  const std::size_t n = trace.size();
+  const std::vector<std::uint8_t>& violation = trace.violation_flags();
+  const std::vector<double>& delta = trace.delta();
+
+  FaultRecoveryMetrics metrics;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (violation[k] == 0) continue;
+    if (k < fault_start) {
+      ++metrics.violations_before;
+    } else if (!fault_end.has_value() || k < *fault_end) {
+      ++metrics.violations_during;
+    } else {
+      ++metrics.violations_after;
+    }
+  }
+
+  if (fault_end.has_value() && *fault_end < n) {
+    // Time to relock: first streak of lock_cycles consecutive in-bound
+    // deltas at or after the fault cleared.  The latency counts to the
+    // streak's FIRST cycle — the loop was back in bound from there on.
+    std::size_t streak = 0;
+    for (std::size_t k = static_cast<std::size_t>(*fault_end); k < n; ++k) {
+      streak = std::fabs(delta[k]) <= config.lock_bound ? streak + 1 : 0;
+      if (streak >= config.lock_cycles) {
+        metrics.relocked = true;
+        metrics.relock_latency =
+            k + 1 - config.lock_cycles - static_cast<std::size_t>(*fault_end);
+        break;
+      }
+    }
+  }
+
+  // Re-convergence: the type-1 property restored — every tail sample's
+  // adaptation error rounds to zero.
+  const std::size_t tail = std::min(config.tail_cycles, n);
+  double tail_max = 0.0;
+  for (std::size_t k = n - tail; k < n; ++k) {
+    tail_max = std::max(tail_max, std::fabs(delta[k]));
+  }
+  metrics.tail_max_abs_delta = tail_max;
+  metrics.reconverged = tail_max <= config.reconverge_bound;
+  return metrics;
+}
+
+FaultRecoveryMetrics evaluate_fault_recovery(
+    const core::SimulationTrace& trace, const fault::FaultSchedule& schedule,
+    const FaultRecoveryConfig& config) {
+  const FaultSpan span = schedule_span(schedule);
+  return evaluate_fault_recovery(trace, span.start, span.end, config);
+}
+
+HardeningVerdict compare_hardening(const core::SimulationTrace& guarded,
+                                   const core::SimulationTrace& baseline,
+                                   const fault::FaultSchedule& schedule,
+                                   const FaultRecoveryConfig& config) {
+  return HardeningVerdict{
+      evaluate_fault_recovery(guarded, schedule, config),
+      evaluate_fault_recovery(baseline, schedule, config),
+  };
+}
+
+}  // namespace roclk::analysis

@@ -1,0 +1,124 @@
+#include "roclk/control/hardened_control.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "roclk/common/check.hpp"
+
+namespace roclk::control {
+
+Status validate_hardened_config(const HardenedConfig& config) {
+  if (!std::isfinite(config.setpoint_c)) {
+    return Status::invalid_argument("setpoint_c must be finite");
+  }
+  if (!(config.safe_lro > 0.0) || !std::isfinite(config.safe_lro)) {
+    std::ostringstream os;
+    os << "safe_lro must be positive and finite, got " << config.safe_lro;
+    return Status::invalid_argument(os.str());
+  }
+  if (auto status = SensorGuard::validate(config.guard); !status.is_ok()) {
+    return status;
+  }
+  return Watchdog::validate(config.watchdog);
+}
+
+HardenedControl::HardenedControl(std::unique_ptr<ControlBlock> inner,
+                                 HardenedConfig config)
+    : config_{config},
+      inner_{std::move(inner)},
+      guard_{config.guard},
+      watchdog_{config.watchdog} {
+  ROCLK_CHECK(inner_ != nullptr, "HardenedControl needs an inner block");
+  ROCLK_CHECK_OK(validate_hardened_config(config_));
+  guard_.reset(config_.setpoint_c);
+}
+
+HardenedControl::HardenedControl(const HardenedControl& other)
+    : config_{other.config_},
+      inner_{other.inner_->clone()},
+      guard_{other.guard_},
+      watchdog_{other.watchdog_},
+      locked_command_{other.locked_command_},
+      floor_clamped_{other.floor_clamped_} {}
+
+double HardenedControl::step(double delta) {
+  const WatchdogState prior = watchdog_.state();
+  // The guard reasons about the physical reading, so reconstruct tau from
+  // the loop's delta = c - tau.  While not locked the guard is bypassed:
+  // re-acquisition legitimately sweeps tau across the guard's reject range
+  // and only the raw stream can prove the fault has cleared.
+  const double tau = config_.setpoint_c - delta;
+  const double tau_used =
+      prior == WatchdogState::kLocked ? guard_.filter(tau) : tau;
+  const double delta_used = config_.setpoint_c - tau_used;
+
+  const WatchdogState state = watchdog_.observe(delta_used);
+  if (state == WatchdogState::kDegraded) {
+    if (prior != WatchdogState::kDegraded) {
+      // Graceful degradation snap: park the inner state at the safe
+      // command so nothing winds up during the hold window.
+      inner_->reset(config_.safe_lro);
+      if (prior == WatchdogState::kReacquiring && floor_clamped_) {
+        // A re-acquisition that failed while PINNED AT THE FLOOR indicts
+        // the floor itself: the operating point it remembers is stale
+        // (a long fault let the loop lock onto a corrupted reading, or
+        // the environment moved).  Release it so the next descent can
+        // reach the true equilibrium.  A stall away from the floor — a
+        // still-active fault blocking the descent — keeps it.
+        locked_command_ = 0.0;
+      }
+      floor_clamped_ = false;
+    }
+    return config_.safe_lro;
+  }
+  if (prior == WatchdogState::kReacquiring &&
+      state == WatchdogState::kLocked) {
+    // Relock edge: hold-last-good restarts from the true operating point.
+    guard_.reset(tau_used);
+  }
+  double command = inner_->step(delta_used);
+  if (state == WatchdogState::kReacquiring) {
+    floor_clamped_ = command < locked_command_;
+    if (floor_clamped_) {
+      // Bumpless re-acquisition floor: the descent from the safe park is
+      // a large-signal transient, so the integrator accumulates downward
+      // momentum and would undershoot the operating point — a timing
+      // violation by construction (l_RO below the last command known to
+      // meet timing).  Clamp at that command and back-calculate the
+      // inner state onto the floor, the same anti-windup philosophy the
+      // IIR applies at the l_RO range clamps.
+      inner_->reset(locked_command_);
+      command = locked_command_;
+    }
+  }
+  if (state == WatchdogState::kLocked) {
+    locked_command_ = command;
+  }
+  return command;
+}
+
+void HardenedControl::reset(double initial_output) {
+  inner_->reset(initial_output);
+  watchdog_.reset();
+  guard_.reset(config_.setpoint_c);
+  locked_command_ = initial_output;
+  floor_clamped_ = false;
+}
+
+std::unique_ptr<ControlBlock> HardenedControl::clone() const {
+  return std::make_unique<HardenedControl>(*this);
+}
+
+std::unique_ptr<HardenedControl> make_hardened_iir(IirConfig iir,
+                                                   HardenedConfig config,
+                                                   double min_length,
+                                                   double max_length) {
+  ROCLK_CHECK(min_length <= max_length,
+              "l_RO clamp range is empty in make_hardened_iir");
+  iir.anti_windup = IirOutputClamp{min_length, max_length};
+  return std::make_unique<HardenedControl>(
+      std::make_unique<IirControlHardware>(std::move(iir)), config);
+}
+
+}  // namespace roclk::control

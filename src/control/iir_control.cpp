@@ -32,6 +32,19 @@ Status validate_iir_config(const IirConfig& config) {
   if (auto gain = PowerOfTwoGain::from_value(config.k_star); !gain.is_ok()) {
     return Status::invalid_argument("k* must be a power of two");
   }
+  if (config.anti_windup.has_value()) {
+    const IirOutputClamp& clamp = *config.anti_windup;
+    if (!std::isfinite(clamp.min_output) ||
+        !std::isfinite(clamp.max_output)) {
+      return Status::invalid_argument("anti-windup bounds must be finite");
+    }
+    if (clamp.min_output > clamp.max_output) {
+      std::ostringstream os;
+      os << "anti-windup range is empty: [" << clamp.min_output << ", "
+         << clamp.max_output << "]";
+      return Status::invalid_argument(os.str());
+    }
+  }
   const double tap_sum =
       std::accumulate(config.taps.begin(), config.taps.end(), 0.0);
   if (tap_sum <= 0.0) {
@@ -109,6 +122,12 @@ double IirControlReference::step(double delta) {
     outputs_[i] = outputs_[i - 1];
   }
   outputs_[0] = y;
+  if (config_.anti_windup.has_value()) {
+    // Same back-calculation as the hardware datapath: bound only the
+    // stored state, never the returned command.
+    outputs_[0] = std::clamp(y, config_.anti_windup->min_output,
+                             config_.anti_windup->max_output);
+  }
   prev_input_ = delta;
   return y;
 }
@@ -132,6 +151,13 @@ IirControlHardware::IirControlHardware(IirConfig config)
   tap_gains_.reserve(config_.taps.size());
   for (double k : config_.taps) {
     tap_gains_.push_back(PowerOfTwoGain::from_value(k).value());
+  }
+  if (config_.anti_windup.has_value()) {
+    aw_enabled_ = true;
+    aw_min_ = static_cast<std::int64_t>(
+        llround_ties_away(config_.anti_windup->min_output));
+    aw_max_ = static_cast<std::int64_t>(
+        llround_ties_away(config_.anti_windup->max_output));
   }
   state_.assign(config_.taps.size(), 0);
 }

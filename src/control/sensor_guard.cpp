@@ -1,0 +1,93 @@
+#include "roclk/control/sensor_guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "roclk/common/check.hpp"
+
+namespace roclk::control {
+
+Status SensorGuard::validate(const SensorGuardConfig& config) {
+  if (!(config.tau_min <= config.tau_max)) {
+    std::ostringstream os;
+    os << "guard range is empty: [" << config.tau_min << ", "
+       << config.tau_max << "]";
+    return Status::invalid_argument(os.str());
+  }
+  if (config.max_step < 0.0) {
+    return Status::invalid_argument("max_step cannot be negative");
+  }
+  if (config.median_window > 1 && config.median_window % 2 == 0) {
+    std::ostringstream os;
+    os << "median window must be odd (a unique median), got "
+       << config.median_window;
+    return Status::invalid_argument(os.str());
+  }
+  return Status::ok();
+}
+
+SensorGuard::SensorGuard(SensorGuardConfig config) : config_{config} {
+  ROCLK_CHECK_OK(validate(config_));
+  if (config_.median_window > 1) {
+    window_.assign(config_.median_window, 0.0);
+    scratch_.resize(config_.median_window);
+  }
+}
+
+void SensorGuard::reset(double initial_tau) {
+  last_good_ = initial_tau;
+  holds_ = 0;
+  std::fill(window_.begin(), window_.end(), initial_tau);
+  window_head_ = 0;
+}
+
+double SensorGuard::debounced(double raw_tau) {
+  if (window_.empty()) return raw_tau;
+  window_[window_head_] = raw_tau;
+  window_head_ = (window_head_ + 1) % window_.size();
+  scratch_ = window_;
+  auto mid = scratch_.begin() +
+             static_cast<std::ptrdiff_t>(scratch_.size() / 2);
+  std::nth_element(scratch_.begin(), mid, scratch_.end());
+  return *mid;
+}
+
+double SensorGuard::filter(double raw_tau) {
+  // A NaN reading is permanently implausible: it must not enter the median
+  // window (NaN breaks nth_element's ordering) and resyncing to it would
+  // poison last_good_ forever, so it is held without ever being accepted.
+  const bool is_nan = std::isnan(raw_tau);
+  const double candidate = is_nan ? raw_tau : debounced(raw_tau);
+
+  const bool in_range = !is_nan && candidate >= config_.tau_min &&
+                        candidate <= config_.tau_max;
+  const bool rate_ok =
+      !is_nan && (config_.max_step == 0.0 ||
+                  std::fabs(candidate - last_good_) <= config_.max_step);
+
+  if (in_range && rate_ok) {
+    last_good_ = candidate;
+    holds_ = 0;
+    return candidate;
+  }
+
+  if (!is_nan && holds_ >= config_.hold_limit) {
+    // Holds exhausted: a genuine operating-point shift would otherwise be
+    // masked forever.  Accept the raw stream and let the watchdog decide.
+    ++stats_.resyncs;
+    last_good_ = candidate;
+    holds_ = 0;
+    return candidate;
+  }
+
+  if (!in_range) {
+    ++stats_.range_rejects;
+  } else {
+    ++stats_.rate_rejects;
+  }
+  ++holds_;
+  return last_good_;
+}
+
+}  // namespace roclk::control

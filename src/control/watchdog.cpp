@@ -1,0 +1,121 @@
+#include "roclk/control/watchdog.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "roclk/common/check.hpp"
+
+namespace roclk::control {
+
+Status Watchdog::validate(const WatchdogConfig& config) {
+  if (!(config.delta_bound > 0.0) || !std::isfinite(config.delta_bound)) {
+    std::ostringstream os;
+    os << "delta_bound must be positive and finite, got "
+       << config.delta_bound;
+    return Status::invalid_argument(os.str());
+  }
+  if (!(config.relock_bound > 0.0) ||
+      !std::isfinite(config.relock_bound)) {
+    return Status::invalid_argument("relock_bound must be positive");
+  }
+  if (config.relock_bound > config.delta_bound) {
+    std::ostringstream os;
+    os << "relock_bound (" << config.relock_bound
+       << ") must not exceed delta_bound (" << config.delta_bound
+       << "): the loop would declare lock while already tripping";
+    return Status::invalid_argument(os.str());
+  }
+  if (config.trip_cycles < 1 || config.relock_cycles < 1 ||
+      config.stall_cycles < 1) {
+    return Status::invalid_argument(
+        "trip_cycles, relock_cycles and stall_cycles must be >= 1");
+  }
+  if (config.reacquire_timeout <= config.relock_cycles) {
+    return Status::invalid_argument(
+        "reacquire_timeout must exceed relock_cycles: the watchdog would "
+        "bounce back to degraded before a relock streak could complete");
+  }
+  return Status::ok();
+}
+
+Watchdog::Watchdog(WatchdogConfig config) : config_{config} {
+  ROCLK_CHECK_OK(validate(config_));
+}
+
+void Watchdog::reset() {
+  state_ = WatchdogState::kLocked;
+  out_of_bound_ = 0;
+  in_bound_ = 0;
+  stalled_ = 0;
+  last_magnitude_ = std::numeric_limits<double>::infinity();
+  in_state_ = 0;
+  since_degrade_ = 0;
+}
+
+void Watchdog::enter(WatchdogState next) {
+  state_ = next;
+  in_state_ = 0;
+  out_of_bound_ = 0;
+  in_bound_ = 0;
+  stalled_ = 0;
+  last_magnitude_ = std::numeric_limits<double>::infinity();
+}
+
+WatchdogState Watchdog::observe(double delta) {
+  // NaN compares false with everything: treat it as out of bound (a NaN
+  // error can only come from a faulted path and must not stall the trip
+  // counter).
+  const double magnitude = std::fabs(delta);
+  const bool out = !(magnitude <= config_.delta_bound);
+  const bool in = magnitude <= config_.relock_bound;
+
+  ++since_degrade_;
+  switch (state_) {
+    case WatchdogState::kLocked:
+      out_of_bound_ = out ? out_of_bound_ + 1 : 0;
+      if (out_of_bound_ >= config_.trip_cycles) {
+        ++trips_;
+        since_degrade_ = 0;
+        enter(WatchdogState::kDegraded);
+        in_state_ = 1;  // the trip cycle is the first held cycle
+        return state_;
+      }
+      break;
+    case WatchdogState::kDegraded:
+      if (in_state_ + 1 >= config_.hold_cycles) {
+        enter(WatchdogState::kReacquiring);
+        return state_;
+      }
+      break;
+    case WatchdogState::kReacquiring:
+      in_bound_ = in ? in_bound_ + 1 : 0;
+      if (in_bound_ >= config_.relock_cycles) {
+        last_relock_latency_ = since_degrade_;
+        enter(WatchdogState::kLocked);
+        return state_;
+      }
+      // Re-acquisition starts legitimately far out of bound (the descent
+      // from the safe park), so only a STALLED descent — |delta| failing
+      // to shrink, NaN included via the negated compare — re-trips.
+      if (out) {
+        stalled_ = !(magnitude < last_magnitude_) ? stalled_ + 1 : 0;
+      } else {
+        stalled_ = 0;
+      }
+      last_magnitude_ = magnitude;
+      if (stalled_ >= config_.stall_cycles ||
+          in_state_ + 1 >= config_.reacquire_timeout) {
+        ++trips_;
+        since_degrade_ = 0;
+        enter(WatchdogState::kDegraded);
+        in_state_ = 1;  // the re-trip cycle is the first held cycle
+        return state_;
+      }
+      break;
+  }
+  ++in_state_;
+  return state_;
+}
+
+}  // namespace roclk::control

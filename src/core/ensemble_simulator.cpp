@@ -75,6 +75,12 @@ Status EnsembleSimulator::validate(std::span<const LoopConfig> lane_configs,
       return Status::invalid_argument(
           "lanes disagree on CDN quantisation");
     }
+    if (config.tdc_max_reading != head.tdc_max_reading) {
+      // The kernel shares one Tdc across all lanes; a silently ignored
+      // per-lane chain length would defeat the max_reading >= c contract.
+      return Status::invalid_argument(
+          "lanes disagree on TDC max_reading");
+    }
     const Status status = LoopSimulator::validate(
         config, head.mode == GeneratorMode::kControlledRo);
     if (!status.is_ok()) return status;
@@ -116,7 +122,8 @@ EnsembleSimulator::EnsembleSimulator(
         reference = &iir->config();
       } else if (iir->config().taps != reference->taps ||
                  iir->config().k_exp != reference->k_exp ||
-                 iir->config().k_star != reference->k_star) {
+                 iir->config().k_star != reference->k_star ||
+                 iir->config().anti_windup != reference->anti_windup) {
         iir_bank_active_ = false;
         break;
       }
@@ -129,6 +136,14 @@ EnsembleSimulator::EnsembleSimulator(
         iir_tap_gains_.push_back(PowerOfTwoGain::from_value(k).value());
       }
       iir_k_exp_ = reference->k_exp;
+      if (reference->anti_windup.has_value()) {
+        // Mirror of IirControlHardware's pre-resolved anti-windup clamp.
+        iir_aw_enabled_ = true;
+        iir_aw_min_ = static_cast<std::int64_t>(
+            llround_ties_away(reference->anti_windup->min_output));
+        iir_aw_max_ = static_cast<std::int64_t>(
+            llround_ties_away(reference->anti_windup->max_output));
+      }
     }
   }
 
@@ -239,10 +254,52 @@ void EnsembleSimulator::reset() {
       }
     }
     chunk.iir_head = 0;
+    for (fault::FaultInjector& injector : chunk.injectors) injector.reset();
+    std::fill(chunk.isolated.begin(), chunk.isolated.end(),
+              std::uint8_t{0});
   }
   for (std::size_t lane = 0; lane < controllers_.size(); ++lane) {
     controllers_[lane]->reset(detail::equilibrium_for(configs_[lane]));
   }
+}
+
+void EnsembleSimulator::attach_faults(
+    std::vector<fault::FaultSchedule> schedules) {
+  ROCLK_CHECK(schedules.size() == width(),
+              "need one fault schedule per lane (empty = fault-free), got "
+                  << schedules.size() << " for " << width() << " lanes");
+  faults_active_ = true;
+  for (Chunk& chunk : chunks_) {
+    chunk.injectors.clear();
+    chunk.injectors.reserve(chunk.width);
+    for (std::size_t w = 0; w < chunk.width; ++w) {
+      chunk.injectors.emplace_back(schedules[chunk.first + w]);
+    }
+    chunk.isolated.assign(chunk.width, 0);
+  }
+}
+
+void EnsembleSimulator::clear_faults() {
+  faults_active_ = false;
+  for (Chunk& chunk : chunks_) {
+    chunk.injectors.clear();
+    chunk.isolated.clear();
+  }
+}
+
+bool EnsembleSimulator::isolated(std::size_t lane) const {
+  ROCLK_CHECK(lane < width(), "lane out of range");
+  if (!faults_active_) return false;
+  const Chunk& chunk = chunks_[lane / kChunkLanes];
+  return chunk.isolated[lane - chunk.first] != 0;
+}
+
+std::size_t EnsembleSimulator::isolated_count() const {
+  std::size_t count = 0;
+  for (const Chunk& chunk : chunks_) {
+    for (std::uint8_t flag : chunk.isolated) count += flag != 0 ? 1 : 0;
+  }
+  return count;
 }
 
 namespace {
@@ -279,6 +336,10 @@ struct IirBankControl {
   // quantizing TDC): the ties-away rounding of the bank input collapses to
   // a cast with identical results.
   bool integral_input{false};
+  // IirControlHardware's pre-resolved anti-windup clamp.
+  bool aw_enabled{false};
+  std::int64_t aw_min{0};
+  std::int64_t aw_max{0};
 
   double step(std::size_t w, double delta) {
     // IirControlHardware::step on the lane-strided integer bank.
@@ -293,6 +354,10 @@ struct IirBankControl {
     prev_input[w] = integral_input ? static_cast<std::int64_t>(delta)
                                    : llround_ties_away(delta);
     const std::int64_t y = shift_signed(state, -k_exp_gain.exponent());
+    if (aw_enabled) {
+      const std::int64_t bounded = std::clamp(y, aw_min, aw_max);
+      if (bounded != y) r[taps - 1][w] = k_exp_gain.apply(bounded);
+    }
     return static_cast<double>(y);
   }
   void end_cycle() {
@@ -310,7 +375,7 @@ struct IirBankControl {
 // every per-lane array is hoisted to a raw pointer so the eight lane
 // dependency chains stay register-resident, and the TDC/CDN quantization
 // switches are resolved at compile time.
-template <bool kIntegralCommand, sensor::Quantization TdcQ,
+template <bool kIntegralCommand, bool kFaults, sensor::Quantization TdcQ,
           cdn::DelayQuantization CdnQ, typename Control>
 void EnsembleSimulator::run_chunk(Chunk& chunk,
                                   const EnsembleInputBlock& block,
@@ -353,6 +418,9 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
   double* __restrict const out_t_gen = chunk.t_gen.data();
   double* __restrict const out_t_dlv = chunk.t_dlv.data();
   std::uint8_t* __restrict const out_violation = chunk.violation.data();
+  [[maybe_unused]] fault::FaultInjector* const injectors =
+      chunk.injectors.data();
+  [[maybe_unused]] std::uint8_t* const isolated = chunk.isolated.data();
 
   const bool full_slice = reducer.wants_full_slice();
 
@@ -365,6 +433,7 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
   slice.t_gen = out_t_gen;
   slice.t_dlv = out_t_dlv;
   slice.violation = out_violation;
+  if constexpr (kFaults) slice.isolated = isolated;
 
   std::uint64_t pos = chunk.pushes;
   for (std::size_t k = 0; k < cycles; ++k) {
@@ -382,6 +451,14 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
     };
 
     for (std::size_t w = 0; w < cw; ++w) {
+      // An isolated lane is frozen: its staging entries keep the last good
+      // cycle, exactly like LoopSimulator's frozen record.
+      [[maybe_unused]] fault::CycleFaults faults;
+      if constexpr (kFaults) {
+        if (isolated[w] != 0) continue;
+        faults = injectors[w].begin_cycle(pos);
+      }
+
       // TDC (one-cycle latency): Tdc::measure_additive inlined, with the
       // identical operation order (delivered - e_local, then + mismatch).
       ROCLK_CHECK(prev_t_dlv[w] > 0.0,
@@ -399,6 +476,20 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
         tau = raw;
       }
       tau = std::clamp(tau, 0.0, tdc_max);
+      // Violation is judged on the TRUE reading, before any sensor fault
+      // (same rule as LoopSimulator::step_impl).
+      const std::uint8_t viol = tau < setpoint[w] ? 1 : 0;
+      if constexpr (kFaults) {
+        if (faults.any) {
+          if (faults.tau_stuck) {
+            tau = std::clamp(faults.tau_stuck_value, 0.0, tdc_max);
+          } else if (faults.tau_dropped) {
+            tau = 0.0;
+          } else if (faults.tau_glitch != 0.0) {
+            tau = std::clamp(tau + faults.tau_glitch, 0.0, tdc_max);
+          }
+        }
+      }
       const double delta = setpoint[w] - tau;
 
       // Controller / generator.
@@ -419,8 +510,15 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
       }
 
       // RO (one-cycle latency; a fixed clock ignores on-die variation).
+      // An active stage failure steps the l_RO -> period mapping.
       const double e_at_ro = fixed_clock ? 0.0 : prev_e_ro[w];
-      const double t_gen = std::max(1.0, prev_lro[w] + e_at_ro);
+      double t_gen_raw = prev_lro[w] + e_at_ro;
+      if constexpr (kFaults) {
+        if (faults.any && faults.ro_offset != 0.0) {
+          t_gen_raw += faults.ro_offset;
+        }
+      }
+      const double t_gen = std::max(1.0, t_gen_raw);
 
       // CDN push into the interleaved ring, then the quantised look-back.
       ring[(pos & slot_mask) * cw + w] = t_gen;
@@ -442,6 +540,17 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
           t_dlv = v0 * (1.0 - frac) + v1 * frac;
         }
       }
+      if constexpr (kFaults) {
+        // A delivery drop swallows the leaf edge: a doubled period this
+        // cycle, with the tree's pipeline unaffected.
+        if (faults.any && faults.cdn_drop) t_dlv *= 2.0;
+        // Lane isolation: a non-physical signal freezes the lane BEFORE
+        // anything is staged or latched, so it can never reach a reducer.
+        if (!std::isfinite(tau) || !std::isfinite(t_dlv) || t_dlv <= 0.0) {
+          isolated[w] = 1;
+          continue;
+        }
+      }
 
       out_tau[w] = tau;
       out_delta[w] = delta;
@@ -450,7 +559,7 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
         out_t_gen[w] = t_gen;
       }
       out_t_dlv[w] = t_dlv;
-      out_violation[w] = tau < setpoint[w] ? 1 : 0;
+      out_violation[w] = viol;
 
       // Advance the z^-1 delay registers.
       prev_lro[w] = lro_now;
@@ -460,6 +569,16 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
       // here (same operands, same op) keeps one delay register instead
       // of two while staying bit-identical to Tdc::measure_additive.
       prev_e_local[w] = e_tdc[w] - mu[w];
+      if constexpr (kFaults) {
+        // A supply droop slows the whole die: both the RO and the TDC
+        // chain see the extra stages next cycle.  The operand order
+        // matches the scalar simulator's `prev_e_tdc_ += droop` so the
+        // two engines stay bit-for-bit equal under faults.
+        if (faults.any && faults.droop != 0.0) {
+          prev_e_ro[w] = e_ro[w] + faults.droop;
+          prev_e_local[w] = (e_tdc[w] + faults.droop) - mu[w];
+        }
+      }
     }
     control.end_cycle();
     ++pos;
@@ -470,24 +589,49 @@ void EnsembleSimulator::run_chunk(Chunk& chunk,
   chunk.pushes = pos;
 }
 
-template <bool kIntegralCommand, sensor::Quantization TdcQ, typename Control>
+template <bool kIntegralCommand, bool kFaults, sensor::Quantization TdcQ,
+          typename Control>
 void EnsembleSimulator::dispatch_cdn(Chunk& chunk,
                                      const EnsembleInputBlock& block,
                                      StreamingReducer& reducer,
                                      Control& control) {
   switch (cdn_quantization_) {
     case cdn::DelayQuantization::kRound:
-      run_chunk<kIntegralCommand, TdcQ, cdn::DelayQuantization::kRound>(
-          chunk, block, reducer, control);
+      run_chunk<kIntegralCommand, kFaults, TdcQ,
+                cdn::DelayQuantization::kRound>(chunk, block, reducer,
+                                                control);
       break;
     case cdn::DelayQuantization::kFloor:
-      run_chunk<kIntegralCommand, TdcQ, cdn::DelayQuantization::kFloor>(
-          chunk, block, reducer, control);
+      run_chunk<kIntegralCommand, kFaults, TdcQ,
+                cdn::DelayQuantization::kFloor>(chunk, block, reducer,
+                                                control);
       break;
     case cdn::DelayQuantization::kLinearInterp:
-      run_chunk<kIntegralCommand, TdcQ,
+      run_chunk<kIntegralCommand, kFaults, TdcQ,
                 cdn::DelayQuantization::kLinearInterp>(chunk, block, reducer,
                                                        control);
+      break;
+  }
+}
+
+template <bool kIntegralCommand, bool kFaults, typename Control>
+void EnsembleSimulator::dispatch_tdc(Chunk& chunk,
+                                     const EnsembleInputBlock& block,
+                                     StreamingReducer& reducer,
+                                     Control& control) {
+  switch (tdc_.config().quantization) {
+    case sensor::Quantization::kFloor:
+      dispatch_cdn<kIntegralCommand, kFaults, sensor::Quantization::kFloor>(
+          chunk, block, reducer, control);
+      break;
+    case sensor::Quantization::kNearest:
+      dispatch_cdn<kIntegralCommand, kFaults,
+                   sensor::Quantization::kNearest>(chunk, block, reducer,
+                                                   control);
+      break;
+    case sensor::Quantization::kNone:
+      dispatch_cdn<kIntegralCommand, kFaults, sensor::Quantization::kNone>(
+          chunk, block, reducer, control);
       break;
   }
 }
@@ -497,19 +641,12 @@ void EnsembleSimulator::dispatch_chunk(Chunk& chunk,
                                        const EnsembleInputBlock& block,
                                        StreamingReducer& reducer,
                                        Control& control) {
-  switch (tdc_.config().quantization) {
-    case sensor::Quantization::kFloor:
-      dispatch_cdn<kIntegralCommand, sensor::Quantization::kFloor>(
-          chunk, block, reducer, control);
-      break;
-    case sensor::Quantization::kNearest:
-      dispatch_cdn<kIntegralCommand, sensor::Quantization::kNearest>(
-          chunk, block, reducer, control);
-      break;
-    case sensor::Quantization::kNone:
-      dispatch_cdn<kIntegralCommand, sensor::Quantization::kNone>(
-          chunk, block, reducer, control);
-      break;
+  // The fault-free kernel is its own instantiation: runs without faults
+  // execute exactly the pre-fault code.
+  if (faults_active_) {
+    dispatch_tdc<kIntegralCommand, true>(chunk, block, reducer, control);
+  } else {
+    dispatch_tdc<kIntegralCommand, false>(chunk, block, reducer, control);
   }
 }
 
@@ -535,15 +672,21 @@ void EnsembleSimulator::run_one_chunk(Chunk& chunk,
     control.prev_input = chunk.iir_prev_input.data();
     // delta = setpoint - tau is exactly integral when the set-points are
     // integers and the TDC floors or rounds (tau and the clamp bounds are
-    // then integral), so the bank input needs no rounding.
+    // then integral), so the bank input needs no rounding.  Fault
+    // injection voids the deduction: a stuck or glitched reading carries
+    // an arbitrary real magnitude past the quantizer, so faulted chunks
+    // keep the ties-away rounding of the scalar controller.
     bool integral_setpoints = true;
     for (std::size_t w = 0; w < cw; ++w) {
       const double c = chunk.setpoint[w];
       integral_setpoints = integral_setpoints && c == std::trunc(c);
     }
     control.integral_input =
-        integral_setpoints &&
+        integral_setpoints && !faults_active_ &&
         tdc_.config().quantization != sensor::Quantization::kNone;
+    control.aw_enabled = iir_aw_enabled_;
+    control.aw_min = iir_aw_min_;
+    control.aw_max = iir_aw_max_;
     control.rows.resize(taps);
     for (std::size_t i = 0; i < taps; ++i) {
       control.rows[i] = bank + ((chunk.iir_head + i) % taps) * cw;

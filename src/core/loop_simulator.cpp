@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "roclk/common/math.hpp"
+#include "roclk/control/hardened_control.hpp"
 #include "roclk/control/iir_control.hpp"
 #include "roclk/control/teatime.hpp"
 
@@ -37,6 +38,19 @@ Status LoopSimulator::validate(const LoopConfig& config, bool has_controller) {
   if (config.sample_period && *config.sample_period <= 0.0) {
     return Status::invalid_argument("sample period must be positive");
   }
+  if (config.tdc_max_reading && *config.tdc_max_reading < 1) {
+    return Status::invalid_argument("TDC max_reading must be >= 1");
+  }
+  // The loop compares tau against the set-point every cycle; a TDC chain
+  // shorter than c saturates below the set-point and could never report
+  // "period OK" — a mis-sized chain must fail loudly at construction.
+  const auto tdc = detail::tdc_config_for(config);
+  if (static_cast<double>(tdc.max_reading) < config.setpoint_c) {
+    std::ostringstream os;
+    os << "TDC chain too short for the set-point: max_reading="
+       << tdc.max_reading << " < c=" << config.setpoint_c;
+    return Status::invalid_argument(os.str());
+  }
   return Status::ok();
 }
 
@@ -52,7 +66,8 @@ std::size_t cdn_history_for(const LoopConfig& config) {
 sensor::TdcConfig tdc_config_for(const LoopConfig& config) {
   sensor::TdcConfig tdc;
   tdc.quantization = config.tdc_quantization;
-  tdc.max_reading = 1 << 20;  // dynamic mu is injected per step instead
+  // Dynamic mu is injected per step instead of via mismatch_stages.
+  tdc.max_reading = config.tdc_max_reading.value_or(std::int64_t{1} << 20);
   return tdc;
 }
 
@@ -94,8 +109,17 @@ LoopSimulator::LoopSimulator(LoopConfig config,
 void LoopSimulator::set_setpoint(double setpoint_c) {
   ROCLK_CHECK(setpoint_c > 0.0,
               "set-point must be positive, got c=" << setpoint_c);
+  ROCLK_CHECK(static_cast<double>(tdc_.config().max_reading) >= setpoint_c,
+              "TDC chain too short for the new set-point: max_reading="
+                  << tdc_.config().max_reading << " < c=" << setpoint_c);
   config_.setpoint_c = setpoint_c;
 }
+
+void LoopSimulator::attach_faults(const fault::FaultSchedule& schedule) {
+  injector_.emplace(schedule);
+}
+
+void LoopSimulator::clear_faults() { injector_.reset(); }
 
 void LoopSimulator::reset() {
   const double equilibrium = detail::equilibrium_for(config_);
@@ -107,19 +131,50 @@ void LoopSimulator::reset() {
   prev_e_ro_ = 0.0;
   prev_e_tdc_ = 0.0;
   prev_mu_ = 0.0;
+  if (injector_) injector_->reset();
+  cycle_ = 0;
+  isolated_ = false;
+  frozen_ = StepRecord{};
 }
 
 template <typename ControlFn>
 StepRecord LoopSimulator::step_impl(double e_ro, double e_tdc, double mu,
                                     ControlFn&& control_step) {
+  if (isolated_) {
+    // Once isolated the loop is frozen: the last good record repeats so a
+    // poisoned signal can never reach downstream metrics.
+    ++cycle_;
+    return frozen_;
+  }
+  fault::CycleFaults faults;
+  if (injector_) faults = injector_->begin_cycle(cycle_);
+  ++cycle_;
+
   StepRecord record;
 
   // TDC (one-cycle latency): measure the period delivered last cycle under
   // last cycle's local conditions.
   // tau = quantise(T_dlv - e_tdc + mu): fold mu into the additive reading.
   record.tau = tdc_.measure_additive(prev_t_dlv_, prev_e_tdc_ - prev_mu_);
-  record.delta = config_.setpoint_c - record.tau;
+  // Violation is judged on the TRUE reading, before any sensor fault: a
+  // corrupted mux changes what the controller sees, not whether timing was
+  // actually met on the die.
   record.violation = record.tau < config_.setpoint_c;
+  if (faults.any) {
+    // Sensor-mux faults (precedence resolved by the injector).  A faulted
+    // reading still passes through the chain's physical saturation.
+    const auto max_reading =
+        static_cast<double>(tdc_.config().max_reading);
+    if (faults.tau_stuck) {
+      record.tau = std::clamp(faults.tau_stuck_value, 0.0, max_reading);
+    } else if (faults.tau_dropped) {
+      record.tau = 0.0;  // the capture register missed the edge
+    } else if (faults.tau_glitch != 0.0) {
+      record.tau =
+          std::clamp(record.tau + faults.tau_glitch, 0.0, max_reading);
+    }
+  }
+  record.delta = config_.setpoint_c - record.tau;
 
   // Controller / generator.
   double lro_now = prev_lro_;
@@ -145,19 +200,40 @@ StepRecord LoopSimulator::step_impl(double e_ro, double e_tdc, double mu,
 
   // RO (one-cycle latency on both the length and the local variation, per
   // eq. 5's e(z) z^-1 path).  A fixed clock ignores on-die variation.
+  // An active stage failure steps the l_RO -> period mapping.
   const double e_at_ro =
       config_.mode == GeneratorMode::kFixedClock ? 0.0 : prev_e_ro_;
-  record.t_gen = std::max(1.0, prev_lro_ + e_at_ro);
+  double t_gen = prev_lro_ + e_at_ro;
+  if (faults.any && faults.ro_offset != 0.0) t_gen += faults.ro_offset;
+  record.t_gen = std::max(1.0, t_gen);
 
-  // CDN.
+  // CDN.  A delivery drop swallows the leaf edge: the registers observe a
+  // doubled period this cycle, while the tree's pipeline is unaffected.
   record.t_dlv = cdn_.push(record.t_gen);
+  if (faults.any && faults.cdn_drop) record.t_dlv *= 2.0;
 
-  // Advance the delay registers.
+  // Advance the delay registers.  A supply droop slows the whole die: both
+  // the RO and the TDC chain see the extra stages next cycle.
   prev_lro_ = lro_now;
   prev_t_dlv_ = record.t_dlv;
   prev_e_ro_ = e_ro;
   prev_e_tdc_ = e_tdc;
   prev_mu_ = mu;
+  if (faults.any && faults.droop != 0.0) {
+    prev_e_ro_ += faults.droop;
+    prev_e_tdc_ += faults.droop;
+  }
+
+  if (injector_) {
+    // Lane isolation: faulted dynamics must degrade, never poison.  A
+    // non-physical signal freezes the loop at the last good record.
+    if (!std::isfinite(record.tau) || !std::isfinite(record.t_dlv) ||
+        record.t_dlv <= 0.0) {
+      isolated_ = true;
+      return frozen_;
+    }
+    frozen_ = record;
+  }
   return record;
 }
 
@@ -212,6 +288,38 @@ LoopSimulator make_iir_system(double setpoint_c, double cdn_delay_stages) {
   config.mode = GeneratorMode::kControlledRo;
   return LoopSimulator{config, std::make_unique<control::IirControlHardware>(
                                    control::paper_iir_config())};
+}
+
+LoopSimulator make_hardened_iir_system(double setpoint_c,
+                                       double cdn_delay_stages) {
+  LoopConfig config;
+  config.setpoint_c = setpoint_c;
+  config.cdn_delay_stages = cdn_delay_stages;
+  config.mode = GeneratorMode::kControlledRo;
+
+  control::HardenedConfig hardened;
+  hardened.setpoint_c = setpoint_c;
+  // Degraded command: the slowest clock the RO can make always meets
+  // timing, so it is the safe park position.
+  hardened.safe_lro = static_cast<double>(config.max_length);
+  // Plausibility bounds scale with the operating point: a locked loop
+  // reads tau ~ c, and die time constants bound the per-cycle slew.
+  hardened.guard.tau_min = 0.5 * setpoint_c;
+  hardened.guard.tau_max = 2.0 * setpoint_c;
+  hardened.guard.max_step = std::max(4.0, 0.25 * setpoint_c);
+  hardened.watchdog.delta_bound = std::max(4.0, 0.25 * setpoint_c);
+  hardened.watchdog.relock_bound = 2.0;
+  // Fast detection: the guard's z^-1 means the inner IIR only reacts to a
+  // resynced fault one cycle late, so resync + 2 trip cycles snap the loop
+  // to the safe park before a corrupted reading can move l_RO.
+  hardened.guard.hold_limit = 2;
+  hardened.watchdog.trip_cycles = 2;
+
+  auto controller = control::make_hardened_iir(
+      control::paper_iir_config(), hardened,
+      static_cast<double>(config.min_length),
+      static_cast<double>(config.max_length));
+  return LoopSimulator{config, std::move(controller)};
 }
 
 LoopSimulator make_teatime_system(double setpoint_c, double cdn_delay_stages) {

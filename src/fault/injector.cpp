@@ -1,0 +1,60 @@
+#include "roclk/fault/injector.hpp"
+
+namespace roclk::fault {
+
+FaultInjector::FaultInjector(const FaultSchedule& schedule)
+    : schedule_{schedule} {
+  active_.reserve(schedule_.size());
+}
+
+void FaultInjector::reset() {
+  next_ = 0;
+  active_.clear();
+}
+
+CycleFaults FaultInjector::begin_cycle(std::uint64_t cycle) {
+  const std::span<const FaultEvent> events = schedule_.events();
+
+  // Start events whose window opened (sorted by start, so one compare per
+  // idle cycle).
+  while (next_ < events.size() && events[next_].start_cycle <= cycle) {
+    active_.push_back(next_);
+    ++next_;
+  }
+  // Retire expired events; erase preserves order, so overlapping additive
+  // events fold in schedule order every cycle.
+  std::erase_if(active_, [&](std::size_t i) {
+    return !events[i].active_at(cycle);
+  });
+
+  CycleFaults faults;
+  if (active_.empty()) return faults;
+  for (const std::size_t i : active_) {
+    const FaultEvent& event = events[i];
+    switch (event.kind) {
+      case FaultKind::kTdcStuckAt:
+        faults.tau_stuck = true;
+        faults.tau_stuck_value = event.magnitude;
+        break;
+      case FaultKind::kTdcDroppedSample:
+        faults.tau_dropped = true;
+        break;
+      case FaultKind::kTdcGlitch:
+        faults.tau_glitch += event.magnitude;
+        break;
+      case FaultKind::kRoStageFailure:
+        faults.ro_offset += event.magnitude;
+        break;
+      case FaultKind::kCdnDeliveryDrop:
+        faults.cdn_drop = true;
+        break;
+      case FaultKind::kVoltageDroop:
+        faults.droop += event.magnitude;
+        break;
+    }
+  }
+  faults.any = true;
+  return faults;
+}
+
+}  // namespace roclk::fault

@@ -1,0 +1,160 @@
+#include "roclk/analysis/fault_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace roclk::analysis {
+namespace {
+
+using core::SimulationTrace;
+using core::StepRecord;
+using fault::FaultEvent;
+using fault::FaultKind;
+using fault::FaultSchedule;
+
+/// Trace with |delta| given per cycle; a cycle is a violation iff its
+/// entry is negative (delta is stored as given either way).
+SimulationTrace trace_of(const std::vector<double>& deltas,
+                         const std::vector<std::size_t>& violations = {}) {
+  SimulationTrace trace;
+  for (std::size_t k = 0; k < deltas.size(); ++k) {
+    StepRecord record;
+    record.delta = deltas[k];
+    record.tau = 64.0 - deltas[k];
+    for (const std::size_t v : violations) {
+      if (v == k) record.violation = true;
+    }
+    trace.push(record);
+  }
+  return trace;
+}
+
+TEST(ScheduleSpan, CoversAllEventsAndDetectsPermanence) {
+  FaultSchedule schedule;
+  EXPECT_EQ(schedule_span(schedule).start, 0u);
+  ASSERT_TRUE(schedule_span(schedule).end.has_value());
+  EXPECT_EQ(*schedule_span(schedule).end, 0u);
+
+  schedule.add({FaultKind::kTdcGlitch, 40, 10, 1.0})
+      .add({FaultKind::kVoltageDroop, 20, 5, 2.0});
+  FaultSpan span = schedule_span(schedule);
+  EXPECT_EQ(span.start, 20u);
+  ASSERT_TRUE(span.end.has_value());
+  EXPECT_EQ(*span.end, 50u);
+
+  schedule.add({FaultKind::kTdcStuckAt, 30, FaultEvent::kPermanent, 5.0});
+  span = schedule_span(schedule);
+  EXPECT_EQ(span.start, 20u);
+  EXPECT_FALSE(span.end.has_value());
+}
+
+TEST(FaultRecovery, SplitsViolationsByWindowPosition) {
+  // 12 cycles, fault window [4, 8): violations at 1 (before), 5 (during),
+  // 9 and 10 (after).
+  const auto trace = trace_of(std::vector<double>(12, 0.0), {1, 5, 9, 10});
+  const auto metrics = evaluate_fault_recovery(trace, 4, 8);
+  EXPECT_EQ(metrics.violations_before, 1u);
+  EXPECT_EQ(metrics.violations_during, 1u);
+  EXPECT_EQ(metrics.violations_after, 2u);
+}
+
+TEST(FaultRecovery, PermanentFaultCountsEverythingAsDuringAndNeverRelocks) {
+  const auto trace = trace_of(std::vector<double>(10, 0.0), {2, 7});
+  const auto metrics = evaluate_fault_recovery(trace, 1, std::nullopt);
+  EXPECT_EQ(metrics.violations_during, 2u);
+  EXPECT_EQ(metrics.violations_after, 0u);
+  EXPECT_FALSE(metrics.relocked);
+  EXPECT_EQ(metrics.relock_latency, 0u);
+}
+
+TEST(FaultRecovery, RelockLatencyCountsToTheStreaksFirstCycle) {
+  // Fault ends at cycle 4; deltas stay out of bound until cycle 7, then a
+  // lock_cycles = 3 streak starts at cycle 7 => latency 3.
+  FaultRecoveryConfig config;
+  config.lock_bound = 2.0;
+  config.lock_cycles = 3;
+  config.tail_cycles = 2;
+  config.reconverge_bound = 1.0;
+  const auto trace =
+      trace_of({0.0, 0.0, 50.0, 50.0, 50.0, 40.0, 30.0, 1.0, 1.0, 0.5});
+  const auto metrics = evaluate_fault_recovery(trace, 2, 4, config);
+  EXPECT_TRUE(metrics.relocked);
+  EXPECT_EQ(metrics.relock_latency, 3u);
+  EXPECT_TRUE(metrics.reconverged);
+  EXPECT_DOUBLE_EQ(metrics.tail_max_abs_delta, 1.0);
+}
+
+TEST(FaultRecovery, ImmediateRelockHasZeroLatency) {
+  FaultRecoveryConfig config;
+  config.lock_cycles = 2;
+  config.tail_cycles = 2;
+  const auto trace = trace_of({0.0, 50.0, 0.0, 0.0, 0.0});
+  const auto metrics = evaluate_fault_recovery(trace, 1, 2, config);
+  EXPECT_TRUE(metrics.relocked);
+  EXPECT_EQ(metrics.relock_latency, 0u);
+}
+
+TEST(FaultRecovery, BrokenStreaksDoNotRelock) {
+  FaultRecoveryConfig config;
+  config.lock_cycles = 3;
+  config.tail_cycles = 1;
+  config.reconverge_bound = 0.5;
+  // In-bound pairs separated by excursions: never 3 in a row.
+  const auto trace =
+      trace_of({0.0, 9.0, 1.0, 1.0, 9.0, 1.0, 1.0, 9.0, 1.0, 1.0, 9.0});
+  const auto metrics = evaluate_fault_recovery(trace, 1, 2, config);
+  EXPECT_FALSE(metrics.relocked);
+  EXPECT_FALSE(metrics.reconverged);  // tail sample is 9.0
+  EXPECT_DOUBLE_EQ(metrics.tail_max_abs_delta, 9.0);
+}
+
+TEST(FaultRecovery, ScheduleOverloadDerivesTheWindow) {
+  FaultSchedule schedule;
+  schedule.add({FaultKind::kTdcGlitch, 3, 2, 10.0});
+  std::vector<double> deltas(20, 0.0);
+  deltas[3] = 30.0;
+  deltas[4] = 30.0;
+  const auto trace = trace_of(deltas, {4});
+  FaultRecoveryConfig config;
+  config.tail_cycles = 8;  // keep the tail clear of the fault window
+  const auto metrics = evaluate_fault_recovery(trace, schedule, config);
+  EXPECT_EQ(metrics.violations_during, 1u);
+  EXPECT_TRUE(metrics.relocked);
+  EXPECT_EQ(metrics.relock_latency, 0u);
+  EXPECT_TRUE(metrics.reconverged);
+}
+
+TEST(HardeningVerdict, ComparesGuardedAgainstBaseline) {
+  FaultSchedule schedule;
+  schedule.add({FaultKind::kTdcStuckAt, 2, 3, 100.0});
+  FaultRecoveryConfig config;
+  config.lock_cycles = 2;
+  config.tail_cycles = 4;
+
+  // Guarded: one violation during, clean afterwards, reconverges.
+  std::vector<double> guarded_deltas(24, 0.0);
+  guarded_deltas[3] = 5.0;
+  const auto guarded = trace_of(guarded_deltas, {3});
+  // Baseline: violations bleed past the window and the tail never settles.
+  std::vector<double> baseline_deltas(24, 4.0);
+  const auto baseline = trace_of(baseline_deltas, {3, 6, 8, 11});
+
+  const HardeningVerdict verdict =
+      compare_hardening(guarded, baseline, schedule, config);
+  EXPECT_EQ(verdict.guarded.violations_during, 1u);
+  EXPECT_EQ(verdict.baseline.violations_after, 3u);
+  EXPECT_TRUE(verdict.guarded_no_worse());
+  EXPECT_TRUE(verdict.guarded_recovers());
+  EXPECT_FALSE(verdict.baseline.reconverged);
+
+  // Swapped, the baseline is strictly worse than the guarded loop.
+  const HardeningVerdict swapped =
+      compare_hardening(baseline, guarded, schedule, config);
+  EXPECT_FALSE(swapped.guarded_no_worse());
+  EXPECT_FALSE(swapped.guarded_recovers());
+}
+
+}  // namespace
+}  // namespace roclk::analysis

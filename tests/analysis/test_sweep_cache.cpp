@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "roclk/analysis/experiments.hpp"
 #include "roclk/common/thread_pool.hpp"
@@ -128,6 +133,130 @@ TEST(SweepMemo, ThreadSafeUnderConcurrentSweep) {
   EXPECT_GE(stats.hits + worst_misses, 64u);
   EXPECT_GE(stats.hits, 1u);
   EXPECT_EQ(stats.entries, 4u);
+}
+
+// ---------------------------------------------------------- persistence
+
+namespace fs = std::filesystem;
+
+class SweepMemoFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() /
+             ("roclk_sweep_memo_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".bin"))
+                .string();
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  static SweepMemo& filled_memo(SweepMemo& memo) {
+    memo.clear();
+    for (int i = 0; i < 5; ++i) {
+      RunMetrics metrics;
+      metrics.safety_margin = 1.0 + i;
+      metrics.mean_period = 64.0 + 0.25 * i;
+      metrics.violations = static_cast<std::size_t>(3 * i);
+      metrics.tau_ripple = 0.5 * i;
+      memo.store(key_of(static_cast<double>(i)), metrics);
+    }
+    return memo;
+  }
+
+  std::string path_;
+};
+
+TEST_F(SweepMemoFileTest, SaveThenLoadRoundTripsEveryEntry) {
+  SweepMemo a;
+  ASSERT_TRUE(filled_memo(a).save_file(path_).is_ok());
+
+  SweepMemo b;
+  b.store(key_of(99.0), RunMetrics{});  // replaced by the load
+  ASSERT_TRUE(b.load_file(path_).is_ok());
+  EXPECT_EQ(b.stats().entries, 5u);
+  RunMetrics out;
+  EXPECT_FALSE(b.lookup(key_of(99.0), out));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(b.lookup(key_of(static_cast<double>(i)), out)) << i;
+    EXPECT_DOUBLE_EQ(out.safety_margin, 1.0 + i);
+    EXPECT_DOUBLE_EQ(out.mean_period, 64.0 + 0.25 * i);
+    EXPECT_EQ(out.violations, static_cast<std::size_t>(3 * i));
+    EXPECT_DOUBLE_EQ(out.tau_ripple, 0.5 * i);
+  }
+}
+
+TEST_F(SweepMemoFileTest, MissingFileDegradesToEmptyMemo) {
+  SweepMemo memo;
+  filled_memo(memo);
+  const Status status = memo.load_file(path_ + ".does-not-exist");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(memo.stats().entries, 0u);  // degraded, not preserved
+}
+
+TEST_F(SweepMemoFileTest, TornWriteDegradesToEmptyMemoWithoutThrowing) {
+  SweepMemo a;
+  ASSERT_TRUE(filled_memo(a).save_file(path_).is_ok());
+  std::string bytes;
+  {
+    std::ifstream in{path_, std::ios::binary};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  ASSERT_GT(bytes.size(), 32u);
+
+  // Simulate a torn write at several truncation points: whatever prefix
+  // survived, the load must degrade to an empty memo, not throw.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{8}, bytes.size() / 2,
+        bytes.size() - 8, bytes.size() - 1}) {
+    SCOPED_TRACE("truncated to " + std::to_string(keep) + " bytes");
+    {
+      std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    SweepMemo memo;
+    filled_memo(memo);
+    const Status status = memo.load_file(path_);
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(memo.stats().entries, 0u);
+  }
+}
+
+TEST_F(SweepMemoFileTest, CorruptPayloadFailsTheChecksum) {
+  SweepMemo a;
+  ASSERT_TRUE(filled_memo(a).save_file(path_).is_ok());
+  // Flip one byte in the middle of the payload.
+  {
+    std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+    file.seekp(static_cast<std::streamoff>(fs::file_size(path_) / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.write(&byte, 1);
+  }
+  SweepMemo memo;
+  const Status status = memo.load_file(path_);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(memo.stats().entries, 0u);
+}
+
+TEST_F(SweepMemoFileTest, WrongMagicIsRejected) {
+  {
+    std::ofstream out{path_, std::ios::binary};
+    const std::string garbage(64, 'x');
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+  SweepMemo memo;
+  filled_memo(memo);
+  EXPECT_FALSE(memo.load_file(path_).is_ok());
+  EXPECT_EQ(memo.stats().entries, 0u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "roclk/signal/filter.hpp"
 
@@ -262,6 +263,118 @@ INSTANTIATE_TEST_SUITE_P(
                       CoeffCase{{2.0, 1.0, 0.5, 0.25, 0.125, 0.125}, 0.25},
                       CoeffCase{{4.0, 2.0, 1.0, 0.5, 0.25, 0.125, 0.125},
                                 0.125}));
+
+// ------------------------------------------------------------ anti-windup
+
+constexpr double kAwMin = 8.0;
+constexpr double kAwMax = 1024.0;
+
+IirConfig windup_config() {
+  IirConfig cfg = paper_iir_config();
+  cfg.anti_windup = IirOutputClamp{kAwMin, kAwMax};
+  return cfg;
+}
+
+TEST(IirAntiWindup, ValidateRejectsBadClampRanges) {
+  IirConfig cfg = paper_iir_config();
+  cfg.anti_windup = IirOutputClamp{10.0, 5.0};  // empty range
+  EXPECT_FALSE(validate_iir_config(cfg).is_ok());
+  cfg.anti_windup =
+      IirOutputClamp{0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(validate_iir_config(cfg).is_ok());
+  EXPECT_TRUE(validate_iir_config(windup_config()).is_ok());
+}
+
+TEST(IirAntiWindup, ReturnValueIsUnchangedOnlyStateIsBounded) {
+  IirControlHardware with{windup_config()};
+  IirControlHardware without{paper_iir_config()};
+  with.reset(64.0);
+  without.reset(64.0);
+  // First saturating step: the *outputs* must agree (the loop applies its
+  // own clamp); only the stored state may differ.
+  const double big = 500.0;
+  EXPECT_DOUBLE_EQ(with.step(big), without.step(big));
+}
+
+TEST(IirAntiWindup, StateStaysBoundedWhileOutputIsPinnedAtTheClamp) {
+  IirControlHardware with{windup_config()};
+  IirControlHardware without{paper_iir_config()};
+  with.reset(64.0);
+  without.reset(64.0);
+  // Sustained huge delta, as a stuck-at-max sensor would produce: the
+  // unprotected integrator winds far beyond the clamp; the protected
+  // newest state is back-calculated to it every cycle.
+  const double kexp = windup_config().k_exp;
+  for (int i = 0; i < 200; ++i) {
+    (void)with.step(900.0);
+    (void)without.step(900.0);
+    EXPECT_LE(static_cast<double>(with.state()[0]), kAwMax * kexp)
+        << "cycle " << i;
+  }
+  EXPECT_GT(static_cast<double>(without.state()[0]), kAwMax * kexp);
+}
+
+TEST(IirAntiWindup, RecoveryDoesNotOvershootBeyondTheNoWindupTrajectory) {
+  IirControlHardware with{windup_config()};
+  IirControlHardware without{paper_iir_config()};
+  with.reset(64.0);
+  without.reset(64.0);
+  // Wind both up against the top clamp, then release with a small delta.
+  for (int i = 0; i < 100; ++i) {
+    (void)with.step(900.0);
+    (void)without.step(900.0);
+  }
+  // On release the wound-up controller keeps commanding past the clamp for
+  // many cycles (it must first unwind its state); the anti-windup one
+  // re-enters the linear region at once and never exceeds the wound-up
+  // command on the way down.
+  std::size_t pinned_with = 0;
+  std::size_t pinned_without = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double yw = with.step(0.0);
+    const double yo = without.step(0.0);
+    if (yw > kAwMax) ++pinned_with;
+    if (yo > kAwMax) ++pinned_without;
+    EXPECT_LE(yw, yo + 1e-9) << "cycle " << i;
+  }
+  EXPECT_LT(pinned_with, pinned_without);
+}
+
+TEST(IirAntiWindup, ReferenceImplementationBoundsItsOutputStateToo) {
+  IirConfig cfg = windup_config();
+  IirControlReference with{cfg};
+  IirControlReference without{paper_iir_config()};
+  with.reset(64.0);
+  without.reset(64.0);
+  for (int i = 0; i < 100; ++i) {
+    (void)with.step(900.0);
+    (void)without.step(900.0);
+  }
+  double released_with = 0.0;
+  double released_without = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    released_with = with.step(0.0);
+    released_without = without.step(0.0);
+  }
+  // The protected reference unwinds at least as fast.
+  EXPECT_LE(released_with, released_without + 1e-9);
+}
+
+TEST(IirAntiWindup, DisengagedConfigMatchesLegacyBitForBit) {
+  // anti_windup is optional and disengaged by default: the published
+  // datapath must be untouched, state included.
+  IirControlHardware legacy{paper_iir_config()};
+  IirConfig cfg = paper_iir_config();
+  cfg.anti_windup.reset();
+  IirControlHardware current{cfg};
+  legacy.reset(64.0);
+  current.reset(64.0);
+  for (int i = 0; i < 300; ++i) {
+    const double delta = 700.0 * std::sin(0.05 * i);
+    ASSERT_EQ(legacy.step(delta), current.step(delta)) << "cycle " << i;
+    ASSERT_EQ(legacy.state(), current.state()) << "cycle " << i;
+  }
+}
 
 }  // namespace
 }  // namespace roclk::control

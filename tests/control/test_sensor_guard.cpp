@@ -1,0 +1,131 @@
+#include "roclk/control/sensor_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace roclk::control {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+SensorGuardConfig basic_config() {
+  SensorGuardConfig config;
+  config.tau_min = 32.0;
+  config.tau_max = 128.0;
+  config.max_step = 8.0;
+  config.hold_limit = 3;
+  return config;
+}
+
+TEST(SensorGuard, ValidateRejectsBadConfigs) {
+  SensorGuardConfig config;
+  config.tau_min = 10.0;
+  config.tau_max = 5.0;
+  EXPECT_FALSE(SensorGuard::validate(config).is_ok());
+  config = {};
+  config.max_step = -1.0;
+  EXPECT_FALSE(SensorGuard::validate(config).is_ok());
+  config = {};
+  config.median_window = 4;  // must be odd
+  EXPECT_FALSE(SensorGuard::validate(config).is_ok());
+  config.median_window = 5;
+  EXPECT_TRUE(SensorGuard::validate(config).is_ok());
+}
+
+TEST(SensorGuard, PassesPlausibleReadingsThrough) {
+  SensorGuard guard{basic_config()};
+  guard.reset(64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(66.0), 66.0);
+  EXPECT_DOUBLE_EQ(guard.filter(60.0), 60.0);
+  EXPECT_FALSE(guard.holding());
+  EXPECT_EQ(guard.stats().range_rejects, 0u);
+  EXPECT_EQ(guard.stats().rate_rejects, 0u);
+}
+
+TEST(SensorGuard, HoldsLastGoodOnRangeViolation) {
+  SensorGuard guard{basic_config()};
+  guard.reset(64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(500.0), 64.0);  // out of range
+  EXPECT_TRUE(guard.holding());
+  EXPECT_DOUBLE_EQ(guard.filter(0.0), 64.0);  // dropped-sample zero
+  EXPECT_EQ(guard.stats().range_rejects, 2u);
+  EXPECT_DOUBLE_EQ(guard.last_good(), 64.0);
+}
+
+TEST(SensorGuard, HoldsLastGoodOnRateViolation) {
+  SensorGuard guard{basic_config()};
+  guard.reset(64.0);
+  // 100 is in range but 36 stages away: implausibly fast.
+  EXPECT_DOUBLE_EQ(guard.filter(100.0), 64.0);
+  EXPECT_EQ(guard.stats().rate_rejects, 1u);
+  // A gradual approach is accepted.
+  EXPECT_DOUBLE_EQ(guard.filter(70.0), 70.0);
+  EXPECT_DOUBLE_EQ(guard.filter(77.0), 77.0);
+}
+
+TEST(SensorGuard, ResyncsAfterHoldLimit) {
+  SensorGuard guard{basic_config()};
+  guard.reset(64.0);
+  // A genuine operating-point shift beyond max_step: held hold_limit
+  // times, then the guard accepts the raw stream.
+  EXPECT_DOUBLE_EQ(guard.filter(100.0), 64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(100.0), 64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(100.0), 64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(100.0), 100.0);  // resync
+  EXPECT_EQ(guard.stats().resyncs, 1u);
+  EXPECT_FALSE(guard.holding());
+  EXPECT_DOUBLE_EQ(guard.filter(101.0), 101.0);
+}
+
+TEST(SensorGuard, MedianOfKMasksIsolatedOutliers) {
+  SensorGuardConfig config = basic_config();
+  config.median_window = 3;
+  config.max_step = 0.0;  // isolate the median stage
+  SensorGuard guard{config};
+  guard.reset(64.0);
+  // Window pre-filled with 64: one glitch never wins the median.
+  EXPECT_DOUBLE_EQ(guard.filter(120.0), 64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(64.0), 64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(64.0), 64.0);
+  EXPECT_EQ(guard.stats().range_rejects, 0u);
+}
+
+TEST(SensorGuard, NanIsHeldAndNeverAccepted) {
+  SensorGuardConfig config = basic_config();
+  config.hold_limit = 1;
+  SensorGuard guard{config};
+  guard.reset(64.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(guard.filter(kNan), 64.0) << "call " << i;
+  }
+  // NaN never resyncs (it would poison last_good_ forever)...
+  EXPECT_EQ(guard.stats().resyncs, 0u);
+  EXPECT_DOUBLE_EQ(guard.last_good(), 64.0);
+  // ...and never enters the median window.
+  EXPECT_DOUBLE_EQ(guard.filter(66.0), 66.0);
+}
+
+TEST(SensorGuard, NanNeverPoisonsTheMedianWindow) {
+  SensorGuardConfig config = basic_config();
+  config.median_window = 3;
+  SensorGuard guard{config};
+  guard.reset(64.0);
+  (void)guard.filter(kNan);
+  (void)guard.filter(kNan);
+  (void)guard.filter(kNan);
+  // If any NaN had entered the window the median could never recover; the
+  // pre-filled window instead lets the healthy stream win immediately.
+  EXPECT_DOUBLE_EQ(guard.filter(65.0), 64.0);  // median of {65, 64, 64}
+  EXPECT_DOUBLE_EQ(guard.filter(65.0), 65.0);  // median of {65, 65, 64}
+}
+
+TEST(SensorGuard, DisabledStagesAreTransparent) {
+  SensorGuard guard{SensorGuardConfig{}};  // defaults: wide range, no rate
+  guard.reset(64.0);
+  EXPECT_DOUBLE_EQ(guard.filter(1e9), 1e9);
+  EXPECT_DOUBLE_EQ(guard.filter(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace roclk::control

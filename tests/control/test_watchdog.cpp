@@ -1,0 +1,284 @@
+// Watchdog state machine and the HardenedControl wrapper that maps its
+// states onto loop commands.
+#include "roclk/control/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "roclk/control/hardened_control.hpp"
+#include "roclk/control/iir_control.hpp"
+
+namespace roclk::control {
+namespace {
+
+WatchdogConfig fast_config() {
+  WatchdogConfig config;
+  config.delta_bound = 8.0;
+  config.trip_cycles = 3;
+  config.hold_cycles = 4;
+  config.relock_bound = 2.0;
+  config.relock_cycles = 2;
+  config.stall_cycles = 3;
+  config.reacquire_timeout = 32;
+  return config;
+}
+
+TEST(Watchdog, ValidateRejectsBadConfigs) {
+  WatchdogConfig config;
+  config.delta_bound = 0.0;
+  EXPECT_FALSE(Watchdog::validate(config).is_ok());
+  config = {};
+  config.relock_bound = config.delta_bound + 1.0;  // lock above the trip
+  EXPECT_FALSE(Watchdog::validate(config).is_ok());
+  config = {};
+  config.trip_cycles = 0;
+  EXPECT_FALSE(Watchdog::validate(config).is_ok());
+  config = {};
+  config.stall_cycles = 0;
+  EXPECT_FALSE(Watchdog::validate(config).is_ok());
+  config = {};
+  config.reacquire_timeout = config.relock_cycles;  // could never relock
+  EXPECT_FALSE(Watchdog::validate(config).is_ok());
+  EXPECT_TRUE(Watchdog::validate(WatchdogConfig{}).is_ok());
+}
+
+TEST(Watchdog, StaysLockedThroughBoundedTransients) {
+  Watchdog dog{fast_config()};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dog.observe(i % 2 == 0 ? 7.9 : -7.9), WatchdogState::kLocked);
+  }
+  // Out-of-bound streaks shorter than trip_cycles do not trip.
+  EXPECT_EQ(dog.observe(20.0), WatchdogState::kLocked);
+  EXPECT_EQ(dog.observe(20.0), WatchdogState::kLocked);
+  EXPECT_EQ(dog.observe(0.0), WatchdogState::kLocked);  // streak broken
+  EXPECT_EQ(dog.trips(), 0u);
+}
+
+TEST(Watchdog, TripsAfterSustainedLossOfLock) {
+  Watchdog dog{fast_config()};
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kLocked);
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kLocked);
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kDegraded);
+  EXPECT_EQ(dog.trips(), 1u);
+}
+
+TEST(Watchdog, FullDegradeHoldReacquireRelockRoundTrip) {
+  Watchdog dog{fast_config()};
+  for (int i = 0; i < 3; ++i) (void)dog.observe(50.0);
+  ASSERT_EQ(dog.state(), WatchdogState::kDegraded);
+
+  // Hold for hold_cycles (the trip cycle counts as the first held cycle),
+  // whatever the deltas do meanwhile.
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kDegraded);
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kDegraded);
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kReacquiring);
+
+  // Two in-bound cycles relock.
+  EXPECT_EQ(dog.observe(1.0), WatchdogState::kReacquiring);
+  EXPECT_EQ(dog.observe(1.0), WatchdogState::kLocked);
+  EXPECT_GT(dog.last_relock_latency(), 0u);
+}
+
+TEST(Watchdog, ReacquiringBouncesBackToDegradedWhileFaultPersists) {
+  Watchdog dog{fast_config()};
+  for (int i = 0; i < 3; ++i) (void)dog.observe(50.0);
+  for (int i = 0; i < 3; ++i) (void)dog.observe(50.0);
+  ASSERT_EQ(dog.state(), WatchdogState::kReacquiring);
+  // The fault is still active: |delta| pinned at 50 makes no progress, so
+  // after stall_cycles non-improving cycles (the first observation scores
+  // against the reset baseline and cannot stall) the watchdog re-trips.
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kReacquiring);
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kReacquiring);
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kReacquiring);
+  EXPECT_EQ(dog.observe(50.0), WatchdogState::kDegraded);
+  EXPECT_EQ(dog.trips(), 2u);
+}
+
+TEST(Watchdog, ImprovingDescentFromTheSafeParkNeverRetrips) {
+  Watchdog dog{fast_config()};
+  for (int i = 0; i < 3; ++i) (void)dog.observe(500.0);
+  for (int i = 0; i < 3; ++i) (void)dog.observe(500.0);
+  ASSERT_EQ(dog.state(), WatchdogState::kReacquiring);
+  // The descent from the safe park is far out of bound the whole way down,
+  // but |delta| shrinks every cycle: that is healthy re-acquisition, not a
+  // fault, and must never bounce back to degraded.
+  for (double magnitude = 500.0; magnitude > 2.0; magnitude *= 0.8) {
+    ASSERT_EQ(dog.observe(magnitude), WatchdogState::kReacquiring)
+        << "re-tripped at |delta| = " << magnitude;
+  }
+  (void)dog.observe(1.0);
+  EXPECT_EQ(dog.observe(1.0), WatchdogState::kLocked);
+  EXPECT_EQ(dog.trips(), 1u);
+}
+
+TEST(Watchdog, ReacquireTimeoutCatchesOscillatingFaults) {
+  WatchdogConfig config = fast_config();
+  config.reacquire_timeout = 8;
+  Watchdog dog{config};
+  for (int i = 0; i < 3; ++i) (void)dog.observe(50.0);
+  for (int i = 0; i < 3; ++i) (void)dog.observe(50.0);
+  ASSERT_EQ(dog.state(), WatchdogState::kReacquiring);
+  // Alternating magnitudes neither stall (every other cycle improves) nor
+  // relock; the hard timeout still bounces the loop back to safety.
+  std::size_t cycles = 0;
+  while (dog.state() == WatchdogState::kReacquiring) {
+    (void)dog.observe(cycles % 2 == 0 ? 50.0 : 30.0);
+    ASSERT_LT(++cycles, 20u) << "timeout never fired";
+  }
+  EXPECT_EQ(dog.state(), WatchdogState::kDegraded);
+  EXPECT_LE(cycles, config.reacquire_timeout);
+  EXPECT_EQ(dog.trips(), 2u);
+}
+
+TEST(Watchdog, NanDeltaCountsTowardTheTrip) {
+  Watchdog dog{fast_config()};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  (void)dog.observe(nan);
+  (void)dog.observe(nan);
+  EXPECT_EQ(dog.observe(nan), WatchdogState::kDegraded);
+}
+
+TEST(Watchdog, ResetRestoresLockButKeepsTripStatistics) {
+  Watchdog dog{fast_config()};
+  for (int i = 0; i < 3; ++i) (void)dog.observe(50.0);
+  dog.reset();
+  EXPECT_EQ(dog.state(), WatchdogState::kLocked);
+  EXPECT_EQ(dog.trips(), 1u);
+  EXPECT_EQ(dog.observe(0.0), WatchdogState::kLocked);
+}
+
+// ------------------------------------------------------- HardenedControl
+
+constexpr double kSetpoint = 64.0;
+constexpr double kSafe = 1024.0;
+
+HardenedConfig hardened_config() {
+  HardenedConfig config;
+  config.setpoint_c = kSetpoint;
+  config.safe_lro = kSafe;
+  config.guard.tau_min = 32.0;
+  config.guard.tau_max = 128.0;
+  config.guard.max_step = 16.0;
+  config.guard.hold_limit = 4;
+  config.watchdog = fast_config();
+  return config;
+}
+
+std::unique_ptr<HardenedControl> make_unit() {
+  return make_hardened_iir(paper_iir_config(), hardened_config(), 8.0, kSafe);
+}
+
+TEST(HardenedControl, ValidateRejectsBadConfigs) {
+  HardenedConfig config = hardened_config();
+  config.safe_lro = 0.0;
+  EXPECT_FALSE(validate_hardened_config(config).is_ok());
+  config = hardened_config();
+  config.guard.tau_min = 1000.0;  // empty guard range
+  EXPECT_FALSE(validate_hardened_config(config).is_ok());
+  config = hardened_config();
+  config.watchdog.trip_cycles = 0;
+  EXPECT_FALSE(validate_hardened_config(config).is_ok());
+  EXPECT_TRUE(validate_hardened_config(hardened_config()).is_ok());
+}
+
+TEST(HardenedControl, TracksLikeTheInnerControllerWhileHealthy) {
+  auto hardened = make_unit();
+  IirControlHardware plain{paper_iir_config()};
+  hardened->reset(kSetpoint);
+  plain.reset(kSetpoint);
+  // Small plausible deltas: the guard passes them through verbatim and
+  // the hardened output equals the bare IIR's.
+  for (int i = 0; i < 50; ++i) {
+    const double delta = (i % 5) - 2.0;
+    EXPECT_DOUBLE_EQ(hardened->step(delta), plain.step(delta)) << "step " << i;
+  }
+  EXPECT_EQ(hardened->watchdog().state(), WatchdogState::kLocked);
+}
+
+TEST(HardenedControl, GuardMasksIsolatedGlitchesFromTheInnerLoop) {
+  auto hardened = make_unit();
+  auto plain = std::make_unique<IirControlHardware>(paper_iir_config());
+  hardened->reset(kSetpoint);
+  plain->reset(kSetpoint);
+  double h = 0.0;
+  double p = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    h = hardened->step(0.0);
+    p = plain->step(0.0);
+  }
+  // One wild glitch: delta = -136 means tau = 200, far outside the guard's
+  // plausible range.  The hardened unit holds last-good (delta ~ 0); the
+  // bare controller swallows the outlier whole.  The IIR has no direct
+  // feedthrough (the input lands in a z^-1 register), so the trajectories
+  // diverge on the NEXT step.
+  h = hardened->step(kSetpoint - 200.0);
+  p = plain->step(kSetpoint - 200.0);
+  EXPECT_NEAR(h, kSetpoint, 1.0);  // command stays at the operating point
+  h = hardened->step(0.0);
+  p = plain->step(0.0);
+  EXPECT_NE(h, p);
+  EXPECT_NEAR(h, kSetpoint, 1.0);
+  EXPECT_EQ(hardened->guard().stats().range_rejects, 1u);
+  EXPECT_EQ(hardened->watchdog().state(), WatchdogState::kLocked);
+}
+
+TEST(HardenedControl, DegradesToSafeCommandUnderPersistentFault) {
+  auto hardened = make_unit();
+  hardened->reset(kSetpoint);
+  const HardenedConfig& config = hardened->config();
+  // A persistent stuck-at-zero sensor: tau = 0, delta = 64.  The guard
+  // holds for hold_limit cycles, then resyncs; the watchdog trips after
+  // trip_cycles of out-of-bound deltas.
+  double command = 0.0;
+  std::size_t degrade_at = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    command = hardened->step(kSetpoint);
+    if (hardened->watchdog().state() == WatchdogState::kDegraded) {
+      degrade_at = i;
+      break;
+    }
+  }
+  ASSERT_EQ(hardened->watchdog().state(), WatchdogState::kDegraded);
+  EXPECT_DOUBLE_EQ(command, kSafe);
+  EXPECT_LE(degrade_at,
+            config.guard.hold_limit + config.watchdog.trip_cycles + 1);
+  // Degraded holds the safe command regardless of the input.
+  EXPECT_DOUBLE_EQ(hardened->step(kSetpoint), kSafe);
+}
+
+TEST(HardenedControl, ReacquiresAndRelocksAfterTheFaultClears) {
+  auto hardened = make_unit();
+  hardened->reset(kSetpoint);
+  // Trip on a persistent fault, then clear it.
+  while (hardened->watchdog().state() != WatchdogState::kDegraded) {
+    (void)hardened->step(kSetpoint);
+  }
+  // Healthy deltas from here on: the hold expires, re-acquisition runs
+  // closed loop, and the unit relocks.
+  std::size_t cycles = 0;
+  while (hardened->watchdog().state() != WatchdogState::kLocked) {
+    (void)hardened->step(0.5);
+    ASSERT_LT(++cycles, 100u) << "never relocked";
+  }
+  const WatchdogConfig& wd = hardened->config().watchdog;
+  EXPECT_LE(cycles, wd.hold_cycles + wd.relock_cycles + 1);
+  // Locked again: healthy tracking resumes through the guard.
+  (void)hardened->step(0.0);
+  EXPECT_EQ(hardened->watchdog().state(), WatchdogState::kLocked);
+}
+
+TEST(HardenedControl, CloneReplaysIdentically) {
+  auto hardened = make_unit();
+  hardened->reset(kSetpoint);
+  for (int i = 0; i < 7; ++i) (void)hardened->step(1.0);
+  auto copy = hardened->clone();
+  for (int i = 0; i < 30; ++i) {
+    const double delta = i < 10 ? 50.0 : 0.0;  // trips, then recovers
+    EXPECT_DOUBLE_EQ(hardened->step(delta), copy->step(delta)) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace roclk::control

@@ -41,6 +41,31 @@ TEST(LoopSimulator, ValidateRejectsBadConfigs) {
   LoopConfig bad_period;
   bad_period.open_loop_period = -1.0;
   EXPECT_FALSE(LoopSimulator::validate(bad_period, true).is_ok());
+
+  LoopConfig bad_chain;
+  bad_chain.tdc_max_reading = 0;
+  EXPECT_FALSE(LoopSimulator::validate(bad_chain, true).is_ok());
+}
+
+TEST(LoopSimulator, TdcChainShorterThanSetpointFailsLoudly) {
+  // A chain shorter than c saturates below the set-point and could never
+  // report "period OK": the loop would lock at the rail forever.  The
+  // mis-sizing must fail at construction, not misbehave at runtime.
+  LoopConfig cfg;
+  cfg.setpoint_c = 64.0;
+  cfg.tdc_max_reading = 63;
+  EXPECT_FALSE(LoopSimulator::validate(cfg, true).is_ok());
+  EXPECT_THROW((LoopSimulator{cfg,
+                              std::make_unique<control::IirControlHardware>()}),
+               std::logic_error);
+
+  cfg.tdc_max_reading = 64;  // exactly c is the smallest legal chain
+  EXPECT_TRUE(LoopSimulator::validate(cfg, true).is_ok());
+
+  // set_setpoint re-checks the invariant against the existing chain.
+  LoopSimulator sim{cfg, std::make_unique<control::IirControlHardware>()};
+  EXPECT_THROW(sim.set_setpoint(65.0), std::logic_error);
+  sim.set_setpoint(32.0);  // shrinking is always safe
 }
 
 TEST(LoopSimulator, ConstructionRejectsOutOfRangeLro) {

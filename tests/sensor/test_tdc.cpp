@@ -41,6 +41,29 @@ TEST(Tdc, ReadingSaturatesAtChainLength) {
   EXPECT_DOUBLE_EQ(tdc.measure_additive(10.0, 50.0), 0.0);
 }
 
+TEST(Tdc, ReadingIsClampedUnderEveryQuantizationMode) {
+  // The chain physically cannot report below 0 or above max_reading, so
+  // the [0, max_reading] clamp must apply regardless of how (or whether)
+  // the reading is quantised.
+  for (const Quantization q :
+       {Quantization::kFloor, Quantization::kNearest, Quantization::kNone}) {
+    TdcConfig cfg;
+    cfg.quantization = q;
+    cfg.max_reading = 100;
+    Tdc tdc{cfg};
+    EXPECT_DOUBLE_EQ(tdc.measure_additive(500.25, 0.0), 100.0)
+        << "mode " << static_cast<int>(q);
+    EXPECT_DOUBLE_EQ(tdc.measure_additive(10.5, 50.0), 0.0)
+        << "mode " << static_cast<int>(q);
+    // A fractional in-range reading survives kNone unquantised but still
+    // clamped at the rails.
+    if (q == Quantization::kNone) {
+      EXPECT_DOUBLE_EQ(tdc.measure_additive(99.75, 0.0), 99.75);
+      EXPECT_DOUBLE_EQ(tdc.measure_additive(100.25, 0.0), 100.0);
+    }
+  }
+}
+
 TEST(Tdc, PhysicalReadingDividesByLocalStageDelay) {
   TdcConfig cfg;
   cfg.quantization = Quantization::kNone;

@@ -177,6 +177,9 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
   const bool may_round = path_ends_with(display_path, "common/math.hpp");
   const bool may_raw_rng = path_ends_with(display_path, "common/rng.hpp") ||
                            path_ends_with(display_path, "common/rng.cpp");
+  const std::string generic = display_path.generic_string();
+  const bool is_fault_source = generic.rfind("fault/", 0) == 0 ||
+                               generic.find("/fault/") != std::string::npos;
 
   static const std::regex kRound{R"(std\s*::\s*(l?l?round)\s*\()"};
   static const std::regex kRand{R"((^|[^:\w])(std\s*::\s*)?s?rand\s*\()"};
@@ -184,6 +187,10 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
   static const std::regex kNakedNew{R"(\bnew\b)"};
   static const std::regex kNakedDelete{R"(\bdelete\b)"};
   static const std::regex kEndl{R"(std\s*::\s*endl\b)"};
+  static const std::regex kRandomHeader{R"(#\s*include\s*<random>)"};
+  static const std::regex kStdRandom{
+      R"(std\s*::\s*(mt19937|minstd_rand|ranlux\w*|knuth_b|)"
+      R"(default_random_engine|[a-z_]+_distribution)\b)"};
 
   const std::string stripped = strip_comments_and_strings(source);
   std::istringstream in{stripped};
@@ -228,6 +235,18 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
     }
     if (std::regex_search(line, kEndl)) {
       report(lineno, "endl", "std::endl forces a flush; write '\\n' instead");
+    }
+    if (is_fault_source) {
+      if (std::regex_search(line, kRandomHeader)) {
+        report(lineno, "fault-rng",
+               "fault/ must not include <random>; draw randomness from "
+               "roclk/common/rng.hpp so (seed, schedule) stays reproducible");
+      } else if (std::regex_search(line, match, kStdRandom)) {
+        report(lineno, "fault-rng",
+               "fault/ must not use std::" + match[1].str() +
+                   "; draw randomness from roclk/common/rng.hpp so "
+                   "(seed, schedule) stays reproducible");
+      }
     }
   }
   return findings;

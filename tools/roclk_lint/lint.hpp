@@ -11,6 +11,10 @@
 //   endl        std::endl flushes on every call; use '\n'.
 //   pragma-once every header must start its include guard with
 //               #pragma once.
+//   fault-rng   fault/ sources must draw randomness exclusively from
+//               common/rng: <random> engines and distributions would
+//               break the (seed, schedule) -> run reproducibility
+//               contract of the fault subsystem.
 //
 // A finding on a line can be waived with an inline comment naming the
 // rule: `// roclk-lint: allow(round)`.  Comments and string/character

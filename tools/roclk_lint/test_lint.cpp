@@ -90,6 +90,30 @@ TEST(LintTest, FlagsEndlAndMissingPragmaOnce) {
                         "pragma-once"));
 }
 
+TEST(LintTest, FaultSourcesMustUseCommonRng) {
+  // <random> and std engines/distributions are findings inside fault/...
+  EXPECT_TRUE(has_rule(
+      lint_source("src/fault/injector.cpp", "#include <random>\n"),
+      "fault-rng"));
+  EXPECT_TRUE(has_rule(lint_source("include/roclk/fault/fault.hpp",
+                                   "#pragma once\nstd::mt19937 gen;\n"),
+                       "fault-rng"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/fault/fault.cpp",
+                  "std::uniform_int_distribution<int> d(0, 9);\n"),
+      "fault-rng"));
+  // ...but not elsewhere, and common/rng usage inside fault/ is clean.
+  EXPECT_FALSE(has_rule(lint_source("src/core/foo.cpp", "std::mt19937 g;\n"),
+                        "fault-rng"));
+  EXPECT_TRUE(lint_source("src/fault/fault.cpp",
+                          "#include \"roclk/common/rng.hpp\"\n"
+                          "common::Xoshiro256 rng{seed};\n")
+                  .empty());
+  // "default/" must not be mistaken for a fault/ path.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/default/foo.cpp", "std::mt19937 g;\n"), "fault-rng"));
+}
+
 TEST(LintTest, InlineWaiverSuppressesNamedRuleOnly) {
   const std::string waived =
       "auto* p = new int;  // roclk-lint: allow(naked-new)\n";
