@@ -50,12 +50,18 @@ inline void shape_check(bool ok, const char* claim) {
 
 // ------------------------------------------------- perf-run recording
 
-/// One before/after measurement of a perf runner.
+/// One before/after measurement of a perf runner.  `threads` is the thread
+/// count the 'after' path actually used (not hardware_concurrency, which
+/// the run record carries separately) and `simd_backend` the kernel
+/// backend it dispatched to — both recorded per entry so a sweeps file
+/// mixing scalar/SIMD and 1-thread/N-thread runs stays interpretable.
 struct PerfEntry {
   std::string name;
   std::string unit;
   double before_items_per_sec{0.0};
   double after_items_per_sec{0.0};
+  int threads{1};
+  std::string simd_backend{"scalar"};
   [[nodiscard]] double speedup() const {
     return before_items_per_sec > 0.0
                ? after_items_per_sec / before_items_per_sec
@@ -110,9 +116,11 @@ inline bool append_perf_run(const std::string& path,
     std::snprintf(line, sizeof line,
                   "        {\"name\": \"%s\", \"unit\": \"%s\", "
                   "\"before_items_per_sec\": %.1f, "
-                  "\"after_items_per_sec\": %.1f, \"speedup\": %.2f}%s\n",
+                  "\"after_items_per_sec\": %.1f, \"speedup\": %.2f, "
+                  "\"threads\": %d, \"simd_backend\": \"%s\"}%s\n",
                   e.name.c_str(), e.unit.c_str(), e.before_items_per_sec,
-                  e.after_items_per_sec, e.speedup(),
+                  e.after_items_per_sec, e.speedup(), e.threads,
+                  e.simd_backend.c_str(),
                   i + 1 < entries.size() ? "," : "");
     run << line;
   }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "roclk/common/fixed_point.hpp"
+#include "roclk/common/simd.hpp"
 #include "roclk/common/status.hpp"
 #include "roclk/control/control_block.hpp"
 #include "roclk/core/inputs.hpp"
@@ -151,63 +152,76 @@ class EnsembleSimulator {
  private:
   // Lanes are processed in chunks of kChunkLanes: the chunk's interleaved
   // CDN ring plus its delay registers fit in L1, and chunks are the unit
-  // of thread parallelism.
-  static constexpr std::size_t kChunkLanes = 16;
+  // of thread parallelism.  32 lanes = 8 AVX2 vectors per per-cycle array
+  // pass — wide enough to amortize the per-cycle reducer call, small
+  // enough that the ring stays L1-resident.
+  static constexpr std::size_t kChunkLanes = 32;
 
+  // All lane arrays use simd::aligned_vector: every array starts on its
+  // own cache line and is padded to whole lines, so vector loads never
+  // split a line and two chunks running on different worker threads can
+  // never false-share.
   struct Chunk {
     std::size_t first{0};
     std::size_t width{0};
 
     // z^-1 delay registers, one slot per lane.
-    std::vector<double> prev_lro;
-    std::vector<double> prev_t_dlv;
-    std::vector<double> prev_e_ro;
-    std::vector<double> prev_e_local;  // e_tdc - mu of the previous cycle
+    simd::aligned_vector<double> prev_lro;
+    simd::aligned_vector<double> prev_t_dlv;
+    simd::aligned_vector<double> prev_e_ro;
+    simd::aligned_vector<double> prev_e_local;  // previous e_tdc - mu
 
     // Per-lane loop constants.
-    std::vector<double> setpoint;
-    std::vector<double> open_loop;     // resolved open-loop period
-    std::vector<std::int64_t> min_len;
-    std::vector<std::int64_t> max_len;
-    std::vector<double> min_len_d;
-    std::vector<double> max_len_d;
+    simd::aligned_vector<double> setpoint;
+    simd::aligned_vector<double> open_loop;  // resolved open-loop period
+    simd::aligned_vector<std::int64_t> min_len;
+    simd::aligned_vector<std::int64_t> max_len;
+    simd::aligned_vector<double> min_len_d;
+    simd::aligned_vector<double> max_len_d;
 
     // Interleaved CDN ring: slot s of lane w at ring[s * width + w].
     // slots is a power of two covering the largest per-lane history;
     // per-lane history/initial values keep the boundary conditions (and
     // the d-clamp) bit-identical to each lane's own QuantizedTimeCdn.
-    std::vector<double> ring;
+    simd::aligned_vector<double> ring;
     std::size_t ring_slots{0};
     std::size_t slot_mask{0};
     std::uint64_t pushes{0};
-    std::vector<double> cdn_delay;
-    std::vector<double> cdn_history_d;      // history - 2, as double
-    std::vector<std::uint64_t> cdn_history;
-    std::vector<double> cdn_initial;
+    simd::aligned_vector<double> cdn_delay;
+    simd::aligned_vector<double> cdn_history_d;  // history - 2, as double
+    simd::aligned_vector<std::uint64_t> cdn_history;
+    simd::aligned_vector<double> cdn_initial;
 
     // Devirtualized IIR bank: state W[n-i] interleaved [tap * width + w].
     // The tap rows form a ring rotated once per cycle (iir_head is the
     // physical row holding the newest state), so advancing the shift
     // register is one pointer rotation per chunk instead of a per-lane
     // register move.
-    std::vector<std::int64_t> iir_state;
-    std::vector<std::int64_t> iir_prev_input;
+    simd::aligned_vector<std::int64_t> iir_state;
+    simd::aligned_vector<std::int64_t> iir_prev_input;
     std::size_t iir_head{0};
 
     // Per-cycle output staging handed to the reducer.
-    std::vector<double> tau;
-    std::vector<double> delta;
-    std::vector<double> lro;
-    std::vector<double> t_gen;
-    std::vector<double> t_dlv;
-    std::vector<std::uint8_t> violation;
+    simd::aligned_vector<double> tau;
+    simd::aligned_vector<double> delta;
+    simd::aligned_vector<double> lro;
+    simd::aligned_vector<double> t_gen;
+    simd::aligned_vector<double> t_dlv;
+    simd::aligned_vector<std::uint8_t> violation;
+
+    // True when every lane's set-point is exactly integral (precomputed;
+    // feeds the IIR bank's integral-input deduction).
+    bool integral_setpoints{true};
 
     // Fault replay state (populated only by attach_faults).  An isolated
     // lane is skipped by the kernel, so its staging entries keep repeating
     // the last good cycle — the exact analogue of LoopSimulator's frozen
-    // record.
+    // record.  has_fault_events marks a chunk with at least one non-empty
+    // schedule: only those chunks leave the SIMD path, so arming faults on
+    // a few lanes keeps every other chunk vectorized.
     std::vector<fault::FaultInjector> injectors;
-    std::vector<std::uint8_t> isolated;
+    simd::aligned_vector<std::uint8_t> isolated;
+    bool has_fault_events{false};
   };
 
   // kIntegralCommand marks controllers whose commanded length is already
@@ -236,7 +250,17 @@ class EnsembleSimulator {
                       StreamingReducer& reducer, Control& control);
 
   void run_one_chunk(Chunk& chunk, const EnsembleInputBlock& block,
-                     StreamingReducer& reducer);
+                     StreamingReducer& reducer, simd::Backend backend);
+
+  /// True when `chunk` may run the vectorized kernel on this call: the
+  /// controller is the devirtualized IIR bank (or the mode is open-loop),
+  /// no lane of the chunk has fault events armed, and the ensemble's
+  /// static magnitudes fit the exact int64<->double conversion window.
+  [[nodiscard]] bool chunk_simd_eligible(const Chunk& chunk) const;
+
+  /// Dispatches `chunk` to a vector backend's kernel entry point.
+  void run_chunk_simd(Chunk& chunk, const EnsembleInputBlock& block,
+                      StreamingReducer& reducer, simd::Backend backend);
 
   std::vector<LoopConfig> configs_;
   std::vector<std::unique_ptr<control::ControlBlock>> controllers_;
@@ -257,6 +281,10 @@ class EnsembleSimulator {
   std::int64_t iir_aw_max_{0};
 
   bool faults_active_{false};
+  // Static magnitudes (set-points, TDC range, length bounds) small enough
+  // that every int64<->double conversion in the vector kernel is exact;
+  // checked once at construction (see kSimdMaxMagnitude in the .cpp).
+  bool simd_domain_ok_{false};
   std::vector<Chunk> chunks_;
 };
 

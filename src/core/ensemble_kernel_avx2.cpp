@@ -1,0 +1,19 @@
+// AVX2 backend of the ensemble SIMD kernel.  This TU is the only one in
+// core/ compiled with -mavx2 (see src/core/CMakeLists.txt), and only when
+// the toolchain supports it; EnsembleSimulator dispatches here strictly
+// behind runtime CPU detection (simd::active_backend), so the binary stays
+// runnable on non-AVX2 x86.  No -mfma: FMA contraction would change
+// results, and the kernel's bit-exactness contract forbids it.
+#include "ensemble_simd_kernel.hpp"
+
+#ifdef ROCLK_SIMD_HAVE_AVX2
+
+namespace roclk::core::detail {
+
+void run_chunk_simd_avx2(const SimdChunkArgs& args) {
+  run_chunk_simd_impl<simd::Avx2Traits>(args);
+}
+
+}  // namespace roclk::core::detail
+
+#endif  // ROCLK_SIMD_HAVE_AVX2

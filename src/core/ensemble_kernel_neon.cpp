@@ -1,0 +1,16 @@
+// NEON (AArch64 AdvSIMD) backend of the ensemble SIMD kernel.  AdvSIMD is
+// architecturally mandatory on AArch64, so no extra -m flags are needed;
+// the TU compiles to nothing elsewhere.
+#include "ensemble_simd_kernel.hpp"
+
+#ifdef ROCLK_SIMD_HAVE_NEON
+
+namespace roclk::core::detail {
+
+void run_chunk_simd_neon(const SimdChunkArgs& args) {
+  run_chunk_simd_impl<simd::NeonTraits>(args);
+}
+
+}  // namespace roclk::core::detail
+
+#endif  // ROCLK_SIMD_HAVE_NEON

@@ -1,0 +1,13 @@
+// Portable scalar-pack backend of the ensemble SIMD kernel: the generic
+// template instantiated over ScalarTraits<4>.  Always compiled; the
+// fallback when no vector backend is available (or when ROCLK_SIMD=scalar
+// forces it), and the reference the vector backends are tested against.
+#include "ensemble_simd_kernel.hpp"
+
+namespace roclk::core::detail {
+
+void run_chunk_simd_scalar(const SimdChunkArgs& args) {
+  run_chunk_simd_impl<simd::ScalarTraits<4>>(args);
+}
+
+}  // namespace roclk::core::detail

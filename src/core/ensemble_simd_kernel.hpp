@@ -1,0 +1,440 @@
+// Vectorized per-chunk ensemble kernel, templated over a SIMD backend.
+//
+// This internal header is instantiated once per compiled backend
+// (ensemble_kernel_{scalar,avx2,neon}.cpp); EnsembleSimulator dispatches a
+// chunk here when the chunk is SIMD-eligible: fault-free (or armed with an
+// all-empty schedule set), running either an open-loop generator or the
+// devirtualized IIR bank, with its static magnitudes inside the exact
+// int<->double conversion domain (see EnsembleSimulator::kSimdMaxMagnitude).
+// Everything else — per-lane virtual controllers, chunks with pending fault
+// events, out-of-domain configs — keeps the scalar reference kernel, which
+// preserves PR 4's bit-for-bit fault replay unchanged.
+//
+// Bit-exactness argument (gated by tests/core/test_ensemble_simd):
+//  * Lanes are arithmetically independent; vectorizing ACROSS lanes only
+//    changes which instruction computes a lane, never its operand values.
+//  * Every floating-point step is the same IEEE-754 operation, in the same
+//    order, as the scalar reference (correctly-rounded add/sub/mul/div,
+//    directed-rounding floor/trunc).  min/max/clamp are composed from
+//    cmp+select in the exact std::min/std::max/std::clamp selection order,
+//    so -0.0 and equal-value selections match bitwise.  No FMA contraction
+//    is ever emitted (plain intrinsics; -ffp-contract=off project-wide).
+//  * Integer IIR-bank steps are exact by definition; the AVX2 arithmetic
+//    right shift is rebuilt from logical shift + sign fill.
+//  * double->int64 casts use each backend's exact conversion, valid for
+//    the guarded magnitude domain (< 2^51); the CDN look-back's per-lane
+//    variable ring indexing runs scalar on extracted lane values — the
+//    same values the vector computed, so the same results.
+//  * Lane widths not divisible by the vector width run the SAME templated
+//    cycle body instantiated at width 1 (ScalarTraits<1>) — the masked
+//    scalar tail shares one source of truth with the vector path.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "roclk/cdn/cdn.hpp"
+#include "roclk/common/check.hpp"
+#include "roclk/common/fixed_point.hpp"
+#include "roclk/common/simd.hpp"
+#include "roclk/core/ensemble_simulator.hpp"
+#include "roclk/sensor/tdc.hpp"
+
+namespace roclk::core::detail {
+
+/// Devirtualized IIR bank parameters for the vector kernel (mirrors
+/// EnsembleSimulator's cached IirControlHardware configuration).
+struct SimdIirArgs {
+  const PowerOfTwoGain* tap_gains{nullptr};
+  std::size_t taps{0};
+  PowerOfTwoGain k_exp_gain;
+  PowerOfTwoGain k_star_gain;
+  std::int64_t* prev_input{nullptr};
+  std::int64_t* bank{nullptr};  // [tap * cw + w]
+  std::size_t* head{nullptr};   // in/out: physical row holding W[n-1]
+  bool integral_input{false};
+  bool aw_enabled{false};
+  std::int64_t aw_min{0};
+  std::int64_t aw_max{0};
+};
+
+/// Raw-pointer view of one chunk plus the ensemble-level constants the
+/// kernel needs; assembled by EnsembleSimulator::run_one_chunk.
+struct SimdChunkArgs {
+  // Geometry.
+  std::size_t first{0};   // chunk's first lane (slice labelling)
+  std::size_t cw{0};      // chunk width
+  std::size_t cycles{0};  // cycles to run
+  std::size_t stride{0};  // input block lane stride (= block.width)
+
+  // Input block base pointers (cycle-major, lane-interleaved).
+  const double* e_ro{nullptr};
+  const double* e_tdc{nullptr};
+  const double* mu{nullptr};
+
+  // z^-1 delay registers and per-lane constants.
+  double* prev_lro{nullptr};
+  double* prev_t_dlv{nullptr};
+  double* prev_e_ro{nullptr};
+  double* prev_e_local{nullptr};
+  const double* setpoint{nullptr};
+  const double* open_loop{nullptr};
+  const std::int64_t* min_len{nullptr};
+  const std::int64_t* max_len{nullptr};
+  const double* min_len_d{nullptr};
+  const double* max_len_d{nullptr};
+
+  // Interleaved CDN ring.
+  double* ring{nullptr};
+  std::size_t slot_mask{0};
+  const double* cdn_delay{nullptr};
+  const double* cdn_history_d{nullptr};
+  const std::uint64_t* cdn_history{nullptr};
+  const double* cdn_initial{nullptr};
+  std::uint64_t* pushes{nullptr};  // in/out: absolute push counter
+
+  // Per-cycle staging handed to the reducer.
+  double* out_tau{nullptr};
+  double* out_delta{nullptr};
+  double* out_lro{nullptr};
+  double* out_t_gen{nullptr};
+  double* out_t_dlv{nullptr};
+  std::uint8_t* out_violation{nullptr};
+
+  // Mode flags and TDC constants (uniform across lanes, validated).
+  bool fixed_clock{false};
+  bool quantize_lro{true};
+  sensor::Quantization tdc_q{sensor::Quantization::kNearest};
+  cdn::DelayQuantization cdn_q{cdn::DelayQuantization::kRound};
+  double tdc_mismatch{0.0};
+  double tdc_max{0.0};
+
+  // Controller: the devirtualized IIR bank, or open-loop when inactive.
+  bool use_iir_bank{false};
+  SimdIirArgs iir;
+
+  // Streaming sink.
+  StreamingReducer* reducer{nullptr};
+  bool full_slice{true};
+  // Slice isolation mask for a fault-armed ensemble whose chunk has no
+  // events (all zeros by construction); nullptr on a fault-free run.
+  const std::uint8_t* isolated_flags{nullptr};
+};
+
+/// Backend entry points.  Each is defined in its ensemble_kernel_*.cpp TU;
+/// the avx2/neon ones exist only when the matching ROCLK_SIMD_HAVE_* macro
+/// is set (EnsembleSimulator never dispatches to an uncompiled backend).
+void run_chunk_simd_scalar(const SimdChunkArgs& args);
+void run_chunk_simd_avx2(const SimdChunkArgs& args);
+void run_chunk_simd_neon(const SimdChunkArgs& args);
+
+// ----------------------------------------------------------------------
+// Generic implementation.
+
+/// PowerOfTwoGain::apply on a lane vector: shift, then optional negate.
+template <class T>
+inline typename T::I apply_gain(typename T::I x, const PowerOfTwoGain& gain) {
+  const typename T::I shifted = T::ishift_signed(x, gain.exponent());
+  return gain.negative() ? T::ineg(shifted) : shifted;
+}
+
+/// std::clamp(v, lo, hi) composed from cmp + select in std::clamp's exact
+/// selection order: v < lo ? lo : (hi < v ? hi : v).
+template <class T>
+inline typename T::D dclamp(typename T::D v, typename T::D lo,
+                            typename T::D hi) {
+  v = T::select(T::cmp_lt(hi, v), hi, v);
+  return T::select(T::cmp_lt(v, lo), lo, v);
+}
+
+template <class T>
+inline typename T::I iclamp(typename T::I v, typename T::I lo,
+                            typename T::I hi) {
+  v = T::iselect(T::icmp_lt(hi, v), hi, v);
+  return T::iselect(T::icmp_lt(v, lo), lo, v);
+}
+
+/// One simulated cycle for the V::kWidth lanes starting at chunk offset w.
+/// Mirrors EnsembleSimulator::run_chunk's fault-free lane body statement by
+/// statement; see that kernel for the semantics of each step.
+template <class V, sensor::Quantization TdcQ, cdn::DelayQuantization CdnQ,
+          bool kBank>
+inline void simd_cycle_lanes(const SimdChunkArgs& a, std::size_t w,
+                             const double* e_ro_row, const double* e_tdc_row,
+                             const double* mu_row, std::uint64_t pos,
+                             std::int64_t* const* rows) {
+  using D = typename V::D;
+  using I [[maybe_unused]] = typename V::I;
+  constexpr std::size_t W = V::kWidth;
+
+  // TDC (one-cycle latency): tau = quantize(prev_t_dlv - e_local + mism),
+  // clamped to [0, max_reading].
+  const D prev_t_dlv = V::load(a.prev_t_dlv + w);
+  const D zero = V::broadcast(0.0);
+  if (V::mask_bits(V::cmp_lt(zero, prev_t_dlv)) != (1u << W) - 1u) {
+    for (std::size_t j = 0; j < W; ++j) {
+      ROCLK_CHECK(a.prev_t_dlv[w + j] > 0.0,
+                  "delivered period must be positive, got "
+                      << a.prev_t_dlv[w + j] << " stages (lane "
+                      << a.first + w + j << ")");
+    }
+  }
+  const D e_local = V::load(a.prev_e_local + w);
+  const D raw =
+      V::add(V::sub(prev_t_dlv, e_local), V::broadcast(a.tdc_mismatch));
+  D tau;
+  if constexpr (TdcQ == sensor::Quantization::kFloor) {
+    tau = V::floor(raw);
+  } else if constexpr (TdcQ == sensor::Quantization::kNearest) {
+    tau = V::round_ties_away(raw);
+  } else {
+    tau = raw;
+  }
+  tau = dclamp<V>(tau, zero, V::broadcast(a.tdc_max));
+
+  const D setpoint = V::load(a.setpoint + w);
+  const unsigned viol_bits = V::mask_bits(V::cmp_lt(tau, setpoint));
+  const D delta = V::sub(setpoint, tau);
+
+  // Controller / generator.
+  D lro_now;
+  if constexpr (kBank) {
+    // IirBankControl::step on a lane-vector: feedback taps, shift-scaled
+    // state update, anti-windup back-write — all exact integer arithmetic.
+    const SimdIirArgs& iir = a.iir;
+    I feedback = V::ibroadcast(0);
+    for (std::size_t i = 0; i < iir.taps; ++i) {
+      feedback =
+          V::iadd(feedback, apply_gain<V>(V::iload(rows[i] + w),
+                                          iir.tap_gains[i]));
+    }
+    const I acc = V::iadd(apply_gain<V>(V::iload(iir.prev_input + w),
+                                        iir.k_exp_gain),
+                          feedback);
+    const I state = apply_gain<V>(acc, iir.k_star_gain);
+    const I next_input =
+        iir.integral_input ? V::to_int_exact(delta)
+                           : V::to_int_exact(V::round_ties_away(delta));
+    V::istore(iir.prev_input + w, next_input);
+    const I y = V::ishift_signed(state, -iir.k_exp_gain.exponent());
+    I new_row = state;
+    if (iir.aw_enabled) {
+      const I bounded = iclamp<V>(y, V::ibroadcast(iir.aw_min),
+                                  V::ibroadcast(iir.aw_max));
+      // Scalar: `if (bounded != y) row = k_exp.apply(bounded)`; y itself
+      // stays unbounded (the l_RO clamp below is the output limiter).
+      new_row = V::iselect(V::icmp_eq(bounded, y), state,
+                           apply_gain<V>(bounded, iir.k_exp_gain));
+    }
+    V::istore(rows[iir.taps - 1] + w, new_row);
+    // Quantize: the scalar path computes commanded = double(y), then casts
+    // back.  Inside the exact conversion window |y| < 2^51 that round trip
+    // is the identity, so the vector path keeps y; a diverged loop can push
+    // y outside the window, where double(y) rounds — those (rare) vectors
+    // replay the scalar round trip lane by lane, bit for bit.
+    constexpr std::int64_t kWindow = std::int64_t{1} << 51;
+    const unsigned in_window =
+        V::imask_bits(V::icmp_lt(y, V::ibroadcast(kWindow))) &
+        V::imask_bits(V::icmp_lt(V::ibroadcast(-kWindow), y));
+    if (in_window == (1u << W) - 1u) {
+      if (a.quantize_lro) {
+        const I length =
+            iclamp<V>(y, V::iload(a.min_len + w), V::iload(a.max_len + w));
+        lro_now = V::to_double_exact(length);
+      } else {
+        lro_now = dclamp<V>(V::to_double_exact(y), V::load(a.min_len_d + w),
+                            V::load(a.max_len_d + w));
+      }
+    } else {
+      std::int64_t y_lanes[W];
+      V::istore(y_lanes, y);
+      double lro_lanes[W];
+      for (std::size_t j = 0; j < W; ++j) {
+        const double commanded = static_cast<double>(y_lanes[j]);
+        if (a.quantize_lro) {
+          const auto length = static_cast<std::int64_t>(commanded);
+          lro_lanes[j] = static_cast<double>(
+              std::clamp(length, a.min_len[w + j], a.max_len[w + j]));
+        } else {
+          lro_lanes[j] =
+              std::clamp(commanded, a.min_len_d[w + j], a.max_len_d[w + j]);
+        }
+      }
+      lro_now = V::load(lro_lanes);
+    }
+  } else {
+    lro_now = V::load(a.open_loop + w);
+  }
+
+  // RO (one-cycle latency): t_gen = max(1.0, prev_lro + e_at_ro), with
+  // std::max's exact selection order (1.0 < raw ? raw : 1.0).
+  const D e_at_ro =
+      a.fixed_clock ? zero : V::load(a.prev_e_ro + w);
+  const D t_gen_raw = V::add(V::load(a.prev_lro + w), e_at_ro);
+  const D one = V::broadcast(1.0);
+  const D t_gen = V::select(V::cmp_lt(one, t_gen_raw), t_gen_raw, one);
+
+  // CDN push into the interleaved ring (lane-contiguous: vector store).
+  V::store(a.ring + (pos & a.slot_mask) * a.cw + w, t_gen);
+
+  // d = std::min(cdn_delay / t_gen, history_d): b < a ? b : a.
+  const D quotient = V::div(V::load(a.cdn_delay + w), t_gen);
+  const D history_d = V::load(a.cdn_history_d + w);
+  const D d =
+      V::select(V::cmp_lt(history_d, quotient), history_d, quotient);
+
+  // Quantised look-back: the ring slot varies per lane, so this step runs
+  // scalar over the extracted lane values of d — the same doubles the
+  // vector computed, through the same scalar ops as the reference kernel.
+  double d_lanes[W];
+  V::store(d_lanes, d);
+  double t_dlv_lanes[W];
+  for (std::size_t j = 0; j < W; ++j) {
+    const std::size_t lane = w + j;
+    const double dj = d_lanes[j];
+    const auto look_back = [&](std::uint64_t m) -> double {
+      if (m >= a.cdn_history[lane] || m > pos) return a.cdn_initial[lane];
+      return a.ring[((pos - m) & a.slot_mask) * a.cw + lane];
+    };
+    double t_dlv;
+    if constexpr (CdnQ == cdn::DelayQuantization::kRound) {
+      t_dlv =
+          look_back(static_cast<std::uint64_t>(llround_ties_away(dj)));
+    } else if constexpr (CdnQ == cdn::DelayQuantization::kFloor) {
+      t_dlv = look_back(static_cast<std::uint64_t>(std::floor(dj)));
+    } else {
+      const auto m0 = static_cast<std::uint64_t>(std::floor(dj));
+      const double frac = dj - std::floor(dj);
+      const double v0 = look_back(m0);
+      if (frac == 0.0) {
+        t_dlv = v0;
+      } else {
+        const double v1 = look_back(m0 + 1);
+        t_dlv = v0 * (1.0 - frac) + v1 * frac;
+      }
+    }
+    t_dlv_lanes[j] = t_dlv;
+  }
+  const D t_dlv = V::load(t_dlv_lanes);
+
+  // Stage the cycle's results and advance the z^-1 registers.
+  V::store(a.out_tau + w, tau);
+  V::store(a.out_delta + w, delta);
+  if (a.full_slice) {
+    V::store(a.out_lro + w, lro_now);
+    V::store(a.out_t_gen + w, t_gen);
+  }
+  V::store(a.out_t_dlv + w, t_dlv);
+  for (std::size_t j = 0; j < W; ++j) {
+    a.out_violation[w + j] = static_cast<std::uint8_t>((viol_bits >> j) & 1u);
+  }
+  V::store(a.prev_lro + w, lro_now);
+  V::store(a.prev_t_dlv + w, t_dlv);
+  V::store(a.prev_e_ro + w, V::load(e_ro_row + w));
+  V::store(a.prev_e_local + w,
+           V::sub(V::load(e_tdc_row + w), V::load(mu_row + w)));
+}
+
+/// Full chunk run at one (TdcQ, CdnQ, controller) combination: vector
+/// groups of T::kWidth lanes plus a width-1 tail from the same body.
+template <class T, sensor::Quantization TdcQ, cdn::DelayQuantization CdnQ,
+          bool kBank>
+void run_chunk_simd_typed(const SimdChunkArgs& a) {
+  constexpr std::size_t W = T::kWidth;
+  const std::size_t cw = a.cw;
+  const std::size_t vector_end = cw - cw % W;
+
+  // Newest-first tap-row pointer ring (see IirBankControl): rotated once
+  // per cycle so the shift register advances without per-lane moves.
+  std::vector<std::int64_t*> rows;
+  if constexpr (kBank) {
+    rows.resize(a.iir.taps);
+    for (std::size_t i = 0; i < a.iir.taps; ++i) {
+      rows[i] = a.iir.bank + ((*a.iir.head + i) % a.iir.taps) * cw;
+    }
+  }
+
+  LaneSlice slice;
+  slice.first_lane = a.first;
+  slice.width = cw;
+  slice.tau = a.out_tau;
+  slice.delta = a.out_delta;
+  slice.lro = a.out_lro;
+  slice.t_gen = a.out_t_gen;
+  slice.t_dlv = a.out_t_dlv;
+  slice.violation = a.out_violation;
+  slice.isolated = a.isolated_flags;
+
+  std::uint64_t pos = *a.pushes;
+  for (std::size_t k = 0; k < a.cycles; ++k) {
+    const double* e_ro_row = a.e_ro + k * a.stride + a.first;
+    const double* e_tdc_row = a.e_tdc + k * a.stride + a.first;
+    const double* mu_row = a.mu + k * a.stride + a.first;
+    for (std::size_t w = 0; w < vector_end; w += W) {
+      simd_cycle_lanes<T, TdcQ, CdnQ, kBank>(a, w, e_ro_row, e_tdc_row,
+                                             mu_row, pos, rows.data());
+    }
+    for (std::size_t w = vector_end; w < cw; ++w) {
+      simd_cycle_lanes<simd::ScalarTraits<1>, TdcQ, CdnQ, kBank>(
+          a, w, e_ro_row, e_tdc_row, mu_row, pos, rows.data());
+    }
+    if constexpr (kBank) {
+      std::rotate(rows.begin(), rows.end() - 1, rows.end());
+    }
+    ++pos;
+
+    slice.cycle = k;
+    a.reducer->accumulate(slice);
+  }
+  *a.pushes = pos;
+  if constexpr (kBank) {
+    *a.iir.head = static_cast<std::size_t>(rows[0] - a.iir.bank) / cw;
+  }
+}
+
+/// Runtime-to-compile-time dispatch of the quantization modes and the
+/// controller kind, mirroring EnsembleSimulator's scalar dispatch cascade.
+template <class T, sensor::Quantization TdcQ, cdn::DelayQuantization CdnQ>
+void dispatch_simd_control(const SimdChunkArgs& a) {
+  if (a.use_iir_bank) {
+    run_chunk_simd_typed<T, TdcQ, CdnQ, true>(a);
+  } else {
+    run_chunk_simd_typed<T, TdcQ, CdnQ, false>(a);
+  }
+}
+
+template <class T, sensor::Quantization TdcQ>
+void dispatch_simd_cdn(const SimdChunkArgs& a) {
+  switch (a.cdn_q) {
+    case cdn::DelayQuantization::kRound:
+      dispatch_simd_control<T, TdcQ, cdn::DelayQuantization::kRound>(a);
+      break;
+    case cdn::DelayQuantization::kFloor:
+      dispatch_simd_control<T, TdcQ, cdn::DelayQuantization::kFloor>(a);
+      break;
+    case cdn::DelayQuantization::kLinearInterp:
+      dispatch_simd_control<T, TdcQ, cdn::DelayQuantization::kLinearInterp>(
+          a);
+      break;
+  }
+}
+
+template <class T>
+void run_chunk_simd_impl(const SimdChunkArgs& a) {
+  switch (a.tdc_q) {
+    case sensor::Quantization::kFloor:
+      dispatch_simd_cdn<T, sensor::Quantization::kFloor>(a);
+      break;
+    case sensor::Quantization::kNearest:
+      dispatch_simd_cdn<T, sensor::Quantization::kNearest>(a);
+      break;
+    case sensor::Quantization::kNone:
+      dispatch_simd_cdn<T, sensor::Quantization::kNone>(a);
+      break;
+  }
+}
+
+}  // namespace roclk::core::detail

@@ -4,11 +4,23 @@
 #include <bit>
 #include <cmath>
 
+#include "ensemble_simd_kernel.hpp"
 #include "roclk/common/math.hpp"
 #include "roclk/common/thread_pool.hpp"
 #include "roclk/control/iir_control.hpp"
 
 namespace roclk::core {
+
+namespace {
+
+/// Largest static magnitude (set-point, TDC range, length bound) for which
+/// every int64<->double conversion in the vector kernel is provably exact:
+/// with inputs bounded by 2^49, |delta| <= 2^50 stays inside the vector
+/// backends' exact conversion window (|x| < 2^51, see simd::to_int_exact).
+/// Configs beyond this keep the scalar reference kernel.
+constexpr double kSimdMaxMagnitude = 0x1p49;
+
+}  // namespace
 
 // ------------------------------------------------------- TraceReducer
 
@@ -178,6 +190,9 @@ EnsembleSimulator::EnsembleSimulator(
     std::size_t max_history = 2;
     for (std::size_t w = 0; w < cw; ++w) {
       const LoopConfig& config = configs_[first + w];
+      chunk.integral_setpoints = chunk.integral_setpoints &&
+                                 config.setpoint_c ==
+                                     std::trunc(config.setpoint_c);
       chunk.setpoint[w] = config.setpoint_c;
       chunk.open_loop[w] =
           config.open_loop_period.value_or(config.setpoint_c);
@@ -205,6 +220,18 @@ EnsembleSimulator::EnsembleSimulator(
       chunk.iir_prev_input.assign(cw, 0);
     }
     chunks_.push_back(std::move(chunk));
+  }
+
+  simd_domain_ok_ =
+      static_cast<double>(tdc_.config().max_reading) <= kSimdMaxMagnitude;
+  for (const LoopConfig& config : configs_) {
+    simd_domain_ok_ =
+        simd_domain_ok_ &&
+        std::abs(config.setpoint_c) <= kSimdMaxMagnitude &&
+        std::abs(static_cast<double>(config.min_length)) <=
+            kSimdMaxMagnitude &&
+        std::abs(static_cast<double>(config.max_length)) <=
+            kSimdMaxMagnitude;
   }
 
   reset();
@@ -272,8 +299,11 @@ void EnsembleSimulator::attach_faults(
   for (Chunk& chunk : chunks_) {
     chunk.injectors.clear();
     chunk.injectors.reserve(chunk.width);
+    chunk.has_fault_events = false;
     for (std::size_t w = 0; w < chunk.width; ++w) {
-      chunk.injectors.emplace_back(schedules[chunk.first + w]);
+      const fault::FaultSchedule& schedule = schedules[chunk.first + w];
+      chunk.has_fault_events = chunk.has_fault_events || !schedule.empty();
+      chunk.injectors.emplace_back(schedule);
     }
     chunk.isolated.assign(chunk.width, 0);
   }
@@ -284,6 +314,7 @@ void EnsembleSimulator::clear_faults() {
   for (Chunk& chunk : chunks_) {
     chunk.injectors.clear();
     chunk.isolated.clear();
+    chunk.has_fault_events = false;
   }
 }
 
@@ -650,9 +681,111 @@ void EnsembleSimulator::dispatch_chunk(Chunk& chunk,
   }
 }
 
+bool EnsembleSimulator::chunk_simd_eligible(const Chunk& chunk) const {
+  // Per-lane virtual controllers, chunks with armed fault events, and
+  // configs outside the exact-conversion window keep the scalar reference
+  // kernel (for faults: bit-for-bit replay is the contract).
+  if (!simd_domain_ok_) return false;
+  if (mode_ == GeneratorMode::kControlledRo && !iir_bank_active_) {
+    return false;
+  }
+  if (faults_active_ && chunk.has_fault_events) return false;
+  return true;
+}
+
+void EnsembleSimulator::run_chunk_simd(Chunk& chunk,
+                                       const EnsembleInputBlock& block,
+                                       StreamingReducer& reducer,
+                                       simd::Backend backend) {
+  detail::SimdChunkArgs args;
+  args.first = chunk.first;
+  args.cw = chunk.width;
+  args.cycles = block.cycles;
+  args.stride = block.width;
+  args.e_ro = block.e_ro.data();
+  args.e_tdc = block.e_tdc.data();
+  args.mu = block.mu.data();
+  args.prev_lro = chunk.prev_lro.data();
+  args.prev_t_dlv = chunk.prev_t_dlv.data();
+  args.prev_e_ro = chunk.prev_e_ro.data();
+  args.prev_e_local = chunk.prev_e_local.data();
+  args.setpoint = chunk.setpoint.data();
+  args.open_loop = chunk.open_loop.data();
+  args.min_len = chunk.min_len.data();
+  args.max_len = chunk.max_len.data();
+  args.min_len_d = chunk.min_len_d.data();
+  args.max_len_d = chunk.max_len_d.data();
+  args.ring = chunk.ring.data();
+  args.slot_mask = chunk.slot_mask;
+  args.cdn_delay = chunk.cdn_delay.data();
+  args.cdn_history_d = chunk.cdn_history_d.data();
+  args.cdn_history = chunk.cdn_history.data();
+  args.cdn_initial = chunk.cdn_initial.data();
+  args.pushes = &chunk.pushes;
+  args.out_tau = chunk.tau.data();
+  args.out_delta = chunk.delta.data();
+  args.out_lro = chunk.lro.data();
+  args.out_t_gen = chunk.t_gen.data();
+  args.out_t_dlv = chunk.t_dlv.data();
+  args.out_violation = chunk.violation.data();
+  args.fixed_clock = mode_ == GeneratorMode::kFixedClock;
+  args.quantize_lro = quantize_lro_;
+  args.tdc_q = tdc_.config().quantization;
+  args.cdn_q = cdn_quantization_;
+  args.tdc_mismatch = tdc_.config().mismatch_stages;
+  args.tdc_max = static_cast<double>(tdc_.config().max_reading);
+  args.use_iir_bank = mode_ == GeneratorMode::kControlledRo;
+  if (args.use_iir_bank) {
+    args.iir.tap_gains = iir_tap_gains_.data();
+    args.iir.taps = iir_tap_gains_.size();
+    args.iir.k_exp_gain = iir_k_exp_gain_;
+    args.iir.k_star_gain = iir_k_star_gain_;
+    args.iir.prev_input = chunk.iir_prev_input.data();
+    args.iir.bank = chunk.iir_state.data();
+    args.iir.head = &chunk.iir_head;
+    // Same deduction as the scalar IIR bank policy below: an integral
+    // delta (integral set-points, quantizing TDC, no faults) lets the
+    // bank cast its input instead of rounding, with identical results.
+    args.iir.integral_input =
+        chunk.integral_setpoints && !faults_active_ &&
+        tdc_.config().quantization != sensor::Quantization::kNone;
+    args.iir.aw_enabled = iir_aw_enabled_;
+    args.iir.aw_min = iir_aw_min_;
+    args.iir.aw_max = iir_aw_max_;
+  }
+  args.reducer = &reducer;
+  args.full_slice = reducer.wants_full_slice();
+  args.isolated_flags = faults_active_ ? chunk.isolated.data() : nullptr;
+
+  switch (backend) {
+    case simd::Backend::kAvx2:
+#ifdef ROCLK_SIMD_HAVE_AVX2
+      detail::run_chunk_simd_avx2(args);
+      return;
+#else
+      break;
+#endif
+    case simd::Backend::kNeon:
+#ifdef ROCLK_SIMD_HAVE_NEON
+      detail::run_chunk_simd_neon(args);
+      return;
+#else
+      break;
+#endif
+    case simd::Backend::kScalar:
+      break;
+  }
+  detail::run_chunk_simd_scalar(args);
+}
+
 void EnsembleSimulator::run_one_chunk(Chunk& chunk,
                                       const EnsembleInputBlock& block,
-                                      StreamingReducer& reducer) {
+                                      StreamingReducer& reducer,
+                                      simd::Backend backend) {
+  if (chunk_simd_eligible(chunk)) {
+    run_chunk_simd(chunk, block, reducer, backend);
+    return;
+  }
   if (mode_ != GeneratorMode::kControlledRo) {
     OpenLoopControl control;
     dispatch_chunk<false>(chunk, block, reducer, control);
@@ -676,13 +809,8 @@ void EnsembleSimulator::run_one_chunk(Chunk& chunk,
     // injection voids the deduction: a stuck or glitched reading carries
     // an arbitrary real magnitude past the quantizer, so faulted chunks
     // keep the ties-away rounding of the scalar controller.
-    bool integral_setpoints = true;
-    for (std::size_t w = 0; w < cw; ++w) {
-      const double c = chunk.setpoint[w];
-      integral_setpoints = integral_setpoints && c == std::trunc(c);
-    }
     control.integral_input =
-        integral_setpoints && !faults_active_ &&
+        chunk.integral_setpoints && !faults_active_ &&
         tdc_.config().quantization != sensor::Quantization::kNone;
     control.aw_enabled = iir_aw_enabled_;
     control.aw_min = iir_aw_min_;
@@ -719,13 +847,17 @@ void EnsembleSimulator::run(const EnsembleInputBlock& block,
                   << samples << " samples per signal, got e_ro="
                   << block.e_ro.size() << ", e_tdc=" << block.e_tdc.size()
                   << ", mu=" << block.mu.size());
+  // Resolved once per run: every chunk of one call uses one backend.
+  const simd::Backend backend = simd::active_backend();
   if (parallel && chunks_.size() > 1) {
     parallel_for(chunks_.size(), [&](std::size_t i) {
-      run_one_chunk(chunks_[i], block, reducer);
+      run_one_chunk(chunks_[i], block, reducer, backend);
     });
     return;
   }
-  for (Chunk& chunk : chunks_) run_one_chunk(chunk, block, reducer);
+  for (Chunk& chunk : chunks_) {
+    run_one_chunk(chunk, block, reducer, backend);
+  }
 }
 
 }  // namespace roclk::core

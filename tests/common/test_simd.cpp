@@ -1,0 +1,199 @@
+#include "roclk/common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "roclk/common/math.hpp"
+
+namespace roclk::simd {
+namespace {
+
+/// Scoped backend override so a failing test cannot leak a forced backend
+/// into the rest of the suite.
+struct BackendOverrideGuard {
+  explicit BackendOverrideGuard(Backend backend) {
+    set_backend_override(backend);
+  }
+  ~BackendOverrideGuard() { set_backend_override(std::nullopt); }
+  BackendOverrideGuard(const BackendOverrideGuard&) = delete;
+  BackendOverrideGuard& operator=(const BackendOverrideGuard&) = delete;
+};
+
+bool line_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes == 0;
+}
+
+// ------------------------------------------------ cache-aligned storage
+
+TEST(CacheAlignedAllocator, AllocationsAreLineAlignedForOddSizes) {
+  CacheAlignedAllocator<double> alloc;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                              std::size_t{9}, std::size_t{1000}}) {
+    double* p = alloc.allocate(n);
+    EXPECT_TRUE(line_aligned(p)) << n << " doubles";
+    alloc.deallocate(p, n);
+  }
+  CacheAlignedAllocator<std::uint8_t> bytes;
+  std::uint8_t* p = bytes.allocate(3);
+  EXPECT_TRUE(line_aligned(p));
+  bytes.deallocate(p, 3);
+}
+
+TEST(CacheAlignedAllocator, AlignedVectorStaysAlignedThroughGrowth) {
+  aligned_vector<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(static_cast<double>(i));
+    ASSERT_TRUE(line_aligned(v.data())) << "after " << i + 1 << " pushes";
+  }
+  aligned_vector<std::int64_t> iv(37, 0);
+  EXPECT_TRUE(line_aligned(iv.data()));
+}
+
+TEST(CacheAlignedAllocator, RebindsAndComparesEqual) {
+  // std::vector rebinds the allocator internally; equality means any
+  // instance can free any other instance's memory.
+  EXPECT_TRUE(CacheAlignedAllocator<double>{} ==
+              CacheAlignedAllocator<double>{});
+  CacheAlignedAllocator<std::int64_t> from_double{
+      CacheAlignedAllocator<double>{}};
+  std::int64_t* p = from_double.allocate(5);
+  EXPECT_TRUE(line_aligned(p));
+  from_double.deallocate(p, 5);
+}
+
+// -------------------------------------------------- backend dispatch
+
+TEST(SimdBackend, ParseBackendRecognisesNamesOnly) {
+  EXPECT_EQ(parse_backend("scalar"), Backend::kScalar);
+  EXPECT_EQ(parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(parse_backend("neon"), Backend::kNeon);
+  EXPECT_EQ(parse_backend("native"), std::nullopt);
+  EXPECT_EQ(parse_backend("auto"), std::nullopt);
+  EXPECT_EQ(parse_backend(""), std::nullopt);
+  EXPECT_EQ(parse_backend("sse9"), std::nullopt);
+}
+
+TEST(SimdBackend, ScalarIsAlwaysUsableAndNamed) {
+  EXPECT_TRUE(backend_compiled(Backend::kScalar));
+  EXPECT_TRUE(backend_cpu_supported(Backend::kScalar));
+  EXPECT_STREQ(to_string(Backend::kScalar), "scalar");
+  EXPECT_STREQ(to_string(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(to_string(Backend::kNeon), "neon");
+}
+
+TEST(SimdBackend, NativeBackendIsCompiledAndSupported) {
+  const Backend native = native_backend();
+  EXPECT_TRUE(backend_compiled(native));
+  EXPECT_TRUE(backend_cpu_supported(native));
+}
+
+TEST(SimdBackend, OverrideOutranksEnvAndNative) {
+  ASSERT_EQ(backend_override(), std::nullopt)
+      << "another test leaked a backend override";
+  {
+    BackendOverrideGuard forced{Backend::kScalar};
+    EXPECT_EQ(backend_override(), Backend::kScalar);
+    EXPECT_EQ(active_backend(), Backend::kScalar);
+  }
+  EXPECT_EQ(backend_override(), std::nullopt);
+  {
+    BackendOverrideGuard forced{native_backend()};
+    EXPECT_EQ(active_backend(), native_backend());
+  }
+  // With no override, the dispatcher still resolves to something usable
+  // (env request or native detection, both degrade to scalar if unusable).
+  const Backend resolved = active_backend();
+  EXPECT_TRUE(backend_compiled(resolved));
+  EXPECT_TRUE(backend_cpu_supported(resolved));
+}
+
+TEST(SimdBackend, UnusableOverrideDegradesToScalar) {
+  for (const Backend candidate : {Backend::kAvx2, Backend::kNeon}) {
+    if (backend_compiled(candidate) && backend_cpu_supported(candidate)) {
+      continue;  // genuinely usable here; nothing to degrade
+    }
+    BackendOverrideGuard forced{candidate};
+    EXPECT_EQ(active_backend(), Backend::kScalar) << to_string(candidate);
+  }
+}
+
+// ------------------------------------------------ portable scalar pack
+//
+// The ensemble equivalence suite exercises every backend end to end; here
+// we pin the portable pack's tricky single ops against the scalar
+// reference functions they must reproduce bit for bit.
+
+using V = ScalarTraits<4>;
+
+TEST(ScalarPack, RoundTiesAwayMatchesMathHppBitForBit) {
+  const std::vector<double> cases{0.0,   -0.0,  0.5,    -0.5,  1.5,
+                                  -1.5,  2.5,   -2.5,   0.49,  -0.49,
+                                  3.0,   -3.0,  1e15,   -1e15, 0x1p50,
+                                  -0x1p50, 123456.5, -123456.5};
+  for (std::size_t i = 0; i + V::kWidth <= cases.size(); i += V::kWidth) {
+    double out[V::kWidth];
+    V::store(out, V::round_ties_away(V::load(&cases[i])));
+    for (std::size_t j = 0; j < V::kWidth; ++j) {
+      const double expect = roclk::round_ties_away(cases[i + j]);
+      // Bitwise comparison so -0.0 vs +0.0 mismatches are caught.
+      EXPECT_EQ(std::memcmp(&out[j], &expect, sizeof(double)), 0)
+          << "x=" << cases[i + j];
+    }
+  }
+}
+
+TEST(ScalarPack, CmpSelectComposesStdMinMaxExactly) {
+  // std::min(a,b) = b<a ? b : a;  std::max(a,b) = a<b ? b : a.  The pack
+  // must preserve that selection order so equal values (incl. -0.0 vs
+  // +0.0) pick the same operand as the scalar reference.
+  const double a[4] = {1.0, -0.0, 3.5, -2.0};
+  const double b[4] = {2.0, 0.0, 3.5, -7.0};
+  const V::D va = V::load(a);
+  const V::D vb = V::load(b);
+  double mn[4];
+  double mx[4];
+  V::store(mn, V::select(V::cmp_lt(vb, va), vb, va));
+  V::store(mx, V::select(V::cmp_lt(va, vb), vb, va));
+  for (int i = 0; i < 4; ++i) {
+    const double smin = std::min(a[i], b[i]);
+    const double smax = std::max(a[i], b[i]);
+    EXPECT_EQ(std::memcmp(&mn[i], &smin, sizeof(double)), 0) << i;
+    EXPECT_EQ(std::memcmp(&mx[i], &smax, sizeof(double)), 0) << i;
+  }
+}
+
+TEST(ScalarPack, IntConversionsExactInsideWindow) {
+  const std::int64_t values[4] = {0, -1, (std::int64_t{1} << 50),
+                                  -((std::int64_t{1} << 50) - 3)};
+  double d[4];
+  V::store(d, V::to_double_exact(V::iload(values)));
+  std::int64_t back[4];
+  V::istore(back, V::to_int_exact(V::load(d)));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(d[i], static_cast<double>(values[i])) << i;
+    EXPECT_EQ(back[i], values[i]) << i;
+  }
+}
+
+TEST(ScalarPack, SignedShiftAndMasksMatchScalar) {
+  // shift_signed: left for sh >= 0, arithmetic right for sh < 0.
+  const std::int64_t values[4] = {-9, 9, -1, (std::int64_t{1} << 40) + 5};
+  std::int64_t out[4];
+  V::istore(out, V::ishift_signed(V::iload(values), -3));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], values[i] >> 3) << i;
+  V::istore(out, V::ishift_signed(V::iload(values), 2));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], values[i] << 2) << i;
+
+  const std::int64_t limit[4] = {10, 10, 10, 10};
+  const unsigned below =
+      V::imask_bits(V::icmp_lt(V::iload(values), V::iload(limit)));
+  EXPECT_EQ(below, 0b0111u);  // lanes 0..2 are < 10, lane 3 is not
+}
+
+}  // namespace
+}  // namespace roclk::simd

@@ -1,0 +1,219 @@
+// Bit-exactness of the vectorized ensemble kernel against the scalar
+// LoopSimulator reference, across backends, ensemble widths that exercise
+// every vector/tail split, and every quantization mode.
+//
+// The ensemble engine promises each lane's streamed trace is identical to
+// run_batch on that lane's config and inputs — on the forced portable
+// scalar pack AND the native vector backend (AVX2/NEON where available).
+// These tests are the gate behind that promise; the perf runner only
+// times configurations this suite proves equivalent.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "roclk/common/simd.hpp"
+#include "roclk/control/iir_control.hpp"
+#include "roclk/core/ensemble_simulator.hpp"
+#include "roclk/core/loop_simulator.hpp"
+#include "roclk/fault/fault.hpp"
+
+namespace roclk::core {
+namespace {
+
+namespace simd = roclk::simd;
+
+constexpr double kSetpoint = 64.0;
+constexpr std::size_t kCycles = 600;
+
+/// Scoped backend override; restores env/native resolution even when an
+/// ASSERT unwinds mid-test.
+struct BackendOverrideGuard {
+  explicit BackendOverrideGuard(simd::Backend backend) {
+    simd::set_backend_override(backend);
+  }
+  ~BackendOverrideGuard() { simd::set_backend_override(std::nullopt); }
+  BackendOverrideGuard(const BackendOverrideGuard&) = delete;
+  BackendOverrideGuard& operator=(const BackendOverrideGuard&) = delete;
+};
+
+/// Both backends every test must be exact on.  When the native backend is
+/// the scalar pack (no vector unit compiled/available) the list collapses
+/// to one entry — the tests still cover the portable pack + tail split.
+std::vector<simd::Backend> backends_under_test() {
+  std::vector<simd::Backend> backends{simd::Backend::kScalar};
+  if (simd::native_backend() != simd::Backend::kScalar) {
+    backends.push_back(simd::native_backend());
+  }
+  return backends;
+}
+
+LoopConfig make_config(sensor::Quantization tdc_q,
+                       cdn::DelayQuantization cdn_q, bool quantize_lro) {
+  LoopConfig cfg;
+  cfg.setpoint_c = kSetpoint;
+  cfg.cdn_delay_stages = kSetpoint;
+  cfg.mode = GeneratorMode::kControlledRo;
+  cfg.tdc_quantization = tdc_q;
+  cfg.cdn_quantization = cdn_q;
+  cfg.quantize_lro = quantize_lro;
+  return cfg;
+}
+
+std::vector<SimulationInputs> varied_inputs(std::size_t lanes) {
+  std::vector<SimulationInputs> inputs;
+  inputs.reserve(lanes);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    const double mu = -6.0 + 1.7 * static_cast<double>(w % 8);
+    const double phase = 0.37 * static_cast<double>(w);
+    inputs.push_back(SimulationInputs::harmonic(10.0, 1600.0, mu, phase));
+  }
+  return inputs;
+}
+
+/// Runs a `width`-lane uniform IIR ensemble on `backend` and checks every
+/// lane's streamed trace bitwise against a fresh scalar run_batch.
+void expect_bit_exact(std::size_t width, const LoopConfig& cfg,
+                      simd::Backend backend,
+                      const std::vector<fault::FaultSchedule>* faults =
+                          nullptr) {
+  BackendOverrideGuard forced{backend};
+  const control::IirControlHardware prototype{control::paper_iir_config()};
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, width);
+  if (faults != nullptr) ensemble.attach_faults(*faults);
+  const auto block = sample_ensemble(varied_inputs(width), kCycles, kSetpoint);
+  TraceReducer reducer{width, kCycles};
+  ensemble.run(block, reducer);
+  for (std::size_t w = 0; w < width; ++w) {
+    LoopSimulator scalar{cfg, std::make_unique<control::IirControlHardware>(
+                                  control::paper_iir_config())};
+    if (faults != nullptr) scalar.attach_faults((*faults)[w]);
+    const SimulationTrace reference = scalar.run_batch(block.lane(w));
+    const SimulationTrace& lane = reducer.trace(w);
+    ASSERT_EQ(reference.size(), lane.size());
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+      ASSERT_EQ(reference.tau()[k], lane.tau()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.delta()[k], lane.delta()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.lro()[k], lane.lro()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.generated_period()[k], lane.generated_period()[k])
+          << "lane " << w << " cycle " << k;
+      ASSERT_EQ(reference.delivered_period()[k], lane.delivered_period()[k])
+          << "lane " << w << " cycle " << k;
+    }
+    ASSERT_EQ(reference.violation_count(), lane.violation_count())
+        << "lane " << w;
+  }
+}
+
+// Widths chosen around the vector geometry: 1 (pure tail), 3 and 5 are
+// vector_width -/+ 1 for both AVX2 (4) and NEON (2), 13 is prime (vector
+// groups + odd tail), 33 crosses the 32-lane chunk boundary so a second
+// chunk with a 1-lane tail runs too.
+const std::size_t kWidths[] = {1, 3, 5, 13, 33};
+
+TEST(EnsembleSimd, OddWidthsBitExactOnEveryBackend) {
+  const LoopConfig cfg = make_config(sensor::Quantization::kFloor,
+                                     cdn::DelayQuantization::kRound, true);
+  for (const simd::Backend backend : backends_under_test()) {
+    for (const std::size_t width : kWidths) {
+      SCOPED_TRACE(std::string{"backend "} + simd::to_string(backend) +
+                   " width " + std::to_string(width));
+      expect_bit_exact(width, cfg, backend);
+    }
+  }
+}
+
+TEST(EnsembleSimd, AllQuantizationModesBitExactOnEveryBackend) {
+  // Full cross of TDC quantization x CDN quantization, with quantize_lro
+  // alternating so both LRO paths appear in the sweep.  Width 13 keeps
+  // vector groups and a masked tail in play for every combination.
+  const sensor::Quantization tdc_modes[] = {sensor::Quantization::kFloor,
+                                            sensor::Quantization::kNearest,
+                                            sensor::Quantization::kNone};
+  const cdn::DelayQuantization cdn_modes[] = {
+      cdn::DelayQuantization::kRound, cdn::DelayQuantization::kFloor,
+      cdn::DelayQuantization::kLinearInterp};
+  for (const simd::Backend backend : backends_under_test()) {
+    std::size_t combo = 0;
+    for (const auto tdc_q : tdc_modes) {
+      for (const auto cdn_q : cdn_modes) {
+        const bool quantize_lro = (combo++ % 2) == 0;
+        SCOPED_TRACE(std::string{"backend "} + simd::to_string(backend) +
+                     " tdc " + std::to_string(static_cast<int>(tdc_q)) +
+                     " cdn " + std::to_string(static_cast<int>(cdn_q)) +
+                     " lro " + (quantize_lro ? "q" : "raw"));
+        expect_bit_exact(13, make_config(tdc_q, cdn_q, quantize_lro),
+                         backend);
+      }
+    }
+  }
+}
+
+TEST(EnsembleSimd, MidVectorIsolatedLaneFallsBackExactly) {
+  // Lane 2 sits mid-vector in every backend's first group.  Its schedule
+  // forces isolation; the chunk must take the scalar fault path and still
+  // reproduce run_batch bit for bit on every lane, isolated one included.
+  const std::size_t width = 8;
+  const LoopConfig cfg = make_config(sensor::Quantization::kFloor,
+                                     cdn::DelayQuantization::kRound, true);
+  std::vector<fault::FaultSchedule> schedules(width);
+  schedules[2]
+      .add({fault::FaultKind::kVoltageDroop, 30, 4, 1e308})
+      .add({fault::FaultKind::kVoltageDroop, 30, 4, 1e308});
+  // A recoverable glitch elsewhere keeps a second lane on the replay path
+  // without isolating it.
+  schedules[5].add({fault::FaultKind::kTdcGlitch, 100, 1, 7.0});
+
+  for (const simd::Backend backend : backends_under_test()) {
+    SCOPED_TRACE(simd::to_string(backend));
+    expect_bit_exact(width, cfg, backend, &schedules);
+  }
+
+  // The isolation verdict itself must also match the scalar simulator.
+  BackendOverrideGuard forced{simd::native_backend()};
+  const control::IirControlHardware prototype{control::paper_iir_config()};
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, width);
+  ensemble.attach_faults(schedules);
+  const auto block = sample_ensemble(varied_inputs(width), kCycles, kSetpoint);
+  TraceReducer reducer{width, kCycles};
+  ensemble.run(block, reducer);
+  EXPECT_TRUE(ensemble.isolated(2));
+  EXPECT_EQ(ensemble.isolated_count(), 1u);
+}
+
+TEST(EnsembleSimd, ClearFaultsRestoresVectorPathExactly) {
+  // After clear_faults the chunk is vector-eligible again and must still
+  // match run_batch from the reset state.
+  const LoopConfig cfg = make_config(sensor::Quantization::kFloor,
+                                     cdn::DelayQuantization::kRound, true);
+  const control::IirControlHardware prototype{control::paper_iir_config()};
+  auto ensemble = EnsembleSimulator::uniform(cfg, &prototype, 5);
+  std::vector<fault::FaultSchedule> schedules(5);
+  schedules[1].add({fault::FaultKind::kTdcGlitch, 10, 1, 3.0});
+  ensemble.attach_faults(schedules);
+  ensemble.clear_faults();
+
+  BackendOverrideGuard forced{simd::native_backend()};
+  const auto block = sample_ensemble(varied_inputs(5), kCycles, kSetpoint);
+  TraceReducer reducer{5, kCycles};
+  ensemble.reset();
+  ensemble.run(block, reducer);
+  for (std::size_t w = 0; w < 5; ++w) {
+    LoopSimulator scalar{cfg, std::make_unique<control::IirControlHardware>(
+                                  control::paper_iir_config())};
+    const SimulationTrace reference = scalar.run_batch(block.lane(w));
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+      ASSERT_EQ(reference.tau()[k], reducer.trace(w).tau()[k])
+          << "lane " << w << " cycle " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace roclk::core

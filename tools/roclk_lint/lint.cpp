@@ -175,6 +175,8 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
   }
 
   const bool may_round = path_ends_with(display_path, "common/math.hpp");
+  const bool may_intrinsics =
+      path_ends_with(display_path, "common/simd.hpp");
   const bool may_raw_rng = path_ends_with(display_path, "common/rng.hpp") ||
                            path_ends_with(display_path, "common/rng.cpp");
   const std::string generic = display_path.generic_string();
@@ -187,7 +189,11 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
   static const std::regex kNakedNew{R"(\bnew\b)"};
   static const std::regex kNakedDelete{R"(\bdelete\b)"};
   static const std::regex kEndl{R"(std\s*::\s*endl\b)"};
+  static const std::regex kIncludeLine{R"(^\s*#\s*include\b)"};
   static const std::regex kRandomHeader{R"(#\s*include\s*<random>)"};
+  static const std::regex kIntrinsicsHeader{
+      R"(#\s*include\s*<([a-z0-9]*mmintrin|immintrin|x86intrin|x86gprintrin|)"
+      R"(arm_neon|arm_sve|arm_acle)\.h>)"};
   static const std::regex kStdRandom{
       R"(std\s*::\s*(mt19937|minstd_rand|ranlux\w*|knuth_b|)"
       R"(default_random_engine|[a-z_]+_distribution)\b)"};
@@ -217,24 +223,35 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
                "roclk/common/rng.hpp");
       }
     }
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), kNakedNew);
-         it != std::sregex_iterator{}; ++it) {
-      const auto pos = static_cast<std::size_t>(it->position());
-      if (word_before_is(line, pos, "operator")) continue;
-      report(lineno, "naked-new",
-             "owning raw 'new'; use std::make_unique or a container");
-    }
-    for (auto it =
-             std::sregex_iterator(line.begin(), line.end(), kNakedDelete);
-         it != std::sregex_iterator{}; ++it) {
-      const auto pos = static_cast<std::size_t>(it->position());
-      if (char_before_is(line, pos, '=')) continue;  // deleted function
-      if (word_before_is(line, pos, "operator")) continue;
-      report(lineno, "naked-new",
-             "raw 'delete'; the owner should be a smart pointer or container");
+    // `#include <new>` contains the keyword but allocates nothing.
+    const bool include_line = std::regex_search(line, kIncludeLine);
+    if (!include_line) {
+      for (auto it =
+               std::sregex_iterator(line.begin(), line.end(), kNakedNew);
+           it != std::sregex_iterator{}; ++it) {
+        const auto pos = static_cast<std::size_t>(it->position());
+        if (word_before_is(line, pos, "operator")) continue;
+        report(lineno, "naked-new",
+               "owning raw 'new'; use std::make_unique or a container");
+      }
+      for (auto it =
+               std::sregex_iterator(line.begin(), line.end(), kNakedDelete);
+           it != std::sregex_iterator{}; ++it) {
+        const auto pos = static_cast<std::size_t>(it->position());
+        if (char_before_is(line, pos, '=')) continue;  // deleted function
+        if (word_before_is(line, pos, "operator")) continue;
+        report(lineno, "naked-new",
+               "raw 'delete'; the owner should be a smart pointer or "
+               "container");
+      }
     }
     if (std::regex_search(line, kEndl)) {
       report(lineno, "endl", "std::endl forces a flush; write '\\n' instead");
+    }
+    if (!may_intrinsics && std::regex_search(line, kIntrinsicsHeader)) {
+      report(lineno, "simd-include",
+             "vendor SIMD intrinsics are confined to roclk/common/simd.hpp "
+             "(the dispatch shim); write kernels against its backend traits");
     }
     if (is_fault_source) {
       if (std::regex_search(line, kRandomHeader)) {

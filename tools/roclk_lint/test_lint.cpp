@@ -64,6 +64,11 @@ TEST(LintTest, FlagsRawRandomnessOutsideRng) {
                   .empty());
 }
 
+TEST(LintTest, IncludeOfNewHeaderIsNotNakedNew) {
+  EXPECT_FALSE(has_rule(lint_source("src/foo.cpp", "#include <new>\n"),
+                        "naked-new"));
+}
+
 TEST(LintTest, FlagsNakedNewAndDelete) {
   EXPECT_TRUE(has_rule(lint_source("src/foo.cpp", "auto* p = new int;\n"),
                        "naked-new"));
@@ -112,6 +117,25 @@ TEST(LintTest, FaultSourcesMustUseCommonRng) {
   // "default/" must not be mistaken for a fault/ path.
   EXPECT_FALSE(has_rule(
       lint_source("src/default/foo.cpp", "std::mt19937 g;\n"), "fault-rng"));
+}
+
+TEST(LintTest, IntrinsicsHeadersConfinedToSimdShim) {
+  // Vendor SIMD headers are findings everywhere...
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/fast.cpp", "#include <immintrin.h>\n"),
+      "simd-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/fast.cpp", "#include <arm_neon.h>\n"),
+      "simd-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("include/roclk/osc/ro.hpp",
+                  "#pragma once\n#include <emmintrin.h>\n"),
+      "simd-include"));
+  // ...except inside the dispatch shim itself.
+  EXPECT_FALSE(has_rule(lint_source("include/roclk/common/simd.hpp",
+                                    "#pragma once\n#include <immintrin.h>\n"
+                                    "#include <arm_neon.h>\n"),
+                        "simd-include"));
 }
 
 TEST(LintTest, InlineWaiverSuppressesNamedRuleOnly) {
