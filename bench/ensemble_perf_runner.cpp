@@ -116,6 +116,24 @@ std::vector<RunMetrics> run_ensemble(const Study& s,
       s.cycles, s.setpoint_c, {s.fixed_period}, s.skip, parallel);
 }
 
+/// Ensemble Monte-Carlo on an explicit pool (nullptr = sequential): the
+/// thread-scaling sweep's execution path.
+std::vector<RunMetrics> run_ensemble_pool(const Study& s,
+                                          const std::vector<double>& mus,
+                                          roclk::ThreadPool* pool) {
+  roclk::core::LoopConfig loop;
+  loop.setpoint_c = s.setpoint_c;
+  loop.cdn_delay_stages = s.setpoint_c;
+  loop.mode = roclk::core::GeneratorMode::kControlledRo;
+  const roclk::control::IirControlHardware prototype{
+      roclk::control::paper_iir_config()};
+  auto ensemble =
+      roclk::core::EnsembleSimulator::uniform(loop, &prototype, mus.size());
+  return roclk::analysis::evaluate_homogeneous_mc(
+      ensemble, roclk::signal::SineWaveform{s.amplitude, s.period}, mus,
+      s.cycles, s.setpoint_c, {s.fixed_period}, s.skip, pool);
+}
+
 bool bitwise_equal(const std::vector<RunMetrics>& a,
                    const std::vector<RunMetrics>& b, const char* label) {
   if (a.size() != b.size()) return false;
@@ -229,14 +247,36 @@ int main(int argc, char** argv) {
                      items / native_1t_s, items / native_nt_s, pool_threads,
                      simd::to_string(native)});
 
+  // Thread-scaling sweep: the sequential ensemble vs a local pool of 1, 2,
+  // 4 and 8 workers (the caller claims ranges too, so tN runs on N+1
+  // threads).  Per-lane metrics are scheduling-invariant, so the sweep
+  // needs no further equivalence gating beyond the checks above.
+  {
+    BackendOverride forced{native};
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+      roclk::ThreadPool pool{threads};
+      const double pool_s = best_of(
+          reps, [&] { return run_ensemble_pool(s, mus, &pool); });
+      char name[48];
+      std::snprintf(name, sizeof name, "ensemble_threads_t%zu%s", threads,
+                    suffix.c_str());
+      entries.push_back({name, "lane_cycles", items / native_1t_s,
+                         items / pool_s, static_cast<int>(threads) + 1,
+                         simd::to_string(native)});
+    }
+  }
+
   char notes[512];
   std::snprintf(
       notes, sizeof notes,
       "%zu-trial x %zu-cycle IIR Monte-Carlo under harmonic HoDV. "
       "mc_ensemble: PR 1 per-trial path vs threaded native-SIMD ensemble; "
       "ensemble_simd: forced-scalar pack vs native backend, 1 thread; "
-      "ensemble_threads: native backend, 1 thread vs pool. Per-lane "
-      "metrics verified bit-identical on both backends before timing; "
+      "ensemble_threads: native backend, 1 thread vs pool; "
+      "ensemble_threads_tN: 1 thread vs a local N-worker pool (caller "
+      "claims ranges too, so tN uses N+1 threads). Per-lane metrics "
+      "verified bit-identical on both backends before timing; "
       "best of %d reps.%s",
       s.trials, s.cycles, reps,
       smoke ? " Smoke-sized run; rates are not comparable." : "");

@@ -77,6 +77,12 @@ class MetricsReducer final : public core::StreamingReducer {
     std::vector<double> fixed_periods, std::size_t skip,
     bool parallel = false);
 
+/// Same, on an explicit pool (nullptr = strictly sequential).  Per-lane
+/// results are bitwise identical for every choice of pool.
+[[nodiscard]] std::vector<RunMetrics> evaluate_ensemble(
+    core::EnsembleSimulator& ensemble, const core::EnsembleInputBlock& block,
+    std::vector<double> fixed_periods, std::size_t skip, ThreadPool* pool);
+
 /// The homogeneous Monte-Carlo fast path: equivalent to
 /// sample_homogeneous_ensemble + evaluate_ensemble over `cycles` cycles
 /// sampled at `dt`, but sampling and simulating in cache-resident cycle
@@ -90,5 +96,14 @@ class MetricsReducer final : public core::StreamingReducer {
     std::span<const double> static_mu_stages, std::size_t cycles, double dt,
     std::vector<double> fixed_periods, std::size_t skip,
     bool parallel = false, std::size_t tile_cycles = 0);
+
+/// Same, on an explicit pool (nullptr = strictly sequential).  Per-lane
+/// results are bitwise identical for every choice of pool — the
+/// scheduling-invariance contract the MC gating tests enforce.
+[[nodiscard]] std::vector<RunMetrics> evaluate_homogeneous_mc(
+    core::EnsembleSimulator& ensemble, const signal::Waveform& waveform,
+    std::span<const double> static_mu_stages, std::size_t cycles, double dt,
+    std::vector<double> fixed_periods, std::size_t skip, ThreadPool* pool,
+    std::size_t tile_cycles = 0);
 
 }  // namespace roclk::analysis

@@ -21,6 +21,7 @@
 
 #include "roclk/chip/floorplan.hpp"
 #include "roclk/common/status.hpp"
+#include "roclk/common/thread_pool.hpp"
 
 namespace roclk::analysis {
 
@@ -52,6 +53,17 @@ struct YieldCurve {
   /// ~99% yield.
   double p99_worst_path{0.0};
 };
+
+/// Samples the per-chip slowest-path delays for `config` (index order:
+/// chip i at slot i).  Each chip draws from the indexed substream
+/// StreamKey{seed}.split("analysis.yield").split("chip").at(i), so the
+/// result is a pure function of the config — bitwise identical whether
+/// `pool` is null (sequential single-stream order), the shared pool, or
+/// any explicitly sized pool.  yield_curve / compare_margins memoise this
+/// sampling; call it directly to shard a study or to gate scheduling
+/// invariance.
+[[nodiscard]] std::vector<double> sample_worst_paths(
+    const YieldConfig& config, ThreadPool* pool = nullptr);
 
 /// Sweeps the fixed clock's safety margin over `margins` and reports both
 /// yields.  Deterministic in config.seed.

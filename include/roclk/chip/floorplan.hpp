@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "roclk/common/stream_key.hpp"
 #include "roclk/variation/variation.hpp"
 
 namespace roclk::chip {
@@ -37,7 +38,11 @@ class Floorplan {
   Floorplan() = default;
 
   /// n paths uniformly placed at random; depth jitters +/-10% around
-  /// `nominal_depth` (deterministic in seed).
+  /// `nominal_depth`.  Path i draws from key.at(i), so any prefix of the
+  /// floorplan is stable as n grows.
+  static Floorplan random_paths(std::size_t n, double nominal_depth,
+                                StreamKey key);
+  /// Raw-seed convenience: key = StreamKey{seed}.split("chip.floorplan").
   static Floorplan random_paths(std::size_t n, double nominal_depth,
                                 std::uint64_t seed);
 

@@ -34,6 +34,7 @@
 #include "roclk/common/fixed_point.hpp"
 #include "roclk/common/simd.hpp"
 #include "roclk/common/status.hpp"
+#include "roclk/common/thread_pool.hpp"
 #include "roclk/control/control_block.hpp"
 #include "roclk/core/inputs.hpp"
 #include "roclk/core/loop_simulator.hpp"
@@ -132,6 +133,12 @@ class EnsembleSimulator {
   /// from the current loop state; call reset() to start a fresh run.
   void run(const EnsembleInputBlock& block, StreamingReducer& reducer,
            bool parallel = false);
+
+  /// Same, on an explicit pool (nullptr = strictly sequential).  Used by
+  /// the thread-scaling benchmarks and the scheduling-invariance gates;
+  /// per-lane results are bitwise identical for every choice of pool.
+  void run(const EnsembleInputBlock& block, StreamingReducer& reducer,
+           ThreadPool* pool);
 
   /// Arms one FaultSchedule per lane (an empty schedule leaves its lane
   /// fault-free), replayed against each lane's absolute cycle counter just

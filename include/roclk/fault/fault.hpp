@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "roclk/common/status.hpp"
+#include "roclk/common/stream_key.hpp"
 
 namespace roclk::fault {
 
@@ -130,9 +131,13 @@ class FaultSchedule {
   /// silently.
   [[nodiscard]] static Status validate_event(const FaultEvent& event);
 
-  /// Expands (seed, spec) into a deterministic schedule via
-  /// common/rng's xoshiro256**.  Same (seed, spec) => same schedule,
-  /// on every platform.
+  /// Expands (key, spec) into a deterministic schedule.  Event i draws
+  /// its parameters from the indexed substream key.at(i), so the schedule
+  /// is a pure function of (key, spec) on every platform and the first k
+  /// events are stable as event_count grows.
+  [[nodiscard]] static FaultSchedule random(StreamKey key,
+                                            const RandomFaultSpec& spec);
+  /// Raw-seed convenience: key = StreamKey{seed}.split("fault.schedule").
   [[nodiscard]] static FaultSchedule random(std::uint64_t seed,
                                             const RandomFaultSpec& spec);
 

@@ -14,8 +14,8 @@
 #include <memory>
 #include <vector>
 
-#include "roclk/common/rng.hpp"
 #include "roclk/common/status.hpp"
+#include "roclk/common/stream_key.hpp"
 
 namespace roclk::signal {
 
@@ -136,6 +136,11 @@ class SquareWaveform final : public Waveform {
 /// deterministic in the seed.  Models broadband supply noise (SSN).
 class HoldNoiseWaveform final : public Waveform {
  public:
+  /// Hold-slot `s` draws from key.at(s) — a pure per-slot substream, so
+  /// evaluation order is irrelevant.
+  HoldNoiseWaveform(double stddev, double hold, StreamKey key);
+  /// Raw-seed convenience:
+  /// key = StreamKey{seed}.split("signal.hold_noise").
   HoldNoiseWaveform(double stddev, double hold, std::uint64_t seed);
   [[nodiscard]] double at(double t) const override;
   [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
@@ -145,7 +150,7 @@ class HoldNoiseWaveform final : public Waveform {
  private:
   double stddev_;
   double hold_;
-  std::uint64_t seed_;
+  StreamKey key_;
 };
 
 /// Sum of component waveforms, each with a scale factor.

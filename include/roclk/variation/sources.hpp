@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "roclk/common/stream_key.hpp"
 #include "roclk/signal/waveform.hpp"
 #include "roclk/variation/spatial_map.hpp"
 #include "roclk/variation/variation.hpp"
@@ -25,6 +26,9 @@ namespace roclk::variation {
 /// die, drawn from N(0, sigma) at construction (seeded).
 class DieToDieProcess final : public VariationSource {
  public:
+  /// Offset drawn from the "d2d" child of `key`.
+  DieToDieProcess(double sigma, StreamKey key);
+  /// Raw-seed convenience: key = StreamKey{seed}.split("variation.d2d").
   DieToDieProcess(double sigma, std::uint64_t seed);
   /// Fixed, known offset (for tests and corner studies).
   static DieToDieProcess with_offset(double offset);
@@ -53,6 +57,9 @@ class DieToDieProcess final : public VariationSource {
 /// Within-die (WID) process variation: smooth spatially correlated field.
 class WithinDieProcess final : public VariationSource {
  public:
+  WithinDieProcess(double sigma, StreamKey key, int cells = 4,
+                   int octaves = 2);
+  /// Raw-seed convenience: key = StreamKey{seed}.split("variation.wid").
   WithinDieProcess(double sigma, std::uint64_t seed, int cells = 4,
                    int octaves = 2);
 
@@ -76,6 +83,9 @@ class WithinDieProcess final : public VariationSource {
 /// uncorrelated from one position hash-bucket to the next.
 class RandomDeviceProcess final : public VariationSource {
  public:
+  /// Bucket (bx, by) draws from key.at(packed bucket index).
+  RandomDeviceProcess(double sigma, StreamKey key, int buckets = 256);
+  /// Raw-seed convenience: key = StreamKey{seed}.split("variation.rnd").
   RandomDeviceProcess(double sigma, std::uint64_t seed, int buckets = 256);
 
   [[nodiscard]] double at(double t, DiePoint p) const override;
@@ -92,7 +102,7 @@ class RandomDeviceProcess final : public VariationSource {
 
  private:
   double sigma_;
-  std::uint64_t seed_;
+  StreamKey key_;
   int buckets_;
 };
 
@@ -175,6 +185,10 @@ class OffChipVoltageDrop final : public VariationSource {
 /// spatial activity profile.
 class SimultaneousSwitchingNoise final : public VariationSource {
  public:
+  /// Noise stream = key.split("noise"), activity profile =
+  /// key.split("profile").
+  SimultaneousSwitchingNoise(double sigma, double hold, StreamKey key);
+  /// Raw-seed convenience: key = StreamKey{seed}.split("variation.ssn").
   SimultaneousSwitchingNoise(double sigma, double hold, std::uint64_t seed);
 
   [[nodiscard]] double at(double t, DiePoint p) const override;
@@ -243,6 +257,9 @@ class TemperatureHotspot final : public VariationSource {
 /// with a spatially varying stress rate.
 class Aging final : public VariationSource {
  public:
+  /// Stress map = key.split("stress").
+  Aging(double saturation, double time_constant, StreamKey key);
+  /// Raw-seed convenience: key = StreamKey{seed}.split("variation.aging").
   Aging(double saturation, double time_constant, std::uint64_t seed);
 
   [[nodiscard]] double at(double t, DiePoint p) const override;
@@ -269,6 +286,11 @@ class DroopTrain final : public VariationSource {
  public:
   /// `rate` = expected events per `interval_stages`; amplitudes uniform in
   /// [0, peak]; durations uniform in [min_duration, max_duration].
+  /// Slot `s` draws its event from key.at(s).
+  DroopTrain(double peak, double mean_spacing_stages, double min_duration,
+             double max_duration, StreamKey key);
+  /// Raw-seed convenience:
+  /// key = StreamKey{seed}.split("variation.droop_train").
   DroopTrain(double peak, double mean_spacing_stages, double min_duration,
              double max_duration, std::uint64_t seed);
 
@@ -298,7 +320,7 @@ class DroopTrain final : public VariationSource {
   double spacing_;
   double min_duration_;
   double max_duration_;
-  std::uint64_t seed_;
+  StreamKey key_;
 };
 
 // -------------------------------------------------------------- composite

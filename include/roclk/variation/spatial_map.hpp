@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "roclk/common/stream_key.hpp"
 #include "roclk/variation/variation.hpp"
 
 namespace roclk::variation {
@@ -17,7 +18,12 @@ class SpatialMap {
  public:
   /// `cells` lattice cells across the unit die; `octaves` layers of detail,
   /// each doubling frequency and halving amplitude; `stddev` approximate
-  /// standard deviation of the resulting field.
+  /// standard deviation of the resulting field.  Lattice values draw from
+  /// key.at(octave).at(packed coordinate) — pure per-site substreams.
+  SpatialMap(StreamKey key, double stddev, int cells = 4, int octaves = 2);
+
+  /// Raw-seed convenience: derives the field's stream as
+  /// StreamKey{seed}.split("variation.spatial_map").
   SpatialMap(std::uint64_t seed, double stddev, int cells = 4,
              int octaves = 2);
 
@@ -30,7 +36,7 @@ class SpatialMap {
   [[nodiscard]] double lattice_value(int octave, int ix, int iy) const;
   [[nodiscard]] double octave_value(int octave, DiePoint p) const;
 
-  std::uint64_t seed_;
+  StreamKey key_;
   double stddev_;
   int cells_;
   int octaves_;

@@ -88,6 +88,13 @@ std::vector<RunMetrics> MetricsReducer::all() const {
 std::vector<RunMetrics> evaluate_ensemble(
     core::EnsembleSimulator& ensemble, const core::EnsembleInputBlock& block,
     std::vector<double> fixed_periods, std::size_t skip, bool parallel) {
+  return evaluate_ensemble(ensemble, block, std::move(fixed_periods), skip,
+                           parallel ? &ThreadPool::shared() : nullptr);
+}
+
+std::vector<RunMetrics> evaluate_ensemble(
+    core::EnsembleSimulator& ensemble, const core::EnsembleInputBlock& block,
+    std::vector<double> fixed_periods, std::size_t skip, ThreadPool* pool) {
   const std::size_t lanes = ensemble.width();
   if (fixed_periods.size() == 1 && lanes > 1) {
     fixed_periods.assign(lanes, fixed_periods.front());
@@ -96,7 +103,7 @@ std::vector<RunMetrics> evaluate_ensemble(
                 "need one fixed period per lane (or one shared)");
   MetricsReducer reducer{std::move(fixed_periods), skip};
   ensemble.reset();
-  ensemble.run(block, reducer, parallel);
+  ensemble.run(block, reducer, pool);
   return reducer.all();
 }
 
@@ -104,6 +111,17 @@ std::vector<RunMetrics> evaluate_homogeneous_mc(
     core::EnsembleSimulator& ensemble, const signal::Waveform& waveform,
     std::span<const double> static_mu_stages, std::size_t cycles, double dt,
     std::vector<double> fixed_periods, std::size_t skip, bool parallel,
+    std::size_t tile_cycles) {
+  return evaluate_homogeneous_mc(ensemble, waveform, static_mu_stages,
+                                 cycles, dt, std::move(fixed_periods), skip,
+                                 parallel ? &ThreadPool::shared() : nullptr,
+                                 tile_cycles);
+}
+
+std::vector<RunMetrics> evaluate_homogeneous_mc(
+    core::EnsembleSimulator& ensemble, const signal::Waveform& waveform,
+    std::span<const double> static_mu_stages, std::size_t cycles, double dt,
+    std::vector<double> fixed_periods, std::size_t skip, ThreadPool* pool,
     std::size_t tile_cycles) {
   const std::size_t lanes = ensemble.width();
   ROCLK_CHECK(static_mu_stages.size() == lanes,
@@ -133,7 +151,7 @@ std::vector<RunMetrics> evaluate_homogeneous_mc(
     const std::size_t n = std::min(tile_cycles, cycles - start);
     core::sample_homogeneous_into(tile, waveform, static_mu_stages, n, dt,
                                   start);
-    ensemble.run(tile, reducer, parallel);
+    ensemble.run(tile, reducer, pool);
   }
   return reducer.all();
 }

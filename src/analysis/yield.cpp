@@ -6,8 +6,9 @@
 #include <mutex>
 #include <utility>
 
-#include "roclk/common/rng.hpp"
+#include "roclk/common/sharded_mc.hpp"
 #include "roclk/common/stats.hpp"
+#include "roclk/common/stream_key.hpp"
 #include "roclk/common/thread_pool.hpp"
 #include "roclk/variation/sources.hpp"
 
@@ -15,17 +16,25 @@ namespace roclk::analysis {
 
 namespace {
 
-/// Slowest-path delay (stages) of one fabricated chip.
-double sample_worst_path(const YieldConfig& config, std::uint64_t chip_seed) {
-  Xoshiro256 rng{chip_seed};
-  const double d2d = rng.normal(0.0, config.d2d_sigma);
-  variation::WithinDieProcess wid{config.wid_sigma, hash64(chip_seed ^ 0x11)};
+/// Slowest-path delay (stages) of one fabricated chip.  `chip_key` is the
+/// chip's own stream: every variation mechanism draws from a named child,
+/// and each path's device noise from its own indexed substream, so the
+/// sample is a pure function of the key — no draw-order coupling between
+/// chips, mechanisms or paths.
+double sample_worst_path(const YieldConfig& config, StreamKey chip_key) {
+  CounterRng d2d_rng{chip_key.split("d2d")};
+  const double d2d = d2d_rng.normal(0.0, config.d2d_sigma);
+  const variation::WithinDieProcess wid{config.wid_sigma,
+                                        chip_key.split("wid")};
   const auto floorplan = chip::Floorplan::random_paths(
-      config.paths, config.nominal_depth, hash64(chip_seed ^ 0x22));
+      config.paths, config.nominal_depth, chip_key.split("floorplan"));
+  const StreamKey rnd_key = chip_key.split("rnd");
 
   double worst = 0.0;
+  std::size_t path_index = 0;
   for (const auto& path : floorplan.paths()) {
-    const double rnd = rng.normal(0.0, config.rnd_sigma);
+    CounterRng path_rng{rnd_key.at(path_index++)};
+    const double rnd = path_rng.normal(0.0, config.rnd_sigma);
     const double v = d2d + wid.at(0.0, path.location) + rnd;
     worst = std::max(worst, path.depth_stages * (1.0 + v));
   }
@@ -48,8 +57,9 @@ struct WorstPathKey {
 
 /// Samples the per-chip slowest-path delays for `config`, memoising the
 /// result: yield_curve and compare_margins share the Monte-Carlo instead
-/// of re-fabricating the same virtual chips.  Chip seeds are derived from
-/// the index, so the sampling parallelises with bitwise-identical results.
+/// of re-fabricating the same virtual chips.  Chips draw from indexed
+/// substreams of the yield stream key, so the sampling shards with
+/// bitwise-identical results at any thread count.
 std::shared_ptr<const std::vector<double>> sampled_worst_paths(
     const YieldConfig& config) {
   const WorstPathKey key{config.chips,     config.paths,
@@ -67,12 +77,8 @@ std::shared_ptr<const std::vector<double>> sampled_worst_paths(
     }
   }
 
-  auto worst_paths = std::make_shared<std::vector<double>>(config.chips);
-  parallel_for(config.chips, [&](std::size_t i) {
-    const std::uint64_t chip_seed =
-        hash64(config.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
-    (*worst_paths)[i] = sample_worst_path(config, chip_seed);
-  });
+  auto worst_paths = std::make_shared<std::vector<double>>(
+      sample_worst_paths(config, &ThreadPool::shared()));
 
   const std::lock_guard<std::mutex> lock{mutex};
   // A concurrent caller may have raced us here; the duplicate entry is
@@ -82,6 +88,16 @@ std::shared_ptr<const std::vector<double>> sampled_worst_paths(
 }
 
 }  // namespace
+
+std::vector<double> sample_worst_paths(const YieldConfig& config,
+                                       ThreadPool* pool) {
+  const StreamKey chips_key =
+      StreamKey{config.seed}.split("analysis.yield").split("chip");
+  return mc::keyed_map(config.chips, chips_key, pool,
+                       [&](std::size_t, StreamKey chip_key) {
+                         return sample_worst_path(config, chip_key);
+                       });
+}
 
 YieldCurve yield_curve(std::span<const double> margins,
                        const YieldConfig& config) {

@@ -4,17 +4,17 @@
 #include <limits>
 #include <sstream>
 
-#include "roclk/common/rng.hpp"
 #include "roclk/common/status.hpp"
+#include "roclk/common/stream_key.hpp"
 
 namespace roclk::chip {
 
 Floorplan Floorplan::random_paths(std::size_t n, double nominal_depth,
-                                  std::uint64_t seed) {
+                                  StreamKey key) {
   ROCLK_CHECK(nominal_depth > 0.0, "path depth must be positive");
   Floorplan fp;
-  Xoshiro256 rng{seed};
   for (std::size_t i = 0; i < n; ++i) {
+    CounterRng rng{key.at(i)};
     CriticalPath path;
     path.location = {rng.uniform(), rng.uniform()};
     path.depth_stages = nominal_depth * rng.uniform(0.9, 1.1);
@@ -24,6 +24,12 @@ Floorplan Floorplan::random_paths(std::size_t n, double nominal_depth,
     fp.add_path(std::move(path));
   }
   return fp;
+}
+
+Floorplan Floorplan::random_paths(std::size_t n, double nominal_depth,
+                                  std::uint64_t seed) {
+  return random_paths(n, nominal_depth,
+                      StreamKey{seed}.split("chip.floorplan"));
 }
 
 Floorplan& Floorplan::add_path(CriticalPath path) {

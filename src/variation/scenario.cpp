@@ -1,6 +1,6 @@
 #include "roclk/variation/scenario.hpp"
 
-#include "roclk/common/rng.hpp"
+#include "roclk/common/stream_key.hpp"
 
 namespace roclk::variation {
 
@@ -19,23 +19,26 @@ std::unique_ptr<VariationSource> make_single_event_hodv(
 
 std::unique_ptr<VariationSource> make_soc_environment(
     const SocEnvironmentConfig& config) {
+  // Every mechanism owns a named child of the environment's stream key —
+  // the seeds cannot collide and adding a mechanism never shifts another
+  // mechanism's draws.
+  const StreamKey env = StreamKey{config.seed}.split("variation.soc_env");
   auto composite = std::make_unique<CompositeVariation>();
   composite->add(
-      std::make_unique<DieToDieProcess>(config.d2d_sigma, config.seed));
-  composite->add(std::make_unique<WithinDieProcess>(
-      config.wid_sigma, hash64(config.seed ^ 0x1ULL)));
-  composite->add(std::make_unique<RandomDeviceProcess>(
-      config.rnd_sigma, hash64(config.seed ^ 0x2ULL)));
+      std::make_unique<DieToDieProcess>(config.d2d_sigma, env.split("d2d")));
+  composite->add(std::make_unique<WithinDieProcess>(config.wid_sigma,
+                                                    env.split("wid")));
+  composite->add(std::make_unique<RandomDeviceProcess>(config.rnd_sigma,
+                                                       env.split("rnd")));
   composite->add(std::make_unique<VrmRipple>(config.vrm_amplitude,
                                              config.vrm_period));
   composite->add(std::make_unique<SimultaneousSwitchingNoise>(
-      config.ssn_sigma, config.ssn_hold, hash64(config.seed ^ 0x3ULL)));
+      config.ssn_sigma, config.ssn_hold, env.split("ssn")));
   composite->add(std::make_unique<TemperatureHotspot>(
       config.hotspot_peak, DiePoint{0.7, 0.3}, 0.2, config.hotspot_onset,
       config.hotspot_tau));
-  composite->add(std::make_unique<Aging>(config.aging_saturation,
-                                         config.aging_tau,
-                                         hash64(config.seed ^ 0x4ULL)));
+  composite->add(std::make_unique<Aging>(
+      config.aging_saturation, config.aging_tau, env.split("aging")));
   return composite;
 }
 

@@ -3,17 +3,20 @@
 #include <cmath>
 #include <sstream>
 
-#include "roclk/common/rng.hpp"
 #include "roclk/common/status.hpp"
+#include "roclk/common/stream_key.hpp"
 
 namespace roclk::variation {
 
 // ------------------------------------------------------- DieToDieProcess
 
-DieToDieProcess::DieToDieProcess(double sigma, std::uint64_t seed) {
-  Xoshiro256 rng{seed};
+DieToDieProcess::DieToDieProcess(double sigma, StreamKey key) {
+  CounterRng rng{key.split("d2d")};
   offset_ = rng.normal(0.0, sigma);
 }
+
+DieToDieProcess::DieToDieProcess(double sigma, std::uint64_t seed)
+    : DieToDieProcess{sigma, StreamKey{seed}.split("variation.d2d")} {}
 
 DieToDieProcess DieToDieProcess::with_offset(double offset) {
   return DieToDieProcess{offset};
@@ -29,9 +32,14 @@ std::unique_ptr<VariationSource> DieToDieProcess::clone() const {
 
 // ------------------------------------------------------ WithinDieProcess
 
+WithinDieProcess::WithinDieProcess(double sigma, StreamKey key, int cells,
+                                   int octaves)
+    : map_{key, sigma, cells, octaves} {}
+
 WithinDieProcess::WithinDieProcess(double sigma, std::uint64_t seed,
                                    int cells, int octaves)
-    : map_{seed, sigma, cells, octaves} {}
+    : WithinDieProcess{sigma, StreamKey{seed}.split("variation.wid"), cells,
+                       octaves} {}
 
 double WithinDieProcess::at(double /*t*/, DiePoint p) const {
   return map_.at(p);
@@ -43,17 +51,22 @@ std::unique_ptr<VariationSource> WithinDieProcess::clone() const {
 
 // --------------------------------------------------- RandomDeviceProcess
 
-RandomDeviceProcess::RandomDeviceProcess(double sigma, std::uint64_t seed,
+RandomDeviceProcess::RandomDeviceProcess(double sigma, StreamKey key,
                                          int buckets)
-    : sigma_{sigma}, seed_{seed}, buckets_{buckets} {
+    : sigma_{sigma}, key_{key}, buckets_{buckets} {
   ROCLK_CHECK(buckets >= 1, "need at least one bucket");
 }
 
+RandomDeviceProcess::RandomDeviceProcess(double sigma, std::uint64_t seed,
+                                         int buckets)
+    : RandomDeviceProcess{sigma, StreamKey{seed}.split("variation.rnd"),
+                          buckets} {}
+
 double RandomDeviceProcess::at(double /*t*/, DiePoint p) const {
-  // Spatially white: each bucket of the die gets an independent value.
+  // Spatially white: each bucket of the die owns its indexed substream.
   const auto bx = static_cast<std::uint64_t>(p.x * buckets_);
   const auto by = static_cast<std::uint64_t>(p.y * buckets_);
-  Xoshiro256 rng{hash64(seed_ ^ (bx | (by << 32)))};
+  CounterRng rng{key_.at(bx | (by << 32))};
   return rng.normal(0.0, sigma_);
 }
 
@@ -105,9 +118,15 @@ std::unique_ptr<VariationSource> OffChipVoltageDrop::clone() const {
 
 SimultaneousSwitchingNoise::SimultaneousSwitchingNoise(double sigma,
                                                        double hold,
+                                                       StreamKey key)
+    : noise_{sigma, hold, key.split("noise")},
+      profile_{key.split("profile"), 0.5, 3, 2} {}
+
+SimultaneousSwitchingNoise::SimultaneousSwitchingNoise(double sigma,
+                                                       double hold,
                                                        std::uint64_t seed)
-    : noise_{sigma, hold, seed},
-      profile_{hash64(seed ^ 0xABCDULL), 0.5, 3, 2} {}
+    : SimultaneousSwitchingNoise{
+          sigma, hold, StreamKey{seed}.split("variation.ssn")} {}
 
 double SimultaneousSwitchingNoise::at(double t, DiePoint p) const {
   // Activity profile shifts the local noise amplitude by up to ~50%.
@@ -156,12 +175,16 @@ std::unique_ptr<VariationSource> TemperatureHotspot::clone() const {
 
 // ------------------------------------------------------------------ Aging
 
-Aging::Aging(double saturation, double time_constant, std::uint64_t seed)
+Aging::Aging(double saturation, double time_constant, StreamKey key)
     : saturation_{saturation},
       time_constant_{time_constant},
-      stress_{seed, 0.3, 3, 2} {
+      stress_{key.split("stress"), 0.3, 3, 2} {
   ROCLK_CHECK(time_constant > 0.0, "aging time constant must be positive");
 }
+
+Aging::Aging(double saturation, double time_constant, std::uint64_t seed)
+    : Aging{saturation, time_constant,
+            StreamKey{seed}.split("variation.aging")} {}
 
 double Aging::at(double t, DiePoint p) const {
   if (t <= 0.0) return 0.0;
@@ -178,12 +201,12 @@ std::unique_ptr<VariationSource> Aging::clone() const {
 
 DroopTrain::DroopTrain(double peak, double mean_spacing_stages,
                        double min_duration, double max_duration,
-                       std::uint64_t seed)
+                       StreamKey key)
     : peak_{peak},
       spacing_{mean_spacing_stages},
       min_duration_{min_duration},
       max_duration_{max_duration},
-      seed_{seed} {
+      key_{key} {
   ROCLK_CHECK(peak >= 0.0, "peak cannot be negative");
   ROCLK_CHECK(mean_spacing_stages > 0.0, "spacing must be positive");
   ROCLK_CHECK(min_duration > 0.0 && max_duration >= min_duration,
@@ -192,11 +215,16 @@ DroopTrain::DroopTrain(double peak, double mean_spacing_stages,
                 "events longer than their slots would overlap");
 }
 
+DroopTrain::DroopTrain(double peak, double mean_spacing_stages,
+                       double min_duration, double max_duration,
+                       std::uint64_t seed)
+    : DroopTrain{peak, mean_spacing_stages, min_duration, max_duration,
+                 StreamKey{seed}.split("variation.droop_train")} {}
+
 DroopTrain::Event DroopTrain::event_in_slot(std::int64_t slot) const {
   // One candidate event per spacing-sized slot; present with p ~ 0.63
   // (Poisson with one expected arrival per slot, clipped to <= 1 event).
-  Xoshiro256 rng{hash64(seed_ ^ static_cast<std::uint64_t>(slot) *
-                                    0x9E3779B97F4A7C15ULL)};
+  CounterRng rng{key_.at(static_cast<std::uint64_t>(slot))};
   Event event;
   event.present = rng.uniform() < 0.63;
   if (!event.present) return event;

@@ -3,28 +3,31 @@
 #include <cmath>
 
 #include "roclk/common/math.hpp"
-#include "roclk/common/rng.hpp"
 #include "roclk/common/status.hpp"
+#include "roclk/common/stream_key.hpp"
 
 namespace roclk::variation {
 
-SpatialMap::SpatialMap(std::uint64_t seed, double stddev, int cells,
-                       int octaves)
-    : seed_{seed}, stddev_{stddev}, cells_{cells}, octaves_{octaves} {
+SpatialMap::SpatialMap(StreamKey key, double stddev, int cells, int octaves)
+    : key_{key}, stddev_{stddev}, cells_{cells}, octaves_{octaves} {
   ROCLK_CHECK(cells >= 1, "need at least one lattice cell");
   ROCLK_CHECK(octaves >= 1, "need at least one octave");
 }
 
+SpatialMap::SpatialMap(std::uint64_t seed, double stddev, int cells,
+                       int octaves)
+    : SpatialMap{StreamKey{seed}.split("variation.spatial_map"), stddev,
+                 cells, octaves} {}
+
 double SpatialMap::lattice_value(int octave, int ix, int iy) const {
-  // Stateless: mix the seed, octave and lattice coordinates, then map the
-  // hash to an approximately standard-normal value via a 4-fold sum of
-  // uniforms (Irwin-Hall, variance 4/12 each -> scaled).
-  std::uint64_t h = seed_;
-  h = hash64(h ^ (static_cast<std::uint64_t>(octave) * 0x9E3779B97F4A7C15ULL));
-  h = hash64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix)) |
-                  (static_cast<std::uint64_t>(static_cast<std::uint32_t>(iy))
-                   << 32)));
-  Xoshiro256 rng{h};
+  // Stateless: every lattice site owns the substream
+  // key.at(octave).at(packed coordinate), then maps draws to an
+  // approximately standard-normal value via a 4-fold sum of uniforms
+  // (Irwin-Hall, variance 4/12 each -> scaled).
+  const std::uint64_t coord =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix)) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(iy)) << 32);
+  CounterRng rng{key_.at(static_cast<std::uint64_t>(octave)).at(coord)};
   double acc = 0.0;
   for (int i = 0; i < 4; ++i) acc += rng.uniform() - 0.5;
   // Sum of 4 centred uniforms has variance 4/12 = 1/3; scale to unit.

@@ -197,6 +197,10 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
   static const std::regex kStdRandom{
       R"(std\s*::\s*(mt19937|minstd_rand|ranlux\w*|knuth_b|)"
       R"(default_random_engine|[a-z_]+_distribution)\b)"};
+  // Construction only: `Xoshiro256 rng{seed}` / `Xoshiro256{seed}`.
+  // References, members (`Xoshiro256 rng_;`) and the class definition in
+  // common/rng.hpp don't match.
+  static const std::regex kXoshiroConstruct{R"(Xoshiro256\s*(\w+\s*)?\{)"};
 
   const std::string stripped = strip_comments_and_strings(source);
   std::istringstream in{stripped};
@@ -221,6 +225,13 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
         report(lineno, "rng",
                "std::random_device breaks reproducibility; seed via "
                "roclk/common/rng.hpp");
+      }
+      if (std::regex_search(line, kXoshiroConstruct)) {
+        report(lineno, "xoshiro",
+               "direct Xoshiro256 construction couples draws to evaluation "
+               "order; derive a StreamKey and use CounterRng from "
+               "roclk/common/stream_key.hpp (sequential generators that "
+               "genuinely accumulate state may waive this)");
       }
     }
     // `#include <new>` contains the keyword but allocates nothing.

@@ -107,13 +107,15 @@ TEST(LintTest, FaultSourcesMustUseCommonRng) {
       lint_source("src/fault/fault.cpp",
                   "std::uniform_int_distribution<int> d(0, 9);\n"),
       "fault-rng"));
-  // ...but not elsewhere, and common/rng usage inside fault/ is clean.
+  // ...but not elsewhere, and common/rng usage inside fault/ is clean
+  // as far as this rule goes (direct construction is the xoshiro rule's
+  // concern, not fault-rng's).
   EXPECT_FALSE(has_rule(lint_source("src/core/foo.cpp", "std::mt19937 g;\n"),
                         "fault-rng"));
-  EXPECT_TRUE(lint_source("src/fault/fault.cpp",
-                          "#include \"roclk/common/rng.hpp\"\n"
-                          "common::Xoshiro256 rng{seed};\n")
-                  .empty());
+  EXPECT_FALSE(has_rule(lint_source("src/fault/fault.cpp",
+                                    "#include \"roclk/common/rng.hpp\"\n"
+                                    "common::Xoshiro256 rng{seed};\n"),
+                        "fault-rng"));
   // "default/" must not be mistaken for a fault/ path.
   EXPECT_FALSE(has_rule(
       lint_source("src/default/foo.cpp", "std::mt19937 g;\n"), "fault-rng"));
@@ -136,6 +138,31 @@ TEST(LintTest, IntrinsicsHeadersConfinedToSimdShim) {
                                     "#pragma once\n#include <immintrin.h>\n"
                                     "#include <arm_neon.h>\n"),
                         "simd-include"));
+}
+
+TEST(LintTest, FlagsDirectXoshiroConstructionOutsideCommonRng) {
+  // Declarations with an initialiser and temporaries are findings...
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/foo.cpp", "Xoshiro256 rng{seed};\n"), "xoshiro"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/foo.cpp", "auto v = Xoshiro256{s}.uniform();\n"),
+      "xoshiro"));
+  // ...but references, parameters and uninitialised members are not
+  // (consuming a generator someone else seeded is fine).
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/foo.cpp", "void f(Xoshiro256& rng);\n"),
+      "xoshiro"));
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/foo.cpp", "Xoshiro256 rng_;\n"), "xoshiro"));
+  // The generator's own home may construct freely, and a waiver works.
+  EXPECT_FALSE(has_rule(
+      lint_source("include/roclk/common/rng.hpp",
+                  "#pragma once\nXoshiro256 make() { return Xoshiro256{1}; }\n"),
+      "xoshiro"));
+  EXPECT_FALSE(has_rule(
+      lint_source("src/osc/jitter.cpp",
+                  "rng_ = Xoshiro256{seed};  // roclk-lint: allow(xoshiro)\n"),
+      "xoshiro"));
 }
 
 TEST(LintTest, InlineWaiverSuppressesNamedRuleOnly) {
