@@ -62,6 +62,11 @@ struct PerfEntry {
   double after_items_per_sec{0.0};
   int threads{1};
   std::string simd_backend{"scalar"};
+  /// Optional latency percentiles in microseconds (service soak entries).
+  /// Emitted into the JSON record only when p99_us > 0.
+  double p50_us{0.0};
+  double p95_us{0.0};
+  double p99_us{0.0};
   [[nodiscard]] double speedup() const {
     return before_items_per_sec > 0.0
                ? after_items_per_sec / before_items_per_sec
@@ -112,15 +117,21 @@ inline bool append_perf_run(const std::string& path,
       << "      \"benchmarks\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const PerfEntry& e = entries[i];
-    char line[512];
+    char latency[160] = "";
+    if (e.p99_us > 0.0) {
+      std::snprintf(latency, sizeof latency,
+                    ", \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f",
+                    e.p50_us, e.p95_us, e.p99_us);
+    }
+    char line[640];
     std::snprintf(line, sizeof line,
                   "        {\"name\": \"%s\", \"unit\": \"%s\", "
                   "\"before_items_per_sec\": %.1f, "
                   "\"after_items_per_sec\": %.1f, \"speedup\": %.2f, "
-                  "\"threads\": %d, \"simd_backend\": \"%s\"}%s\n",
+                  "\"threads\": %d, \"simd_backend\": \"%s\"%s}%s\n",
                   e.name.c_str(), e.unit.c_str(), e.before_items_per_sec,
                   e.after_items_per_sec, e.speedup(), e.threads,
-                  e.simd_backend.c_str(),
+                  e.simd_backend.c_str(), latency,
                   i + 1 < entries.size() ? "," : "");
     run << line;
   }

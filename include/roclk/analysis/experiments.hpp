@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "roclk/analysis/metrics.hpp"
+#include "roclk/common/thread_pool.hpp"
 #include "roclk/core/loop_simulator.hpp"
 
 namespace roclk::analysis {
@@ -167,5 +168,16 @@ struct WorkedExample {
     std::size_t cycles, std::size_t skip, double free_ro_margin = 0.0,
     cdn::DelayQuantization cdn_quantization =
         cdn::DelayQuantization::kLinearInterp);
+
+/// Same, on an explicit pool (nullptr = strictly sequential), following
+/// the DESIGN.md §13 convention of the other MC entry points.  Per-lane
+/// results are bitwise identical for every choice of pool; the overload
+/// above runs on the shared process-wide pool.
+[[nodiscard]] std::vector<RunMetrics> measure_system_ensemble(
+    SystemKind kind, double setpoint_c, std::span<const double> tclk_stages,
+    double amplitude_stages, double period_stages,
+    std::span<const double> mu_stages, double fixed_period,
+    std::size_t cycles, std::size_t skip, double free_ro_margin,
+    cdn::DelayQuantization cdn_quantization, ThreadPool* pool);
 
 }  // namespace roclk::analysis

@@ -48,6 +48,7 @@ struct SweepMemoStats {
   std::size_t hits{0};
   std::size_t misses{0};
   std::size_t entries{0};
+  std::size_t evictions{0};
 };
 
 /// Thread-safe memo; safe to use from parallel_for workers.
@@ -87,6 +88,13 @@ class SweepMemo {
 
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const;
+
+  /// Bounds the memo to `capacity` entries, evicting least-recently-used
+  /// ones (lookup hits and stores both refresh recency).  0 restores the
+  /// historical unbounded behaviour.  Shrinking below the current size
+  /// evicts immediately; load_file also respects the bound.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
 
  private:
   struct Impl;

@@ -70,6 +70,13 @@ struct YieldCurve {
 [[nodiscard]] YieldCurve yield_curve(std::span<const double> margins,
                                      const YieldConfig& config = {});
 
+/// Same, running any un-memoised chip sampling on an explicit pool
+/// (nullptr = strictly sequential).  The curve is bitwise identical for
+/// every choice of pool — the sampling is scheduling-invariant (§13).
+[[nodiscard]] YieldCurve yield_curve(std::span<const double> margins,
+                                     const YieldConfig& config,
+                                     ThreadPool* pool);
+
 /// The margin (stages) the fixed clock needs for a target yield, found on
 /// the worst-path distribution; and the performance the adaptive clock
 /// gives up instead (its mean period minus c).

@@ -1,0 +1,135 @@
+// Canonical scenario-query schema for the sweep service.
+//
+// A request names one simulation scenario in the paper's units (fractions
+// of the set-point c).  Identity matters more than convenience here: two
+// requests that mean the same simulation must serialize to the same words
+// and hash to the same 64-bit content hash, because the service coalesces
+// identical in-flight requests onto one simulation and addresses its
+// result cache by that hash.  The rules that make this hold (normalize()):
+//
+//  * every double is canonicalised: -0.0 becomes +0.0; NaN/inf are
+//    rejected up front, never hashed;
+//  * defaulted fields are resolved to their explicit values before
+//    hashing (cycles == 0 resolves via analysis::cycles_for), so "default
+//    cycles" and the spelled-out equivalent are the same request;
+//  * the deadline is NOT part of the identity — two clients asking the
+//    same question with different patience share one simulation.
+//
+// docs/service.md documents the schema and normalization contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "roclk/common/status.hpp"
+#include "roclk/service/wire.hpp"
+
+namespace roclk::service {
+
+enum class QueryKind : std::uint32_t {
+  kCornerMargin = 1,  // one what-if PVTA corner -> RunMetrics
+  kGridSweep = 2,     // 1-D sweep of one corner axis -> metric per point
+  kYieldCurve = 3,    // fixed-margin grid -> fixed/adaptive yield
+};
+
+[[nodiscard]] constexpr const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCornerMargin:
+      return "corner";
+    case QueryKind::kGridSweep:
+      return "grid";
+    case QueryKind::kYieldCurve:
+      return "yield";
+  }
+  return "?";
+}
+
+/// "What margin does this corner need?" — one measure_system run.  All
+/// lengths are fractions of the set-point c, mirroring the paper's axes.
+struct CornerQuery {
+  std::uint32_t system{0};       // analysis::SystemKind
+  double setpoint_c{64.0};
+  double tclk_over_c{1.0};
+  double amplitude_frac{0.2};    // harmonic HoDV amplitude / c
+  double te_over_c{50.0};        // HoDV period / c
+  double mu_over_c{0.0};         // static HeDV mismatch / c
+  std::uint64_t cycles{0};       // 0 -> resolved by normalize()
+  std::uint64_t skip{1000};      // transient cycles dropped from metrics
+  double free_ro_margin_frac{0.0};
+  std::uint32_t quantization{2};  // cdn::DelayQuantization (default interp)
+
+  [[nodiscard]] bool operator==(const CornerQuery&) const = default;
+};
+
+enum class GridAxis : std::uint32_t {
+  kTclkOverC = 1,  // Fig. 8 upper axis
+  kTeOverC = 2,    // Fig. 8 lower axis
+  kMuOverC = 3,    // Fig. 9 rows
+};
+
+enum class GridScale : std::uint32_t { kLinear = 1, kLog = 2 };
+
+/// A figure-grid query: sweep one axis of `base` over [lo, hi].
+struct GridQuery {
+  CornerQuery base;
+  GridAxis axis{GridAxis::kTclkOverC};
+  GridScale scale{GridScale::kLinear};
+  double lo{0.0};
+  double hi{0.0};
+  std::uint64_t points{0};
+
+  [[nodiscard]] bool operator==(const GridQuery&) const = default;
+};
+
+/// A yield-economics query: analysis::yield_curve over a margin grid.
+struct YieldQuery {
+  std::uint64_t chips{500};
+  std::uint64_t paths{64};
+  double nominal_depth{64.0};
+  double d2d_sigma{0.05};
+  double wid_sigma{0.04};
+  double rnd_sigma{0.02};
+  double setpoint_c{64.0};
+  std::int64_t ro_max_length{128};
+  std::uint64_t seed{1234};
+  double margin_lo{0.0};
+  double margin_hi{16.0};
+  std::uint64_t margin_points{9};
+
+  [[nodiscard]] bool operator==(const YieldQuery&) const = default;
+};
+
+/// One scenario query.  Exactly the member named by `kind` is meaningful;
+/// the others stay default-constructed (and are not serialized).
+struct Request {
+  QueryKind kind{QueryKind::kCornerMargin};
+  /// Per-request deadline in milliseconds from admission; 0 = none.  Not
+  /// part of the content hash.
+  std::uint32_t deadline_ms{0};
+  CornerQuery corner{};
+  GridQuery grid{};
+  YieldQuery yield{};
+
+  [[nodiscard]] bool operator==(const Request&) const = default;
+};
+
+/// Validates `request` and returns its canonical form (defaults resolved,
+/// -0.0 flattened).  Non-finite values, unknown enums, empty or inverted
+/// grids, and log scales with non-positive bounds are rejected.
+[[nodiscard]] Result<Request> normalize(const Request& request);
+
+/// Content hash of a *normalized* request: the wire_mix chain over
+/// [kind, scenario words...], excluding the deadline.  Two requests
+/// coalesce / share a cache entry iff their hashes (and thus their
+/// normalized scenario words) are equal.
+[[nodiscard]] std::uint64_t content_hash(const Request& normalized);
+
+/// Serializes a request as [deadline_ms, kind, scenario words...].
+void encode_request(const Request& request, WireWriter& out);
+
+/// Decodes a request from `in`.  Structural failures (short payload,
+/// unknown kind) return a Status; semantic validation is normalize()'s
+/// job so the server can answer with a typed response instead.
+[[nodiscard]] Result<Request> decode_request(WireReader& in);
+
+}  // namespace roclk::service

@@ -1,0 +1,29 @@
+// Server-side frame session: the glue between a connected stream and
+// SweepService.
+//
+// One session = one client connection.  Frames are served in order:
+// request frames run through SweepService::handle, ping frames ack, a
+// shutdown frame acks and reports the daemon should drain.  A malformed
+// frame is answered with its typed status (kMalformedFrame /
+// kUnsupportedVersion) and ends the session — length framing cannot be
+// resynced after a bad frame, so continuing would misparse everything
+// after it.
+#pragma once
+
+#include "roclk/service/server.hpp"
+#include "roclk/service/transport.hpp"
+
+namespace roclk::service {
+
+enum class SessionEnd : std::uint32_t {
+  kClientClosed = 0,   // clean EOF
+  kShutdownRequested,  // client sent a shutdown frame (acked)
+  kMalformed,          // bad frame answered and stream closed
+  kTransportError,     // read/write failure mid-session
+};
+
+/// Serves frames from `fd` until the session ends.  Blocking; run one
+/// thread (or one sequential turn) per connection.
+[[nodiscard]] SessionEnd run_server_session(int fd, SweepService& service);
+
+}  // namespace roclk::service

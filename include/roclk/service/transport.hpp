@@ -1,0 +1,107 @@
+// Frame transport: length-prefixed frames over file descriptors, plus the
+// Unix-domain-socket plumbing the daemon and client share.
+//
+// This header and transport.cpp are the ONLY files in the repo allowed to
+// use raw socket APIs — the roclk_lint `socket-include` rule confines
+// <sys/socket.h> and friends here, so every other layer (server, client
+// logic, tools) speaks Frame values and can be tested over socketpairs or
+// in memory.
+//
+// Reading is incremental and bounded: the fixed 3-word header is read and
+// validated first (magic, version, type, payload count <=
+// kMaxPayloadWords), THEN payload + checksum — a hostile length can never
+// drive an unbounded allocation or read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "roclk/common/status.hpp"
+#include "roclk/service/protocol.hpp"
+
+namespace roclk::service {
+
+/// Owns one stream file descriptor (socket or pipe end); closes on
+/// destruction.  Move-only.
+class FdStream {
+ public:
+  FdStream() = default;
+  explicit FdStream(int fd) : fd_{fd} {}
+  ~FdStream();
+  FdStream(FdStream&& other) noexcept;
+  FdStream& operator=(FdStream&& other) noexcept;
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Releases ownership without closing.
+  int release();
+  void close();
+
+ private:
+  int fd_{-1};
+};
+
+/// Outcome of reading one frame from a stream.
+enum class ReadFrameResult : std::uint32_t {
+  kFrame = 0,     // `frame` holds a valid frame
+  kClosed = 1,    // clean EOF at a frame boundary
+  kMalformed = 2, // structural failure; see `error` (stream unusable)
+  kIoError = 3,   // read(2) failed
+};
+
+struct FrameReadOutcome {
+  ReadFrameResult result{ReadFrameResult::kIoError};
+  DecodeError error{DecodeError::kOk};  // set when result == kMalformed
+  Frame frame;
+};
+
+/// Blocking read of one frame.  EOF mid-frame reports kMalformed
+/// (truncated), EOF before any byte reports kClosed.
+[[nodiscard]] FrameReadOutcome read_frame(int fd);
+
+/// Blocking write of one encoded frame; false on a short write or error.
+[[nodiscard]] bool write_frame(int fd, const Frame& frame);
+
+/// Blocking write of raw words with no framing — the malformed-frame
+/// smoke path uses it to ship deliberately broken bytes.
+[[nodiscard]] bool write_words(int fd,
+                               const std::vector<std::uint64_t>& words);
+
+/// Creates a connected pair of local stream sockets (socketpair) — the
+/// in-process loopback tests and the soak bench use it to exercise the
+/// exact bytes the daemon ships.
+[[nodiscard]] Status make_stream_pair(FdStream& a, FdStream& b);
+
+/// Listening Unix-domain socket bound to `path` (unlinked first, and
+/// unlinked again on destruction).
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  [[nodiscard]] Status listen(const std::string& path, int backlog = 16);
+
+  /// Blocks for the next connection.  Returns an invalid stream after
+  /// wake() or on listener teardown.
+  [[nodiscard]] FdStream accept();
+
+  /// Unblocks a pending accept() (shutdown(2) on the listening socket) —
+  /// the daemon's clean-exit path.
+  void wake();
+
+  [[nodiscard]] bool listening() const { return fd_.valid(); }
+
+ private:
+  FdStream fd_;
+  std::string path_;
+};
+
+/// Connects to a daemon's Unix socket.
+[[nodiscard]] Result<FdStream> connect_unix(const std::string& path);
+
+}  // namespace roclk::service

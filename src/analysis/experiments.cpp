@@ -130,6 +130,18 @@ std::vector<RunMetrics> measure_system_ensemble(
     std::span<const double> mu_stages, double fixed_period,
     std::size_t cycles, std::size_t skip, double free_ro_margin,
     cdn::DelayQuantization cdn_quantization) {
+  return measure_system_ensemble(kind, setpoint_c, tclk_stages,
+                                 amplitude_stages, period_stages, mu_stages,
+                                 fixed_period, cycles, skip, free_ro_margin,
+                                 cdn_quantization, &ThreadPool::shared());
+}
+
+std::vector<RunMetrics> measure_system_ensemble(
+    SystemKind kind, double setpoint_c, std::span<const double> tclk_stages,
+    double amplitude_stages, double period_stages,
+    std::span<const double> mu_stages, double fixed_period,
+    std::size_t cycles, std::size_t skip, double free_ro_margin,
+    cdn::DelayQuantization cdn_quantization, ThreadPool* pool) {
   const std::size_t lanes = std::max(tclk_stages.size(), mu_stages.size());
   ROCLK_CHECK(lanes > 0, "no operating points");
   ROCLK_CHECK(tclk_stages.size() == lanes || tclk_stages.size() == 1,
@@ -192,8 +204,8 @@ std::vector<RunMetrics> measure_system_ensemble(
   const signal::SineWaveform waveform{amplitude_stages, period_stages};
   const auto block = core::sample_homogeneous_ensemble(
       waveform, lane_mus, cycles, setpoint_c);
-  const std::vector<RunMetrics> measured = evaluate_ensemble(
-      ensemble, block, {fixed_period}, skip, /*parallel=*/true);
+  const std::vector<RunMetrics> measured =
+      evaluate_ensemble(ensemble, block, {fixed_period}, skip, pool);
   for (std::size_t j = 0; j < pending.size(); ++j) {
     out[pending[j]] = measured[j];
     memo.store(key_for(pending[j]), measured[j]);

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -41,11 +42,45 @@ struct KeyHash {
 }  // namespace
 
 struct SweepMemo::Impl {
+  struct Entry {
+    RunMetrics metrics;
+    std::list<SweepKey>::iterator recency;  // position in `lru`
+  };
+
   mutable std::mutex mutex;
-  std::unordered_map<SweepKey, RunMetrics, KeyHash> entries;
+  std::unordered_map<SweepKey, Entry, KeyHash> entries;
+  std::list<SweepKey> lru;  // front = most recently used
+  std::size_t capacity{0};  // 0 = unbounded (the historical behaviour)
   std::size_t hits{0};
   std::size_t misses{0};
+  std::size_t evictions{0};
   bool enabled{true};
+
+  // All three helpers assume `mutex` is held.
+  void touch(Entry& entry) {
+    lru.splice(lru.begin(), lru, entry.recency);
+  }
+
+  void insert(const SweepKey& key, const RunMetrics& metrics) {
+    const auto it = entries.find(key);
+    if (it != entries.end()) {
+      it->second.metrics = metrics;
+      touch(it->second);
+      return;
+    }
+    lru.push_front(key);
+    entries.emplace(key, Entry{metrics, lru.begin()});
+    evict_over_capacity();
+  }
+
+  void evict_over_capacity() {
+    if (capacity == 0) return;
+    while (entries.size() > capacity) {
+      entries.erase(lru.back());
+      lru.pop_back();
+      ++evictions;
+    }
+  }
 };
 
 SweepMemo::SweepMemo() : impl_{std::make_unique<Impl>()} {}
@@ -68,26 +103,41 @@ bool SweepMemo::lookup(const SweepKey& key, RunMetrics& metrics) {
     return false;
   }
   ++impl_->hits;
-  metrics = it->second;
+  impl_->touch(it->second);
+  metrics = it->second.metrics;
   return true;
 }
 
 void SweepMemo::store(const SweepKey& key, const RunMetrics& metrics) {
   std::lock_guard lock(impl_->mutex);
   if (!impl_->enabled) return;
-  impl_->entries.insert_or_assign(key, metrics);
+  impl_->insert(key, metrics);
 }
 
 SweepMemoStats SweepMemo::stats() const {
   std::lock_guard lock(impl_->mutex);
-  return {impl_->hits, impl_->misses, impl_->entries.size()};
+  return {impl_->hits, impl_->misses, impl_->entries.size(),
+          impl_->evictions};
 }
 
 void SweepMemo::clear() {
   std::lock_guard lock(impl_->mutex);
   impl_->entries.clear();
+  impl_->lru.clear();
   impl_->hits = 0;
   impl_->misses = 0;
+  impl_->evictions = 0;
+}
+
+void SweepMemo::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->capacity = capacity;
+  impl_->evict_over_capacity();
+}
+
+std::size_t SweepMemo::capacity() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->capacity;
 }
 
 namespace {
@@ -131,7 +181,8 @@ Status SweepMemo::save_file(const std::string& path) const {
   out.put(kMemoMagic);
   out.put(static_cast<std::uint64_t>(kMemoVersion));
   out.put(static_cast<std::uint64_t>(impl_->entries.size()));
-  for (const auto& [key, metrics] : impl_->entries) {
+  for (const auto& [key, entry] : impl_->entries) {
+    const RunMetrics& metrics = entry.metrics;
     out.put(static_cast<std::uint64_t>(static_cast<std::int64_t>(key.kind)));
     out.put(key.setpoint_c);
     out.put(key.tclk_stages);
@@ -170,6 +221,7 @@ Status SweepMemo::load_file(const std::string& path) {
   // Degrade-first: the entries are dropped up front, so EVERY early return
   // below leaves an empty (never a half-loaded or stale) memo.
   impl_->entries.clear();
+  impl_->lru.clear();
 
   std::ifstream file(path, std::ios::binary | std::ios::ate);
   if (!file) {
@@ -226,11 +278,12 @@ Status SweepMemo::load_file(const std::string& path) {
     metrics.relative_adaptive_period = in.take_double();
     metrics.violations = static_cast<std::size_t>(in.take());
     metrics.tau_ripple = in.take_double();
-    impl_->entries.insert_or_assign(key, metrics);
+    impl_->insert(key, metrics);
   }
   const std::uint64_t computed = in.checksum;
   if (in.take() != computed) {
     impl_->entries.clear();
+    impl_->lru.clear();
     return Status::invalid_argument(
         "memo checksum mismatch (corrupt file): " + path);
   }

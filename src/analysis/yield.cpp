@@ -61,7 +61,7 @@ struct WorstPathKey {
 /// substreams of the yield stream key, so the sampling shards with
 /// bitwise-identical results at any thread count.
 std::shared_ptr<const std::vector<double>> sampled_worst_paths(
-    const YieldConfig& config) {
+    const YieldConfig& config, ThreadPool* pool = &ThreadPool::shared()) {
   const WorstPathKey key{config.chips,     config.paths,
                          config.nominal_depth, config.d2d_sigma,
                          config.wid_sigma, config.rnd_sigma,
@@ -78,7 +78,7 @@ std::shared_ptr<const std::vector<double>> sampled_worst_paths(
   }
 
   auto worst_paths = std::make_shared<std::vector<double>>(
-      sample_worst_paths(config, &ThreadPool::shared()));
+      sample_worst_paths(config, pool));
 
   const std::lock_guard<std::mutex> lock{mutex};
   // A concurrent caller may have raced us here; the duplicate entry is
@@ -101,11 +101,16 @@ std::vector<double> sample_worst_paths(const YieldConfig& config,
 
 YieldCurve yield_curve(std::span<const double> margins,
                        const YieldConfig& config) {
+  return yield_curve(margins, config, &ThreadPool::shared());
+}
+
+YieldCurve yield_curve(std::span<const double> margins,
+                       const YieldConfig& config, ThreadPool* pool) {
   ROCLK_CHECK(config.chips > 0, "need at least one chip");
   ROCLK_CHECK(config.paths > 0, "need at least one path");
   ROCLK_CHECK(!margins.empty(), "empty margin sweep");
 
-  const auto worst_paths_ptr = sampled_worst_paths(config);
+  const auto worst_paths_ptr = sampled_worst_paths(config, pool);
   const std::vector<double>& worst_paths = *worst_paths_ptr;
 
   RunningStats worst_stats;

@@ -1,0 +1,71 @@
+#include "roclk/service/client.hpp"
+
+#include <utility>
+
+namespace roclk::service {
+
+Result<Client> Client::connect(const std::string& path) {
+  Result<FdStream> stream = connect_unix(path);
+  if (!stream.is_ok()) return stream.status();
+  return Client{std::move(stream).value()};
+}
+
+Result<Response> Client::round_trip(const Frame& frame) {
+  if (!stream_.valid()) {
+    return Status::failed_precondition("client is not connected");
+  }
+  if (!write_frame(stream_.fd(), frame)) {
+    return Status::internal("failed to write frame");
+  }
+  const FrameReadOutcome reply = read_frame(stream_.fd());
+  if (reply.result != ReadFrameResult::kFrame) {
+    stream_.close();
+    return Status::internal("connection lost awaiting response");
+  }
+  if (reply.frame.type != FrameType::kResponse) {
+    stream_.close();
+    return Status::internal("server sent a non-response frame");
+  }
+  WireReader reader{reply.frame.payload.data(), reply.frame.payload.size()};
+  return decode_response(reader);
+}
+
+Result<Response> Client::query(const Request& request) {
+  WireWriter payload;
+  encode_request(request, payload);
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.payload = std::move(payload.words);
+  return round_trip(frame);
+}
+
+Result<Response> Client::ping() {
+  return round_trip(Frame{FrameType::kPing, {}});
+}
+
+Result<Response> Client::shutdown_server() {
+  Result<Response> response = round_trip(Frame{FrameType::kShutdown, {}});
+  stream_.close();
+  return response;
+}
+
+Result<Response> Client::send_raw(const std::vector<std::uint64_t>& words) {
+  if (!stream_.valid()) {
+    return Status::failed_precondition("client is not connected");
+  }
+  if (!write_words(stream_.fd(), words)) {
+    return Status::internal("failed to write raw words");
+  }
+  const FrameReadOutcome reply = read_frame(stream_.fd());
+  if (reply.result != ReadFrameResult::kFrame ||
+      reply.frame.type != FrameType::kResponse) {
+    stream_.close();
+    return Status::internal("connection lost awaiting response");
+  }
+  WireReader reader{reply.frame.payload.data(), reply.frame.payload.size()};
+  Result<Response> decoded = decode_response(reader);
+  stream_.close();  // the server closes after answering a malformed frame
+  return decoded;
+}
+
+}  // namespace roclk::service

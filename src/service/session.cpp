@@ -1,0 +1,79 @@
+#include "roclk/service/session.hpp"
+
+#include "roclk/service/request.hpp"
+
+namespace roclk::service {
+
+namespace {
+
+bool send_response(int fd, const Response& response) {
+  WireWriter payload;
+  encode_response(response, payload);
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.payload = std::move(payload.words);
+  return write_frame(fd, frame);
+}
+
+}  // namespace
+
+SessionEnd run_server_session(int fd, SweepService& service) {
+  for (;;) {
+    const FrameReadOutcome incoming = read_frame(fd);
+    switch (incoming.result) {
+      case ReadFrameResult::kClosed:
+        return SessionEnd::kClientClosed;
+      case ReadFrameResult::kIoError:
+        return SessionEnd::kTransportError;
+      case ReadFrameResult::kMalformed: {
+        // Answer with the typed status, then end the session: after a
+        // structural failure the length framing cannot be trusted.
+        const Response response = Response::error(
+            to_response_status(incoming.error), "malformed frame");
+        (void)send_response(fd, response);
+        return SessionEnd::kMalformed;
+      }
+      case ReadFrameResult::kFrame:
+        break;
+    }
+
+    const Frame& frame = incoming.frame;
+    switch (frame.type) {
+      case FrameType::kPing: {
+        Response pong;
+        pong.message = service.shutting_down() ? "draining" : "ready";
+        if (!send_response(fd, pong)) return SessionEnd::kTransportError;
+        break;
+      }
+      case FrameType::kShutdown: {
+        service.begin_shutdown();
+        Response ack;
+        ack.message = "draining";
+        (void)send_response(fd, ack);
+        return SessionEnd::kShutdownRequested;
+      }
+      case FrameType::kRequest: {
+        WireReader reader{frame.payload.data(), frame.payload.size()};
+        Result<Request> request = decode_request(reader);
+        Response response =
+            request.is_ok()
+                ? service.handle(request.value())
+                : Response::error(ResponseStatus::kInvalidRequest,
+                                  request.status().message());
+        if (!send_response(fd, response)) return SessionEnd::kTransportError;
+        break;
+      }
+      case FrameType::kResponse: {
+        // A client must never send a response frame; treat it like any
+        // other protocol violation.
+        const Response response = Response::error(
+            ResponseStatus::kMalformedFrame,
+            "unexpected response frame from client");
+        (void)send_response(fd, response);
+        return SessionEnd::kMalformed;
+      }
+    }
+  }
+}
+
+}  // namespace roclk::service

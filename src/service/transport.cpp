@@ -1,0 +1,195 @@
+#include "roclk/service/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace roclk::service {
+
+namespace {
+
+/// Reads exactly `bytes`; 0 = clean EOF before any byte, -1 = error or
+/// mid-buffer EOF, 1 = success.
+int read_exact(int fd, void* buffer, std::size_t bytes) {
+  auto* out = static_cast<char*>(buffer);
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::read(fd, out + got, bytes - got);
+    if (n == 0) return got == 0 ? 0 : -1;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+bool write_all(int fd, const void* buffer, std::size_t bytes) {
+  const auto* in = static_cast<const char*>(buffer);
+  std::size_t sent = 0;
+  while (sent < bytes) {
+    const ssize_t n = ::write(fd, in + sent, bytes - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+FdStream::~FdStream() { close(); }
+
+FdStream::FdStream(FdStream&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)} {}
+
+FdStream& FdStream::operator=(FdStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+int FdStream::release() { return std::exchange(fd_, -1); }
+
+void FdStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FrameReadOutcome read_frame(int fd) {
+  FrameReadOutcome outcome;
+  std::uint64_t header[3];
+  const int header_read = read_exact(fd, header, sizeof header);
+  if (header_read == 0) {
+    outcome.result = ReadFrameResult::kClosed;
+    return outcome;
+  }
+  if (header_read < 0) {
+    outcome.result = ReadFrameResult::kMalformed;
+    outcome.error = DecodeError::kTruncated;
+    return outcome;
+  }
+  FrameType type{};
+  std::uint64_t payload_words = 0;
+  if (const DecodeError err = validate_header(header, type, payload_words);
+      err != DecodeError::kOk) {
+    outcome.result = ReadFrameResult::kMalformed;
+    outcome.error = err;
+    return outcome;
+  }
+  std::vector<std::uint64_t> tail(payload_words + 1);
+  if (read_exact(fd, tail.data(), tail.size() * sizeof(std::uint64_t)) !=
+      1) {
+    outcome.result = ReadFrameResult::kMalformed;
+    outcome.error = DecodeError::kTruncated;
+    return outcome;
+  }
+  std::uint64_t checksum = kWireSeed;
+  for (const std::uint64_t w : header) checksum = wire_mix(checksum, w);
+  for (std::size_t i = 0; i + 1 < tail.size(); ++i) {
+    checksum = wire_mix(checksum, tail[i]);
+  }
+  if (checksum != tail.back()) {
+    outcome.result = ReadFrameResult::kMalformed;
+    outcome.error = DecodeError::kBadChecksum;
+    return outcome;
+  }
+  outcome.result = ReadFrameResult::kFrame;
+  outcome.frame.type = type;
+  tail.pop_back();
+  outcome.frame.payload = std::move(tail);
+  return outcome;
+}
+
+bool write_frame(int fd, const Frame& frame) {
+  const std::vector<std::uint64_t> words = encode_frame(frame);
+  return write_all(fd, words.data(), words.size() * sizeof(std::uint64_t));
+}
+
+bool write_words(int fd, const std::vector<std::uint64_t>& words) {
+  return write_all(fd, words.data(), words.size() * sizeof(std::uint64_t));
+}
+
+Status make_stream_pair(FdStream& a, FdStream& b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::internal(std::string{"socketpair: "} +
+                            std::strerror(errno));
+  }
+  a = FdStream{fds[0]};
+  b = FdStream{fds[1]};
+  return Status::ok();
+}
+
+UnixListener::~UnixListener() {
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+Status UnixListener::listen(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::invalid_argument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  FdStream fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) {
+    return Status::internal(std::string{"socket: "} + std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return Status::internal("bind " + path + ": " + std::strerror(errno));
+  }
+  if (::listen(fd.fd(), backlog) != 0) {
+    return Status::internal("listen " + path + ": " + std::strerror(errno));
+  }
+  fd_ = std::move(fd);
+  path_ = path;
+  return Status::ok();
+}
+
+FdStream UnixListener::accept() {
+  if (!fd_.valid()) return {};
+  const int conn = ::accept(fd_.fd(), nullptr, nullptr);
+  return FdStream{conn};
+}
+
+void UnixListener::wake() {
+  if (fd_.valid()) ::shutdown(fd_.fd(), SHUT_RDWR);
+}
+
+Result<FdStream> connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::invalid_argument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  FdStream fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) {
+    return Status::internal(std::string{"socket: "} + std::strerror(errno));
+  }
+  if (::connect(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    return Status::not_found("connect " + path + ": " +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace roclk::service

@@ -78,6 +78,79 @@ TEST(SweepMemo, ClearDropsEntriesAndCounters) {
   EXPECT_FALSE(memo.lookup(key_of(0.0), out));
 }
 
+TEST(SweepMemo, CapacityBoundEvictsLeastRecentlyUsed) {
+  SweepMemo memo;
+  memo.set_capacity(2);
+  EXPECT_EQ(memo.capacity(), 2u);
+  memo.store(key_of(0.0), RunMetrics{});
+  memo.store(key_of(1.0), RunMetrics{});
+
+  // Touch 0.0 so 1.0 becomes least recently used, then overflow.
+  RunMetrics out;
+  EXPECT_TRUE(memo.lookup(key_of(0.0), out));
+  memo.store(key_of(2.0), RunMetrics{});
+
+  EXPECT_TRUE(memo.lookup(key_of(0.0), out));
+  EXPECT_FALSE(memo.lookup(key_of(1.0), out));
+  EXPECT_TRUE(memo.lookup(key_of(2.0), out));
+  const auto stats = memo.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(SweepMemo, StoreRefreshesRecency) {
+  SweepMemo memo;
+  memo.set_capacity(2);
+  memo.store(key_of(0.0), RunMetrics{});
+  memo.store(key_of(1.0), RunMetrics{});
+  memo.store(key_of(0.0), RunMetrics{});  // refresh: 1.0 is now LRU
+  memo.store(key_of(2.0), RunMetrics{});  // evicts 1.0
+  RunMetrics out;
+  EXPECT_TRUE(memo.lookup(key_of(0.0), out));
+  EXPECT_FALSE(memo.lookup(key_of(1.0), out));
+}
+
+TEST(SweepMemo, ShrinkingCapacityEvictsImmediately) {
+  SweepMemo memo;
+  memo.store(key_of(0.0), RunMetrics{});
+  memo.store(key_of(1.0), RunMetrics{});
+  memo.store(key_of(2.0), RunMetrics{});
+  EXPECT_EQ(memo.stats().entries, 3u);
+  memo.set_capacity(1);
+  EXPECT_EQ(memo.stats().entries, 1u);
+  EXPECT_EQ(memo.stats().evictions, 2u);
+  // The survivor is the most recently stored key.
+  RunMetrics out;
+  EXPECT_TRUE(memo.lookup(key_of(2.0), out));
+}
+
+TEST(SweepMemo, ZeroCapacityRestoresUnboundedGrowth) {
+  SweepMemo memo;
+  memo.set_capacity(1);
+  memo.set_capacity(0);
+  for (double mu = 0.0; mu < 8.0; mu += 1.0) {
+    memo.store(key_of(mu), RunMetrics{});
+  }
+  EXPECT_EQ(memo.stats().entries, 8u);
+  EXPECT_EQ(memo.stats().evictions, 0u);
+}
+
+TEST(SweepMemo, LoadFileRespectsTheCapacityBound) {
+  const std::string path = "sweep_memo_capacity_test.bin";
+  {
+    SweepMemo memo;
+    for (double mu = 0.0; mu < 4.0; mu += 1.0) {
+      memo.store(key_of(mu), RunMetrics{});
+    }
+    ASSERT_TRUE(memo.save_file(path).is_ok());
+  }
+  SweepMemo bounded;
+  bounded.set_capacity(2);
+  ASSERT_TRUE(bounded.load_file(path).is_ok());
+  EXPECT_EQ(bounded.stats().entries, 2u);
+  std::filesystem::remove(path);
+}
+
 TEST(SweepMemo, MeasureSystemHitsOnRepeatAndRenormalises) {
   auto& memo = SweepMemo::global();
   memo.clear();

@@ -1,0 +1,145 @@
+#include "roclk/service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace roclk::service {
+namespace {
+
+Response sample_response() {
+  Response response;
+  response.status = ResponseStatus::kOk;
+  response.from_cache = true;
+  response.coalesced = true;
+  response.content_hash = 0xABCDEF0123456789ULL;
+  response.message = "a diagnostic string spanning words";
+  response.values = {1.5, -2.25, 0.0, 1e-9};
+  return response;
+}
+
+TEST(ProtocolResponse, RoundTripsAllFields) {
+  const Response original = sample_response();
+  WireWriter writer;
+  encode_response(original, writer);
+  WireReader reader{writer.words.data(), writer.words.size()};
+  const Result<Response> decoded = decode_response(reader);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(ProtocolResponse, RoundTripsEveryStatusCode) {
+  for (const ResponseStatus status :
+       {ResponseStatus::kOk, ResponseStatus::kInvalidRequest,
+        ResponseStatus::kOverloaded, ResponseStatus::kDeadlineExceeded,
+        ResponseStatus::kShuttingDown, ResponseStatus::kMalformedFrame,
+        ResponseStatus::kUnsupportedVersion,
+        ResponseStatus::kInternalError}) {
+    Response response = Response::error(status, to_string(status));
+    WireWriter writer;
+    encode_response(response, writer);
+    WireReader reader{writer.words.data(), writer.words.size()};
+    const Result<Response> decoded = decode_response(reader);
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value().status, status);
+    EXPECT_EQ(decoded.value().message, to_string(status));
+  }
+}
+
+TEST(ProtocolResponse, RejectsUnknownStatusAndTruncation) {
+  WireWriter writer;
+  encode_response(sample_response(), writer);
+
+  std::vector<std::uint64_t> words = writer.words;
+  words[0] = 99;  // unknown status code
+  WireReader unknown{words.data(), words.size()};
+  EXPECT_FALSE(decode_response(unknown).is_ok());
+
+  WireReader truncated{writer.words.data(), writer.words.size() - 1};
+  EXPECT_FALSE(decode_response(truncated).is_ok());
+}
+
+TEST(ProtocolFrame, RoundTripsThroughEncodeAndDecode) {
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.payload = {1, 2, 3, 0xFFFFFFFFFFFFFFFFULL};
+  const std::vector<std::uint64_t> words = encode_frame(frame);
+  Frame decoded;
+  ASSERT_EQ(decode_frame(words.data(), words.size(), decoded),
+            DecodeError::kOk);
+  EXPECT_EQ(decoded.type, frame.type);
+  EXPECT_EQ(decoded.payload, frame.payload);
+}
+
+TEST(ProtocolFrame, EmptyPayloadFramesAreValid) {
+  for (const FrameType type : {FrameType::kPing, FrameType::kShutdown}) {
+    const std::vector<std::uint64_t> words = encode_frame({type, {}});
+    Frame decoded;
+    ASSERT_EQ(decode_frame(words.data(), words.size(), decoded),
+              DecodeError::kOk);
+    EXPECT_EQ(decoded.type, type);
+    EXPECT_TRUE(decoded.payload.empty());
+  }
+}
+
+TEST(ProtocolFrame, DetectsEveryStructuralFailure) {
+  const std::vector<std::uint64_t> good =
+      encode_frame({FrameType::kRequest, {7, 8, 9}});
+  Frame decoded;
+
+  std::vector<std::uint64_t> bad_magic = good;
+  bad_magic[0] = 0x1111111111111111ULL;
+  EXPECT_EQ(decode_frame(bad_magic.data(), bad_magic.size(), decoded),
+            DecodeError::kBadMagic);
+
+  std::vector<std::uint64_t> bad_version = good;
+  bad_version[1] = (std::uint64_t{99} << 32) |
+                   static_cast<std::uint64_t>(FrameType::kRequest);
+  EXPECT_EQ(decode_frame(bad_version.data(), bad_version.size(), decoded),
+            DecodeError::kBadVersion);
+
+  std::vector<std::uint64_t> bad_type = good;
+  bad_type[1] = (std::uint64_t{kProtocolVersion} << 32) | 200;
+  EXPECT_EQ(decode_frame(bad_type.data(), bad_type.size(), decoded),
+            DecodeError::kBadType);
+
+  std::vector<std::uint64_t> oversized = good;
+  oversized[2] = kMaxPayloadWords + 1;
+  EXPECT_EQ(decode_frame(oversized.data(), oversized.size(), decoded),
+            DecodeError::kOversized);
+
+  EXPECT_EQ(decode_frame(good.data(), good.size() - 1, decoded),
+            DecodeError::kTruncated);
+  EXPECT_EQ(decode_frame(good.data(), 2, decoded), DecodeError::kTruncated);
+
+  std::vector<std::uint64_t> corrupt = good;
+  corrupt[3] ^= 1;  // flip a payload bit; checksum must catch it
+  EXPECT_EQ(decode_frame(corrupt.data(), corrupt.size(), decoded),
+            DecodeError::kBadChecksum);
+}
+
+TEST(ProtocolFrame, MapsDecodeErrorsToTypedStatuses) {
+  EXPECT_EQ(to_response_status(DecodeError::kBadVersion),
+            ResponseStatus::kUnsupportedVersion);
+  for (const DecodeError err :
+       {DecodeError::kBadMagic, DecodeError::kBadType,
+        DecodeError::kOversized, DecodeError::kTruncated,
+        DecodeError::kBadChecksum}) {
+    EXPECT_EQ(to_response_status(err), ResponseStatus::kMalformedFrame);
+  }
+}
+
+TEST(ProtocolFrame, ValidateHeaderMatchesFullDecode) {
+  const std::vector<std::uint64_t> words =
+      encode_frame({FrameType::kResponse, {11, 22}});
+  FrameType type{};
+  std::uint64_t payload_words = 0;
+  ASSERT_EQ(validate_header(words.data(), type, payload_words),
+            DecodeError::kOk);
+  EXPECT_EQ(type, FrameType::kResponse);
+  EXPECT_EQ(payload_words, 2u);
+}
+
+}  // namespace
+}  // namespace roclk::service

@@ -1,0 +1,242 @@
+#include "roclk/service/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "roclk/service/client.hpp"
+#include "roclk/service/server.hpp"
+#include "roclk/service/session.hpp"
+
+namespace roclk::service {
+namespace {
+
+Request corner_request() {
+  Request request;
+  request.kind = QueryKind::kCornerMargin;
+  request.corner.cycles = 2000;
+  request.corner.skip = 200;
+  return request;
+}
+
+TEST(Transport, FramesRoundTripOverASocketPair) {
+  FdStream a, b;
+  ASSERT_TRUE(make_stream_pair(a, b).is_ok());
+
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.payload = {10, 20, 30};
+  ASSERT_TRUE(write_frame(a.fd(), frame));
+
+  const FrameReadOutcome outcome = read_frame(b.fd());
+  ASSERT_EQ(outcome.result, ReadFrameResult::kFrame);
+  EXPECT_EQ(outcome.frame.type, frame.type);
+  EXPECT_EQ(outcome.frame.payload, frame.payload);
+}
+
+TEST(Transport, CleanCloseReadsAsClosed) {
+  FdStream a, b;
+  ASSERT_TRUE(make_stream_pair(a, b).is_ok());
+  a.close();
+  EXPECT_EQ(read_frame(b.fd()).result, ReadFrameResult::kClosed);
+}
+
+TEST(Transport, MidFrameCloseReadsAsTruncated) {
+  FdStream a, b;
+  ASSERT_TRUE(make_stream_pair(a, b).is_ok());
+  const std::vector<std::uint64_t> whole =
+      encode_frame({FrameType::kPing, {}});
+  // Ship only the header, then hang up mid-frame.
+  const std::vector<std::uint64_t> header{whole.begin(), whole.begin() + 3};
+  ASSERT_TRUE(write_words(a.fd(), header));
+  a.close();
+  const FrameReadOutcome outcome = read_frame(b.fd());
+  EXPECT_EQ(outcome.result, ReadFrameResult::kMalformed);
+  EXPECT_EQ(outcome.error, DecodeError::kTruncated);
+}
+
+TEST(Transport, BadMagicVersionAndChecksumAreTyped) {
+  {
+    FdStream a, b;
+    ASSERT_TRUE(make_stream_pair(a, b).is_ok());
+    ASSERT_TRUE(write_words(a.fd(), {1, 2, 3, 4}));
+    const FrameReadOutcome outcome = read_frame(b.fd());
+    EXPECT_EQ(outcome.result, ReadFrameResult::kMalformed);
+    EXPECT_EQ(outcome.error, DecodeError::kBadMagic);
+  }
+  {
+    FdStream a, b;
+    ASSERT_TRUE(make_stream_pair(a, b).is_ok());
+    std::vector<std::uint64_t> words = encode_frame({FrameType::kPing, {}});
+    words[1] = (std::uint64_t{9} << 32) |
+               static_cast<std::uint64_t>(FrameType::kPing);
+    ASSERT_TRUE(write_words(a.fd(), words));
+    const FrameReadOutcome outcome = read_frame(b.fd());
+    EXPECT_EQ(outcome.result, ReadFrameResult::kMalformed);
+    EXPECT_EQ(outcome.error, DecodeError::kBadVersion);
+  }
+  {
+    FdStream a, b;
+    ASSERT_TRUE(make_stream_pair(a, b).is_ok());
+    std::vector<std::uint64_t> words =
+        encode_frame({FrameType::kRequest, {5, 6}});
+    words.back() ^= 1;
+    ASSERT_TRUE(write_words(a.fd(), words));
+    const FrameReadOutcome outcome = read_frame(b.fd());
+    EXPECT_EQ(outcome.result, ReadFrameResult::kMalformed);
+    EXPECT_EQ(outcome.error, DecodeError::kBadChecksum);
+  }
+}
+
+TEST(Session, ClientAndServiceRoundTripOverASocketPair) {
+  FdStream client_end, server_end;
+  ASSERT_TRUE(make_stream_pair(client_end, server_end).is_ok());
+
+  SweepService service{{}};
+  std::thread server{[&service, fd = server_end.release()] {
+    FdStream owned{fd};
+    EXPECT_EQ(run_server_session(owned.fd(), service),
+              SessionEnd::kClientClosed);
+  }};
+
+  Client client{std::move(client_end)};
+  const Result<Response> pong = client.ping();
+  ASSERT_TRUE(pong.is_ok());
+  EXPECT_EQ(pong.value().status, ResponseStatus::kOk);
+  EXPECT_EQ(pong.value().message, "ready");
+
+  const Result<Response> first = client.query(corner_request());
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_EQ(first.value().status, ResponseStatus::kOk);
+  EXPECT_FALSE(first.value().from_cache);
+
+  const Result<Response> second = client.query(corner_request());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_EQ(second.value().values, first.value().values);
+
+  Request invalid = corner_request();
+  invalid.corner.setpoint_c = -1.0;
+  const Result<Response> rejected = client.query(invalid);
+  ASSERT_TRUE(rejected.is_ok());
+  EXPECT_EQ(rejected.value().status, ResponseStatus::kInvalidRequest);
+
+  // Closing the client ends the session cleanly.
+  { const Client closer = std::move(client); }
+  server.join();
+  EXPECT_EQ(service.stats().simulations, 1u);
+}
+
+TEST(Session, MalformedFrameGetsTypedAnswerAndClosesTheSession) {
+  FdStream client_end, server_end;
+  ASSERT_TRUE(make_stream_pair(client_end, server_end).is_ok());
+
+  SweepService service{{}};
+  std::thread server{[&service, fd = server_end.release()] {
+    FdStream owned{fd};
+    EXPECT_EQ(run_server_session(owned.fd(), service),
+              SessionEnd::kMalformed);
+  }};
+
+  Client client{std::move(client_end)};
+  const Result<Response> reply =
+      client.send_raw({0xBADBADBADBADBAD0ULL, 1, 2, 3});
+  server.join();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().status, ResponseStatus::kMalformedFrame);
+}
+
+TEST(Session, WrongVersionGetsUnsupportedVersionAnswer) {
+  FdStream client_end, server_end;
+  ASSERT_TRUE(make_stream_pair(client_end, server_end).is_ok());
+
+  SweepService service{{}};
+  std::thread server{[&service, fd = server_end.release()] {
+    FdStream owned{fd};
+    EXPECT_EQ(run_server_session(owned.fd(), service),
+              SessionEnd::kMalformed);
+  }};
+
+  std::vector<std::uint64_t> words = encode_frame({FrameType::kPing, {}});
+  words[1] = (std::uint64_t{2} << 32) |
+             static_cast<std::uint64_t>(FrameType::kPing);
+  Client client{std::move(client_end)};
+  const Result<Response> reply = client.send_raw(words);
+  server.join();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().status, ResponseStatus::kUnsupportedVersion);
+}
+
+TEST(Session, ShutdownFrameDrainsTheService) {
+  FdStream client_end, server_end;
+  ASSERT_TRUE(make_stream_pair(client_end, server_end).is_ok());
+
+  SweepService service{{}};
+  std::thread server{[&service, fd = server_end.release()] {
+    FdStream owned{fd};
+    EXPECT_EQ(run_server_session(owned.fd(), service),
+              SessionEnd::kShutdownRequested);
+  }};
+
+  Client client{std::move(client_end)};
+  const Result<Response> ack = client.shutdown_server();
+  server.join();
+  ASSERT_TRUE(ack.is_ok());
+  EXPECT_EQ(ack.value().status, ResponseStatus::kOk);
+  EXPECT_TRUE(service.shutting_down());
+}
+
+TEST(Session, ResponseFrameFromClientIsAProtocolViolation) {
+  FdStream client_end, server_end;
+  ASSERT_TRUE(make_stream_pair(client_end, server_end).is_ok());
+
+  SweepService service{{}};
+  std::thread server{[&service, fd = server_end.release()] {
+    FdStream owned{fd};
+    EXPECT_EQ(run_server_session(owned.fd(), service),
+              SessionEnd::kMalformed);
+  }};
+
+  Client client{std::move(client_end)};
+  const Result<Response> reply =
+      client.send_raw(encode_frame({FrameType::kResponse, {}}));
+  server.join();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().status, ResponseStatus::kMalformedFrame);
+}
+
+TEST(Transport, UnixListenerAcceptsAndUnlinksItsSocket) {
+  const std::string path = "test_transport_listener.sock";
+  {
+    UnixListener listener;
+    ASSERT_TRUE(listener.listen(path).is_ok());
+    ASSERT_TRUE(listener.listening());
+
+    SweepService service{{}};
+    std::thread server{[&] {
+      FdStream conn = listener.accept();
+      ASSERT_TRUE(conn.valid());
+      (void)run_server_session(conn.fd(), service);
+    }};
+
+    Result<Client> client = Client::connect(path);
+    ASSERT_TRUE(client.is_ok());
+    const Result<Response> pong = client.value().ping();
+    ASSERT_TRUE(pong.is_ok());
+    EXPECT_EQ(pong.value().status, ResponseStatus::kOk);
+    {
+      Client done = std::move(client).value();
+    }
+    server.join();
+  }
+  // Listener destruction unlinks the socket path.
+  EXPECT_FALSE(Client::connect(path).is_ok());
+}
+
+TEST(Transport, ConnectToMissingSocketFailsCleanly) {
+  EXPECT_FALSE(Client::connect("no_such_socket.sock").is_ok());
+}
+
+}  // namespace
+}  // namespace roclk::service

@@ -177,6 +177,9 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
   const bool may_round = path_ends_with(display_path, "common/math.hpp");
   const bool may_intrinsics =
       path_ends_with(display_path, "common/simd.hpp");
+  const bool may_sockets =
+      path_ends_with(display_path, "service/transport.cpp") ||
+      path_ends_with(display_path, "service/transport.hpp");
   const bool may_raw_rng = path_ends_with(display_path, "common/rng.hpp") ||
                            path_ends_with(display_path, "common/rng.cpp");
   const std::string generic = display_path.generic_string();
@@ -201,6 +204,9 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
   // References, members (`Xoshiro256 rng_;`) and the class definition in
   // common/rng.hpp don't match.
   static const std::regex kXoshiroConstruct{R"(Xoshiro256\s*(\w+\s*)?\{)"};
+  static const std::regex kSocketHeader{
+      R"(#\s*include\s*<(sys/socket\.h|sys/un\.h|netinet/[a-z_/]+\.h|)"
+      R"(arpa/inet\.h|poll\.h|sys/epoll\.h|sys/select\.h)>)"};
 
   const std::string stripped = strip_comments_and_strings(source);
   std::istringstream in{stripped};
@@ -263,6 +269,11 @@ std::vector<Finding> lint_source(const std::filesystem::path& display_path,
       report(lineno, "simd-include",
              "vendor SIMD intrinsics are confined to roclk/common/simd.hpp "
              "(the dispatch shim); write kernels against its backend traits");
+    }
+    if (!may_sockets && std::regex_search(line, kSocketHeader)) {
+      report(lineno, "socket-include",
+             "raw socket APIs are confined to roclk/service/transport.{hpp,"
+             "cpp}; speak Frame values through the transport layer instead");
     }
     if (is_fault_source) {
       if (std::regex_search(line, kRandomHeader)) {

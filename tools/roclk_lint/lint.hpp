@@ -15,6 +15,12 @@
 //               common/rng: <random> engines and distributions would
 //               break the (seed, schedule) -> run reproducibility
 //               contract of the fault subsystem.
+//   socket-include
+//               raw socket headers (<sys/socket.h>, <sys/un.h>, poll /
+//               select / epoll, inet) are confined to the service
+//               transport layer (roclk/service/transport.{hpp,cpp});
+//               everything else speaks typed Frame values so protocol
+//               logic stays testable without file descriptors.
 //
 // A finding on a line can be waived with an inline comment naming the
 // rule: `// roclk-lint: allow(round)`.  Comments and string/character

@@ -140,6 +140,40 @@ TEST(LintTest, IntrinsicsHeadersConfinedToSimdShim) {
                         "simd-include"));
 }
 
+TEST(LintTest, SocketHeadersConfinedToServiceTransport) {
+  // Raw socket / fd-multiplexing headers are findings everywhere...
+  EXPECT_TRUE(has_rule(
+      lint_source("src/service/server.cpp", "#include <sys/socket.h>\n"),
+      "socket-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("tools/roclk_sweepd.cpp", "#include <sys/un.h>\n"),
+      "socket-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/foo.cpp", "#include <netinet/in.h>\n"),
+      "socket-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/foo.cpp", "#include <arpa/inet.h>\n"),
+      "socket-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/foo.cpp", "#include <poll.h>\n"),
+      "socket-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/foo.cpp", "#include <sys/epoll.h>\n"),
+      "socket-include"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/foo.cpp", "#include <sys/select.h>\n"),
+      "socket-include"));
+  // ...except inside the transport layer itself.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/service/transport.cpp",
+                  "#include <sys/socket.h>\n#include <sys/un.h>\n"),
+      "socket-include"));
+  EXPECT_FALSE(has_rule(
+      lint_source("include/roclk/service/transport.hpp",
+                  "#pragma once\n#include <sys/socket.h>\n"),
+      "socket-include"));
+}
+
 TEST(LintTest, FlagsDirectXoshiroConstructionOutsideCommonRng) {
   // Declarations with an initialiser and temporaries are findings...
   EXPECT_TRUE(has_rule(

@@ -1,0 +1,225 @@
+// roclk_sweep — client CLI for the sweep-service daemon.
+//
+// Connects to a roclk_sweepd Unix socket and runs one scenario query
+// (corner / grid / yield), a liveness ping, a shutdown request, or the
+// deliberately-broken-bytes probe the CI smoke job uses to prove malformed
+// frames get a typed answer.  docs/service.md documents the protocol.
+//
+//   roclk_sweep --socket /tmp/roclk.sock corner --tclk-over-c 1.5
+//   roclk_sweep --socket /tmp/roclk.sock grid --axis te --lo 2 --hi 200 \
+//       --points 9 --scale log
+//   roclk_sweep --socket /tmp/roclk.sock yield --margin-points 5
+//   roclk_sweep --socket /tmp/roclk.sock --ping
+//   roclk_sweep --socket /tmp/roclk.sock --shutdown
+
+#include <cstdio>
+#include <string>
+
+#include "roclk/common/flags.hpp"
+#include "roclk/service/client.hpp"
+
+namespace {
+
+using namespace roclk;
+using namespace roclk::service;
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+void print_response_meta(const Response& r) {
+  std::printf("status=%s from_cache=%d coalesced=%d hash=%016llx\n",
+              to_string(r.status), r.from_cache ? 1 : 0,
+              r.coalesced ? 1 : 0,
+              static_cast<unsigned long long>(r.content_hash));
+  if (!r.message.empty()) std::printf("message: %s\n", r.message.c_str());
+}
+
+void print_values(QueryKind kind, const Response& r) {
+  const std::vector<double>& v = r.values;
+  switch (kind) {
+    case QueryKind::kCornerMargin:
+      if (v.size() == 5) {
+        std::printf("safety_margin=%.6f mean_period=%.6f "
+                    "relative_adaptive_period=%.6f violations=%.0f "
+                    "tau_ripple=%.6f\n",
+                    v[0], v[1], v[2], v[3], v[4]);
+      }
+      break;
+    case QueryKind::kGridSweep:
+      std::printf("%12s %24s %14s\n", "x", "rel_adaptive_period",
+                  "safety_margin");
+      for (std::size_t i = 0; i + 3 <= v.size(); i += 3) {
+        std::printf("%12.6f %24.6f %14.6f\n", v[i], v[i + 1], v[i + 2]);
+      }
+      break;
+    case QueryKind::kYieldCurve:
+      if (v.size() >= 3) {
+        std::printf("mean_worst_path=%.6f mean_adaptive_period=%.6f "
+                    "p99_worst_path=%.6f\n",
+                    v[0], v[1], v[2]);
+        std::printf("%12s %12s %14s\n", "margin", "fixed_yield",
+                    "adaptive_yield");
+        for (std::size_t i = 3; i + 3 <= v.size(); i += 3) {
+          std::printf("%12.4f %12.4f %14.4f\n", v[i], v[i + 1], v[i + 2]);
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags{
+      "roclk_sweep: query a running roclk_sweepd.  Positional argument "
+      "picks the query kind: corner (default) | grid | yield."};
+  flags.add_string("socket", "", "daemon's Unix socket path (required)")
+      .add_bool("ping", false, "liveness probe instead of a query")
+      .add_bool("shutdown", false, "ask the daemon to drain and exit")
+      .add_bool("send-malformed", false,
+                "send deliberately broken bytes; expect MALFORMED_FRAME")
+      .add_int("deadline-ms", 0, "per-request deadline (0 = none)")
+      // Corner scenario (also the base corner of a grid query).
+      .add_string("system", "iir", "iir | teatime | free | fixed")
+      .add_double("setpoint-c", 64.0, "set-point c in RO stages")
+      .add_double("tclk-over-c", 1.0, "T_clk / c")
+      .add_double("amplitude-frac", 0.2, "HoDV amplitude / c")
+      .add_double("te-over-c", 50.0, "HoDV period / c")
+      .add_double("mu-over-c", 0.0, "HeDV mismatch / c")
+      .add_int("cycles", 0, "simulated cycles (0 = auto)")
+      .add_int("skip", 1000, "transient cycles dropped")
+      .add_double("free-ro-margin-frac", 0.0, "free-RO margin / c")
+      .add_int("quantization", 2, "cdn::DelayQuantization (0|1|2)")
+      // Grid query.
+      .add_string("axis", "tclk", "grid axis: tclk | te | mu")
+      .add_string("scale", "linear", "grid scale: linear | log")
+      .add_double("lo", 0.5, "grid lower bound")
+      .add_double("hi", 2.0, "grid upper bound")
+      .add_int("points", 7, "grid points")
+      // Yield query.
+      .add_int("chips", 500, "Monte-Carlo chips")
+      .add_int("paths", 64, "critical paths per chip")
+      .add_double("margin-lo", 0.0, "yield margin grid lower bound")
+      .add_double("margin-hi", 16.0, "yield margin grid upper bound")
+      .add_int("margin-points", 9, "yield margin grid points")
+      .add_int("seed", 1234, "yield Monte-Carlo seed");
+
+  if (const Status status = flags.parse(argc, argv); !status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n%s", status.to_string().c_str(),
+                 flags.help_text().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help_text().c_str());
+    return 0;
+  }
+  const std::string socket_path = flags.get_string("socket");
+  if (socket_path.empty()) return fail("--socket PATH is required");
+
+  Result<Client> connected = Client::connect(socket_path);
+  if (!connected.is_ok()) return fail(connected.status().to_string());
+  Client client = std::move(connected).value();
+
+  if (flags.get_bool("ping")) {
+    const Result<Response> pong = client.ping();
+    if (!pong.is_ok()) return fail(pong.status().to_string());
+    print_response_meta(pong.value());
+    return pong.value().ok() ? 0 : 1;
+  }
+  if (flags.get_bool("shutdown")) {
+    const Result<Response> ack = client.shutdown_server();
+    if (!ack.is_ok()) return fail(ack.status().to_string());
+    print_response_meta(ack.value());
+    return ack.value().ok() ? 0 : 1;
+  }
+  if (flags.get_bool("send-malformed")) {
+    // A full frame's worth of wrong-magic words: the server must answer
+    // MALFORMED_FRAME and close, not hang or drop the connection.
+    const Result<Response> reply =
+        client.send_raw({0xDEADBEEFDEADBEEFULL, 0, 0, 0});
+    if (!reply.is_ok()) return fail(reply.status().to_string());
+    print_response_meta(reply.value());
+    return reply.value().status == ResponseStatus::kMalformedFrame ? 0 : 1;
+  }
+
+  Request request;
+  request.deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline-ms"));
+
+  CornerQuery corner;
+  const std::string system = flags.get_string("system");
+  if (system == "iir") {
+    corner.system = 0;
+  } else if (system == "teatime") {
+    corner.system = 1;
+  } else if (system == "free") {
+    corner.system = 2;
+  } else if (system == "fixed") {
+    corner.system = 3;
+  } else {
+    return fail("unknown --system: " + system);
+  }
+  corner.setpoint_c = flags.get_double("setpoint-c");
+  corner.tclk_over_c = flags.get_double("tclk-over-c");
+  corner.amplitude_frac = flags.get_double("amplitude-frac");
+  corner.te_over_c = flags.get_double("te-over-c");
+  corner.mu_over_c = flags.get_double("mu-over-c");
+  corner.cycles = static_cast<std::uint64_t>(flags.get_int("cycles"));
+  corner.skip = static_cast<std::uint64_t>(flags.get_int("skip"));
+  corner.free_ro_margin_frac = flags.get_double("free-ro-margin-frac");
+  corner.quantization =
+      static_cast<std::uint32_t>(flags.get_int("quantization"));
+
+  std::string kind = "corner";
+  if (!flags.positional().empty()) kind = flags.positional().front();
+  if (kind == "corner") {
+    request.kind = QueryKind::kCornerMargin;
+    request.corner = corner;
+  } else if (kind == "grid") {
+    request.kind = QueryKind::kGridSweep;
+    request.grid.base = corner;
+    const std::string axis = flags.get_string("axis");
+    if (axis == "tclk") {
+      request.grid.axis = GridAxis::kTclkOverC;
+    } else if (axis == "te") {
+      request.grid.axis = GridAxis::kTeOverC;
+    } else if (axis == "mu") {
+      request.grid.axis = GridAxis::kMuOverC;
+    } else {
+      return fail("unknown --axis: " + axis);
+    }
+    const std::string scale = flags.get_string("scale");
+    if (scale == "linear") {
+      request.grid.scale = GridScale::kLinear;
+    } else if (scale == "log") {
+      request.grid.scale = GridScale::kLog;
+    } else {
+      return fail("unknown --scale: " + scale);
+    }
+    request.grid.lo = flags.get_double("lo");
+    request.grid.hi = flags.get_double("hi");
+    request.grid.points =
+        static_cast<std::uint64_t>(flags.get_int("points"));
+  } else if (kind == "yield") {
+    request.kind = QueryKind::kYieldCurve;
+    request.yield.chips = static_cast<std::uint64_t>(flags.get_int("chips"));
+    request.yield.paths = static_cast<std::uint64_t>(flags.get_int("paths"));
+    request.yield.setpoint_c = flags.get_double("setpoint-c");
+    request.yield.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    request.yield.margin_lo = flags.get_double("margin-lo");
+    request.yield.margin_hi = flags.get_double("margin-hi");
+    request.yield.margin_points =
+        static_cast<std::uint64_t>(flags.get_int("margin-points"));
+  } else {
+    return fail("unknown query kind: " + kind +
+                " (expected corner | grid | yield)");
+  }
+
+  const Result<Response> reply = client.query(request);
+  if (!reply.is_ok()) return fail(reply.status().to_string());
+  print_response_meta(reply.value());
+  print_values(request.kind, reply.value());
+  return reply.value().ok() ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the sweep-service daemon, run by ctest
+# (roclk_service_smoke) and the CI service-smoke job:
+#   1. start roclk_sweepd on a Unix socket
+#   2. client round-trips: ping, then a tiny corner query twice
+#      (cache miss then content-addressed hit)
+#   3. malformed-frame probe must get a typed MALFORMED_FRAME answer
+#   4. shutdown frame must drain the daemon to a clean exit
+#
+# Usage: service_smoke.sh <roclk_sweepd> <roclk_sweep> <socket-path>
+set -euo pipefail
+
+SWEEPD=$1
+SWEEP=$2
+SOCKET=$3
+
+rm -f "$SOCKET"
+"$SWEEPD" --socket "$SOCKET" --cache-capacity 8 &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCKET" ] && break
+  sleep 0.1
+done
+[ -S "$SOCKET" ] || { echo "daemon never bound $SOCKET"; exit 1; }
+
+echo "--- ping"
+"$SWEEP" --socket "$SOCKET" --ping
+
+QUERY=(corner --cycles 2000 --skip 200 --te-over-c 20)
+echo "--- corner query (cache miss)"
+MISS=$("$SWEEP" --socket "$SOCKET" "${QUERY[@]}")
+echo "$MISS"
+grep -q "status=OK from_cache=0" <<<"$MISS"
+
+echo "--- corner query again (content-addressed cache hit)"
+HIT=$("$SWEEP" --socket "$SOCKET" "${QUERY[@]}")
+echo "$HIT"
+grep -q "status=OK from_cache=1" <<<"$HIT"
+
+echo "--- malformed frame probe"
+"$SWEEP" --socket "$SOCKET" --send-malformed
+
+echo "--- shutdown"
+"$SWEEP" --socket "$SOCKET" --shutdown
+DAEMON_EXIT=0
+wait "$DAEMON_PID" || DAEMON_EXIT=$?
+trap - EXIT
+[ "$DAEMON_EXIT" -eq 0 ] || { echo "daemon exit=$DAEMON_EXIT"; exit 1; }
+[ ! -S "$SOCKET" ] || { echo "socket not unlinked on exit"; exit 1; }
+echo "service smoke OK"
