@@ -27,7 +27,9 @@ void warn_once(const std::string& message) {
 /// 0 = no request (unset / "native" / "auto"), else 1 + Backend value.
 int env_request() {
   static const int request = [] {
-    const char* raw = std::getenv("ROCLK_SIMD");
+    // Backend selection only — never feeds simulation results, so the
+    // deterministic-output contract holds for every ROCLK_SIMD value.
+    const char* raw = std::getenv("ROCLK_SIMD");  // roclk-lint: allow(env-source)
     if (raw == nullptr || raw[0] == '\0') return 0;
     std::string name{raw};
     for (char& c : name) c = static_cast<char>(std::tolower(

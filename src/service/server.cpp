@@ -13,7 +13,9 @@ namespace roclk::service {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Drives request-latency stats and coalescing timeouts on the transport
+// boundary only; simulation payloads never read it.
+using Clock = std::chrono::steady_clock;  // roclk-lint: allow(wall-clock)
 
 /// One simulation shared by every coalesced asker of the same scenario.
 struct InFlight {
@@ -129,7 +131,9 @@ Response SweepService::handle(const Request& request) {
     --impl_->admitted;
     impl_->in_flight.erase(hash);
     {
-      const std::lock_guard flight_lock{flight->mutex};
+      // Global order is impl_->mutex before flight->mutex everywhere;
+      // waiters release flight->mutex before touching impl_->mutex.
+      const std::lock_guard flight_lock{flight->mutex};  // roclk-lint: allow(lock-order)
       flight->done = true;
       flight->response = response;
     }

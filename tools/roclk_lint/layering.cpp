@@ -1,0 +1,205 @@
+// Pass 1: include-graph layering.  The enforced DAG is the library's
+// build order (src/CMakeLists.txt, bottom-up):
+//
+//   common
+//     -> signal, cdn, fault, power          (leaf value layers)
+//     -> variation, control                 (signal consumers)
+//     -> chip, osc                          (variation consumers)
+//     -> sensor                             (reads the oscillator)
+//     -> core                               (composes the loop)
+//     -> analysis -> service
+//
+// A module may directly include only the modules listed for it below;
+// the map is itself checked for acyclicity so a bad edit to the table
+// cannot silently legalise a cycle.  tools/, bench/, examples/ and
+// tests/ sit outside the DAG and may include anything.
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "passes.hpp"
+
+namespace roclk::lint {
+
+namespace {
+
+const std::map<std::string, std::set<std::string>>& allowed_deps() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"common", {}},
+      {"signal", {"common"}},
+      {"cdn", {"common"}},
+      {"fault", {"common"}},
+      {"power", {"common"}},
+      {"variation", {"common", "signal"}},
+      {"control", {"common", "signal"}},
+      {"chip", {"common", "signal", "variation"}},
+      {"osc", {"common", "signal", "variation"}},
+      {"sensor", {"common", "signal", "variation", "osc"}},
+      {"core",
+       {"common", "signal", "variation", "fault", "power", "cdn", "control",
+        "chip", "osc", "sensor"}},
+      {"analysis",
+       {"common", "signal", "variation", "fault", "power", "cdn", "control",
+        "chip", "osc", "sensor", "core"}},
+      {"service", {"common", "analysis"}},
+  };
+  return kAllowed;
+}
+
+/// Module of an include target "roclk/<module>/...", or "" (umbrella /
+/// unknown).
+std::string target_module(std::string_view target) {
+  if (target.rfind("roclk/", 0) != 0) return {};
+  const std::string_view rest = target.substr(6);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  std::string module{rest.substr(0, slash)};
+  return allowed_deps().count(module) != 0 ? module : std::string{};
+}
+
+std::string join(const std::set<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out.empty() ? std::string{"(nothing)"} : out;
+}
+
+/// DFS colouring over the module adjacency itself: a cycle here is a
+/// bug in this file, reported loudly rather than silently legalised.
+bool adjacency_is_acyclic() {
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  const auto& deps = allowed_deps();
+  std::vector<std::pair<std::string, bool>> stack;
+  for (const auto& [module, _] : deps) {
+    if (colour[module] != 0) continue;
+    stack.push_back({module, false});
+    while (!stack.empty()) {
+      auto [node, done] = stack.back();
+      stack.pop_back();
+      if (done) {
+        colour[node] = 2;
+        continue;
+      }
+      if (colour[node] == 2) continue;
+      if (colour[node] == 1) return false;
+      colour[node] = 1;
+      stack.push_back({node, true});
+      for (const auto& dep : deps.at(node)) {
+        if (colour[dep] == 1) return false;
+        if (colour[dep] == 0) stack.push_back({dep, false});
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Finding> check_layering(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  if (!adjacency_is_acyclic()) {
+    findings.push_back({"tools/roclk_lint/layering.cpp", 1, "layer-dag",
+                        "the allowed-dependency table is cyclic; fix the "
+                        "adjacency map before trusting any layering result"});
+    return findings;
+  }
+
+  const auto edges = project_includes(files);
+  std::vector<std::vector<std::pair<std::size_t, std::string>>> waivers;
+  waivers.reserve(files.size());
+  for (const auto& file : files) waivers.push_back(collect_waivers(file.text));
+
+  // --- layer-include: every library include edge must be allowed.
+  for (const auto& edge : edges) {
+    const SourceFile& from = files[edge.file_index];
+    if (scope_of(from.path) != Scope::kLibrary) continue;
+    const std::string from_module = module_of(from.path);
+    const std::string to_module = target_module(edge.target);
+    if (is_waived(waivers[edge.file_index], edge.line, "layer-include")) {
+      continue;
+    }
+    if (to_module.empty()) {
+      findings.push_back(
+          {from.path, edge.line, "layer-include",
+           "library module `" + from_module + "` includes `" + edge.target +
+               "`, which is not a layered module header (the roclk.hpp "
+               "umbrella is app-facing and pulls in every layer)"});
+      continue;
+    }
+    if (to_module == from_module) continue;
+    const auto& allowed = allowed_deps().at(from_module);
+    if (allowed.count(to_module) == 0) {
+      findings.push_back(
+          {from.path, edge.line, "layer-include",
+           "layering violation: `" + from_module + "` -> `" + to_module +
+               "` (" + from.path.generic_string() + " includes " +
+               edge.target + "); `" + from_module +
+               "` may depend only on: " + join(allowed)});
+    }
+  }
+
+  // --- include-cycle: DFS over the header include graph with the full
+  // who-includes-whom chain reconstructed from the DFS stack.
+  std::map<std::string, std::size_t> header_index;  // canonical -> file
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::string generic = files[f].path.generic_string();
+    if (generic.rfind("include/", 0) == 0) {
+      header_index.emplace(generic.substr(8), f);
+    }
+  }
+  // Adjacency restricted to headers, keeping the include line for the
+  // diagnostic anchor.
+  std::map<std::size_t, std::vector<std::pair<std::size_t, std::size_t>>>
+      header_edges;  // file -> [(target file, line)]
+  for (const auto& edge : edges) {
+    const std::string generic = files[edge.file_index].path.generic_string();
+    if (generic.rfind("include/", 0) != 0) continue;
+    const auto it = header_index.find(edge.target);
+    if (it == header_index.end()) continue;
+    header_edges[edge.file_index].push_back({it->second, edge.line});
+  }
+
+  std::map<std::size_t, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::size_t> path;      // grey stack, in DFS order
+  std::set<std::set<std::size_t>> reported;
+
+  const std::function<void(std::size_t)> dfs = [&](std::size_t node) {
+    colour[node] = 1;
+    path.push_back(node);
+    for (const auto& [next, line] : header_edges[node]) {
+      if (colour[next] == 1) {
+        // Back edge: the cycle is the stack suffix from `next`.
+        const auto start = std::find(path.begin(), path.end(), next);
+        std::set<std::size_t> members{start, path.end()};
+        if (reported.insert(members).second &&
+            !is_waived(waivers[node], line, "include-cycle")) {
+          std::ostringstream chain;
+          for (auto it = start; it != path.end(); ++it) {
+            chain << files[*it].path.generic_string() << " -> ";
+          }
+          chain << files[next].path.generic_string();
+          findings.push_back({files[node].path, line, "include-cycle",
+                              "header include cycle: " + chain.str()});
+        }
+      } else if (colour[next] == 0) {
+        dfs(next);
+      }
+    }
+    path.pop_back();
+    colour[node] = 2;
+  };
+  for (const auto& [name, f] : header_index) {
+    (void)name;
+    if (colour[f] == 0) dfs(f);
+  }
+
+  return findings;
+}
+
+}  // namespace roclk::lint

@@ -24,6 +24,26 @@ bool is_header(const std::filesystem::path& path) {
   return ext == ".hpp" || ext == ".h";
 }
 
+bool word_before_is(std::string_view text, std::size_t pos,
+                    std::string_view word) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
+    --pos;
+  }
+  return pos >= word.size() &&
+         text.compare(pos - word.size(), word.size(), word) == 0 &&
+         (pos == word.size() ||
+          !std::isalnum(static_cast<unsigned char>(text[pos - word.size() - 1])));
+}
+
+bool char_before_is(std::string_view text, std::size_t pos, char c) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
+    --pos;
+  }
+  return pos > 0 && text[pos - 1] == c;
+}
+
+}  // namespace
+
 /// Rules waived on a given 1-based line via `roclk-lint: allow(rule)`.
 std::vector<std::pair<std::size_t, std::string>> collect_waivers(
     std::string_view source) {
@@ -46,25 +66,13 @@ std::vector<std::pair<std::size_t, std::string>> collect_waivers(
   return waivers;
 }
 
-bool word_before_is(std::string_view text, std::size_t pos,
-                    std::string_view word) {
-  while (pos > 0 && std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
-    --pos;
-  }
-  return pos >= word.size() &&
-         text.compare(pos - word.size(), word.size(), word) == 0 &&
-         (pos == word.size() ||
-          !std::isalnum(static_cast<unsigned char>(text[pos - word.size() - 1])));
+bool is_waived(
+    const std::vector<std::pair<std::size_t, std::string>>& waivers,
+    std::size_t line, std::string_view rule) {
+  return std::any_of(waivers.begin(), waivers.end(), [&](const auto& w) {
+    return w.first == line && w.second == rule;
+  });
 }
-
-bool char_before_is(std::string_view text, std::size_t pos, char c) {
-  while (pos > 0 && std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
-    --pos;
-  }
-  return pos > 0 && text[pos - 1] == c;
-}
-
-}  // namespace
 
 std::string strip_comments_and_strings(std::string_view source) {
   std::string out;

@@ -46,6 +46,17 @@ struct Finding {
 /// strings) with spaces, preserving newlines so line numbers survive.
 [[nodiscard]] std::string strip_comments_and_strings(std::string_view source);
 
+/// Inline waivers: (1-based line, rule) pairs collected from
+/// `roclk-lint: allow(rule[, rule...])` comments in the raw source.
+/// Shared by the per-line rules and every project pass.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::string>>
+collect_waivers(std::string_view source);
+
+/// True when `line` carries a waiver for `rule`.
+[[nodiscard]] bool is_waived(
+    const std::vector<std::pair<std::size_t, std::string>>& waivers,
+    std::size_t line, std::string_view rule);
+
 /// Lints one file's contents.  `display_path` is used both for reporting
 /// and for the per-file rule exemptions (math.hpp may round, rng.hpp/.cpp
 /// may use the raw generators), so pass a path rooted at the repo.

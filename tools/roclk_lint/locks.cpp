@@ -1,0 +1,245 @@
+// Pass 3: lock discipline.  Three project-wide checks over the mutexes
+// the analyzer can see syntactically (std::mutex and friends declared
+// as members or variables):
+//
+//   naked-lock   .lock()/.unlock()/.try_lock() called directly on a
+//                declared mutex name.  Raw calls drop the lock on early
+//                return and exceptions; RAII guards are required.
+//                Calls on guard objects (unique_lock et al.) are fine.
+//
+//   dead-mutex   a mutex member declared in a header that no file in
+//                the project ever names inside a lock_guard /
+//                unique_lock / scoped_lock / shared_lock or condition-
+//                variable wait.  Either the state it was meant to guard
+//                is unprotected, or the mutex is vestigial — both are
+//                findings.
+//
+//   lock-order   acquiring a second mutex while one is held (tracked
+//                per file through guard scopes, including explicit
+//                guard.unlock() releases).  Nested acquisition is a
+//                deadlock hazard unless a global order is documented —
+//                waive the inner site with a justification.  When the
+//                inverted pair also occurs in the same file the message
+//                names both sites.
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "passes.hpp"
+
+namespace roclk::lint {
+
+namespace {
+
+/// Last identifier component of a qualified expression such as
+/// `impl_->mutex` or `state.m` — the name granularity mutex
+/// declarations give us.
+std::string base_name(std::string_view expr) {
+  std::size_t end = expr.size();
+  while (end > 0 &&
+         (std::isalnum(static_cast<unsigned char>(expr[end - 1])) ||
+          expr[end - 1] == '_')) {
+    --end;
+  }
+  return std::string{expr.substr(end)};
+}
+
+std::string trim(std::string_view s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(" \t");
+  return std::string{s.substr(first, last - first + 1)};
+}
+
+struct MutexDecl {
+  std::size_t file_index;
+  std::size_t line;
+  std::string name;
+  bool in_header;
+};
+
+struct GuardSite {
+  std::string guard_var;   // may be empty for unnamed temporaries
+  std::string mutex_expr;  // first constructor argument, trimmed
+  std::size_t line;
+  int depth;               // brace depth at the declaration
+  bool active{true};
+};
+
+const std::regex kMutexDecl{
+    R"((?:std\s*::\s*)?\b((?:recursive_|shared_|timed_)*mutex)\s+(\w+)\s*(?:;|\{|=))"};
+const std::regex kGuardDecl{
+    R"(\b(lock_guard|unique_lock|scoped_lock|shared_lock)\b\s*(?:<[^;<>]*>)?\s+(\w+)\s*[({]([^;)}]*)[)}])"};
+const std::regex kNakedCall{R"(([A-Za-z_][\w.>\-]*)\s*\.\s*(lock|unlock|try_lock)\s*\()"};
+const std::regex kGuardRelease{R"((\w+)\s*\.\s*unlock\s*\()"};
+const std::regex kWaitCall{R"(\b(?:wait|wait_for|wait_until)\s*\(\s*([^,)]+))"};
+
+}  // namespace
+
+std::vector<Finding> check_locks(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  // Phase A: every syntactically visible mutex declaration.
+  std::vector<MutexDecl> decls;
+  std::set<std::string> mutex_names;
+  std::vector<std::string> stripped_texts;
+  stripped_texts.reserve(files.size());
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    stripped_texts.push_back(strip_comments_and_strings(files[f].text));
+    const std::string ext = files[f].path.extension().string();
+    const bool in_header = ext == ".hpp" || ext == ".h";
+    std::istringstream in{stripped_texts.back()};
+    std::string line;
+    for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
+      for (auto it =
+               std::sregex_iterator(line.begin(), line.end(), kMutexDecl);
+           it != std::sregex_iterator{}; ++it) {
+        decls.push_back({f, lineno, (*it)[2].str(), in_header});
+        mutex_names.insert((*it)[2].str());
+      }
+    }
+  }
+
+  // Phase B: guard sites, naked calls and per-file lock-order tracking.
+  std::set<std::string> guarded_names;  // mutex base names seen in guards
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const auto waivers = collect_waivers(files[f].text);
+    std::istringstream in{stripped_texts[f]};
+    std::string line;
+    int depth = 0;
+    std::vector<GuardSite> held;  // innermost last
+    // (outer expr, inner expr) -> first line, for inversion reporting.
+    std::map<std::pair<std::string, std::string>, std::size_t> nested_pairs;
+    for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
+      // Collect positional events first so pushes, releases and brace
+      // scopes interleave in source order (a guard declared on the same
+      // line as its enclosing block must die with that block, while its
+      // own brace-initialiser `lock{m}` must not pop it).
+      struct PushEvent {
+        std::string guard_var;
+        std::vector<std::string> exprs;
+      };
+      std::map<std::size_t, PushEvent> pushes;       // position -> event
+      std::map<std::size_t, std::string> releases;   // position -> guard var
+      for (auto it =
+               std::sregex_iterator(line.begin(), line.end(), kGuardDecl);
+           it != std::sregex_iterator{}; ++it) {
+        PushEvent event;
+        event.guard_var = (*it)[2].str();
+        // scoped_lock may take several mutexes: each argument counts.
+        std::istringstream args{(*it)[3].str()};
+        std::string arg;
+        while (std::getline(args, arg, ',')) {
+          const std::string expr = trim(arg);
+          if (expr.empty() || expr == "std::defer_lock" ||
+              expr == "std::adopt_lock" || expr == "std::try_to_lock") {
+            continue;
+          }
+          event.exprs.push_back(expr);
+        }
+        pushes.emplace(static_cast<std::size_t>(it->position()),
+                       std::move(event));
+      }
+      for (auto it =
+               std::sregex_iterator(line.begin(), line.end(), kGuardRelease);
+           it != std::sregex_iterator{}; ++it) {
+        releases.emplace(static_cast<std::size_t>(it->position()),
+                         (*it)[1].str());
+      }
+
+      const auto acquire = [&](const PushEvent& event) {
+        for (const auto& expr : event.exprs) {
+          const std::string base = base_name(expr);
+          if (mutex_names.count(base) != 0) guarded_names.insert(base);
+          for (const auto& outer : held) {
+            if (!outer.active || outer.mutex_expr == expr) continue;
+            const auto inverted = nested_pairs.find({expr, outer.mutex_expr});
+            if (!is_waived(waivers, lineno, "lock-order")) {
+              std::string message =
+                  "acquires `" + expr + "` while `" + outer.mutex_expr +
+                  "` (line " + std::to_string(outer.line) +
+                  ") is still held; nested locking deadlocks unless the "
+                  "acquisition order is global — document it with a waiver "
+                  "or release the outer lock first";
+              if (inverted != nested_pairs.end()) {
+                message = "inverted lock order: `" + outer.mutex_expr +
+                          "` -> `" + expr + "` here, but line " +
+                          std::to_string(inverted->second) +
+                          " acquires them as `" + expr + "` -> `" +
+                          outer.mutex_expr + "`; pick one global order";
+              }
+              findings.push_back(
+                  {files[f].path, lineno, "lock-order", std::move(message)});
+            }
+            nested_pairs.try_emplace({outer.mutex_expr, expr}, lineno);
+          }
+          held.push_back({event.guard_var, expr, lineno, depth});
+        }
+      };
+
+      for (std::size_t pos = 0; pos < line.size(); ++pos) {
+        const auto push_it = pushes.find(pos);
+        if (push_it != pushes.end()) acquire(push_it->second);
+        const auto release_it = releases.find(pos);
+        if (release_it != releases.end()) {
+          for (auto& site : held) {
+            if (site.active && !site.guard_var.empty() &&
+                site.guard_var == release_it->second) {
+              site.active = false;
+            }
+          }
+        }
+        const char c = line[pos];
+        if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          --depth;
+          while (!held.empty() && held.back().depth > depth) {
+            held.pop_back();
+          }
+        }
+      }
+
+      // Condition-variable waits prove their guard's mutex is used.
+      std::smatch wait_match;
+      if (std::regex_search(line, wait_match, kWaitCall)) {
+        const std::string base = base_name(trim(wait_match[1].str()));
+        if (mutex_names.count(base) != 0) guarded_names.insert(base);
+      }
+      // Naked .lock()/.unlock()/.try_lock() on declared mutex names.
+      for (auto it =
+               std::sregex_iterator(line.begin(), line.end(), kNakedCall);
+           it != std::sregex_iterator{}; ++it) {
+        const std::string receiver = (*it)[1].str();
+        const std::string call = (*it)[2].str();
+        const std::string base = base_name(receiver);
+        if (mutex_names.count(base) == 0) continue;
+        if (is_waived(waivers, lineno, "naked-lock")) continue;
+        findings.push_back(
+            {files[f].path, lineno, "naked-lock",
+             "naked `" + receiver + "." + call +
+                 "()`; an early return or exception leaks the lock — use "
+                 "std::lock_guard / std::unique_lock / std::scoped_lock"});
+      }
+    }
+  }
+
+  // Phase C: header mutexes nobody guards.
+  for (const auto& decl : decls) {
+    if (!decl.in_header) continue;
+    if (guarded_names.count(decl.name) != 0) continue;
+    const auto waivers = collect_waivers(files[decl.file_index].text);
+    if (is_waived(waivers, decl.line, "dead-mutex")) continue;
+    findings.push_back(
+        {files[decl.file_index].path, decl.line, "dead-mutex",
+         "mutex member `" + decl.name +
+             "` is declared in a header but no file ever guards it "
+             "(lock_guard/unique_lock/scoped_lock); either the state it "
+             "guards is unprotected or the mutex is dead"});
+  }
+
+  return findings;
+}
+
+}  // namespace roclk::lint

@@ -1,0 +1,21 @@
+#include "passes.hpp"
+
+#include <iterator>
+
+namespace roclk::lint {
+
+std::vector<Finding> check_project(const std::vector<SourceFile>& files,
+                                   const TagRegistry* registry,
+                                   const std::filesystem::path& registry_path) {
+  std::vector<Finding> findings = check_layering(files);
+  auto determinism = check_determinism(files, registry, registry_path);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(determinism.begin()),
+                  std::make_move_iterator(determinism.end()));
+  auto locks = check_locks(files);
+  findings.insert(findings.end(), std::make_move_iterator(locks.begin()),
+                  std::make_move_iterator(locks.end()));
+  return findings;
+}
+
+}  // namespace roclk::lint

@@ -1,0 +1,185 @@
+#include "project.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace roclk::lint {
+
+namespace {
+
+const char* const kLibraryModules[] = {
+    "common", "signal",  "variation", "fault",    "power", "cdn", "chip",
+    "osc",    "sensor",  "control",   "core",     "analysis", "service",
+};
+
+bool is_library_module(std::string_view name) {
+  return std::any_of(std::begin(kLibraryModules), std::end(kLibraryModules),
+                     [&](const char* m) { return name == m; });
+}
+
+/// Splits a generic path into components.
+std::vector<std::string> components(const std::filesystem::path& path) {
+  std::vector<std::string> parts;
+  for (const auto& part : path) parts.push_back(part.generic_string());
+  return parts;
+}
+
+}  // namespace
+
+std::string module_of(const std::filesystem::path& repo_rel) {
+  const auto parts = components(repo_rel);
+  // include/roclk/<module>/... — headers of the layered library.
+  if (parts.size() >= 4 && parts[0] == "include" && parts[1] == "roclk" &&
+      is_library_module(parts[2])) {
+    return parts[2];
+  }
+  // src/<module>/... — the matching TUs (and private headers).
+  if (parts.size() >= 3 && parts[0] == "src" && is_library_module(parts[1])) {
+    return parts[1];
+  }
+  return {};
+}
+
+Scope scope_of(const std::filesystem::path& repo_rel) {
+  if (!module_of(repo_rel).empty()) return Scope::kLibrary;
+  const auto parts = components(repo_rel);
+  if (!parts.empty() && (parts[0] == "tools" || parts[0] == "bench" ||
+                         parts[0] == "examples" || parts[0] == "tests")) {
+    return Scope::kApp;
+  }
+  return Scope::kOther;
+}
+
+std::vector<SourceFile> load_project(const std::filesystem::path& repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const char* top : {"include", "src", "tools", "bench"}) {
+    const fs::path root = repo_root / top;
+    if (!fs::is_directory(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".h" && ext != ".cpp" && ext != ".cc") {
+        continue;
+      }
+      std::ifstream in{entry.path(), std::ios::binary};
+      if (!in) {
+        throw std::runtime_error("roclk_lint: cannot read " +
+                                 entry.path().string());
+      }
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      files.push_back({fs::proximate(entry.path(), repo_root).generic_string(),
+                       contents.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path.generic_string() < b.path.generic_string();
+            });
+  return files;
+}
+
+std::vector<IncludeEdge> project_includes(
+    const std::vector<SourceFile>& files) {
+  static const std::regex kInclude{
+      R"(^\s*#\s*include\s*["<](roclk/[^">]+)[">])"};
+  std::vector<IncludeEdge> edges;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::string stripped = strip_comments_only(files[f].text);
+    std::istringstream in{stripped};
+    std::string line;
+    for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
+      std::smatch match;
+      if (std::regex_search(line, match, kInclude)) {
+        edges.push_back({f, lineno, match[1].str()});
+      }
+    }
+  }
+  return edges;
+}
+
+std::string strip_comments_only(std::string_view source) {
+  std::string out;
+  out.reserve(source.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   source[i - 1])) &&
+                               source[i - 1] != '_'))) {
+          // Raw string: copy through verbatim (contents are wanted here).
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < source.size() && source[j] != '(') delim += source[j++];
+          const std::string close = ")" + delim + "\"";
+          std::size_t end = source.find(close, j);
+          if (end == std::string_view::npos) end = source.size();
+          else end += close.size();
+          out.append(source.substr(i, end - i));
+          i = end - 1;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'' &&
+                   (i == 0 ||
+                    (!std::isalnum(static_cast<unsigned char>(source[i - 1])) &&
+                     source[i - 1] != '_'))) {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        out += c;
+        if (c == '\\' && i + 1 < source.size()) {
+          out += source[i + 1];
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace roclk::lint

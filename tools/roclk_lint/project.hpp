@@ -1,0 +1,63 @@
+// Project model for the multi-pass analyzer: an in-memory snapshot of
+// every translation unit and header, each mapped to its library module
+// (the directory under include/roclk/ or src/) and scope (library code
+// vs. applications such as tools/ and bench/), plus the repo-internal
+// `#include "roclk/..."` edge list the layering pass walks.
+//
+// Everything here is pure value code over (path, text) pairs so the
+// passes are unit-testable on synthetic fixture trees without touching
+// the filesystem; `load_project` is the only function that does I/O.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roclk::lint {
+
+/// One file of the project, addressed by its repo-relative path.
+struct SourceFile {
+  std::filesystem::path path;  // repo-relative, generic separators
+  std::string text;            // raw contents (waivers live in comments)
+};
+
+/// Which rule family applies to a file.
+enum class Scope {
+  kLibrary,  // include/roclk/<module>/... or src/<module>/...
+  kApp,      // tools/, bench/, examples/, tests/ — out-of-layer drivers
+  kOther,    // umbrella header, docs, anything unclassified
+};
+
+/// Library module a repo-relative path belongs to ("common", "core",
+/// ...), or "" for files outside the layered library tree.
+[[nodiscard]] std::string module_of(const std::filesystem::path& repo_rel);
+
+[[nodiscard]] Scope scope_of(const std::filesystem::path& repo_rel);
+
+/// A `#include "roclk/..."` site.  `target` is the include operand
+/// exactly as written ("roclk/analysis/yield.hpp").
+struct IncludeEdge {
+  std::size_t file_index{0};  // into the files vector
+  std::size_t line{0};        // 1-based include line
+  std::string target;
+};
+
+/// Reads every .hpp/.h/.cpp/.cc under include/, src/, tools/ and bench/
+/// of `repo_root`, sorted by path for deterministic diagnostics.
+/// Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<SourceFile> load_project(
+    const std::filesystem::path& repo_root);
+
+/// Extracts repo-internal include edges (targets starting "roclk/")
+/// from comment-stripped text, so commented-out includes never count.
+[[nodiscard]] std::vector<IncludeEdge> project_includes(
+    const std::vector<SourceFile>& files);
+
+/// Replaces comments with spaces but keeps string literals, preserving
+/// newlines; used by passes that must read string contents (StreamKey
+/// tags) without tripping on prose.
+[[nodiscard]] std::string strip_comments_only(std::string_view source);
+
+}  // namespace roclk::lint

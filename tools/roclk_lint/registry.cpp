@@ -1,0 +1,143 @@
+#include "registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace roclk::lint {
+
+namespace {
+
+constexpr std::string_view kBegin =
+    "<!-- roclk-lint: stream-key-registry begin -->";
+constexpr std::string_view kEnd =
+    "<!-- roclk-lint: stream-key-registry end -->";
+
+std::string trim(std::string_view s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(" \t");
+  return std::string{s.substr(first, last - first + 1)};
+}
+
+/// Splits a markdown table row `| a | b | c |` into trimmed cells.
+std::vector<std::string> split_row(std::string_view line) {
+  std::vector<std::string> cells;
+  std::size_t start = line.find('|');
+  if (start == std::string_view::npos) return cells;
+  ++start;
+  while (true) {
+    const std::size_t next = line.find('|', start);
+    if (next == std::string_view::npos) break;
+    cells.push_back(trim(line.substr(start, next - start)));
+    start = next + 1;
+  }
+  return cells;
+}
+
+bool is_separator_row(const std::vector<std::string>& cells) {
+  return !cells.empty() &&
+         std::all_of(cells.begin(), cells.end(), [](const std::string& c) {
+           return !c.empty() &&
+                  c.find_first_not_of("-: ") == std::string::npos;
+         });
+}
+
+}  // namespace
+
+bool TagRegistry::has_tag(std::string_view tag) const {
+  return std::any_of(entries.begin(), entries.end(),
+                     [&](const RegistryEntry& e) { return e.tag == tag; });
+}
+
+TagRegistry parse_tag_registry(std::string_view markdown, std::string* error) {
+  TagRegistry registry;
+  const auto fail = [&](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return TagRegistry{};
+  };
+
+  std::istringstream in{std::string{markdown}};
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_block = false;
+  bool saw_begin = false;
+  int tag_col = -1;
+  int owner_col = -1;
+  int derivation_col = -1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed = trim(line);
+    if (trimmed == kBegin) {
+      in_block = true;
+      saw_begin = true;
+      continue;
+    }
+    if (trimmed == kEnd) {
+      in_block = false;
+      continue;
+    }
+    if (!in_block || trimmed.empty()) continue;
+    const auto cells = split_row(trimmed);
+    if (cells.empty()) {
+      return fail("stream-key registry: non-table line " +
+                  std::to_string(lineno) + " inside the registry block");
+    }
+    if (tag_col < 0) {
+      // First row is the header; locate the stable columns by name.
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i] == "tag") tag_col = static_cast<int>(i);
+        if (cells[i] == "owner") owner_col = static_cast<int>(i);
+        if (cells[i] == "derivation") derivation_col = static_cast<int>(i);
+      }
+      if (tag_col < 0 || owner_col < 0 || derivation_col < 0) {
+        return fail(
+            "stream-key registry: header row must name the columns "
+            "`tag`, `owner` and `derivation`");
+      }
+      continue;
+    }
+    if (is_separator_row(cells)) continue;
+    const auto cell = [&](int col) -> std::string {
+      return static_cast<std::size_t>(col) < cells.size() ? cells[col]
+                                                          : std::string{};
+    };
+    RegistryEntry entry;
+    entry.tag = cell(tag_col);
+    entry.owner = cell(owner_col);
+    entry.derivation = cell(derivation_col);
+    entry.line = lineno;
+    if (entry.tag.empty()) {
+      return fail("stream-key registry: row at line " +
+                  std::to_string(lineno) + " has an empty tag cell");
+    }
+    registry.entries.push_back(std::move(entry));
+  }
+  if (!saw_begin) {
+    return fail(std::string{"stream-key registry: marker `"} +
+                std::string{kBegin} + "` not found");
+  }
+  if (in_block) {
+    return fail(std::string{"stream-key registry: marker `"} +
+                std::string{kEnd} + "` not found");
+  }
+  if (registry.entries.empty()) {
+    return fail("stream-key registry: block contains no entries");
+  }
+  if (error != nullptr) error->clear();
+  return registry;
+}
+
+std::string render_tag_registry(const TagRegistry& registry) {
+  std::ostringstream out;
+  out << kBegin << '\n';
+  out << "| tag | owner | derivation |\n";
+  out << "| --- | --- | --- |\n";
+  for (const auto& entry : registry.entries) {
+    out << "| " << entry.tag << " | " << entry.owner << " | "
+        << entry.derivation << " |\n";
+  }
+  out << kEnd << '\n';
+  return out.str();
+}
+
+}  // namespace roclk::lint

@@ -1,0 +1,48 @@
+// DESIGN.md §13 StreamKey tag registry, machine-readable form.
+//
+// The registry lives in DESIGN.md between the markers
+//
+//   <!-- roclk-lint: stream-key-registry begin -->
+//   | tag | owner | derivation |
+//   | --- | --- | --- |
+//   | analysis.yield | analysis/yield | root.split("analysis.yield") |
+//   <!-- roclk-lint: stream-key-registry end -->
+//
+// Column names are stable API: `tag` (the literal split() operand),
+// `owner` (module or subsystem that derives it) and `derivation` (the
+// documented key chain).  The determinism pass cross-checks every
+// split("...") literal in library code against the `tag` column.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roclk::lint {
+
+struct RegistryEntry {
+  std::string tag;
+  std::string owner;
+  std::string derivation;
+  std::size_t line{0};  // 1-based line of the row in the source document
+};
+
+struct TagRegistry {
+  std::vector<RegistryEntry> entries;
+
+  [[nodiscard]] bool has_tag(std::string_view tag) const;
+};
+
+/// Parses the registry block out of a markdown document.  On failure
+/// (missing markers, missing header row, or a header row without the
+/// stable column names) returns an empty registry and sets `error`.
+[[nodiscard]] TagRegistry parse_tag_registry(std::string_view markdown,
+                                             std::string* error);
+
+/// Renders the registry back to its canonical markdown form (markers,
+/// header, separator, one row per entry).  parse(render(r)) == r up to
+/// line numbers — the round-trip the registry test locks down.
+[[nodiscard]] std::string render_tag_registry(const TagRegistry& registry);
+
+}  // namespace roclk::lint

@@ -1,0 +1,131 @@
+// Round-trip and error-path tests for the DESIGN.md stream-key
+// registry parser.
+#include "registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace roclk::lint {
+namespace {
+
+const char* const kDoc =
+    "# DESIGN\n"
+    "\n"
+    "prose before\n"
+    "\n"
+    "<!-- roclk-lint: stream-key-registry begin -->\n"
+    "| tag | owner | derivation |\n"
+    "| --- | --- | --- |\n"
+    "| analysis.yield | analysis/yield | `root.split(\"analysis.yield\")` |\n"
+    "| chip | analysis/yield | per-chip substream |\n"
+    "| fault.schedule | fault/fault | prefix-stable events |\n"
+    "<!-- roclk-lint: stream-key-registry end -->\n"
+    "\n"
+    "prose after\n";
+
+TEST(RegistryTest, ParsesEntriesWithLineNumbers) {
+  std::string error;
+  const TagRegistry registry = parse_tag_registry(kDoc, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(registry.entries.size(), 3u);
+  EXPECT_EQ(registry.entries[0].tag, "analysis.yield");
+  EXPECT_EQ(registry.entries[0].owner, "analysis/yield");
+  EXPECT_EQ(registry.entries[0].line, 8u);
+  EXPECT_EQ(registry.entries[2].tag, "fault.schedule");
+  EXPECT_TRUE(registry.has_tag("chip"));
+  EXPECT_FALSE(registry.has_tag("nope"));
+}
+
+TEST(RegistryTest, RenderParseRoundTripsExactly) {
+  std::string error;
+  const TagRegistry registry = parse_tag_registry(kDoc, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const std::string rendered = render_tag_registry(registry);
+  const TagRegistry reparsed = parse_tag_registry(rendered, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(reparsed.entries.size(), registry.entries.size());
+  for (std::size_t i = 0; i < registry.entries.size(); ++i) {
+    EXPECT_EQ(reparsed.entries[i].tag, registry.entries[i].tag);
+    EXPECT_EQ(reparsed.entries[i].owner, registry.entries[i].owner);
+    EXPECT_EQ(reparsed.entries[i].derivation, registry.entries[i].derivation);
+  }
+  // Rendering the reparse reproduces the rendering bit-for-bit: the
+  // canonical form is a fixed point.
+  EXPECT_EQ(render_tag_registry(reparsed), rendered);
+}
+
+TEST(RegistryTest, MissingMarkersIsAnError) {
+  std::string error;
+  const TagRegistry registry =
+      parse_tag_registry("# no registry here\n", &error);
+  EXPECT_TRUE(registry.entries.empty());
+  EXPECT_NE(error.find("not found"), std::string::npos);
+}
+
+TEST(RegistryTest, MissingEndMarkerIsAnError) {
+  std::string error;
+  const std::string doc =
+      "<!-- roclk-lint: stream-key-registry begin -->\n"
+      "| tag | owner | derivation |\n"
+      "| --- | --- | --- |\n"
+      "| a | b | c |\n";
+  const TagRegistry registry = parse_tag_registry(doc, &error);
+  EXPECT_TRUE(registry.entries.empty());
+  EXPECT_NE(error.find("end"), std::string::npos);
+}
+
+TEST(RegistryTest, HeaderMustNameStableColumns) {
+  std::string error;
+  const std::string doc =
+      "<!-- roclk-lint: stream-key-registry begin -->\n"
+      "| name | who | how |\n"
+      "| --- | --- | --- |\n"
+      "| a | b | c |\n"
+      "<!-- roclk-lint: stream-key-registry end -->\n";
+  const TagRegistry registry = parse_tag_registry(doc, &error);
+  EXPECT_TRUE(registry.entries.empty());
+  EXPECT_NE(error.find("tag"), std::string::npos);
+}
+
+TEST(RegistryTest, ColumnOrderIsFreeBecauseHeaderNamesBind) {
+  std::string error;
+  const std::string doc =
+      "<!-- roclk-lint: stream-key-registry begin -->\n"
+      "| owner | derivation | tag |\n"
+      "| --- | --- | --- |\n"
+      "| yield | chain | analysis.yield |\n"
+      "<!-- roclk-lint: stream-key-registry end -->\n";
+  const TagRegistry registry = parse_tag_registry(doc, &error);
+  ASSERT_EQ(registry.entries.size(), 1u);
+  EXPECT_EQ(registry.entries[0].tag, "analysis.yield");
+  EXPECT_EQ(registry.entries[0].owner, "yield");
+}
+
+TEST(RegistryTest, EmptyTagCellIsAnError) {
+  std::string error;
+  const std::string doc =
+      "<!-- roclk-lint: stream-key-registry begin -->\n"
+      "| tag | owner | derivation |\n"
+      "| --- | --- | --- |\n"
+      "|  | b | c |\n"
+      "<!-- roclk-lint: stream-key-registry end -->\n";
+  const TagRegistry registry = parse_tag_registry(doc, &error);
+  EXPECT_TRUE(registry.entries.empty());
+  EXPECT_NE(error.find("empty tag"), std::string::npos);
+}
+
+TEST(RegistryTest, EmptyBlockIsAnError) {
+  std::string error;
+  const std::string doc =
+      "<!-- roclk-lint: stream-key-registry begin -->\n"
+      "| tag | owner | derivation |\n"
+      "| --- | --- | --- |\n"
+      "<!-- roclk-lint: stream-key-registry end -->\n";
+  const TagRegistry registry = parse_tag_registry(doc, &error);
+  EXPECT_TRUE(registry.entries.empty());
+  EXPECT_NE(error.find("no entries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roclk::lint
