@@ -12,6 +12,13 @@
 //    scenarios (misses).  Records throughput and p50/p95/p99 latency
 //    into BENCH_sweeps.json.
 //
+//  * Fault soak: the same multi-client mix with a deterministic
+//    FaultyStream on every client connection (short ops, EINTR storms,
+//    connection resets) and ResilientClient retry/reconnect on top.
+//    The gate is ZERO lost requests: every query must resolve OK
+//    despite the injected failures.  Retry/recovery counters land in
+//    BENCH_sweeps.json.
+//
 // Usage: run from the repository root; argv[1] overrides the output
 // path; --smoke shrinks the client count and workload for CI.
 #include <algorithm>
@@ -24,6 +31,8 @@
 
 #include "bench_util.hpp"
 #include "roclk/service/client.hpp"
+#include "roclk/service/fault_injector.hpp"
+#include "roclk/service/retry.hpp"
 #include "roclk/service/server.hpp"
 #include "roclk/service/session.hpp"
 
@@ -179,6 +188,103 @@ SoakResult run_soak(std::size_t clients, std::size_t requests_per_client,
   return result;
 }
 
+struct FaultSoakResult {
+  double seconds{0.0};
+  std::size_t requests{0};
+  std::size_t lost{0};  // queries that did not resolve OK — the gate
+  RetryStats retry;     // summed across all clients
+  bool ok{true};
+};
+
+/// The soak mix again, but every client connection is wrapped in a
+/// deterministic FaultyStream (short ops, EINTR storms, and a byte
+/// budget after which the connection resets) with a ResilientClient
+/// dialing fresh connections on top.  Backoff is scheduled through a
+/// no-op sleep hook so the phase measures recovery work, not waiting.
+FaultSoakResult run_fault_soak(std::size_t clients,
+                               std::size_t requests_per_client,
+                               std::size_t hot_scenarios) {
+  SweepService service{{}};
+
+  std::vector<RetryStats> retry_stats(clients);
+  std::vector<std::size_t> lost(clients, 0);
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (std::size_t i = 0; i < clients; ++i) {
+      workers.emplace_back([&, i] {
+        std::vector<std::thread> sessions;
+        std::uint64_t dials = 0;
+        ResilientClientConfig config;
+        config.retry.max_attempts = 8;
+        // The gate is total delivery, so local shedding is disabled;
+        // the breaker is exercised by its own unit tests.
+        config.breaker.failure_threshold = 0;
+        config.jitter_key = StreamKey{20260809}.at(i);
+        config.sleep_ms = [](std::uint32_t) {};
+        config.connect = [&service, &sessions, &dials,
+                          i]() -> Result<Client> {
+          FdStream client_end, server_end;
+          if (Status status = make_stream_pair(client_end, server_end);
+              !status.is_ok()) {
+            return status;
+          }
+          sessions.emplace_back([&service, fd = server_end.release()] {
+            FdStream owned{fd};
+            (void)run_server_session(owned.fd(), service);
+          });
+          TransportFaultConfig faults;
+          faults.short_op_rate = 0.3;
+          faults.eintr_rate = 0.2;
+          // Every connection dies after ~a few round trips, usually
+          // mid-flight — each dial replays its own schedule from the
+          // (client, dial) key, so a failing run replays bit-for-bit.
+          faults.reset_after_bytes = 4096;
+          return Client{make_faulty_stream(std::move(client_end),
+                                           StreamKey{0xFA17}.at(i).at(dials++),
+                                           faults)};
+        };
+        {
+          ResilientClient client{config};
+          for (std::size_t r = 0; r < requests_per_client; ++r) {
+            const bool hot = r % 4 != 3;
+            const Request request =
+                hot ? corner_request(
+                          1.0 + 0.05 * static_cast<double>(r % hot_scenarios),
+                          25.0)
+                    : corner_request(
+                          3.0 + 0.01 * static_cast<double>(i * 1024 + r),
+                          25.0);
+            const Result<Response> response = client.query(request);
+            if (!response.is_ok() || !response.value().ok()) ++lost[i];
+          }
+          retry_stats[i] = client.stats();
+        }  // client destroyed -> last connection closes -> sessions end
+        for (std::thread& t : sessions) t.join();
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
+  FaultSoakResult result;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.requests = clients * requests_per_client;
+  for (std::size_t i = 0; i < clients; ++i) {
+    result.lost += lost[i];
+    result.retry.queries += retry_stats[i].queries;
+    result.retry.attempts += retry_stats[i].attempts;
+    result.retry.retries += retry_stats[i].retries;
+    result.retry.reconnects += retry_stats[i].reconnects;
+    result.retry.transport_errors += retry_stats[i].transport_errors;
+    result.retry.retryable_statuses += retry_stats[i].retryable_statuses;
+    result.retry.backoff_ms_total += retry_stats[i].backoff_ms_total;
+    result.retry.exhausted += retry_stats[i].exhausted;
+  }
+  result.ok = result.lost == 0;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +326,26 @@ int main(int argc, char** argv) {
               soak_clients, requests_per_client, throughput, soak.p50_us,
               soak.p95_us, soak.p99_us);
 
+  const FaultSoakResult faulted =
+      run_fault_soak(soak_clients, requests_per_client, hot_scenarios);
+  roclk::bench::shape_check(
+      faulted.ok, "fault-injected soak delivered every request (0 lost) "
+                  "through retry/reconnect");
+  if (!faulted.ok) {
+    std::fprintf(stderr, "fault soak lost %zu of %zu requests\n",
+                 faulted.lost, faulted.requests);
+    return 1;
+  }
+  std::printf(
+      "[fault-soak] %zu requests, 0 lost: %llu attempts, %llu retries, "
+      "%llu reconnects, %llu transport errors, %llu ms backoff scheduled\n",
+      faulted.requests,
+      static_cast<unsigned long long>(faulted.retry.attempts),
+      static_cast<unsigned long long>(faulted.retry.retries),
+      static_cast<unsigned long long>(faulted.retry.reconnects),
+      static_cast<unsigned long long>(faulted.retry.transport_errors),
+      static_cast<unsigned long long>(faulted.retry.backoff_ms_total));
+
   const int hw_threads =
       static_cast<int>(roclk::ThreadPool::shared().size()) + 1;
   const std::string suffix = smoke ? "_smoke" : "";
@@ -243,6 +369,30 @@ int main(int argc, char** argv) {
   entry.p99_us = soak.p99_us;
   entries.push_back(entry);
 
+  roclk::bench::PerfEntry fault_entry;
+  fault_entry.name = "service_fault_soak" + suffix;
+  fault_entry.unit = "requests";
+  // before = the healthy soak, after = the same mix under injected
+  // transport faults with retry/reconnect recovering every request.
+  fault_entry.before_items_per_sec = throughput;
+  fault_entry.after_items_per_sec =
+      static_cast<double>(faulted.requests) / faulted.seconds;
+  fault_entry.threads = static_cast<int>(soak_clients);
+  fault_entry.simd_backend = "scalar";
+  entries.push_back(fault_entry);
+
+  char fault_notes[256];
+  std::snprintf(fault_notes, sizeof fault_notes,
+                " fault-soak recovery counters: lost=%zu attempts=%llu "
+                "retries=%llu reconnects=%llu transport_errors=%llu "
+                "backoff_ms=%llu.",
+                faulted.lost,
+                static_cast<unsigned long long>(faulted.retry.attempts),
+                static_cast<unsigned long long>(faulted.retry.retries),
+                static_cast<unsigned long long>(faulted.retry.reconnects),
+                static_cast<unsigned long long>(faulted.retry.transport_errors),
+                static_cast<unsigned long long>(faulted.retry.backoff_ms_total));
+
   std::string notes =
       "Sweep-service soak over socketpair transport, fresh service per "
       "phase, 3:1 hot(shared)/cold(per-client) scenario mix. before: 1 "
@@ -251,6 +401,7 @@ int main(int argc, char** argv) {
       "is expected to be slower per request (client+session thread "
       "oversubscription); the entry records contention honestly, not a "
       "speedup.";
+  notes += fault_notes;
   if (smoke) notes = "(smoke) " + notes;
   if (!roclk::bench::append_perf_run(out_path, "service_soak_runner", notes,
                                      entries)) {

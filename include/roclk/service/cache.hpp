@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "roclk/service/protocol.hpp"
 
@@ -48,6 +50,12 @@ class ResultCache {
 
   [[nodiscard]] ResultCacheStats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Live entries in least- to most-recently-used order — the order a
+  /// journal snapshot replays them so recency survives a compaction
+  /// round trip (journal.hpp).  Does not refresh recency.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, const Response*>>
+  snapshot_lru_to_mru() const;
 
   void clear();
 

@@ -8,6 +8,7 @@
 // distinguish "the wire broke" from "the service said no".
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "roclk/service/request.hpp"
@@ -18,12 +19,19 @@ namespace roclk::service {
 class Client {
  public:
   Client() = default;
-  explicit Client(FdStream stream) : stream_{std::move(stream)} {}
+  explicit Client(FdStream stream)
+      : stream_{std::make_unique<FdByteStream>(std::move(stream))} {}
+  /// Speaks through any ByteStream — tests and the soak bench hand in a
+  /// FaultyStream to exercise client recovery deterministically.
+  explicit Client(std::unique_ptr<ByteStream> stream)
+      : stream_{std::move(stream)} {}
 
   /// Connects to a daemon's Unix socket.
   [[nodiscard]] static Result<Client> connect(const std::string& path);
 
-  [[nodiscard]] bool connected() const { return stream_.valid(); }
+  [[nodiscard]] bool connected() const {
+    return stream_ != nullptr && stream_->valid();
+  }
 
   /// Runs one scenario query end to end.
   [[nodiscard]] Result<Response> query(const Request& request);
@@ -44,7 +52,7 @@ class Client {
  private:
   [[nodiscard]] Result<Response> round_trip(const Frame& frame);
 
-  FdStream stream_;
+  std::unique_ptr<ByteStream> stream_;
 };
 
 }  // namespace roclk::service

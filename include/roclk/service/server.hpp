@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "roclk/common/thread_pool.hpp"
 #include "roclk/service/protocol.hpp"
@@ -52,6 +53,16 @@ struct ServiceConfig {
   /// Pool simulations run on (nullptr = strictly sequential).  Results
   /// are bitwise identical for every choice (DESIGN.md §13).
   ThreadPool* sim_pool{nullptr};
+  /// Crash-safe cache persistence (journal.hpp).  Non-empty enables it:
+  /// the constructor replays every intact record into the cache (warm
+  /// start), compacts the file, and every subsequent cache store appends
+  /// one record.  A corrupt or missing journal only degrades the warm
+  /// start — the service always comes up.
+  std::string journal_path;
+  /// Appends between compactions.  Evictions and re-stores make the log
+  /// outgrow the live cache; periodic compaction rewrites it to exactly
+  /// the live entries.  0 keeps the default.
+  std::uint64_t journal_compact_every{4096};
   /// Test hook: run on the owning thread after admission, before the
   /// simulation.  Lets tests hold a simulation "in flight" long enough to
   /// exercise coalescing, shedding, and deadline timeouts
@@ -68,6 +79,12 @@ struct ServiceStats {
   std::uint64_t shed{0};          // kOverloaded responses
   std::uint64_t deadline_exceeded{0};
   std::uint64_t completed{0};     // kOk responses served
+  std::uint64_t journal_recovered{0};      // entries replayed on warm start
+  std::uint64_t journal_dropped_words{0};  // torn tail discarded on load
+  std::uint64_t journal_appends{0};
+  std::uint64_t journal_compactions{0};
+  std::uint64_t journal_errors{0};  // failed appends/compactions (service
+                                    // keeps running; persistence degrades)
 };
 
 class SweepService {

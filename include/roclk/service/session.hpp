@@ -22,8 +22,13 @@ enum class SessionEnd : std::uint32_t {
   kTransportError,     // read/write failure mid-session
 };
 
-/// Serves frames from `fd` until the session ends.  Blocking; run one
-/// thread (or one sequential turn) per connection.
+/// Serves frames from a stream until the session ends.  Blocking; run
+/// one thread (or one sequential turn) per connection.  The ByteStream
+/// overload is the real implementation — wrap the stream in a
+/// FaultyStream (fault_injector.hpp) to replay transport failures
+/// against the server side deterministically.
+[[nodiscard]] SessionEnd run_server_session(ByteStream& stream,
+                                            SweepService& service);
 [[nodiscard]] SessionEnd run_server_session(int fd, SweepService& service);
 
 }  // namespace roclk::service

@@ -15,11 +15,48 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "roclk/common/status.hpp"
 #include "roclk/service/protocol.hpp"
 
 namespace roclk::service {
+
+/// Outcome of one low-level stream operation.  The typed kinds replace
+/// errno inspection so decorators (fault_injector.hpp) can inject EINTR
+/// storms and resets without touching OS state, and so callers retry the
+/// same way over a real fd and over an in-test fault schedule.
+struct IoResult {
+  enum class Kind : std::uint32_t {
+    kOk = 0,           // `bytes` were transferred (may be fewer than asked)
+    kEof = 1,          // peer closed (reads only)
+    kInterrupted = 2,  // EINTR-equivalent; retry the operation
+    kError = 3,        // unrecoverable stream failure
+  };
+  Kind kind{Kind::kError};
+  std::size_t bytes{0};  // valid when kind == kOk
+
+  static IoResult ok(std::size_t bytes) { return {Kind::kOk, bytes}; }
+  static IoResult eof() { return {Kind::kEof, 0}; }
+  static IoResult interrupted() { return {Kind::kInterrupted, 0}; }
+  static IoResult error() { return {Kind::kError, 0}; }
+};
+
+/// Minimal byte-stream interface the frame layer reads and writes
+/// through.  Implementations: FdByteStream (a real fd) and FaultyStream
+/// (a deterministic fault-injecting decorator, fault_injector.hpp).
+/// Operations may transfer fewer bytes than asked; callers loop.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  [[nodiscard]] virtual IoResult read_some(void* buffer,
+                                           std::size_t bytes) = 0;
+  [[nodiscard]] virtual IoResult write_some(const void* buffer,
+                                            std::size_t bytes) = 0;
+  /// Releases the underlying resource; reads/writes fail afterwards.
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool valid() const = 0;
+};
 
 /// Owns one stream file descriptor (socket or pipe end); closes on
 /// destruction.  Move-only.
@@ -44,6 +81,27 @@ class FdStream {
   int fd_{-1};
 };
 
+/// ByteStream over a file descriptor.  Either owns the fd (FdStream
+/// constructor) or borrows one owned elsewhere (int constructor — the
+/// server session path, where the accept loop keeps ownership).
+class FdByteStream final : public ByteStream {
+ public:
+  explicit FdByteStream(FdStream stream)
+      : owned_{std::move(stream)}, fd_{owned_.fd()} {}
+  explicit FdByteStream(int fd) : fd_{fd} {}
+
+  [[nodiscard]] IoResult read_some(void* buffer,
+                                   std::size_t bytes) override;
+  [[nodiscard]] IoResult write_some(const void* buffer,
+                                    std::size_t bytes) override;
+  void close() override;
+  [[nodiscard]] bool valid() const override { return fd_ >= 0; }
+
+ private:
+  FdStream owned_;
+  int fd_{-1};
+};
+
 /// Outcome of reading one frame from a stream.
 enum class ReadFrameResult : std::uint32_t {
   kFrame = 0,     // `frame` holds a valid frame
@@ -59,14 +117,19 @@ struct FrameReadOutcome {
 };
 
 /// Blocking read of one frame.  EOF mid-frame reports kMalformed
-/// (truncated), EOF before any byte reports kClosed.
+/// (truncated), EOF before any byte reports kClosed.  Interrupted
+/// operations (EINTR storms included) are retried transparently.
+[[nodiscard]] FrameReadOutcome read_frame(ByteStream& stream);
 [[nodiscard]] FrameReadOutcome read_frame(int fd);
 
 /// Blocking write of one encoded frame; false on a short write or error.
+[[nodiscard]] bool write_frame(ByteStream& stream, const Frame& frame);
 [[nodiscard]] bool write_frame(int fd, const Frame& frame);
 
 /// Blocking write of raw words with no framing — the malformed-frame
 /// smoke path uses it to ship deliberately broken bytes.
+[[nodiscard]] bool write_words(ByteStream& stream,
+                               const std::vector<std::uint64_t>& words);
 [[nodiscard]] bool write_words(int fd,
                                const std::vector<std::uint64_t>& words);
 

@@ -35,6 +35,16 @@ ResultCacheStats ResultCache::stats() const {
   return {hits_, misses_, evictions_, entries_.size()};
 }
 
+std::vector<std::pair<std::uint64_t, const Response*>>
+ResultCache::snapshot_lru_to_mru() const {
+  std::vector<std::pair<std::uint64_t, const Response*>> out;
+  out.reserve(entries_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    out.emplace_back(*it, &entries_.at(*it).response);
+  }
+  return out;
+}
+
 void ResultCache::clear() {
   entries_.clear();
   lru_.clear();

@@ -11,19 +11,20 @@ Result<Client> Client::connect(const std::string& path) {
 }
 
 Result<Response> Client::round_trip(const Frame& frame) {
-  if (!stream_.valid()) {
+  if (!connected()) {
     return Status::failed_precondition("client is not connected");
   }
-  if (!write_frame(stream_.fd(), frame)) {
+  if (!write_frame(*stream_, frame)) {
+    stream_->close();
     return Status::internal("failed to write frame");
   }
-  const FrameReadOutcome reply = read_frame(stream_.fd());
+  const FrameReadOutcome reply = read_frame(*stream_);
   if (reply.result != ReadFrameResult::kFrame) {
-    stream_.close();
+    stream_->close();
     return Status::internal("connection lost awaiting response");
   }
   if (reply.frame.type != FrameType::kResponse) {
-    stream_.close();
+    stream_->close();
     return Status::internal("server sent a non-response frame");
   }
   WireReader reader{reply.frame.payload.data(), reply.frame.payload.size()};
@@ -45,26 +46,27 @@ Result<Response> Client::ping() {
 
 Result<Response> Client::shutdown_server() {
   Result<Response> response = round_trip(Frame{FrameType::kShutdown, {}});
-  stream_.close();
+  if (stream_) stream_->close();
   return response;
 }
 
 Result<Response> Client::send_raw(const std::vector<std::uint64_t>& words) {
-  if (!stream_.valid()) {
+  if (!connected()) {
     return Status::failed_precondition("client is not connected");
   }
-  if (!write_words(stream_.fd(), words)) {
+  if (!write_words(*stream_, words)) {
+    stream_->close();
     return Status::internal("failed to write raw words");
   }
-  const FrameReadOutcome reply = read_frame(stream_.fd());
+  const FrameReadOutcome reply = read_frame(*stream_);
   if (reply.result != ReadFrameResult::kFrame ||
       reply.frame.type != FrameType::kResponse) {
-    stream_.close();
+    stream_->close();
     return Status::internal("connection lost awaiting response");
   }
   WireReader reader{reply.frame.payload.data(), reply.frame.payload.size()};
   Result<Response> decoded = decode_response(reader);
-  stream_.close();  // the server closes after answering a malformed frame
+  stream_->close();  // the server closes after answering a malformed frame
   return decoded;
 }
 

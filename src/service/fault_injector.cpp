@@ -1,0 +1,150 @@
+#include "roclk/service/fault_injector.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace roclk::service {
+
+FaultyStream::FaultyStream(std::unique_ptr<ByteStream> inner,
+                           StreamKey key, TransportFaultConfig config)
+    : inner_{std::move(inner)},
+      read_key_{key.split("fault.read")},
+      write_key_{key.split("fault.write")},
+      config_{std::move(config)} {}
+
+bool FaultyStream::reset_tripped() const {
+  return config_.reset_after_bytes != 0 &&
+         total_bytes_ >= config_.reset_after_bytes;
+}
+
+FaultyStream::OpPlan FaultyStream::plan_op(const StreamKey& direction_key,
+                                           std::uint64_t op_index,
+                                           std::size_t bytes) const {
+  // One generator per (direction, op); each decision consumes a fixed
+  // draw budget regardless of outcome, so decision k of op i never
+  // depends on which faults fired before it.
+  CounterRng rng{direction_key.at(op_index)};
+  OpPlan plan;
+  const double eintr_draw = rng.uniform();
+  const std::uint64_t storm_draw =
+      rng.uniform_int(std::max<std::uint32_t>(config_.max_eintr_storm, 1));
+  if (eintr_draw < config_.eintr_rate) {
+    plan.eintr_storm = static_cast<std::uint32_t>(storm_draw) + 1;
+  }
+  plan.stall = rng.uniform() < config_.stall_rate;
+  const double short_draw = rng.uniform();
+  const std::uint64_t chunk_draw =
+      rng.uniform_int(std::max<std::size_t>(bytes, 1));
+  if (short_draw < config_.short_op_rate && bytes > 1) {
+    plan.clamped_bytes = static_cast<std::size_t>(chunk_draw) + 1;
+    if (plan.clamped_bytes >= bytes) plan.clamped_bytes = bytes - 1;
+  }
+  plan.bitflip = rng.uniform() < config_.bitflip_rate;
+  plan.flip_byte = rng.uniform_int(~std::uint64_t{0} >> 1);
+  plan.flip_bit = static_cast<std::uint32_t>(rng.uniform_int(8));
+  return plan;
+}
+
+IoResult FaultyStream::read_some(void* buffer, std::size_t bytes) {
+  if (!inner_ || bytes == 0) return IoResult::error();
+  if (reset_tripped()) {
+    ++stats_.resets;
+    return IoResult::eof();  // a reset peer reads as a hangup
+  }
+  if (pending_eintr_ > 0) {
+    --pending_eintr_;
+    ++stats_.eintr_injected;
+    return IoResult::interrupted();
+  }
+  const OpPlan plan = plan_op(read_key_, read_ops_++, bytes);
+  ++stats_.reads;
+  if (plan.eintr_storm > 0) {
+    ++stats_.eintr_storms;
+    ++stats_.eintr_injected;
+    pending_eintr_ = plan.eintr_storm - 1;
+    return IoResult::interrupted();
+  }
+  if (plan.stall) {
+    ++stats_.stalls;
+    if (config_.stall_hook) config_.stall_hook();
+  }
+  std::size_t ask = bytes;
+  if (plan.clamped_bytes != 0) {
+    ++stats_.short_reads;
+    ask = plan.clamped_bytes;
+  }
+  const IoResult r = inner_->read_some(buffer, ask);
+  if (r.kind != IoResult::Kind::kOk) return r;
+  total_bytes_ += r.bytes;
+  if (plan.bitflip && r.bytes > 0) {
+    ++stats_.bit_flips;
+    auto* out = static_cast<unsigned char*>(buffer);
+    out[plan.flip_byte % r.bytes] ^=
+        static_cast<unsigned char>(1u << plan.flip_bit);
+  }
+  return r;
+}
+
+IoResult FaultyStream::write_some(const void* buffer, std::size_t bytes) {
+  if (!inner_ || bytes == 0) return IoResult::error();
+  if (reset_tripped()) {
+    ++stats_.resets;
+    return IoResult::error();  // writing into a reset stream fails
+  }
+  if (pending_eintr_ > 0) {
+    --pending_eintr_;
+    ++stats_.eintr_injected;
+    return IoResult::interrupted();
+  }
+  const OpPlan plan = plan_op(write_key_, write_ops_++, bytes);
+  ++stats_.writes;
+  if (plan.eintr_storm > 0) {
+    ++stats_.eintr_storms;
+    ++stats_.eintr_injected;
+    pending_eintr_ = plan.eintr_storm - 1;
+    return IoResult::interrupted();
+  }
+  if (plan.stall) {
+    ++stats_.stalls;
+    if (config_.stall_hook) config_.stall_hook();
+  }
+  std::size_t ask = bytes;
+  if (plan.clamped_bytes != 0) {
+    ++stats_.short_writes;
+    ask = plan.clamped_bytes;
+  }
+  if (plan.bitflip && ask > 0) {
+    // Corrupt the bytes *on the wire*, not the caller's buffer: the
+    // retrying writer must be able to resend the pristine frame.
+    ++stats_.bit_flips;
+    std::vector<unsigned char> corrupted(ask);
+    std::memcpy(corrupted.data(), buffer, ask);
+    corrupted[plan.flip_byte % ask] ^=
+        static_cast<unsigned char>(1u << plan.flip_bit);
+    const IoResult r = inner_->write_some(corrupted.data(), ask);
+    if (r.kind == IoResult::Kind::kOk) total_bytes_ += r.bytes;
+    return r;
+  }
+  const IoResult r = inner_->write_some(buffer, ask);
+  if (r.kind == IoResult::Kind::kOk) total_bytes_ += r.bytes;
+  return r;
+}
+
+void FaultyStream::close() {
+  if (inner_) inner_->close();
+}
+
+bool FaultyStream::valid() const {
+  return inner_ && inner_->valid() && !reset_tripped();
+}
+
+std::unique_ptr<FaultyStream> make_faulty_stream(
+    FdStream stream, StreamKey key, TransportFaultConfig config) {
+  return std::make_unique<FaultyStream>(
+      std::make_unique<FdByteStream>(std::move(stream)), key,
+      std::move(config));
+}
+
+}  // namespace roclk::service

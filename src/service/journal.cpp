@@ -1,0 +1,221 @@
+#include "roclk/service/journal.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace roclk::service {
+
+namespace {
+
+// Whole-record writes: one fwrite + fflush per record, so a crash can
+// only tear the file's tail.
+Status write_words(std::FILE* file, const std::vector<std::uint64_t>& words) {
+  if (words.empty()) return Status::ok();
+  const std::size_t wrote =
+      std::fwrite(words.data(), sizeof(std::uint64_t), words.size(), file);
+  if (wrote != words.size() || std::fflush(file) != 0) {
+    return Status::internal("journal write failed");
+  }
+  return Status::ok();
+}
+
+std::vector<std::uint64_t> encode_header() {
+  WireWriter w;
+  w.put(kJournalMagic);
+  w.put(kJournalVersion);
+  w.words.push_back(w.checksum);
+  return w.words;
+}
+
+}  // namespace
+
+CacheJournal::~CacheJournal() { close(); }
+
+void CacheJournal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::vector<std::uint64_t> CacheJournal::encode_record(
+    std::uint64_t hash, const Response& response) {
+  WireWriter payload;
+  encode_response(response, payload);
+
+  WireWriter record;
+  record.put(kJournalRecordMagic);
+  record.put(static_cast<std::uint64_t>(payload.words.size()));
+  record.put(hash);
+  for (const std::uint64_t w : payload.words) record.put(w);
+  record.words.push_back(record.checksum);
+  return record.words;
+}
+
+JournalLoadResult CacheJournal::load(const std::string& path,
+                                     Status* status) {
+  JournalLoadResult result;
+  Status local = Status::ok();
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    local = Status::not_found("journal not found: " + path);
+    if (status != nullptr) *status = local;
+    return result;
+  }
+
+  // Slurp whole words; a trailing partial word is torn tail by
+  // definition and counts toward dropped_tail_words.
+  std::vector<std::uint64_t> words;
+  {
+    std::uint64_t w = 0;
+    while (std::fread(&w, sizeof(w), 1, file) == 1) words.push_back(w);
+  }
+  std::fclose(file);
+
+  // Header: magic, version, checksum.
+  if (words.size() < 3) {
+    local = Status::internal("journal header truncated: " + path);
+    if (status != nullptr) *status = local;
+    result.dropped_tail_words = words.size();
+    return result;
+  }
+  {
+    WireReader r{words.data(), 2};
+    const std::uint64_t magic = r.take();
+    const std::uint64_t version = r.take();
+    if (magic != kJournalMagic || words[2] != r.checksum()) {
+      local = Status::internal("journal header corrupt: " + path);
+      if (status != nullptr) *status = local;
+      result.dropped_tail_words = words.size();
+      return result;
+    }
+    if (version != kJournalVersion) {
+      local = Status::internal("journal version unsupported: " + path);
+      if (status != nullptr) *status = local;
+      result.dropped_tail_words = words.size();
+      return result;
+    }
+  }
+  result.header_ok = true;
+
+  // Records.  The first structurally-broken record ends recovery: a bad
+  // length prefix poisons all later framing, so everything from the
+  // break onward is the dropped tail.
+  std::size_t pos = 3;
+  while (pos < words.size()) {
+    const std::size_t tail = words.size() - pos;
+    // Need at least magic + count + hash + checksum.
+    if (tail < 4) break;
+    if (words[pos] != kJournalRecordMagic) break;
+    const std::uint64_t payload_words = words[pos + 1];
+    if (payload_words == 0 || payload_words > kMaxPayloadWords) break;
+    const std::size_t record_words =
+        3 + static_cast<std::size_t>(payload_words) + 1;
+    if (tail < record_words) break;  // torn final record
+
+    WireReader r{words.data() + pos, record_words - 1};
+    (void)r.take();  // magic
+    (void)r.take();  // payload count
+    const std::uint64_t hash = r.take();
+    WireReader payload{words.data() + pos + 3,
+                       static_cast<std::size_t>(payload_words)};
+    for (std::uint64_t i = 0; i < payload_words; ++i) {
+      (void)r.take();
+    }
+    if (words[pos + record_words - 1] != r.checksum()) break;
+
+    Result<Response> decoded = decode_response(payload);
+    if (!decoded.is_ok()) break;
+
+    result.entries.push_back(
+        JournalEntry{hash, std::move(decoded).value()});
+    ++result.records_loaded;
+    pos += record_words;
+  }
+
+  result.dropped_tail_words = words.size() - pos;
+  if (result.dropped_tail_words > 0) {
+    local = Status::internal(
+        "journal tail torn or corrupt; kept " +
+        std::to_string(result.records_loaded) + " record(s), dropped " +
+        std::to_string(result.dropped_tail_words) + " trailing word(s)");
+  }
+  if (status != nullptr) *status = local;
+  return result;
+}
+
+Status CacheJournal::open_for_append(const std::string& path) {
+  close();
+  appended_records_ = 0;
+  path_ = path;
+
+  // "a" creates the file if missing; a fresh (empty) journal needs its
+  // header before any record.
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::internal("cannot open journal for append: " + path);
+  }
+  long size = 0;
+  if (std::fseek(file, 0, SEEK_END) == 0) size = std::ftell(file);
+  file_ = file;
+  if (size <= 0) {
+    Status header = write_words(file_, encode_header());
+    if (!header.is_ok()) {
+      close();
+      return header;
+    }
+  }
+  return Status::ok();
+}
+
+Status CacheJournal::append(std::uint64_t hash, const Response& response) {
+  if (file_ == nullptr) {
+    return Status::failed_precondition("journal is not open");
+  }
+  Status wrote = write_words(file_, encode_record(hash, response));
+  if (wrote.is_ok()) ++appended_records_;
+  return wrote;
+}
+
+Status CacheJournal::compact(const std::vector<JournalEntry>& entries) {
+  if (path_.empty()) {
+    return Status::failed_precondition("journal has no path to compact");
+  }
+  close();
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::internal("cannot open compaction file: " + tmp);
+    }
+    Status wrote = write_words(file, encode_header());
+    for (const JournalEntry& entry : entries) {
+      if (!wrote.is_ok()) break;
+      wrote = write_words(file, encode_record(entry.hash, entry.response));
+    }
+    std::fclose(file);
+    if (!wrote.is_ok()) {
+      std::remove(tmp.c_str());
+      return wrote;
+    }
+  }
+  // Atomic cutover: readers see the old journal or the new one, never a
+  // partial hybrid.
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::internal("journal compaction rename failed: " + path_);
+  }
+
+  std::FILE* file = std::fopen(path_.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::internal("cannot reopen journal after compaction: " +
+                            path_);
+  }
+  file_ = file;
+  appended_records_ = 0;
+  return Status::ok();
+}
+
+}  // namespace roclk::service

@@ -1,0 +1,193 @@
+#include "roclk/service/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace roclk::service {
+
+namespace {
+
+// The only clock in the retry layer; backoff *decisions* never read it
+// (they are pure functions of the jitter key), only the breaker's
+// open-window timer does.
+std::uint64_t steady_now_ms() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<milliseconds>(
+          steady_clock::now().time_since_epoch())  // roclk-lint: allow(wall-clock)
+          .count());
+}
+
+void real_sleep_ms(std::uint32_t ms) {
+  if (ms == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds{ms});
+}
+
+}  // namespace
+
+bool retryable_status(ResponseStatus status) {
+  // kShuttingDown is retryable by contract: the status's own comment
+  // promises "retry elsewhere/later" — the daemon is draining, not
+  // rejecting the scenario.  See docs/service.md §6.
+  return status == ResponseStatus::kOverloaded ||
+         status == ResponseStatus::kShuttingDown;
+}
+
+std::uint32_t backoff_ms(const RetryPolicy& policy, std::uint32_t attempt,
+                         const StreamKey& key) {
+  if (attempt == 0) return 0;
+  const double exponent = static_cast<double>(attempt - 1);
+  double base = static_cast<double>(policy.initial_backoff_ms) *
+                std::pow(std::max(policy.backoff_multiplier, 1.0), exponent);
+  base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+  const double jitter = std::clamp(policy.jitter_frac, 0.0, 1.0);
+  CounterRng rng{key.at(attempt)};
+  const double scale = rng.uniform(1.0 - jitter, 1.0 + jitter);
+  const double scaled =
+      std::min(base * scale, static_cast<double>(policy.max_backoff_ms));
+  return static_cast<std::uint32_t>(std::max(scaled, 0.0));
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_{std::move(config)} {
+  if (!config_.now_ms) config_.now_ms = steady_now_ms;
+}
+
+bool CircuitBreaker::allow() {
+  if (config_.failure_threshold == 0) return true;  // breaker disabled
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (config_.now_ms() - opened_at_ms_ >= config_.open_ms) {
+        state_ = BreakerState::kHalfOpen;
+        probe_in_flight_ = false;
+        break;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      break;
+  }
+  // Half-open: exactly one probe may be outstanding.
+  if (probe_in_flight_) return false;
+  probe_in_flight_ = true;
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  state_ = BreakerState::kClosed;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure() {
+  if (config_.failure_threshold == 0) return;
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen ||
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    opened_at_ms_ = config_.now_ms();
+    probe_in_flight_ = false;
+  }
+}
+
+ResilientClient::ResilientClient(ResilientClientConfig config)
+    : config_{std::move(config)}, breaker_{config_.breaker} {
+  if (!config_.sleep_ms) config_.sleep_ms = real_sleep_ms;
+}
+
+Result<Response> ResilientClient::query(const Request& request) {
+  if (!config_.connect) {
+    return Status::failed_precondition(
+        "ResilientClient needs a connector");
+  }
+  if (!breaker_.allow()) {
+    ++stats_.breaker_rejections;
+    return Status::failed_precondition(
+        std::string{"circuit breaker is "} + to_string(breaker_.state()) +
+        "; query shed locally");
+  }
+  const StreamKey query_key = config_.jitter_key.at(stats_.queries);
+  ++stats_.queries;
+
+  Request attempt_request = request;
+  if (attempt_request.deadline_ms == 0) {
+    attempt_request.deadline_ms = config_.retry.per_attempt_deadline_ms;
+  }
+
+  const std::uint32_t max_attempts =
+      std::max<std::uint32_t>(config_.retry.max_attempts, 1);
+  Status last_error = Status::internal("no attempt was made");
+  std::optional<Response> last_typed;  // last retryable typed response
+  std::uint64_t backoff_spent_ms = 0;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const std::uint32_t wait =
+          backoff_ms(config_.retry, attempt, query_key);
+      if (config_.retry.total_backoff_budget_ms != 0 &&
+          backoff_spent_ms + wait >
+              config_.retry.total_backoff_budget_ms) {
+        break;  // budget exhausted; report the last outcome below
+      }
+      backoff_spent_ms += wait;
+      stats_.backoff_ms_total += wait;
+      config_.sleep_ms(wait);
+      ++stats_.retries;
+    }
+    ++stats_.attempts;
+
+    if (!client_ || !client_->connected()) {
+      Result<Client> dialed = config_.connect();
+      if (!dialed.is_ok()) {
+        ++stats_.transport_errors;
+        breaker_.record_failure();
+        last_error = dialed.status();
+        client_.reset();
+        continue;
+      }
+      if (dialed_once_) ++stats_.reconnects;
+      dialed_once_ = true;
+      client_.emplace(std::move(dialed).value());
+    }
+
+    Result<Response> outcome = client_->query(attempt_request);
+    if (!outcome.is_ok()) {
+      // The wire broke mid-round-trip: the connection is spent.  The
+      // query is idempotent (content-addressed), so dial again — at
+      // worst the re-ask is a cache hit on the server.
+      ++stats_.transport_errors;
+      breaker_.record_failure();
+      last_error = outcome.status();
+      client_.reset();
+      continue;
+    }
+    const Response& response = outcome.value();
+    if (retryable_status(response.status)) {
+      ++stats_.retryable_statuses;
+      breaker_.record_failure();
+      last_typed = response;
+      if (response.status == ResponseStatus::kShuttingDown) {
+        // A draining daemon closes after the in-flight frames; don't
+        // re-ask a server that told us it is going away.
+        client_.reset();
+      }
+      continue;
+    }
+    // The service answered definitively (OK or a non-retryable typed
+    // error).  Either way the server is alive and talking protocol.
+    breaker_.record_success();
+    return outcome;
+  }
+  ++stats_.exhausted;
+  // The budget ran out.  Prefer the last *typed* outcome (OVERLOADED /
+  // SHUTTING_DOWN with its distinct message) over a bare transport
+  // Status — callers distinguish "the service said not now" from "the
+  // wire never answered".
+  if (last_typed) return *last_typed;
+  return last_error;
+}
+
+}  // namespace roclk::service

@@ -8,6 +8,7 @@
 
 #include "roclk/service/cache.hpp"
 #include "roclk/service/execute.hpp"
+#include "roclk/service/journal.hpp"
 
 namespace roclk::service {
 
@@ -39,9 +40,67 @@ struct SweepService::Impl {
   std::size_t admitted{0};
   bool shutting_down{false};
   ServiceStats stats;
+  CacheJournal journal;
 
   explicit Impl(ServiceConfig cfg)
-      : config{cfg}, cache{cfg.cache_capacity} {}
+      : config{cfg}, cache{cfg.cache_capacity} {
+    if (config.journal_compact_every == 0) {
+      config.journal_compact_every = 4096;
+    }
+    if (config.journal_path.empty() || config.cache_capacity == 0) return;
+
+    // Warm start: replay every intact record (file order = store order,
+    // so LRU recency is reconstructed), then compact so the file starts
+    // this run holding exactly the live entries.
+    const JournalLoadResult loaded = CacheJournal::load(config.journal_path);
+    for (const JournalEntry& entry : loaded.entries) {
+      cache.store(entry.hash, entry.response);
+    }
+    stats.journal_recovered = loaded.records_loaded;
+    stats.journal_dropped_words = loaded.dropped_tail_words;
+
+    if (!journal.open_for_append(config.journal_path).is_ok()) {
+      ++stats.journal_errors;
+      return;
+    }
+    if (loaded.records_loaded > 0 || loaded.dropped_tail_words > 0) {
+      if (compact_locked().is_ok()) {
+        ++stats.journal_compactions;
+      } else {
+        ++stats.journal_errors;
+      }
+    }
+  }
+
+  /// Rewrites the journal to the cache's live entries.  Caller holds
+  /// `mutex` (or, in the constructor, is the only thread).
+  [[nodiscard]] Status compact_locked() {
+    const auto snapshot = cache.snapshot_lru_to_mru();
+    std::vector<JournalEntry> entries;
+    entries.reserve(snapshot.size());
+    for (const auto& [hash, response] : snapshot) {
+      entries.push_back(JournalEntry{hash, *response});
+    }
+    return journal.compact(entries);
+  }
+
+  /// Persists one freshly-stored cache entry; compacts when the log has
+  /// outgrown its budget.  Caller holds `mutex`.
+  void journal_store_locked(std::uint64_t hash, const Response& response) {
+    if (!journal.open()) return;
+    if (journal.append(hash, response).is_ok()) {
+      ++stats.journal_appends;
+    } else {
+      ++stats.journal_errors;
+    }
+    if (journal.appended_records() >= config.journal_compact_every) {
+      if (compact_locked().is_ok()) {
+        ++stats.journal_compactions;
+      } else {
+        ++stats.journal_errors;
+      }
+    }
+  }
 };
 
 SweepService::SweepService(ServiceConfig config)
@@ -126,6 +185,7 @@ Response SweepService::handle(const Request& request) {
     const std::lock_guard lock{impl_->mutex};
     if (response.ok()) {
       impl_->cache.store(hash, response);
+      impl_->journal_store_locked(hash, response);
       ++impl_->stats.completed;
     }
     --impl_->admitted;

@@ -6,20 +6,20 @@ namespace roclk::service {
 
 namespace {
 
-bool send_response(int fd, const Response& response) {
+bool send_response(ByteStream& stream, const Response& response) {
   WireWriter payload;
   encode_response(response, payload);
   Frame frame;
   frame.type = FrameType::kResponse;
   frame.payload = std::move(payload.words);
-  return write_frame(fd, frame);
+  return write_frame(stream, frame);
 }
 
 }  // namespace
 
-SessionEnd run_server_session(int fd, SweepService& service) {
+SessionEnd run_server_session(ByteStream& stream, SweepService& service) {
   for (;;) {
-    const FrameReadOutcome incoming = read_frame(fd);
+    const FrameReadOutcome incoming = read_frame(stream);
     switch (incoming.result) {
       case ReadFrameResult::kClosed:
         return SessionEnd::kClientClosed;
@@ -30,7 +30,7 @@ SessionEnd run_server_session(int fd, SweepService& service) {
         // structural failure the length framing cannot be trusted.
         const Response response = Response::error(
             to_response_status(incoming.error), "malformed frame");
-        (void)send_response(fd, response);
+        (void)send_response(stream, response);
         return SessionEnd::kMalformed;
       }
       case ReadFrameResult::kFrame:
@@ -42,14 +42,14 @@ SessionEnd run_server_session(int fd, SweepService& service) {
       case FrameType::kPing: {
         Response pong;
         pong.message = service.shutting_down() ? "draining" : "ready";
-        if (!send_response(fd, pong)) return SessionEnd::kTransportError;
+        if (!send_response(stream, pong)) return SessionEnd::kTransportError;
         break;
       }
       case FrameType::kShutdown: {
         service.begin_shutdown();
         Response ack;
         ack.message = "draining";
-        (void)send_response(fd, ack);
+        (void)send_response(stream, ack);
         return SessionEnd::kShutdownRequested;
       }
       case FrameType::kRequest: {
@@ -60,7 +60,7 @@ SessionEnd run_server_session(int fd, SweepService& service) {
                 ? service.handle(request.value())
                 : Response::error(ResponseStatus::kInvalidRequest,
                                   request.status().message());
-        if (!send_response(fd, response)) return SessionEnd::kTransportError;
+        if (!send_response(stream, response)) return SessionEnd::kTransportError;
         break;
       }
       case FrameType::kResponse: {
@@ -69,11 +69,16 @@ SessionEnd run_server_session(int fd, SweepService& service) {
         const Response response = Response::error(
             ResponseStatus::kMalformedFrame,
             "unexpected response frame from client");
-        (void)send_response(fd, response);
+        (void)send_response(stream, response);
         return SessionEnd::kMalformed;
       }
     }
   }
+}
+
+SessionEnd run_server_session(int fd, SweepService& service) {
+  FdByteStream stream{fd};  // borrows: the accept loop owns the fd
+  return run_server_session(stream, service);
 }
 
 }  // namespace roclk::service

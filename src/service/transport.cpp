@@ -14,37 +14,75 @@ namespace roclk::service {
 namespace {
 
 /// Reads exactly `bytes`; 0 = clean EOF before any byte, -1 = error or
-/// mid-buffer EOF, 1 = success.
-int read_exact(int fd, void* buffer, std::size_t bytes) {
+/// mid-buffer EOF, 1 = success.  Interrupted operations are retried —
+/// over a real fd that is EINTR, over a FaultyStream an injected storm.
+int read_exact(ByteStream& stream, void* buffer, std::size_t bytes) {
   auto* out = static_cast<char*>(buffer);
   std::size_t got = 0;
   while (got < bytes) {
-    const ssize_t n = ::read(fd, out + got, bytes - got);
-    if (n == 0) return got == 0 ? 0 : -1;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return -1;
+    const IoResult r = stream.read_some(out + got, bytes - got);
+    switch (r.kind) {
+      case IoResult::Kind::kOk:
+        got += r.bytes;
+        break;
+      case IoResult::Kind::kEof:
+        return got == 0 ? 0 : -1;
+      case IoResult::Kind::kInterrupted:
+        continue;
+      case IoResult::Kind::kError:
+        return -1;
     }
-    got += static_cast<std::size_t>(n);
   }
   return 1;
 }
 
-bool write_all(int fd, const void* buffer, std::size_t bytes) {
+bool write_all(ByteStream& stream, const void* buffer, std::size_t bytes) {
   const auto* in = static_cast<const char*>(buffer);
   std::size_t sent = 0;
   while (sent < bytes) {
-    const ssize_t n = ::write(fd, in + sent, bytes - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    const IoResult r = stream.write_some(in + sent, bytes - sent);
+    switch (r.kind) {
+      case IoResult::Kind::kOk:
+        sent += r.bytes;
+        break;
+      case IoResult::Kind::kInterrupted:
+        continue;
+      case IoResult::Kind::kEof:
+      case IoResult::Kind::kError:
+        return false;
     }
-    sent += static_cast<std::size_t>(n);
   }
   return true;
 }
 
 }  // namespace
+
+IoResult FdByteStream::read_some(void* buffer, std::size_t bytes) {
+  if (fd_ < 0) return IoResult::error();
+  const ssize_t n = ::read(fd_, buffer, bytes);
+  if (n > 0) return IoResult::ok(static_cast<std::size_t>(n));
+  if (n == 0) return IoResult::eof();
+  return errno == EINTR ? IoResult::interrupted() : IoResult::error();
+}
+
+IoResult FdByteStream::write_some(const void* buffer, std::size_t bytes) {
+  if (fd_ < 0) return IoResult::error();
+  // MSG_NOSIGNAL: a peer that hung up mid-session must surface as a typed
+  // kError the session loop can handle, not a process-killing SIGPIPE.
+  // Non-socket fds (the daemon's --stdio pipes) report ENOTSOCK and fall
+  // back to write(2).
+  ssize_t n = ::send(fd_, buffer, bytes, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) n = ::write(fd_, buffer, bytes);
+  if (n >= 0) return IoResult::ok(static_cast<std::size_t>(n));
+  return errno == EINTR ? IoResult::interrupted() : IoResult::error();
+}
+
+void FdByteStream::close() {
+  if (owned_.valid()) {
+    owned_.close();  // owning mode: really release the fd
+  }
+  fd_ = -1;  // borrowing mode: just stop using it
+}
 
 FdStream::~FdStream() { close(); }
 
@@ -68,10 +106,10 @@ void FdStream::close() {
   }
 }
 
-FrameReadOutcome read_frame(int fd) {
+FrameReadOutcome read_frame(ByteStream& stream) {
   FrameReadOutcome outcome;
   std::uint64_t header[3];
-  const int header_read = read_exact(fd, header, sizeof header);
+  const int header_read = read_exact(stream, header, sizeof header);
   if (header_read == 0) {
     outcome.result = ReadFrameResult::kClosed;
     return outcome;
@@ -90,8 +128,8 @@ FrameReadOutcome read_frame(int fd) {
     return outcome;
   }
   std::vector<std::uint64_t> tail(payload_words + 1);
-  if (read_exact(fd, tail.data(), tail.size() * sizeof(std::uint64_t)) !=
-      1) {
+  if (read_exact(stream, tail.data(),
+                 tail.size() * sizeof(std::uint64_t)) != 1) {
     outcome.result = ReadFrameResult::kMalformed;
     outcome.error = DecodeError::kTruncated;
     return outcome;
@@ -113,13 +151,31 @@ FrameReadOutcome read_frame(int fd) {
   return outcome;
 }
 
-bool write_frame(int fd, const Frame& frame) {
+FrameReadOutcome read_frame(int fd) {
+  FdByteStream stream{fd};
+  return read_frame(stream);
+}
+
+bool write_frame(ByteStream& stream, const Frame& frame) {
   const std::vector<std::uint64_t> words = encode_frame(frame);
-  return write_all(fd, words.data(), words.size() * sizeof(std::uint64_t));
+  return write_all(stream, words.data(),
+                   words.size() * sizeof(std::uint64_t));
+}
+
+bool write_frame(int fd, const Frame& frame) {
+  FdByteStream stream{fd};
+  return write_frame(stream, frame);
+}
+
+bool write_words(ByteStream& stream,
+                 const std::vector<std::uint64_t>& words) {
+  return write_all(stream, words.data(),
+                   words.size() * sizeof(std::uint64_t));
 }
 
 bool write_words(int fd, const std::vector<std::uint64_t>& words) {
-  return write_all(fd, words.data(), words.size() * sizeof(std::uint64_t));
+  FdByteStream stream{fd};
+  return write_words(stream, words);
 }
 
 Status make_stream_pair(FdStream& a, FdStream& b) {

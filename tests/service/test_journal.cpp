@@ -1,0 +1,270 @@
+#include "roclk/service/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "roclk/service/server.hpp"
+
+namespace roclk::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scoped journal path: removed before and after each test so reruns
+/// never see a stale file.
+struct ScopedPath {
+  explicit ScopedPath(std::string p) : path{std::move(p)} {
+    fs::remove(path);
+    fs::remove(path + ".tmp");
+  }
+  ~ScopedPath() {
+    fs::remove(path);
+    fs::remove(path + ".tmp");
+  }
+  std::string path;
+};
+
+Response ok_response(double seed) {
+  Response response;
+  response.content_hash = static_cast<std::uint64_t>(seed * 1000.0);
+  response.values = {seed, seed * 2.0, seed * 3.0};
+  return response;
+}
+
+Request corner_request(double tclk_over_c = 1.0) {
+  Request request;
+  request.kind = QueryKind::kCornerMargin;
+  request.corner.tclk_over_c = tclk_over_c;
+  request.corner.cycles = 2000;
+  request.corner.skip = 200;
+  return request;
+}
+
+std::vector<std::uint64_t> slurp_words(const std::string& path) {
+  std::vector<std::uint64_t> words;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return words;
+  std::uint64_t w = 0;
+  while (std::fread(&w, sizeof(w), 1, file) == 1) words.push_back(w);
+  std::fclose(file);
+  return words;
+}
+
+void dump_words(const std::string& path,
+                const std::vector<std::uint64_t>& words) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(words.data(), sizeof(std::uint64_t), words.size(),
+                        file),
+            words.size());
+  std::fclose(file);
+}
+
+TEST(CacheJournal, AppendedEntriesRoundTripThroughLoad) {
+  const ScopedPath scoped{"test_journal_roundtrip.jnl"};
+  {
+    CacheJournal journal;
+    ASSERT_TRUE(journal.open_for_append(scoped.path).is_ok());
+    ASSERT_TRUE(journal.append(101, ok_response(1.0)).is_ok());
+    ASSERT_TRUE(journal.append(202, ok_response(2.0)).is_ok());
+    EXPECT_EQ(journal.appended_records(), 2u);
+  }
+  Status status;
+  const JournalLoadResult loaded = CacheJournal::load(scoped.path, &status);
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(loaded.header_ok);
+  EXPECT_EQ(loaded.dropped_tail_words, 0u);
+  ASSERT_EQ(loaded.records_loaded, 2u);
+  EXPECT_EQ(loaded.entries[0].hash, 101u);
+  EXPECT_EQ(loaded.entries[0].response, ok_response(1.0));
+  EXPECT_EQ(loaded.entries[1].hash, 202u);
+  EXPECT_EQ(loaded.entries[1].response, ok_response(2.0));
+}
+
+TEST(CacheJournal, ReopeningAppendsAfterExistingRecords) {
+  const ScopedPath scoped{"test_journal_reopen.jnl"};
+  {
+    CacheJournal journal;
+    ASSERT_TRUE(journal.open_for_append(scoped.path).is_ok());
+    ASSERT_TRUE(journal.append(1, ok_response(1.0)).is_ok());
+  }
+  {
+    CacheJournal journal;
+    ASSERT_TRUE(journal.open_for_append(scoped.path).is_ok());
+    ASSERT_TRUE(journal.append(2, ok_response(2.0)).is_ok());
+  }
+  const JournalLoadResult loaded = CacheJournal::load(scoped.path);
+  ASSERT_EQ(loaded.records_loaded, 2u);
+  EXPECT_EQ(loaded.entries[0].hash, 1u);
+  EXPECT_EQ(loaded.entries[1].hash, 2u);
+}
+
+TEST(CacheJournal, TornFinalRecordKeepsEveryIntactPrefixEntry) {
+  const ScopedPath scoped{"test_journal_torn.jnl"};
+  {
+    CacheJournal journal;
+    ASSERT_TRUE(journal.open_for_append(scoped.path).is_ok());
+    ASSERT_TRUE(journal.append(1, ok_response(1.0)).is_ok());
+    ASSERT_TRUE(journal.append(2, ok_response(2.0)).is_ok());
+    ASSERT_TRUE(journal.append(3, ok_response(3.0)).is_ok());
+  }
+  // Tear the last record mid-payload, the way kill -9 during an append
+  // would.
+  const std::uint64_t record_words =
+      CacheJournal::encode_record(3, ok_response(3.0)).size();
+  const std::uintmax_t size = fs::file_size(scoped.path);
+  fs::resize_file(scoped.path,
+                  size - (record_words / 2) * sizeof(std::uint64_t));
+
+  Status status;
+  const JournalLoadResult loaded = CacheJournal::load(scoped.path, &status);
+  EXPECT_FALSE(status.is_ok());  // the torn tail is reported...
+  ASSERT_EQ(loaded.records_loaded, 2u);  // ...and every intact entry kept
+  EXPECT_GT(loaded.dropped_tail_words, 0u);
+  EXPECT_EQ(loaded.entries[0].hash, 1u);
+  EXPECT_EQ(loaded.entries[1].hash, 2u);
+}
+
+TEST(CacheJournal, CorruptMiddleRecordDropsItAndEverythingAfter) {
+  const ScopedPath scoped{"test_journal_corrupt.jnl"};
+  {
+    CacheJournal journal;
+    ASSERT_TRUE(journal.open_for_append(scoped.path).is_ok());
+    ASSERT_TRUE(journal.append(1, ok_response(1.0)).is_ok());
+    ASSERT_TRUE(journal.append(2, ok_response(2.0)).is_ok());
+    ASSERT_TRUE(journal.append(3, ok_response(3.0)).is_ok());
+  }
+  std::vector<std::uint64_t> words = slurp_words(scoped.path);
+  const std::size_t record_words =
+      CacheJournal::encode_record(1, ok_response(1.0)).size();
+  // Flip one bit inside record 2's payload (after the 3-word header and
+  // record 1): its checksum fails, and framing is untrusted from there.
+  words[3 + record_words + 4] ^= 1;
+  dump_words(scoped.path, words);
+
+  const JournalLoadResult loaded = CacheJournal::load(scoped.path);
+  ASSERT_EQ(loaded.records_loaded, 1u);
+  EXPECT_EQ(loaded.entries[0].hash, 1u);
+  EXPECT_GT(loaded.dropped_tail_words, 0u);
+}
+
+TEST(CacheJournal, MissingAndCorruptHeaderFilesLoadEmpty) {
+  Status status;
+  const JournalLoadResult missing =
+      CacheJournal::load("no_such_journal.jnl", &status);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_FALSE(missing.header_ok);
+  EXPECT_EQ(missing.records_loaded, 0u);
+
+  const ScopedPath scoped{"test_journal_badheader.jnl"};
+  dump_words(scoped.path, {0xDEADBEEFULL, 1, 2, 3, 4});
+  const JournalLoadResult corrupt = CacheJournal::load(scoped.path, &status);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_FALSE(corrupt.header_ok);
+  EXPECT_EQ(corrupt.records_loaded, 0u);
+}
+
+TEST(CacheJournal, CompactionRewritesToExactlyTheGivenEntries) {
+  const ScopedPath scoped{"test_journal_compact.jnl"};
+  CacheJournal journal;
+  ASSERT_TRUE(journal.open_for_append(scoped.path).is_ok());
+  // The same hash stored many times bloats the log...
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(journal.append(7, ok_response(1.0)).is_ok());
+  }
+  const std::uintmax_t before = fs::file_size(scoped.path);
+
+  // ...until compaction rewrites it to the single live entry.
+  ASSERT_TRUE(journal.compact({{7, ok_response(1.0)}}).is_ok());
+  EXPECT_EQ(journal.appended_records(), 0u);
+  EXPECT_LT(fs::file_size(scoped.path), before);
+
+  // The compacted journal is still appendable and still loads.
+  ASSERT_TRUE(journal.append(8, ok_response(2.0)).is_ok());
+  const JournalLoadResult loaded = CacheJournal::load(scoped.path);
+  ASSERT_EQ(loaded.records_loaded, 2u);
+  EXPECT_EQ(loaded.entries[0].hash, 7u);
+  EXPECT_EQ(loaded.entries[1].hash, 8u);
+}
+
+TEST(SweepServiceJournal, WarmStartServesCachedResultsWithZeroSimulations) {
+  const ScopedPath scoped{"test_journal_service.jnl"};
+  Response original;
+  {
+    ServiceConfig config;
+    config.journal_path = scoped.path;
+    SweepService service{config};
+    original = service.handle(corner_request(1.0));
+    ASSERT_EQ(original.status, ResponseStatus::kOk);
+    (void)service.handle(corner_request(1.25));
+    EXPECT_EQ(service.stats().journal_appends, 2u);
+  }
+  // A "restarted daemon": same journal path, fresh process state.
+  ServiceConfig config;
+  config.journal_path = scoped.path;
+  SweepService service{config};
+  EXPECT_EQ(service.stats().journal_recovered, 2u);
+
+  const Response warm = service.handle(corner_request(1.0));
+  ASSERT_EQ(warm.status, ResponseStatus::kOk);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.values, original.values);  // bitwise-identical replay
+  EXPECT_EQ(warm.content_hash, original.content_hash);
+  EXPECT_EQ(service.stats().simulations, 0u);
+}
+
+TEST(SweepServiceJournal, TornJournalOnlyDegradesTheWarmStart) {
+  const ScopedPath scoped{"test_journal_service_torn.jnl"};
+  {
+    ServiceConfig config;
+    config.journal_path = scoped.path;
+    SweepService service{config};
+    ASSERT_EQ(service.handle(corner_request(1.0)).status, ResponseStatus::kOk);
+    ASSERT_EQ(service.handle(corner_request(1.25)).status,
+              ResponseStatus::kOk);
+  }
+  // Tear mid-append: drop the torn record's second half.
+  const std::uintmax_t size = fs::file_size(scoped.path);
+  fs::resize_file(scoped.path, size - 5 * sizeof(std::uint64_t));
+
+  ServiceConfig config;
+  config.journal_path = scoped.path;
+  SweepService service{config};
+  EXPECT_EQ(service.stats().journal_recovered, 1u);
+  EXPECT_GT(service.stats().journal_dropped_words, 0u);
+  // The intact entry is served from cache; the torn one re-simulates.
+  EXPECT_TRUE(service.handle(corner_request(1.0)).from_cache);
+  EXPECT_FALSE(service.handle(corner_request(1.25)).from_cache);
+  EXPECT_EQ(service.stats().simulations, 1u);
+
+  // The recovery compacted the file: a third start sees a clean journal
+  // holding both entries again (the re-simulated one was re-appended).
+  SweepService again{config};
+  EXPECT_EQ(again.stats().journal_recovered, 2u);
+  EXPECT_EQ(again.stats().journal_dropped_words, 0u);
+}
+
+TEST(SweepServiceJournal, CompactionTriggersAfterTheConfiguredBudget) {
+  const ScopedPath scoped{"test_journal_service_compact.jnl"};
+  ServiceConfig config;
+  config.journal_path = scoped.path;
+  config.cache_capacity = 1;       // every store evicts the previous entry
+  config.journal_compact_every = 3;
+  SweepService service{config};
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(service.handle(corner_request(1.0 + 0.05 * i)).status,
+              ResponseStatus::kOk);
+  }
+  EXPECT_GE(service.stats().journal_compactions, 1u);
+  // Compaction keeps only live cache entries: the journal holds at most
+  // compact_every + capacity records, not all six.
+  const JournalLoadResult loaded = CacheJournal::load(scoped.path);
+  EXPECT_LE(loaded.records_loaded, 4u);
+}
+
+}  // namespace
+}  // namespace roclk::service

@@ -105,6 +105,52 @@ TEST(SweepService, ShutdownDrainsNewRequests) {
   EXPECT_EQ(response.status, ResponseStatus::kShuttingDown);
 }
 
+TEST(SweepService, ShutdownDrainsInFlightCoalescedRequests) {
+  SweepService* service_ptr = nullptr;
+  ServiceConfig config;
+  // The owner's simulation is held until two waiters have coalesced onto
+  // it AND shutdown has begun: the drain guarantee is then exercised with
+  // requests genuinely in flight, not as a scheduling accident.
+  config.before_execute = [&service_ptr] {
+    (void)wait_for([&] {
+      return service_ptr->stats().coalesced >= 2 &&
+             service_ptr->shutting_down();
+    });
+  };
+  SweepService service{config};
+  service_ptr = &service;
+
+  Response owner_response;
+  std::thread owner{[&] { owner_response = service.handle(corner_request()); }};
+  ASSERT_TRUE(wait_for([&] { return service.stats().simulations == 1; }));
+
+  Response waiter_responses[2];
+  std::thread waiters[2];
+  for (int i = 0; i < 2; ++i) {
+    waiters[i] = std::thread{[&service, &waiter_responses, i] {
+      waiter_responses[i] = service.handle(corner_request());
+    }};
+  }
+  ASSERT_TRUE(wait_for([&] { return service.stats().coalesced == 2; }));
+
+  service.begin_shutdown();
+  // A newcomer is refused immediately with the typed draining status...
+  const Response refused = service.handle(corner_request());
+  EXPECT_EQ(refused.status, ResponseStatus::kShuttingDown);
+
+  owner.join();
+  for (std::thread& t : waiters) t.join();
+
+  // ...but everyone already in flight is served the real answer.
+  ASSERT_EQ(owner_response.status, ResponseStatus::kOk);
+  for (const Response& response : waiter_responses) {
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_TRUE(response.coalesced);
+    EXPECT_EQ(response.values, owner_response.values);
+  }
+  EXPECT_EQ(service.stats().completed, 3u);
+}
+
 TEST(SweepService, InternalErrorsSurfaceAsTypedStatus) {
   ServiceConfig config;
   // The simulator layer is defensively robust, so inject the failure at

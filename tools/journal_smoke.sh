@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke of the sweep-service cache journal, run by ctest
+# (roclk_journal_smoke) and the CI build-test job:
+#   1. start roclk_sweepd with --journal, run a corner query (simulated,
+#      journaled), capture its payload
+#   2. kill -9 the daemon — no drain, no clean close; the journal's
+#      whole-record appends are all the durability there is
+#   3. restart on the same journal; the same query must be a cache hit
+#      (zero re-simulations) with a byte-identical payload
+#   4. clean shutdown; the exit stats line must show the warm start
+#
+# Usage: journal_smoke.sh <roclk_sweepd> <roclk_sweep> <socket> <journal>
+set -euo pipefail
+
+SWEEPD=$1
+SWEEP=$2
+SOCKET=$3
+JOURNAL=$4
+
+rm -f "$SOCKET" "$JOURNAL" "$JOURNAL.tmp"
+DAEMON_PID=0
+trap '[ "$DAEMON_PID" -ne 0 ] && kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCKET" ] && return 0
+    sleep 0.1
+  done
+  echo "daemon never bound $SOCKET"
+  return 1
+}
+
+QUERY=(corner --cycles 2000 --skip 200 --te-over-c 20)
+
+echo "--- cold start: simulate and journal one scenario"
+"$SWEEPD" --socket "$SOCKET" --journal "$JOURNAL" &
+DAEMON_PID=$!
+wait_for_socket
+COLD=$("$SWEEP" --socket "$SOCKET" "${QUERY[@]}")
+echo "$COLD"
+grep -q "status=OK from_cache=0" <<<"$COLD"
+
+echo "--- kill -9 (no drain, no clean close)"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=0
+rm -f "$SOCKET"
+[ -s "$JOURNAL" ] || { echo "journal is empty after the crash"; exit 1; }
+
+echo "--- warm restart from the journal"
+STDERR_LOG=$(mktemp)
+"$SWEEPD" --socket "$SOCKET" --journal "$JOURNAL" 2>"$STDERR_LOG" &
+DAEMON_PID=$!
+wait_for_socket
+WARM=$("$SWEEP" --socket "$SOCKET" "${QUERY[@]}")
+echo "$WARM"
+# The crashed daemon's answer is served from the recovered cache,
+# byte-identically, with zero re-simulations.
+grep -q "status=OK from_cache=1" <<<"$WARM"
+COLD_PAYLOAD=$(sed 's/from_cache=[01]//' <<<"$COLD")
+WARM_PAYLOAD=$(sed 's/from_cache=[01]//' <<<"$WARM")
+[ "$COLD_PAYLOAD" = "$WARM_PAYLOAD" ] || {
+  echo "warm payload differs from cold payload"
+  echo "cold: $COLD_PAYLOAD"
+  echo "warm: $WARM_PAYLOAD"
+  exit 1
+}
+
+echo "--- shutdown"
+"$SWEEP" --socket "$SOCKET" --shutdown
+DAEMON_EXIT=0
+wait "$DAEMON_PID" || DAEMON_EXIT=$?
+DAEMON_PID=0
+trap - EXIT
+[ "$DAEMON_EXIT" -eq 0 ] || { echo "daemon exit=$DAEMON_EXIT"; exit 1; }
+cat "$STDERR_LOG"
+grep -q "journal warm start: recovered=1" "$STDERR_LOG"
+grep -q "simulations=0" "$STDERR_LOG"
+rm -f "$STDERR_LOG" "$JOURNAL" "$JOURNAL.tmp"
+echo "journal smoke OK"

@@ -63,11 +63,18 @@ std::vector<Finding> check_determinism(
   static const std::regex kStdTime{R"(std\s*::\s*time\s*\()"};
   static const std::regex kEnv{
       R"(\b(getenv|secure_getenv|setenv|putenv|unsetenv)\s*\()"};
+  static const std::regex kSleep{
+      R"(\b(sleep_for|sleep_until|nanosleep|usleep|sleep)\s*\()"};
   static const std::regex kSplitTag{R"(\bsplit\s*\(\s*"([^"]*)\")"};
 
   // --- wall-clock / env-source over comment-and-string-stripped text.
   for (const auto& file : files) {
     if (is_allowlisted(file)) continue;
+    // Blocking the calling thread is a failure-handling decision, and
+    // those are replayable only where the wait goes through an
+    // injectable hook.  Real sleeping is confined to the retry backoff
+    // module (and the transport TU via the allowlist above).
+    const bool may_sleep = path_ends_with(file.path, "service/retry.cpp");
     const auto waivers = collect_waivers(file.text);
     const std::string stripped = strip_comments_and_strings(file.text);
     std::istringstream in{stripped};
@@ -104,6 +111,17 @@ std::vector<Finding> check_determinism(
         findings.push_back({file.path, lineno, "wall-clock",
                             "time() reads the wall clock; library code "
                             "must stay deterministic"});
+      }
+      if (!may_sleep && std::regex_search(line, match, kSleep) &&
+          !is_waived(waivers, lineno, "sleep")) {
+        findings.push_back(
+            {file.path, lineno, "sleep",
+             match[1].str() +
+                 "() blocks on the wall clock; real sleeping is confined "
+                 "to service/retry.cpp and the transport TU — take an "
+                 "injectable sleep hook (ResilientClientConfig::sleep_ms, "
+                 "TransportFaultConfig::stall_hook) so tests replay "
+                 "without waiting"});
       }
       if (std::regex_search(line, match, kEnv) &&
           !is_waived(waivers, lineno, "env-source")) {

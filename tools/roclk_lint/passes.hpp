@@ -14,9 +14,13 @@
 //                their inputs.  Rules: `wall-clock` (system_clock /
 //                steady_clock / high_resolution_clock / time() /
 //                gettimeofday / clock_gettime), `env-source`
-//                (getenv/setenv family) — both banned in library code;
-//                tools/, bench/, examples/, tests/ and the service
-//                transport TU are allowlisted — plus `tag-unregistered`
+//                (getenv/setenv family), and `sleep` (sleep_for /
+//                nanosleep family; real sleeping is confined to the
+//                retry backoff module so failure handling stays
+//                replayable through injected hooks) — all banned in
+//                library code; tools/, bench/, examples/, tests/ and
+//                the service transport TU are allowlisted, and
+//                service/retry.cpp may sleep — plus `tag-unregistered`
 //                and `tag-duplicate`, cross-checking every StreamKey
 //                split("...") literal against the DESIGN.md §13 registry.
 //

@@ -79,7 +79,7 @@ struct RuleInfo {
 
 /// Every rule either pass family can emit, in stable order — the SARIF
 /// driver.rules array and the docs both derive from this list.
-constexpr std::array<RuleInfo, 19> kRules{{
+constexpr std::array<RuleInfo, 20> kRules{{
     {"round", "std::round family bypasses the ties-away contract"},
     {"rng", "raw C/std randomness outside common/rng"},
     {"xoshiro", "direct Xoshiro256 construction outside common/rng"},
@@ -93,6 +93,7 @@ constexpr std::array<RuleInfo, 19> kRules{{
     {"layer-dag", "the layering adjacency table itself is cyclic"},
     {"include-cycle", "cyclic header include chain"},
     {"wall-clock", "wall-clock source in deterministic library code"},
+    {"sleep", "wall-clock sleeping outside the retry backoff module"},
     {"env-source", "environment read in deterministic library code"},
     {"tag-unregistered", "StreamKey tag missing from the DESIGN.md registry"},
     {"tag-duplicate", "StreamKey tag registered twice"},

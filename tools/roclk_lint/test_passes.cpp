@@ -182,6 +182,44 @@ TEST(DeterminismTest, AllowlistsAppScopeAndTransport) {
   EXPECT_TRUE(check_determinism(files, nullptr).empty());
 }
 
+TEST(DeterminismTest, FlagsSleepOutsideTheBackoffModule) {
+  const auto findings = check_determinism(
+      {{"src/core/loop.cpp",
+        "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"}},
+      nullptr);
+  ASSERT_TRUE(has_rule(findings, "sleep"));
+  EXPECT_NE(find_rule(findings, "sleep")->message.find("sleep_ms"),
+            std::string::npos);
+  EXPECT_TRUE(has_rule(
+      check_determinism({{"src/common/rng.cpp", "nanosleep(&ts, nullptr);\n"}},
+                        nullptr),
+      "sleep"));
+}
+
+TEST(DeterminismTest, SleepIsAllowedWhereRealWaitingLives) {
+  // The backoff module owns the default sleep hook; the transport TU and
+  // app scope measure real time by design.
+  const std::vector<SourceFile> files = {
+      {"src/service/retry.cpp",
+       "std::this_thread::sleep_for(std::chrono::milliseconds(ms));\n"},
+      {"src/service/transport.cpp", "nanosleep(&ts, nullptr);\n"},
+      {"bench/soak.cpp", "sleep(1);\n"},
+      {"tools/sweepd.cpp", "usleep(100);\n"},
+  };
+  EXPECT_FALSE(has_rule(check_determinism(files, nullptr), "sleep"));
+}
+
+TEST(DeterminismTest, SleepLookalikesAndWaiversAreClean) {
+  const std::vector<SourceFile> files = {
+      {"src/core/loop.cpp",
+       "void maybe_sleep(int);\nauto s = config.sleep_budget;\n"},
+      {"src/core/poll.cpp",
+       "std::this_thread::sleep_for(tick);  "
+       "// roclk-lint: allow(sleep) hardware settle time\n"},
+  };
+  EXPECT_FALSE(has_rule(check_determinism(files, nullptr), "sleep"));
+}
+
 TEST(DeterminismTest, WaiverSuppressesWithJustification) {
   const std::vector<SourceFile> files = {
       {"src/common/simd.cpp",

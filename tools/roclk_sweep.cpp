@@ -11,12 +11,23 @@
 //   roclk_sweep --socket /tmp/roclk.sock yield --margin-points 5
 //   roclk_sweep --socket /tmp/roclk.sock --ping
 //   roclk_sweep --socket /tmp/roclk.sock --shutdown
+//
+// Exit codes: 0 success, 1 failure, 2 bad flags, 3 the daemon answered
+// SHUTTING_DOWN (retryable — rerun once the daemon restarts; its journal
+// warm start turns the retry into a cache hit).  With --retries N the
+// query path goes through ResilientClient, which reconnects and backs
+// off across transport failures and retryable statuses before giving up.
 
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "roclk/common/flags.hpp"
+#include "roclk/common/stream_key.hpp"
 #include "roclk/service/client.hpp"
+#include "roclk/service/retry.hpp"
 
 namespace {
 
@@ -81,6 +92,12 @@ int main(int argc, char** argv) {
       .add_bool("send-malformed", false,
                 "send deliberately broken bytes; expect MALFORMED_FRAME")
       .add_int("deadline-ms", 0, "per-request deadline (0 = none)")
+      // Retry policy (docs/service.md §6).  0 retries = one shot.
+      .add_int("retries", 0, "retry budget beyond the first attempt")
+      .add_int("retry-backoff-ms", 10, "initial backoff before a retry")
+      .add_int("retry-budget-ms", 0,
+               "total scheduled-backoff budget (0 = unlimited)")
+      .add_int("retry-seed", 1, "jitter stream seed (deterministic)")
       // Corner scenario (also the base corner of a grid query).
       .add_string("system", "iir", "iir | teatime | free | fixed")
       .add_double("setpoint-c", 64.0, "set-point c in RO stages")
@@ -217,9 +234,56 @@ int main(int argc, char** argv) {
                 " (expected corner | grid | yield)");
   }
 
-  const Result<Response> reply = client.query(request);
+  Result<Response> reply = Status::internal("query never ran");
+  const int retries = flags.get_int("retries");
+  if (retries > 0) {
+    ResilientClientConfig resilient_config;
+    resilient_config.retry.max_attempts =
+        static_cast<std::uint32_t>(retries) + 1;
+    resilient_config.retry.initial_backoff_ms =
+        static_cast<std::uint32_t>(flags.get_int("retry-backoff-ms"));
+    resilient_config.retry.total_backoff_budget_ms =
+        static_cast<std::uint32_t>(flags.get_int("retry-budget-ms"));
+    // One-shot CLI: the breaker exists to shed sustained load, not a
+    // single query — leave it disabled.
+    resilient_config.breaker.failure_threshold = 0;
+    resilient_config.jitter_key =
+        StreamKey{static_cast<std::uint64_t>(flags.get_int("retry-seed"))};
+    // The first attempt reuses the connection dialed above; reconnects
+    // dial the socket fresh.
+    auto first = std::make_shared<std::optional<Client>>(std::move(client));
+    resilient_config.connect = [socket_path, first]() -> Result<Client> {
+      if (first->has_value()) {
+        Client dialed = std::move(**first);
+        first->reset();
+        return dialed;
+      }
+      return Client::connect(socket_path);
+    };
+    ResilientClient resilient{std::move(resilient_config)};
+    reply = resilient.query(request);
+    const RetryStats& stats = resilient.stats();
+    if (stats.retries > 0) {
+      std::fprintf(stderr,
+                   "[roclk_sweep] attempts=%llu retries=%llu "
+                   "reconnects=%llu backoff_ms=%llu\n",
+                   static_cast<unsigned long long>(stats.attempts),
+                   static_cast<unsigned long long>(stats.retries),
+                   static_cast<unsigned long long>(stats.reconnects),
+                   static_cast<unsigned long long>(stats.backoff_ms_total));
+    }
+  } else {
+    reply = client.query(request);
+  }
   if (!reply.is_ok()) return fail(reply.status().to_string());
   print_response_meta(reply.value());
   print_values(request.kind, reply.value());
+  if (reply.value().status == ResponseStatus::kShuttingDown) {
+    std::fprintf(stderr,
+                 "error: daemon is draining (SHUTTING_DOWN) — retryable; "
+                 "rerun once it restarts (the cache journal makes the "
+                 "retry a warm hit)\n");
+    return 3;
+  }
   return reply.value().ok() ? 0 : 1;
 }

@@ -91,7 +91,12 @@ int main(int argc, char** argv) {
       .add_int("deadline-ms", 0,
                "default deadline for requests that carry none (0 = none)")
       .add_int("threads", 0,
-               "simulation pool threads (0 = sequential execution)");
+               "simulation pool threads (0 = sequential execution)")
+      .add_string("journal", "",
+                  "cache journal path: warm-start from it on boot, append "
+                  "every result to it (crash-safe; empty disables)")
+      .add_int("journal-compact-every", 4096,
+               "appended records between journal compactions");
 
   if (const Status status = flags.parse(argc, argv); !status.is_ok()) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(),
@@ -125,7 +130,18 @@ int main(int argc, char** argv) {
   config.default_deadline_ms =
       static_cast<std::uint32_t>(flags.get_int("deadline-ms"));
   config.sim_pool = pool.get();
+  config.journal_path = flags.get_string("journal");
+  config.journal_compact_every =
+      static_cast<std::uint64_t>(flags.get_int("journal-compact-every"));
   SweepService sweep_service{config};
+  if (!config.journal_path.empty()) {
+    const ServiceStats warm = sweep_service.stats();
+    std::fprintf(stderr,
+                 "[roclk_sweepd] journal warm start: recovered=%llu "
+                 "dropped_words=%llu\n",
+                 static_cast<unsigned long long>(warm.journal_recovered),
+                 static_cast<unsigned long long>(warm.journal_dropped_words));
+  }
 
   const int exit_code = stdio ? serve_stdio(sweep_service)
                               : serve_socket(sweep_service, socket_path);
@@ -134,7 +150,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "[roclk_sweepd] accepted=%llu cache_hits=%llu "
                "coalesced=%llu simulations=%llu shed=%llu "
-               "deadline_exceeded=%llu invalid=%llu completed=%llu\n",
+               "deadline_exceeded=%llu invalid=%llu completed=%llu "
+               "journal_recovered=%llu journal_appends=%llu "
+               "journal_compactions=%llu journal_errors=%llu\n",
                static_cast<unsigned long long>(stats.accepted),
                static_cast<unsigned long long>(stats.cache_hits),
                static_cast<unsigned long long>(stats.coalesced),
@@ -142,6 +160,10 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.shed),
                static_cast<unsigned long long>(stats.deadline_exceeded),
                static_cast<unsigned long long>(stats.invalid),
-               static_cast<unsigned long long>(stats.completed));
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.journal_recovered),
+               static_cast<unsigned long long>(stats.journal_appends),
+               static_cast<unsigned long long>(stats.journal_compactions),
+               static_cast<unsigned long long>(stats.journal_errors));
   return exit_code;
 }
